@@ -1,0 +1,104 @@
+package extmem
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// the fingerprint's repetition/error trade-off, the merge sort's
+// logarithmic pass structure, and the NST certificate's tape blowup.
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+// BenchmarkAblationFingerprintRepetitions compares 1 vs 5 repetitions
+// of the Theorem 8(a) decider: linear cost for exponentially smaller
+// false-accept probability (boosting is the cheap knob of co-RST).
+func BenchmarkAblationFingerprintRepetitions(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := problems.GenMultisetYes(256, 16, rng)
+	enc := in.Encode()
+	for _, reps := range []int{1, 3, 5} {
+		b.Run(map[int]string{1: "reps=1", 3: "reps=3", 5: "reps=5"}[reps], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(1, int64(i))
+				m.SetInput(enc)
+				if v, err := algorithms.FingerprintRepeated(m, reps); err != nil || v != core.Accept {
+					b.Fatal(err, v)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSortScaling exposes the Θ(m log m) work /
+// Θ(log m) reversals of the tape merge sort across sizes.
+func BenchmarkAblationSortScaling(b *testing.B) {
+	for _, mSize := range []int{64, 256, 1024} {
+		rng := rand.New(rand.NewSource(int64(mSize)))
+		in := problems.GenMultisetYes(mSize, 16, rng)
+		enc := in.Encode()
+		b.Run(map[int]string{64: "m=64", 256: "m=256", 1024: "m=1024"}[mSize], func(b *testing.B) {
+			var scans int
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(4, 1)
+				m.SetInput(enc)
+				res, err := algorithms.SortLasVegas(m, 1, 2, 3, 1<<30)
+				if err != nil || res.Verdict != core.Accept {
+					b.Fatal(err)
+				}
+				scans = res.Resources.Scans()
+			}
+			b.ReportMetric(float64(scans), "scans")
+		})
+	}
+}
+
+// BenchmarkAblationNSTCertificateBlowup shows the price of the
+// Theorem 8(b) construction: certificate length grows ~ N·m·|u|, the
+// model's "tape length is free" trade for constant scans.
+func BenchmarkAblationNSTCertificateBlowup(b *testing.B) {
+	for _, mSize := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(mSize)))
+		in := problems.GenMultisetYes(mSize, 4, rng)
+		b.Run(map[int]string{2: "m=2", 4: "m=4", 8: "m=8"}[mSize], func(b *testing.B) {
+			var cells int
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(2, 1)
+				m.SetInput(in.Encode())
+				if v, err := algorithms.DecideNST(algorithms.NSTMultisetEquality, m, in); err != nil || v != core.Accept {
+					b.Fatal(err, v)
+				}
+				cells = m.Tape(0).Len()
+			}
+			b.ReportMetric(float64(cells), "tape-cells")
+		})
+	}
+}
+
+// BenchmarkAblationDeciderVsProblem compares the three Corollary 7
+// deciders on identical inputs: checksort ≈ one sort, (multi)set
+// equality ≈ two.
+func BenchmarkAblationDeciderVsProblem(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := problems.GenCheckSortYes(256, 12, rng)
+	enc := in.Encode()
+	cases := map[string]func(*core.Machine) (core.Verdict, error){
+		"checksort": algorithms.CheckSortST,
+		"multiset":  algorithms.MultisetEqualityST,
+		"set":       algorithms.SetEqualityST,
+	}
+	for name, fn := range cases {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := core.NewMachine(algorithms.NumDeciderTapes, 1)
+				m.SetInput(enc)
+				if v, err := fn(m); err != nil || v != core.Accept {
+					b.Fatal(err, v)
+				}
+			}
+		})
+	}
+}

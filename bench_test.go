@@ -1,0 +1,300 @@
+package extmem
+
+// One benchmark per experiment of DESIGN.md §4. Each benchmark
+// exercises the core operation its experiment measures; the printed
+// tables come from cmd/stbench (same runners, internal/experiments).
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/experiments"
+	"extmem/internal/listmachine"
+	"extmem/internal/lowerbound"
+	"extmem/internal/numeric"
+	"extmem/internal/perm"
+	"extmem/internal/problems"
+	"extmem/internal/relalg"
+	"extmem/internal/simulate"
+	"extmem/internal/turing"
+	"extmem/internal/xmlstream"
+	"extmem/internal/xpath"
+	"extmem/internal/xquery"
+)
+
+// BenchmarkE1DeterministicUpperBound measures the Corollary 7
+// sort-based MULTISET-EQUALITY decider (E1).
+func BenchmarkE1DeterministicUpperBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := problems.GenMultisetYes(512, 16, rng)
+	enc := in.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		m.SetInput(enc)
+		if v, err := algorithms.MultisetEqualityST(m); err != nil || v != core.Accept {
+			b.Fatal(err, v)
+		}
+	}
+}
+
+// BenchmarkE2Fingerprint measures the Theorem 8(a) two-scan
+// fingerprint decider (E2).
+func BenchmarkE2Fingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := problems.GenMultisetYes(512, 16, rng)
+	enc := in.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(1, int64(i))
+		m.SetInput(enc)
+		if v, _, err := algorithms.FingerprintMultisetEquality(m); err != nil || v != core.Accept {
+			b.Fatal(err, v)
+		}
+	}
+}
+
+// BenchmarkE3NSTVerifier measures the Theorem 8(b) certificate
+// verifier (E3).
+func BenchmarkE3NSTVerifier(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	in := problems.GenMultisetYes(6, 4, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(2, 1)
+		m.SetInput(in.Encode())
+		if v, err := algorithms.DecideNST(algorithms.NSTMultisetEquality, m, in); err != nil || v != core.Accept {
+			b.Fatal(err, v)
+		}
+	}
+}
+
+// BenchmarkE4Separation runs the deterministic and randomized
+// deciders back to back — the Corollary 9 scan-count gap (E4).
+func BenchmarkE4Separation(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := problems.GenMultisetYes(256, 12, rng)
+	enc := in.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		det.SetInput(enc)
+		if _, err := algorithms.MultisetEqualityST(det); err != nil {
+			b.Fatal(err)
+		}
+		fp := core.NewMachine(1, int64(i))
+		fp.SetInput(enc)
+		if _, _, err := algorithms.FingerprintMultisetEquality(fp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Sort measures the Corollary 10 external sort (E5).
+func BenchmarkE5Sort(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := problems.GenMultisetYes(512, 16, rng)
+	enc := in.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(4, 1)
+		m.SetInput(enc)
+		if res, err := algorithms.SortLasVegas(m, 1, 2, 3, 1<<30); err != nil || res.Verdict != core.Accept {
+			b.Fatal(err, res.Verdict)
+		}
+	}
+}
+
+// BenchmarkE6RelAlg measures streaming evaluation of the symmetric
+// difference query of Theorem 11 (E6).
+func BenchmarkE6RelAlg(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := problems.GenSetYes(128, 12, rng)
+	db := relalg.InstanceDB(in)
+	q := relalg.SymmetricDifference("R1", "R2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(relalg.NumQueryTapes, 1)
+		r, err := relalg.EvalST(q, db, m)
+		if err != nil || len(r.Tuples) != 0 {
+			b.Fatal(err, len(r.Tuples))
+		}
+	}
+}
+
+// BenchmarkE7XQuery measures the Theorem 12 query (E7).
+func BenchmarkE7XQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := problems.GenSetYes(128, 12, rng)
+	doc, err := xmlstream.Parse(xmlstream.EncodeInstance(in))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := xquery.TheoremQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		result, err := q.Eval(doc)
+		if err != nil || !xquery.ResultIsTrue(result) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8XPath measures Figure 1 query filtering plus the
+// boosted T̃ decision (E8).
+func BenchmarkE8XPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	in := problems.GenSetYes(64, 12, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !xpath.SetEqualityViaFilter(xpath.ExactFilter, in, rng) {
+			b.Fatal("boosted decider rejected a yes-instance")
+		}
+	}
+}
+
+// BenchmarkE9Sortedness measures sortedness of the bit-reversal
+// permutation (E9, Remark 20).
+func BenchmarkE9Sortedness(b *testing.B) {
+	phi := perm.BitReversal(1 << 14)
+	bound := perm.BitReversalBound(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := perm.Sortedness(phi); s > bound {
+			b.Fatalf("sortedness %d > %d", s, bound)
+		}
+	}
+}
+
+// BenchmarkE10Simulation measures the exact-probability check of the
+// simulation lemma (E10).
+func BenchmarkE10Simulation(b *testing.B) {
+	tm := turing.RandomScanMachine()
+	s, err := simulate.New(tm, 1, 4, false, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := []string{"1101"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pTM, err := tm.AcceptProbability(s.TMInput(values), 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pLM, err := s.NLM.AcceptProbability(values)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pTM.Cmp(pLM) != 0 {
+			b.Fatal("probabilities differ")
+		}
+	}
+}
+
+// BenchmarkE11Counting measures the Lemma 22 frontier computation
+// (E11).
+func BenchmarkE11Counting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := lowerbound.Frontier(2, 1, 11, 24)
+		if len(pts) == 0 || pts[len(pts)-1].MaxScans <= 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkE12MergeLemma measures a full instrumented list-machine
+// run with compared-pairs census (E12).
+func BenchmarkE12MergeLemma(b *testing.B) {
+	const m = 16
+	mc := listmachine.CopyReverseCompareNLM(m)
+	input := make([]string, 2*m)
+	for i := range input {
+		input[i] = string(rune('a' + i%26))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := mc.RunDeterministic(input)
+		if err != nil || !run.Accepted {
+			b.Fatal(err)
+		}
+		if len(run.Skeleton.ComparedPairs()) == 0 {
+			b.Fatal("no compared pairs")
+		}
+	}
+}
+
+// BenchmarkE13RunLength measures TM execution with full resource
+// tracking (E13, Lemma 3).
+func BenchmarkE13RunLength(b *testing.B) {
+	tm := turing.ZigZagMachine(4)
+	input := []byte("^101100111010")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tm.RunDeterministic(input, 1_000_000)
+		if err != nil || !res.Accepted {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14PrimeCollision measures random-prime drawing plus
+// residue comparison (E14, Claim 1).
+func BenchmarkE14PrimeCollision(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	k, err := numeric.FingerprintModulus(32, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := numeric.RandomPrimeUpTo(k, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15ShortReduction measures the Corollary 7 reduction f
+// (E15).
+func BenchmarkE15ShortReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	g, err := problems.NewCheckPhiGen(16, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := g.Yes(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := problems.ShortReduction(in, g.Phi)
+		if err != nil || !problems.CheckSort(out) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16Adversary measures the pigeonhole collision search
+// (E16).
+func BenchmarkE16Adversary(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	sm := lowerbound.NewCommutativeHashStream(8, 4)
+	halves := lowerbound.RandomHalves(300, 4, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found := lowerbound.FindCollision(sm, halves); !found {
+			b.Fatal("no collision")
+		}
+	}
+}
+
+// BenchmarkFullSuite runs the complete experiment report once per
+// iteration — the cmd/stbench workload.
+func BenchmarkFullSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All(int64(i + 1)) {
+			if len(r.Notes) < 4 || r.Notes[:4] != "PASS" {
+				b.Fatalf("%s failed", r.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Command stbench runs the full experiment suite of the reproduction
+// (E1–E16, one per theorem/lemma of the paper) and prints every table.
+//
+// Usage:
+//
+//	stbench [-seed N] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extmem/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for all experiments")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E12)")
+	flag.Parse()
+
+	fmt.Println("Reproduction of: Grohe, Hernich, Schweikardt —")
+	fmt.Println("\"Randomized Computations on Large Data Sets: Tight Lower Bounds\" (PODS 2006)")
+	fmt.Println()
+
+	failed := 0
+	for _, r := range experiments.All(*seed) {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		fmt.Println(r.String())
+		fmt.Println()
+		if len(r.Notes) < 4 || r.Notes[:4] != "PASS" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

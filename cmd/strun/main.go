@@ -1,0 +1,136 @@
+// Command strun runs one of the paper's algorithms on a generated (or
+// supplied) instance and prints the verdict together with the exact
+// resource report of the ST model: sequential scans (1 + head
+// reversals) and peak internal memory in bits.
+//
+// Usage:
+//
+//	strun -algo fingerprint -m 1024 -n 16 -yes=false
+//	strun -algo multiset -input '01#10#10#01#'
+//	strun -algo sort -m 64 -n 8
+//
+// Algorithms: multiset, set, checksort (deterministic, Corollary 7);
+// fingerprint (Theorem 8a); nst-multiset, nst-set, nst-checksort
+// (Theorem 8b); sort (Corollary 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+func main() {
+	algo := flag.String("algo", "multiset", "algorithm to run")
+	mFlag := flag.Int("m", 64, "values per half (generated instances)")
+	nFlag := flag.Int("n", 12, "value length in bits (generated instances)")
+	yes := flag.Bool("yes", true, "generate a yes-instance")
+	seed := flag.Int64("seed", 1, "random seed")
+	input := flag.String("input", "", "explicit instance v1#…vm#v'1#…v'm# (overrides -m/-n)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	in, err := buildInstance(*algo, *input, *mFlag, *nFlag, *yes, rng)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("instance: m=%d, N=%d\n", in.M(), in.Size())
+
+	verdict, res, err := run(*algo, in, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("verdict:  %v\n", verdict)
+	fmt.Printf("resources: %v\n", res)
+	want := reference(*algo, in)
+	fmt.Printf("reference: %v\n", want)
+	if verdict != want && *algo != "fingerprint" {
+		fail(fmt.Errorf("verdict disagrees with the reference decider"))
+	}
+}
+
+func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (problems.Instance, error) {
+	if input != "" {
+		return problems.Decode([]byte(input))
+	}
+	switch algo {
+	case "set", "nst-set":
+		return problems.Gen(problems.SetEqualityProblem, yes, m, n, rng), nil
+	case "checksort", "nst-checksort":
+		return problems.Gen(problems.CheckSortProblem, yes, m, n, rng), nil
+	default:
+		return problems.Gen(problems.MultisetEqualityProblem, yes, m, n, rng), nil
+	}
+}
+
+func run(algo string, in problems.Instance, seed int64) (core.Verdict, core.Resources, error) {
+	switch algo {
+	case "multiset", "set", "checksort":
+		m := core.NewMachine(algorithms.NumDeciderTapes, seed)
+		m.SetInput(in.Encode())
+		var v core.Verdict
+		var err error
+		switch algo {
+		case "multiset":
+			v, err = algorithms.MultisetEqualityST(m)
+		case "set":
+			v, err = algorithms.SetEqualityST(m)
+		default:
+			v, err = algorithms.CheckSortST(m)
+		}
+		return v, m.Resources(), err
+	case "fingerprint":
+		m := core.NewMachine(1, seed)
+		m.SetInput(in.Encode())
+		v, params, err := algorithms.FingerprintMultisetEquality(m)
+		if err == nil {
+			fmt.Printf("fingerprint params: k=%d p1=%d p2=%d x=%d\n", params.K, params.P1, params.P2, params.X)
+		}
+		return v, m.Resources(), err
+	case "nst-multiset", "nst-set", "nst-checksort":
+		p := map[string]algorithms.NSTProblem{
+			"nst-multiset":  algorithms.NSTMultisetEquality,
+			"nst-set":       algorithms.NSTSetEquality,
+			"nst-checksort": algorithms.NSTCheckSort,
+		}[algo]
+		m := core.NewMachine(2, seed)
+		m.SetInput(in.Encode())
+		v, err := algorithms.DecideNST(p, m, in)
+		return v, m.Resources(), err
+	case "sort":
+		m := core.NewMachine(4, seed)
+		m.SetInput(in.Encode())
+		res, err := algorithms.SortLasVegas(m, 1, 2, 3, 1<<30)
+		return res.Verdict, res.Resources, err
+	default:
+		return core.Reject, core.Resources{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func reference(algo string, in problems.Instance) core.Verdict {
+	var ok bool
+	switch algo {
+	case "set", "nst-set":
+		ok = problems.SetEquality(in)
+	case "checksort", "nst-checksort":
+		ok = problems.CheckSort(in)
+	case "sort":
+		ok = true // the function problem always has an output
+	default:
+		ok = problems.MultisetEquality(in)
+	}
+	if ok {
+		return core.Accept
+	}
+	return core.Reject
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "strun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package extmem is a reproduction of "Randomized Computations on
+// Large Data Sets: Tight Lower Bounds" by Grohe, Hernich and
+// Schweikardt (PODS 2006): the ST model of external-memory
+// computation with its two cost measures (sequential scans of
+// external devices, internal memory size), the upper-bound algorithms
+// of Corollary 7 and Theorems 8(a)/(b), the list-machine proof
+// machinery of the Ω(log N) lower bound (Theorem 6), and the query-
+// evaluation reductions for relational algebra, XQuery and XPath
+// (Theorems 11–13).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and cmd/stbench for the full experiment
+// suite. The packages live under internal/; the runnable entry points
+// are cmd/ and examples/.
+package extmem

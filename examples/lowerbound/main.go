@@ -1,0 +1,47 @@
+// Lower bound: the quantitative content of Theorem 6. Prints the
+// Ω(log N) tightness frontier (below which NO randomized
+// one-sided-error machine can solve (multi)set equality or
+// checksort), and demonstrates the mechanism by defeating a concrete
+// bounded-memory streaming sketch with the pigeonhole adversary.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extmem/internal/lowerbound"
+	"extmem/internal/problems"
+)
+
+func main() {
+	fmt.Println("Tightness frontier (t = 2 external tapes, memory N^(1/4)/log N):")
+	fmt.Print(lowerbound.FrontierTable(lowerbound.Frontier(2, 1, 12, 22)))
+	fmt.Println("r/log2(N) settling to a constant IS the Ω(log N) of Theorem 6;")
+	fmt.Println("the merge-sort decider needs only O(log N) scans, so the bound is tight.")
+
+	fmt.Println("\n--- the mechanism, live ---")
+	rng := rand.New(rand.NewSource(11))
+	sketch := lowerbound.NewCommutativeHashStream(12, 4) // 4096 states
+	halves := lowerbound.RandomHalves(5000, 4, 8, rng)
+	col, found := lowerbound.FindCollision(sketch, halves)
+	if !found {
+		fmt.Println("no collision found (try more probes)")
+		return
+	}
+	fmt.Printf("probed %d first halves against a 12-bit sketch: halves #%d and #%d collide\n",
+		len(halves), col.I, col.J)
+	yes := col.YesInstance()
+	no := col.FoolingInstance()
+	fmt.Printf("  yes-instance:    V=%v W=%v  (multiset-equal: %v)\n",
+		yes.V, yes.W, problems.MultisetEquality(yes))
+	fmt.Printf("  fooling instance: V=%v W=%v  (multiset-equal: %v)\n",
+		no.V, no.W, problems.MultisetEquality(no))
+	fooled, err := col.Verify(sketch)
+	if err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Printf("the sketch gives the SAME verdict on both: %v — it must err on one of them.\n", fooled)
+	fmt.Println("\nTheorem 6 generalizes exactly this: any machine with o(log N) scans and")
+	fmt.Println("O(N^(1/4)/log N) memory retains too little information to tell such inputs apart.")
+}

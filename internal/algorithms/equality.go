@@ -1,0 +1,279 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"extmem/internal/core"
+	"extmem/internal/tape"
+)
+
+// Tape roles for the deterministic deciders: the input is on tape 0;
+// tapes 1 and 2 hold the two halves; tapes 3 and 4 are merge-sort work
+// tapes. Corollary 7 achieves t = 2 with the Chen–Yap in-place
+// machinery; our implementation spends a constant number of extra
+// tapes instead, which leaves the ST(O(log N), ·, O(1)) classification
+// unchanged.
+const (
+	tapeInput = 0
+	tapeV     = 1
+	tapeW     = 2
+	tapeAuxA  = 3
+	tapeAuxB  = 4
+)
+
+// NumDeciderTapes is the number of external tapes the deterministic
+// deciders need.
+const NumDeciderTapes = 5
+
+// SplitHalves copies the first half of the input items (tape 0) onto
+// tape dstV and the second half onto dstW, using two scans of the
+// input (one to count, one to distribute).
+func SplitHalves(m *core.Machine, dstV, dstW int) error {
+	in := m.Tape(tapeInput)
+	if err := in.Rewind(); err != nil {
+		return err
+	}
+	total, err := CountItems(in, m.Mem(), "split.count")
+	if err != nil {
+		return err
+	}
+	if total%2 != 0 {
+		return fmt.Errorf("algorithms: input has an odd number of items (%d)", total)
+	}
+	if err := in.Rewind(); err != nil {
+		return err
+	}
+	tv := m.Tape(dstV)
+	tw := m.Tape(dstW)
+	if err := tv.Rewind(); err != nil {
+		return err
+	}
+	tv.Truncate()
+	if err := tw.Rewind(); err != nil {
+		return err
+	}
+	tw.Truncate()
+	if _, err := CopyItems(in, tv, total/2); err != nil {
+		return err
+	}
+	if _, err := CopyItems(in, tw, total/2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// equalItemStreams reads items from ta and tb in lockstep (both heads
+// moving forward from their current positions) and reports whether the
+// two item sequences are identical.
+func equalItemStreams(m *core.Machine, ta, tb *tape.Tape) (bool, error) {
+	mem := m.Mem()
+	defer mem.Free(itemRegion("cmp.a"))
+	defer mem.Free(itemRegion("cmp.b"))
+	for {
+		a, okA, err := ReadItem(ta, mem, itemRegion("cmp.a"))
+		if err != nil {
+			return false, err
+		}
+		b, okB, err := ReadItem(tb, mem, itemRegion("cmp.b"))
+		if err != nil {
+			return false, err
+		}
+		if okA != okB {
+			return false, nil
+		}
+		if !okA {
+			return true, nil
+		}
+		if Compare(a, b) != 0 {
+			return false, nil
+		}
+	}
+}
+
+// equalUniqueItemStreams reads two ascending-sorted item streams and
+// reports whether their sets of distinct items coincide, skipping
+// adjacent duplicates on each side with one extra item buffer per
+// side.
+func equalUniqueItemStreams(m *core.Machine, ta, tb *tape.Tape) (bool, error) {
+	mem := m.Mem()
+	defer func() {
+		for _, r := range []string{"uniq.a", "uniq.b", "uniq.preva", "uniq.prevb"} {
+			mem.Free(itemRegion(r))
+		}
+	}()
+	var prevA, prevB []byte
+	havePrevA, havePrevB := false, false
+	readUniqueA := func() ([]byte, bool, error) {
+		for {
+			it, ok, err := ReadItem(ta, mem, itemRegion("uniq.a"))
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if havePrevA && Compare(it, prevA) == 0 {
+				continue
+			}
+			prevA = append(prevA[:0], it...)
+			if err := mem.Set(itemRegion("uniq.preva"), int64(len(prevA))); err != nil {
+				return nil, false, err
+			}
+			havePrevA = true
+			return it, true, nil
+		}
+	}
+	readUniqueB := func() ([]byte, bool, error) {
+		for {
+			it, ok, err := ReadItem(tb, mem, itemRegion("uniq.b"))
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if havePrevB && Compare(it, prevB) == 0 {
+				continue
+			}
+			prevB = append(prevB[:0], it...)
+			if err := mem.Set(itemRegion("uniq.prevb"), int64(len(prevB))); err != nil {
+				return nil, false, err
+			}
+			havePrevB = true
+			return it, true, nil
+		}
+	}
+	for {
+		a, okA, err := readUniqueA()
+		if err != nil {
+			return false, err
+		}
+		b, okB, err := readUniqueB()
+		if err != nil {
+			return false, err
+		}
+		if okA != okB {
+			return false, nil
+		}
+		if !okA {
+			return true, nil
+		}
+		if Compare(a, b) != 0 {
+			return false, nil
+		}
+	}
+}
+
+// isSortedStream reads the items of tp forward and reports whether
+// they are in ascending order, buffering one previous item.
+func isSortedStream(m *core.Machine, tp *tape.Tape) (bool, error) {
+	mem := m.Mem()
+	defer mem.Free(itemRegion("sorted.cur"))
+	defer mem.Free(itemRegion("sorted.prev"))
+	var prev []byte
+	havePrev := false
+	for {
+		it, ok, err := ReadItem(tp, mem, itemRegion("sorted.cur"))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		if havePrev && Compare(prev, it) > 0 {
+			return false, nil
+		}
+		prev = append(prev[:0], it...)
+		if err := mem.Set(itemRegion("sorted.prev"), int64(len(prev))); err != nil {
+			return false, err
+		}
+		havePrev = true
+	}
+}
+
+// MultisetEqualityST is the deterministic MULTISET-EQUALITY decider of
+// Corollary 7: split the input halves onto two tapes, sort both with
+// the external merge sort, and compare the sorted streams in one
+// parallel scan. The machine must have NumDeciderTapes tapes with the
+// instance encoded on tape 0.
+func MultisetEqualityST(m *core.Machine) (core.Verdict, error) {
+	if err := SplitHalves(m, tapeV, tapeW); err != nil {
+		return core.Reject, err
+	}
+	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+		return core.Reject, err
+	}
+	if err := MergeSort(m, tapeW, tapeAuxA, tapeAuxB); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeV).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeW).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	eq, err := equalItemStreams(m, m.Tape(tapeV), m.Tape(tapeW))
+	if err != nil {
+		return core.Reject, err
+	}
+	return verdictOf(eq), nil
+}
+
+// SetEqualityST is the deterministic SET-EQUALITY decider of
+// Corollary 7: like MultisetEqualityST but comparing the streams of
+// distinct items.
+func SetEqualityST(m *core.Machine) (core.Verdict, error) {
+	if err := SplitHalves(m, tapeV, tapeW); err != nil {
+		return core.Reject, err
+	}
+	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+		return core.Reject, err
+	}
+	if err := MergeSort(m, tapeW, tapeAuxA, tapeAuxB); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeV).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeW).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	eq, err := equalUniqueItemStreams(m, m.Tape(tapeV), m.Tape(tapeW))
+	if err != nil {
+		return core.Reject, err
+	}
+	return verdictOf(eq), nil
+}
+
+// CheckSortST is the deterministic CHECK-SORT decider of Corollary 7:
+// sort the first half and compare it item by item with the second
+// half (the second half equals the ascending sort of the first half
+// iff the sequences match).
+func CheckSortST(m *core.Machine) (core.Verdict, error) {
+	if err := SplitHalves(m, tapeV, tapeW); err != nil {
+		return core.Reject, err
+	}
+	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeV).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	if err := m.Tape(tapeW).Rewind(); err != nil {
+		return core.Reject, err
+	}
+	eq, err := equalItemStreams(m, m.Tape(tapeV), m.Tape(tapeW))
+	if err != nil {
+		return core.Reject, err
+	}
+	return verdictOf(eq), nil
+}
+
+// DecideST runs the deterministic Corollary 7 decider for the given
+// problem on machine m (input on tape 0).
+func DecideST(p int, m *core.Machine) (core.Verdict, error) {
+	switch p {
+	case 0:
+		return SetEqualityST(m)
+	case 1:
+		return MultisetEqualityST(m)
+	case 2:
+		return CheckSortST(m)
+	default:
+		return core.Reject, fmt.Errorf("algorithms: unknown problem %d", p)
+	}
+}

@@ -1,0 +1,157 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+// runDecider executes one of the Corollary 7 deciders on a fresh
+// machine loaded with the instance.
+func runDecider(t *testing.T, p problems.Problem, in problems.Instance) (core.Verdict, core.Resources) {
+	t.Helper()
+	m := core.NewMachine(NumDeciderTapes, 1)
+	m.SetInput(in.Encode())
+	var (
+		v   core.Verdict
+		err error
+	)
+	switch p {
+	case problems.SetEqualityProblem:
+		v, err = SetEqualityST(m)
+	case problems.MultisetEqualityProblem:
+		v, err = MultisetEqualityST(m)
+	case problems.CheckSortProblem:
+		v, err = CheckSortST(m)
+	}
+	if err != nil {
+		t.Fatalf("%v on %+v: %v", p, in, err)
+	}
+	return v, m.Resources()
+}
+
+func TestDecidersAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, p := range []problems.Problem{
+		problems.SetEqualityProblem,
+		problems.MultisetEqualityProblem,
+		problems.CheckSortProblem,
+	} {
+		for trial := 0; trial < 30; trial++ {
+			m := 1 + rng.Intn(24)
+			n := 6 + rng.Intn(6)
+			for _, yes := range []bool{true, false} {
+				in := problems.Gen(p, yes, m, n, rng)
+				want := core.Reject
+				if yes {
+					want = core.Accept
+				}
+				got, _ := runDecider(t, p, in)
+				if got != want {
+					t.Fatalf("%v yes=%v m=%d n=%d: verdict %v, want %v\ninstance: %+v",
+						p, yes, m, n, got, want, in)
+				}
+			}
+		}
+	}
+}
+
+func TestDecidersOnRandomUnstructuredInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(3)
+		in := problems.Instance{V: make([]string, m), W: make([]string, m)}
+		for i := 0; i < m; i++ {
+			in.V[i] = randomBits(n, rng)
+			in.W[i] = randomBits(n, rng)
+		}
+		for _, p := range []problems.Problem{
+			problems.SetEqualityProblem,
+			problems.MultisetEqualityProblem,
+			problems.CheckSortProblem,
+		} {
+			want := verdictOf(problems.Decide(p, in))
+			got, _ := runDecider(t, p, in)
+			if got != want {
+				t.Fatalf("%v on %+v: verdict %v, want %v", p, in, got, want)
+			}
+		}
+	}
+}
+
+func randomBits(n int, rng *rand.Rand) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '0' + byte(rng.Intn(2))
+	}
+	return string(b)
+}
+
+// Corollary 7: the deciders run within ST(O(log N), ·, 5).
+func TestDecidersScanBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	bound := core.Bound{Name: "ST(24 log N, ., 5)", R: core.LogR(24), S: func(int) int64 { return 1 << 30 }, T: NumDeciderTapes}
+	for _, mSize := range []int{4, 32, 128, 512} {
+		in := problems.GenMultisetYes(mSize, 8, rng)
+		_, res := runDecider(t, problems.MultisetEqualityProblem, in)
+		if err := bound.Admits(res, in.Size()); err != nil {
+			t.Fatalf("m=%d: %v (resources %v)", mSize, err, res)
+		}
+	}
+}
+
+func TestDecidersEmptyInput(t *testing.T) {
+	for _, p := range []problems.Problem{
+		problems.SetEqualityProblem,
+		problems.MultisetEqualityProblem,
+		problems.CheckSortProblem,
+	} {
+		got, _ := runDecider(t, p, problems.Instance{})
+		if got != core.Accept {
+			t.Fatalf("%v on empty input: %v, want accept", p, got)
+		}
+	}
+}
+
+func TestSplitHalvesOddItems(t *testing.T) {
+	m := core.NewMachine(NumDeciderTapes, 1)
+	m.SetInput([]byte("0#1#0#"))
+	if err := SplitHalves(m, 1, 2); err == nil {
+		t.Fatal("odd item count accepted")
+	}
+}
+
+func TestDecideSTDispatch(t *testing.T) {
+	in := problems.Instance{V: []string{"0"}, W: []string{"0"}}
+	for p := 0; p < 3; p++ {
+		m := core.NewMachine(NumDeciderTapes, 1)
+		m.SetInput(in.Encode())
+		v, err := DecideST(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != core.Accept {
+			t.Fatalf("problem %d: %v", p, v)
+		}
+	}
+	m := core.NewMachine(NumDeciderTapes, 1)
+	if _, err := DecideST(9, m); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+// SET-EQUALITY must ignore multiplicities: {a,a,b} vs {a,b,b}.
+func TestSetEqualityIgnoresMultiplicity(t *testing.T) {
+	in := problems.Instance{V: []string{"00", "00", "11"}, W: []string{"00", "11", "11"}}
+	got, _ := runDecider(t, problems.SetEqualityProblem, in)
+	if got != core.Accept {
+		t.Fatalf("set equality = %v, want accept", got)
+	}
+	gotMS, _ := runDecider(t, problems.MultisetEqualityProblem, in)
+	if gotMS != core.Reject {
+		t.Fatalf("multiset equality = %v, want reject", gotMS)
+	}
+}

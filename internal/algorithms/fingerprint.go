@@ -1,0 +1,206 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"extmem/internal/core"
+	"extmem/internal/numeric"
+	"extmem/internal/problems"
+	"extmem/internal/tape"
+)
+
+// FingerprintParams are the random parameters of one run of the
+// Theorem 8(a) algorithm, exposed for experiments.
+type FingerprintParams struct {
+	M  int    // number of values per half
+	N  int    // value length
+	K  uint64 // k = m³·n·⌈log(m³·n)⌉
+	P1 uint64 // random prime ≤ k (value reduction modulus)
+	P2 uint64 // fixed prime in (3k, 6k] (polynomial evaluation field)
+	X  uint64 // random evaluation point in {1, …, p2−1}
+}
+
+// FingerprintMultisetEquality is the randomized MULTISET-EQUALITY
+// decider of Theorem 8(a). It runs on a machine with a single
+// external tape holding the instance and uses exactly two sequential
+// scans of the input (one head reversal) and O(log N) bits of
+// internal memory:
+//
+//  1. First scan: determine m and n (all values must have the same
+//     length n, as the theorem assumes).
+//  2. Choose a random prime p1 ≤ k := m³·n·⌈log(m³·n)⌉.
+//  3. Choose a prime p2 with 3k < p2 ≤ 6k (Bertrand's postulate).
+//  4. Choose x ∈ {1, …, p2−1} uniformly.
+//  5. Second scan: with e_i = v_i mod p1 and e'_i = v'_i mod p1,
+//     accept iff Σ x^{e_i} ≡ Σ x^{e'_i} (mod p2).
+//
+// Error profile (co-RST): equal multisets are always accepted;
+// distinct multisets are accepted with probability at most
+// 1/3 + O(1/m) ≤ 1/2 for sufficiently large inputs.
+//
+// (The paper's step (5) states the sums modulo p1; as the surrounding
+// proof makes clear — the polynomial is evaluated over F_{p2} — the
+// evaluation modulus is p2, which is what we implement.)
+func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintParams, error) {
+	in := m.Tape(0)
+	mem := m.Mem()
+	var params FingerprintParams
+
+	// Scan 1: determine m and n.
+	if err := in.Rewind(); err != nil {
+		return core.Reject, params, err
+	}
+	count := 0
+	firstLen := -1
+	curLen := 0
+	for !in.AtEnd() {
+		b, err := in.ReadMove(tape.Forward)
+		if err != nil {
+			return core.Reject, params, err
+		}
+		if b == problems.Separator {
+			if firstLen < 0 {
+				firstLen = curLen
+			} else if curLen != firstLen {
+				return core.Reject, params, fmt.Errorf("algorithms: fingerprint requires equal-length values (%d vs %d)", firstLen, curLen)
+			}
+			count++
+			curLen = 0
+			if err := chargeCounter(mem, "fp.m", uint64(count)); err != nil {
+				return core.Reject, params, err
+			}
+			continue
+		}
+		curLen++
+		if err := chargeCounter(mem, "fp.len", uint64(curLen)); err != nil {
+			return core.Reject, params, err
+		}
+	}
+	if count == 0 {
+		return core.Accept, params, nil // two empty multisets
+	}
+	if count%2 != 0 {
+		return core.Reject, params, fmt.Errorf("algorithms: odd number of values (%d)", count)
+	}
+	params.M = count / 2
+	params.N = firstLen
+	if params.N == 0 {
+		// All values are the empty string; the multisets are equal.
+		return core.Accept, params, nil
+	}
+
+	// Steps 2–4: random primes and evaluation point, all in internal
+	// memory (numbers of O(log N) bits).
+	k, err := numeric.FingerprintModulus(uint64(params.M), uint64(params.N))
+	if err != nil {
+		return core.Reject, params, err
+	}
+	params.K = k
+	if err := chargeCounter(mem, "fp.k", k); err != nil {
+		return core.Reject, params, err
+	}
+	p1, err := numeric.RandomPrimeUpTo(k, m.Rand())
+	if err != nil {
+		return core.Reject, params, err
+	}
+	params.P1 = p1
+	p2, err := numeric.BertrandPrime(k)
+	if err != nil {
+		return core.Reject, params, err
+	}
+	params.P2 = p2
+	params.X = 1 + uint64(m.Rand().Int63n(int64(p2-1)))
+	for _, c := range []struct {
+		tag string
+		v   uint64
+	}{{"fp.p1", p1}, {"fp.p2", p2}, {"fp.x", params.X}} {
+		if err := chargeCounter(mem, c.tag, c.v); err != nil {
+			return core.Reject, params, err
+		}
+	}
+
+	// Scan 2 runs BACKWARD over the input (so the whole algorithm uses
+	// exactly two sequential scans: one head reversal). Reading a value
+	// backward yields its bits least-significant first, so the residue
+	// e_i = v_i mod p1 is accumulated as e ← e + bit·pow (mod p1) with
+	// pow ← 2·pow (mod p1); x^{e_i} mod p2 is then computed by binary
+	// exponentiation in internal memory. All registers are O(log N)
+	// bits.
+	var (
+		sumV, sumW uint64
+		e          uint64
+		pow        uint64 = 1
+		haveItem   bool
+		sepCount   int
+		itemIdx    int
+	)
+	finalize := func() error {
+		term := numeric.PowMod(params.X, e, p2)
+		if itemIdx < params.M {
+			sumV = numeric.AddMod(sumV, term, p2)
+		} else {
+			sumW = numeric.AddMod(sumW, term, p2)
+		}
+		if err := chargeCounter(mem, "fp.sumv", sumV); err != nil {
+			return err
+		}
+		return chargeCounter(mem, "fp.sumw", sumW)
+	}
+	for !in.AtStart() {
+		if err := in.MoveBackward(); err != nil {
+			return core.Reject, params, err
+		}
+		b := in.Read()
+		if b == problems.Separator {
+			if haveItem {
+				if err := finalize(); err != nil {
+					return core.Reject, params, err
+				}
+			}
+			sepCount++
+			itemIdx = count - sepCount
+			e = 0
+			pow = 1
+			haveItem = true
+			continue
+		}
+		bit := uint64(0)
+		if b == '1' {
+			bit = 1
+		}
+		if bit == 1 {
+			e = numeric.AddMod(e, pow, p1)
+		}
+		pow = numeric.AddMod(pow, pow, p1)
+		if err := chargeCounter(mem, "fp.e", e); err != nil {
+			return core.Reject, params, err
+		}
+		if err := chargeCounter(mem, "fp.pow", pow); err != nil {
+			return core.Reject, params, err
+		}
+	}
+	if haveItem {
+		if err := finalize(); err != nil {
+			return core.Reject, params, err
+		}
+	}
+	return verdictOf(sumV == sumW), params, nil
+}
+
+// FingerprintRepeated runs the Theorem 8(a) decider s times with
+// independent randomness and rejects if any run rejects. Since the
+// algorithm has false positives only, repetition drives the
+// false-positive probability below 2^{-s}-ish while keeping perfect
+// completeness. Each repetition costs two scans.
+func FingerprintRepeated(m *core.Machine, s int) (core.Verdict, error) {
+	for i := 0; i < s; i++ {
+		v, _, err := FingerprintMultisetEquality(m)
+		if err != nil {
+			return core.Reject, err
+		}
+		if v == core.Reject {
+			return core.Reject, nil
+		}
+	}
+	return core.Accept, nil
+}

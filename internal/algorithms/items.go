@@ -1,0 +1,140 @@
+// Package algorithms implements the paper's upper-bound algorithms on
+// the instrumented ST machine of internal/core:
+//
+//   - external tape merge sort with O(log N) head reversals
+//     (Corollary 7 / Chen–Yap),
+//   - the deterministic deciders for SET-EQUALITY, MULTISET-EQUALITY
+//     and CHECK-SORT built on the sort,
+//   - the randomized fingerprinting decider of Theorem 8(a) for
+//     MULTISET-EQUALITY (2 scans, O(log N) internal memory, one-sided
+//     error with false positives only),
+//   - the nondeterministic certificate verifier of Theorem 8(b)
+//     (3 scans, 2 work tapes), and
+//   - the Las Vegas sorting wrapper of Corollary 10.
+//
+// Data on tapes follows the paper's input format: a sequence of
+// '#'-terminated 0-1-strings. Internal-memory buffers and counters are
+// charged to the machine's memory meter (one unit per buffered tape
+// symbol, binary length for counters), so resource reports are exact.
+package algorithms
+
+import (
+	"bytes"
+	"fmt"
+
+	"extmem/internal/core"
+	"extmem/internal/memory"
+	"extmem/internal/problems"
+	"extmem/internal/tape"
+)
+
+// ReadItem reads the next '#'-terminated item from tp, head moving
+// forward, buffering it in internal memory charged to the meter under
+// the given region name. It returns ok = false (and releases the
+// region) when the tape is exhausted before any symbol is read.
+func ReadItem(tp *tape.Tape, mem *memory.Meter, region string) (item []byte, ok bool, err error) {
+	if tp.AtEnd() {
+		mem.Free(region)
+		return nil, false, nil
+	}
+	if err := mem.Set(region, 0); err != nil {
+		return nil, false, err
+	}
+	for !tp.AtEnd() {
+		b, err := tp.ReadMove(tape.Forward)
+		if err != nil {
+			return nil, false, err
+		}
+		if b == problems.Separator {
+			return item, true, nil
+		}
+		item = append(item, b)
+		if err := mem.Grow(region, 1); err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, fmt.Errorf("algorithms: item on tape %q not terminated by %q", tp.Name(), problems.Separator)
+}
+
+// WriteItem writes item followed by the separator at the head of tp,
+// moving forward.
+func WriteItem(tp *tape.Tape, item []byte) error {
+	if err := tp.AppendBytes(item); err != nil {
+		return err
+	}
+	return tp.WriteMove(problems.Separator, tape.Forward)
+}
+
+// Compare orders two items like CHECK-SORT does: standard
+// lexicographic byte order (for the paper's equal-length 0-1-strings
+// this coincides with numeric order).
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// CountItems scans tp forward from the current head position to the
+// end and returns the number of '#'-terminated items, using only a
+// counter in internal memory (no item buffering).
+func CountItems(tp *tape.Tape, mem *memory.Meter, region string) (int, error) {
+	count := 0
+	sawSymbol := false
+	for !tp.AtEnd() {
+		b, err := tp.ReadMove(tape.Forward)
+		if err != nil {
+			return 0, err
+		}
+		sawSymbol = true
+		if b == problems.Separator {
+			count++
+			if err := mem.SetInt(region, uint64(count)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	_ = sawSymbol
+	mem.Free(region)
+	return count, nil
+}
+
+// CopyItems copies count items from src (head moving forward) to dst,
+// streaming symbol by symbol with O(1) internal memory. It returns the
+// number of items actually copied (less than count if src ran out).
+func CopyItems(src, dst *tape.Tape, count int) (int, error) {
+	copied := 0
+	for copied < count && !src.AtEnd() {
+		for {
+			b, err := src.ReadMove(tape.Forward)
+			if err != nil {
+				return copied, err
+			}
+			if err := dst.WriteMove(b, tape.Forward); err != nil {
+				return copied, err
+			}
+			if b == problems.Separator {
+				copied++
+				break
+			}
+			if src.AtEnd() {
+				return copied, fmt.Errorf("algorithms: unterminated item while copying from %q", src.Name())
+			}
+		}
+	}
+	return copied, nil
+}
+
+// itemRegion builds a meter region name for a buffered item.
+func itemRegion(tag string) string { return "item." + tag }
+
+// counterRegion builds a meter region name for a counter.
+func counterRegion(tag string) string { return "counter." + tag }
+
+// chargeCounter records the value of a named counter on the meter.
+func chargeCounter(mem *memory.Meter, tag string, v uint64) error {
+	return mem.SetInt(counterRegion(tag), v)
+}
+
+// verdictOf converts a boolean decision to a core.Verdict.
+func verdictOf(b bool) core.Verdict {
+	if b {
+		return core.Accept
+	}
+	return core.Reject
+}

@@ -1,0 +1,34 @@
+package algorithms
+
+import (
+	"extmem/internal/core"
+)
+
+// SortResult reports a Las Vegas sorting attempt (Corollary 10).
+type SortResult struct {
+	Verdict   core.Verdict // Accept if the sorted output was produced, DontKnow otherwise
+	Resources core.Resources
+}
+
+// SortLasVegas runs the external merge sort as a Las Vegas function
+// computation under a total scan budget: if the sort completes within
+// the budget the sorted sequence is on tape dst and the verdict is
+// Accept; otherwise the machine answers "I don't know".
+//
+// Corollary 10 states that with o(log N) scans and O(N^{1/4}/log N)
+// internal memory, every Las Vegas sorter must answer "I don't know"
+// (with probability > 1/2) on some inputs; experiment E5 sweeps the
+// budget to locate the scan count at which this implementation stops
+// succeeding, which tracks Θ(log N).
+func SortLasVegas(m *core.Machine, dst, auxA, auxB, scanBudget int) (SortResult, error) {
+	if err := SortToTape(m, dst, auxA, auxB); err != nil {
+		return SortResult{Verdict: core.DontKnow, Resources: m.Resources()}, err
+	}
+	res := m.Resources()
+	if res.Scans() > scanBudget {
+		// The budget-limited machine could not have finished; it
+		// answers "I don't know" and produces no output.
+		return SortResult{Verdict: core.DontKnow, Resources: res}, nil
+	}
+	return SortResult{Verdict: core.Accept, Resources: res}, nil
+}

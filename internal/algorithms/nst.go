@@ -1,0 +1,376 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"extmem/internal/core"
+	"extmem/internal/perm"
+	"extmem/internal/problems"
+	"extmem/internal/tape"
+)
+
+// This file implements the nondeterministic upper bound of
+// Theorem 8(b): MULTISET-EQUALITY, SET-EQUALITY and CHECK-SORT belong
+// to NST(3, O(log N), 2).
+//
+// The construction follows the paper's proof. The machine has two
+// external tapes; tape 0 holds the input w = v1#…vm#v'1#…v'm#. In a
+// single forward scan the machine nondeterministically writes ℓ
+// copies of a guess string u onto both tapes (after the input on tape
+// 0), where u encodes a mapping section followed by guessed copies of
+// all values:
+//
+//	u = h1# … hH# v1# … vm# v'1# … v'm#
+//
+// While writing copy number i, the machine performs one O(log N)-state
+// check that only looks at the symbols of the copy as they stream by
+// (a bit comparison between a value and its mapped partner, an
+// injectivity comparison, or a sortedness comparison). A final
+// backward scan of both tapes verifies that all ℓ copies are equal and
+// that the first copy's value section equals the input. Resources:
+// one head reversal per tape, so 3 sequential scans total, and
+// O(log N) bits of internal memory.
+//
+// Nondeterminism is realized by an explicit witness: the caller
+// supplies the guessed mapping(s) and value copies. An input is a
+// yes-instance iff some witness makes the verifier accept (the
+// Find*Witness helpers construct the honest witness for yes-instances;
+// tests additionally enumerate all witnesses for small inputs).
+
+// maxCertificateSymbols caps the materialized certificate size. The
+// model puts no bound on tape length; the implementation must.
+const maxCertificateSymbols = 1 << 28
+
+// NSTProblem selects which Theorem 8(b) verifier to run.
+type NSTProblem int
+
+// The three verifiers of Theorem 8(b).
+const (
+	NSTMultisetEquality NSTProblem = iota
+	NSTSetEquality
+	NSTCheckSort
+)
+
+func (p NSTProblem) String() string {
+	switch p {
+	case NSTMultisetEquality:
+		return "NST-MULTISET-EQUALITY"
+	case NSTSetEquality:
+		return "NST-SET-EQUALITY"
+	case NSTCheckSort:
+		return "NST-CHECK-SORT"
+	default:
+		return fmt.Sprintf("NSTProblem(%d)", int(p))
+	}
+}
+
+// NSTWitness is the nondeterministic guess. Values holds the guessed
+// copies of the input values (the honest guess equals the decoded
+// input; a lying guess is caught by the backward scan). For multiset
+// equality and checksort, Pi is the guessed permutation with
+// v_i = v'_{Pi(i)}; for set equality, F and G are the guessed
+// mappings with v_i = v'_{F(i)} and v'_j = v_{G(j)}.
+type NSTWitness struct {
+	Values problems.Instance
+	Pi     perm.Perm
+	F, G   []int
+}
+
+// HonestWitness constructs the witness a correct nondeterministic run
+// would guess for a yes-instance, and reports whether one exists
+// (i.e. whether the instance is a yes-instance of the problem).
+func HonestWitness(p NSTProblem, in problems.Instance) (NSTWitness, bool) {
+	w := NSTWitness{Values: in}
+	switch p {
+	case NSTMultisetEquality, NSTCheckSort:
+		pi, ok := matchPermutation(in)
+		if !ok {
+			return w, false
+		}
+		if p == NSTCheckSort && !sort.SliceIsSorted(in.W, func(i, j int) bool { return in.W[i] < in.W[j] }) {
+			return w, false
+		}
+		w.Pi = pi
+		return w, true
+	case NSTSetEquality:
+		f, g, ok := matchFunctions(in)
+		if !ok {
+			return w, false
+		}
+		w.F, w.G = f, g
+		return w, true
+	default:
+		return w, false
+	}
+}
+
+// matchPermutation finds a permutation pi with v_i = w_{pi(i)}, if the
+// halves are multiset-equal.
+func matchPermutation(in problems.Instance) (perm.Perm, bool) {
+	slots := map[string][]int{}
+	for j, w := range in.W {
+		slots[w] = append(slots[w], j)
+	}
+	pi := make(perm.Perm, len(in.V))
+	for i, v := range in.V {
+		s := slots[v]
+		if len(s) == 0 {
+			return nil, false
+		}
+		pi[i] = s[len(s)-1]
+		slots[v] = s[:len(s)-1]
+	}
+	return pi, true
+}
+
+// matchFunctions finds mappings f, g with v_i = w_{f(i)} and
+// w_j = v_{g(j)}, if the halves are set-equal.
+func matchFunctions(in problems.Instance) (f, g []int, ok bool) {
+	posW := map[string]int{}
+	for j, w := range in.W {
+		posW[w] = j
+	}
+	posV := map[string]int{}
+	for i, v := range in.V {
+		posV[v] = i
+	}
+	f = make([]int, len(in.V))
+	g = make([]int, len(in.W))
+	for i, v := range in.V {
+		j, found := posW[v]
+		if !found {
+			return nil, nil, false
+		}
+		f[i] = j
+	}
+	for j, w := range in.W {
+		i, found := posV[w]
+		if !found {
+			return nil, nil, false
+		}
+		g[j] = i
+	}
+	return f, g, true
+}
+
+// nstLayout captures the shape of the guess string u.
+type nstLayout struct {
+	m          int    // values per half
+	bigN       int    // input length N (bit-check positions range over 1..N)
+	headerLen  int    // number of header (mapping) items
+	entryBits  int    // width of one header entry in bits
+	u          []byte // one copy of the guess string
+	copies     int    // ℓ
+	baseChecks int    // number of value-bit-check copies
+	injStart   int    // first injectivity copy index (1-based), 0 if none
+	sortStart  int    // first sortedness copy index (1-based), 0 if none
+}
+
+// buildLayout assembles the guess string u and copy plan for the given
+// problem and witness.
+func buildLayout(p NSTProblem, inputLen int, w NSTWitness) (*nstLayout, error) {
+	m := len(w.Values.V)
+	if len(w.Values.W) != m {
+		return nil, fmt.Errorf("algorithms: witness halves differ: %d vs %d", m, len(w.Values.W))
+	}
+	lay := &nstLayout{m: m, bigN: inputLen}
+	if m == 0 {
+		lay.copies = 0
+		return lay, nil
+	}
+	lay.entryBits = bits.Len(uint(m - 1))
+	if lay.entryBits == 0 {
+		lay.entryBits = 1
+	}
+
+	var header []int
+	switch p {
+	case NSTMultisetEquality, NSTCheckSort:
+		if len(w.Pi) != m {
+			return nil, fmt.Errorf("algorithms: witness permutation has %d entries, want %d", len(w.Pi), m)
+		}
+		header = []int(w.Pi)
+		lay.baseChecks = lay.bigN * m
+		lay.injStart = lay.baseChecks + 1
+		lay.copies = lay.baseChecks + m
+		if p == NSTCheckSort {
+			lay.sortStart = lay.copies + 1
+			lay.copies += lay.bigN * m * (m - 1) / 2
+		}
+	case NSTSetEquality:
+		if len(w.F) != m || len(w.G) != m {
+			return nil, fmt.Errorf("algorithms: witness mappings have %d/%d entries, want %d", len(w.F), len(w.G), m)
+		}
+		header = append(append([]int{}, w.F...), w.G...)
+		lay.baseChecks = 2 * lay.bigN * m
+		lay.copies = lay.baseChecks
+	default:
+		return nil, fmt.Errorf("algorithms: unknown NST problem %d", int(p))
+	}
+	lay.headerLen = len(header)
+
+	var u []byte
+	for _, h := range header {
+		if h < 0 || h >= m {
+			return nil, fmt.Errorf("algorithms: witness mapping entry %d out of range [0,%d)", h, m)
+		}
+		u = appendBinary(u, h, lay.entryBits)
+		u = append(u, problems.Separator)
+	}
+	for _, v := range w.Values.V {
+		u = append(u, v...)
+		u = append(u, problems.Separator)
+	}
+	for _, v := range w.Values.W {
+		u = append(u, v...)
+		u = append(u, problems.Separator)
+	}
+	lay.u = u
+
+	if total := int64(lay.copies)*int64(len(u)) + int64(inputLen); total > maxCertificateSymbols {
+		return nil, fmt.Errorf("algorithms: certificate of %d symbols exceeds cap %d", total, maxCertificateSymbols)
+	}
+	return lay, nil
+}
+
+func appendBinary(dst []byte, x, width int) []byte {
+	for i := width - 1; i >= 0; i-- {
+		dst = append(dst, '0'+byte((x>>uint(i))&1))
+	}
+	return dst
+}
+
+// VerifyNST runs the Theorem 8(b) verifier on machine m (two external
+// tapes, input on tape 0) with the given witness. It returns Accept
+// iff every forward check and the backward structural scan succeed.
+func VerifyNST(p NSTProblem, m *core.Machine, w NSTWitness) (core.Verdict, error) {
+	if m.NumTapes() < 2 {
+		return core.Reject, fmt.Errorf("algorithms: VerifyNST needs 2 tapes, machine has %d", m.NumTapes())
+	}
+	t0 := m.Tape(0)
+	t1 := m.Tape(1)
+	mem := m.Mem()
+
+	if err := t0.Rewind(); err != nil {
+		return core.Reject, err
+	}
+	inputLen := t0.Len()
+	if err := chargeCounter(mem, "nst.N", uint64(inputLen)); err != nil {
+		return core.Reject, err
+	}
+	lay, err := buildLayout(p, inputLen, w)
+	if err != nil {
+		return core.Reject, err
+	}
+	if lay.m == 0 {
+		// Two empty multisets/sets; an empty sequence is sorted.
+		return core.Accept, nil
+	}
+
+	// Forward phase: skip over the input on tape 0, then write the ℓ
+	// copies on both tapes, running one streaming check per copy.
+	if err := t0.SeekEnd(); err != nil {
+		return core.Reject, err
+	}
+	if err := t1.Rewind(); err != nil {
+		return core.Reject, err
+	}
+	t1.Truncate()
+
+	ok := true
+	var sortState pairState // cross-copy state for sortedness checks
+	for i := 1; i <= lay.copies; i++ {
+		if err := chargeCounter(mem, "nst.copy", uint64(i)); err != nil {
+			return core.Reject, err
+		}
+		chk := newCopyChecker(lay, i, &sortState)
+		for _, b := range lay.u {
+			if err := t0.WriteMove(b, tape.Forward); err != nil {
+				return core.Reject, err
+			}
+			if err := t1.WriteMove(b, tape.Forward); err != nil {
+				return core.Reject, err
+			}
+			chk.feed(b)
+		}
+		if !chk.finish() {
+			ok = false
+		}
+	}
+	if lay.sortStart > 0 && !sortState.flush() {
+		ok = false
+	}
+
+	// Backward phase: verify u_i = u_{i+1} for all i by reading tape 0
+	// one copy behind tape 1, then match the first copy's value
+	// section (on tape 1) against the input (on tape 0).
+	uLen := len(lay.u)
+	if lay.copies >= 1 {
+		// Discard u_ℓ on tape 1 is NOT what we want; tape 0 must lag.
+		// Move tape 0 back over its last copy so it points at the end
+		// of u_{ℓ−1} while tape 1 points at the end of u_ℓ.
+		for s := 0; s < uLen; s++ {
+			if err := t0.MoveBackward(); err != nil {
+				return core.Reject, err
+			}
+		}
+		// Lockstep compare (ℓ−1)·|u| symbols.
+		for s := 0; s < (lay.copies-1)*uLen; s++ {
+			if err := t0.MoveBackward(); err != nil {
+				return core.Reject, err
+			}
+			if err := t1.MoveBackward(); err != nil {
+				return core.Reject, err
+			}
+			if t0.Read() != t1.Read() {
+				ok = false
+			}
+		}
+		// Tape 0 is now at the start of its copy region (end of the
+		// input); tape 1 at the start of u_2 (end of u_1). Compare the
+		// input backward against the value section of u_1, which is
+		// its trailing 2m items.
+		valueSectionLen := uLen - lay.headerLen*(lay.entryBits+1)
+		if valueSectionLen != inputLen {
+			// A lying witness guessed values of the wrong total size.
+			ok = false
+			if err := t0.Rewind(); err != nil {
+				return core.Reject, err
+			}
+			if err := t1.Rewind(); err != nil {
+				return core.Reject, err
+			}
+			return verdictOf(false), nil
+		}
+		for s := 0; s < inputLen; s++ {
+			if err := t0.MoveBackward(); err != nil {
+				return core.Reject, err
+			}
+			if err := t1.MoveBackward(); err != nil {
+				return core.Reject, err
+			}
+			if t0.Read() != t1.Read() {
+				ok = false
+			}
+		}
+		// Finish the backward scans (tape 1 over the header of u_1).
+		if err := t1.Rewind(); err != nil {
+			return core.Reject, err
+		}
+	}
+	return verdictOf(ok), nil
+}
+
+// DecideNST decides the problem nondeterministically: it accepts iff
+// the honest witness exists and the verifier accepts it. (By
+// construction a dishonest witness can only turn accepts into
+// rejects, so this realizes the ∃-semantics.)
+func DecideNST(p NSTProblem, m *core.Machine, in problems.Instance) (core.Verdict, error) {
+	w, ok := HonestWitness(p, in)
+	if !ok {
+		return core.Reject, nil
+	}
+	return VerifyNST(p, m, w)
+}

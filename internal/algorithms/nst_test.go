@@ -1,0 +1,282 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/perm"
+	"extmem/internal/problems"
+)
+
+func nstMachine(in problems.Instance) *core.Machine {
+	m := core.NewMachine(2, 1)
+	m.SetInput(in.Encode())
+	return m
+}
+
+func TestNSTHonestWitnessAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cases := []struct {
+		p   NSTProblem
+		gen func() problems.Instance
+	}{
+		{NSTMultisetEquality, func() problems.Instance { return problems.GenMultisetYes(1+rng.Intn(6), 1+rng.Intn(4), rng) }},
+		{NSTSetEquality, func() problems.Instance { return problems.GenSetYes(1+rng.Intn(6), 6, rng) }},
+		{NSTCheckSort, func() problems.Instance { return problems.GenCheckSortYes(1+rng.Intn(6), 1+rng.Intn(4), rng) }},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 15; trial++ {
+			in := c.gen()
+			m := nstMachine(in)
+			v, err := DecideNST(c.p, m, in)
+			if err != nil {
+				t.Fatalf("%v: %v", c.p, err)
+			}
+			if v != core.Accept {
+				t.Fatalf("%v rejected yes-instance %+v", c.p, in)
+			}
+		}
+	}
+}
+
+func TestNSTNoInstanceHasNoHonestWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	cases := []struct {
+		p   NSTProblem
+		gen func() problems.Instance
+	}{
+		{NSTMultisetEquality, func() problems.Instance { return problems.GenMultisetNo(2+rng.Intn(5), 2+rng.Intn(4), rng) }},
+		{NSTSetEquality, func() problems.Instance { return problems.GenSetNo(2+rng.Intn(5), 6, rng) }},
+		{NSTCheckSort, func() problems.Instance { return problems.GenCheckSortNo(2+rng.Intn(5), 2+rng.Intn(4), rng) }},
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 15; trial++ {
+			in := c.gen()
+			m := nstMachine(in)
+			v, err := DecideNST(c.p, m, in)
+			if err != nil {
+				t.Fatalf("%v: %v", c.p, err)
+			}
+			if v != core.Reject {
+				t.Fatalf("%v accepted no-instance %+v", c.p, in)
+			}
+		}
+	}
+}
+
+// Soundness of the verifier itself: on a no-instance, EVERY witness
+// permutation must be rejected (exhaustive over all m! permutations
+// for small m).
+func TestNSTVerifierSoundExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	in := problems.GenMultisetNo(4, 3, rng)
+	perms := allPermutations(4)
+	for _, pi := range perms {
+		w := NSTWitness{Values: in, Pi: pi}
+		m := nstMachine(in)
+		v, err := VerifyNST(NSTMultisetEquality, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == core.Accept {
+			t.Fatalf("verifier accepted no-instance %+v with witness %v", in, pi)
+		}
+	}
+}
+
+// Completeness direction of the ∃-semantics: on a yes-instance, SOME
+// witness is accepted (exhaustive search agrees with HonestWitness).
+func TestNSTVerifierCompleteExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	in := problems.GenMultisetYes(4, 3, rng)
+	found := false
+	for _, pi := range allPermutations(4) {
+		w := NSTWitness{Values: in, Pi: pi}
+		m := nstMachine(in)
+		v, err := VerifyNST(NSTMultisetEquality, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == core.Accept {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no witness accepted for yes-instance %+v", in)
+	}
+}
+
+func allPermutations(m int) []perm.Perm {
+	var out []perm.Perm
+	var rec func(cur []int, used []bool)
+	rec = func(cur []int, used []bool) {
+		if len(cur) == m {
+			out = append(out, append(perm.Perm{}, cur...))
+			return
+		}
+		for v := 0; v < m; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(cur, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, make([]bool, m))
+	return out
+}
+
+// A witness that lies about the values is caught by the backward
+// structural scan.
+func TestNSTLyingValuesRejected(t *testing.T) {
+	in := problems.Instance{V: []string{"01", "10"}, W: []string{"10", "01"}}
+	lying := problems.Instance{V: []string{"01", "01"}, W: []string{"01", "01"}}
+	pi, ok := matchPermutation(lying)
+	if !ok {
+		t.Fatal("setup: lying instance should be matchable")
+	}
+	m := nstMachine(in)
+	v, err := VerifyNST(NSTMultisetEquality, m, NSTWitness{Values: lying, Pi: pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == core.Accept {
+		t.Fatal("verifier accepted a witness lying about the values")
+	}
+}
+
+// A witness with a non-injective "permutation" is caught by the
+// injectivity copies.
+func TestNSTNonInjectiveMappingRejected(t *testing.T) {
+	in := problems.Instance{V: []string{"00", "00"}, W: []string{"00", "11"}}
+	// v_0 = v_1 = 00; both map to w_0 = 00: every bit check passes,
+	// only injectivity can catch it.
+	w := NSTWitness{Values: in, Pi: perm.Perm{0, 0}}
+	m := nstMachine(in)
+	v, err := VerifyNST(NSTMultisetEquality, m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == core.Accept {
+		t.Fatal("verifier accepted a non-injective mapping")
+	}
+}
+
+// Theorem 8(b) resource bound: 3 sequential scans, 2 tapes, O(log N)
+// internal memory.
+func TestNSTResources(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, p := range []NSTProblem{NSTMultisetEquality, NSTSetEquality, NSTCheckSort} {
+		var in problems.Instance
+		switch p {
+		case NSTSetEquality:
+			in = problems.GenSetYes(4, 6, rng)
+		case NSTCheckSort:
+			in = problems.GenCheckSortYes(4, 4, rng)
+		default:
+			in = problems.GenMultisetYes(4, 4, rng)
+		}
+		m := nstMachine(in)
+		v, err := DecideNST(p, m, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != core.Accept {
+			t.Fatalf("%v rejected yes-instance", p)
+		}
+		res := m.Resources()
+		if res.Scans() > 3 {
+			t.Fatalf("%v: %d scans, want <= 3", p, res.Scans())
+		}
+		bound := core.Bound{Name: "NST(3, 64 log N, 2)", R: core.ConstR(3), S: core.LogS(64), T: 2}
+		if err := bound.Admits(res, in.Size()); err != nil {
+			t.Fatalf("%v: %v (resources %v)", p, err, res)
+		}
+	}
+}
+
+// CHECK-SORT's sortedness copies must catch an unsorted second half
+// even when the multiset matches.
+func TestNSTCheckSortCatchesUnsorted(t *testing.T) {
+	in := problems.Instance{V: []string{"01", "10"}, W: []string{"10", "01"}} // multiset equal, W unsorted
+	pi, ok := matchPermutation(in)
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	m := nstMachine(in)
+	v, err := VerifyNST(NSTCheckSort, m, NSTWitness{Values: in, Pi: pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == core.Accept {
+		t.Fatal("CHECK-SORT verifier accepted unsorted second half")
+	}
+}
+
+func TestNSTEmptyInstance(t *testing.T) {
+	in := problems.Instance{}
+	for _, p := range []NSTProblem{NSTMultisetEquality, NSTSetEquality, NSTCheckSort} {
+		m := nstMachine(in)
+		v, err := DecideNST(p, m, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != core.Accept {
+			t.Fatalf("%v rejected empty instance", p)
+		}
+	}
+}
+
+func TestNSTVariableLengthValues(t *testing.T) {
+	// The bit checks compare positions 1..N and "no such bit" states;
+	// variable-length values must work.
+	in := problems.Instance{V: []string{"0", "1101"}, W: []string{"1101", "0"}}
+	m := nstMachine(in)
+	v, err := DecideNST(NSTMultisetEquality, m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != core.Accept {
+		t.Fatal("variable-length yes-instance rejected")
+	}
+	// And a near-miss: "0" vs "00" must NOT be identified.
+	in2 := problems.Instance{V: []string{"0", "11"}, W: []string{"00", "11"}}
+	m2 := nstMachine(in2)
+	v2, err := DecideNST(NSTMultisetEquality, m2, in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != core.Reject {
+		t.Fatal("prefix-differing values identified")
+	}
+}
+
+func TestNSTProblemString(t *testing.T) {
+	if NSTMultisetEquality.String() == "" || NSTSetEquality.String() == "" || NSTCheckSort.String() == "" {
+		t.Fatal("empty NSTProblem strings")
+	}
+}
+
+func TestHonestWitnessSetEquality(t *testing.T) {
+	in := problems.Instance{V: []string{"00", "00", "11"}, W: []string{"11", "00", "11"}}
+	w, ok := HonestWitness(NSTSetEquality, in)
+	if !ok {
+		t.Fatal("set-equal instance has no witness")
+	}
+	for i, f := range w.F {
+		if in.V[i] != in.W[f] {
+			t.Fatalf("f(%d) wrong", i)
+		}
+	}
+	for j, g := range w.G {
+		if in.W[j] != in.V[g] {
+			t.Fatalf("g(%d) wrong", j)
+		}
+	}
+	m := nstMachine(in)
+	v, err := VerifyNST(NSTSetEquality, m, w)
+	if err != nil || v != core.Accept {
+		t.Fatalf("set-equality verifier: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,229 @@
+package algorithms
+
+// Streaming per-copy checks for the Theorem 8(b) verifier. Each copy
+// of the guess string u triggers exactly one check; the checker
+// consumes the copy's symbols as they are written and uses O(log N)
+// state: item and position counters, one accumulated mapping entry,
+// and a constant number of captured bits.
+
+const (
+	bitPending = -1 // position not reached yet / no such bit
+)
+
+type checkKind int
+
+const (
+	checkBit  checkKind = iota // value-bit comparison through a mapping
+	checkInj                   // mapping injectivity
+	checkSort                  // sortedness bit comparison (cross-copy state)
+)
+
+// pairState is the cross-copy state of the sortedness checks of
+// NST-CHECK-SORT: lexicographic comparison of v'_i and v'_j decided
+// one bit per copy.
+type pairState struct {
+	curPair int // pair index currently being compared, -1 before start
+	decided bool
+	anyFail bool
+	started bool
+}
+
+// step consumes one bit comparison (x from v'_i, y from v'_j, either
+// possibly absent) belonging to pair p.
+func (ps *pairState) step(p, x, y int) {
+	if !ps.started || p != ps.curPair {
+		// Entering a new pair; an undecided previous pair means the
+		// strings were equal, which satisfies ≤.
+		ps.curPair = p
+		ps.decided = false
+		ps.started = true
+	}
+	if ps.decided {
+		return
+	}
+	switch {
+	case x == bitPending && y == bitPending:
+		// Equal so far (both strings ended); stays undecided = ≤.
+	case x == bitPending:
+		// v'_i is a proper prefix of v'_j: v'_i < v'_j.
+		ps.decided = true
+	case y == bitPending:
+		// v'_j is a proper prefix of v'_i: v'_i > v'_j.
+		ps.decided = true
+		ps.anyFail = true
+	case x < y:
+		ps.decided = true
+	case x > y:
+		ps.decided = true
+		ps.anyFail = true
+	}
+}
+
+// flush reports whether all pair comparisons succeeded.
+func (ps *pairState) flush() bool { return !ps.anyFail }
+
+// copyChecker runs one check over the symbol stream of a single copy
+// of u.
+type copyChecker struct {
+	lay  *nstLayout
+	kind checkKind
+
+	// Stream position within the copy.
+	k   int // item index (number of separators seen)
+	pos int // symbol position within the current item (0-based)
+
+	// checkBit state.
+	headerIdx     int // header item carrying the mapping entry
+	mapped        int // accumulated mapping entry
+	primaryK      int // item index of the primary value
+	secondaryBase int // item index base of the mapped section
+	bitB          int // 1-based bit position under comparison
+	vBit, wBit    int
+
+	// checkInj state.
+	injI   int // header index whose entry must be unique
+	injVal int
+	curHdr int
+	failed bool
+
+	// checkSort state.
+	pairI, pairJ int
+	sort         *pairState
+}
+
+// newCopyChecker plans the check for copy number i (1-based) of the
+// layout.
+func newCopyChecker(lay *nstLayout, i int, sortState *pairState) *copyChecker {
+	c := &copyChecker{lay: lay, vBit: bitPending, wBit: bitPending}
+	H := lay.headerLen
+	m := lay.m
+	N := lay.bigN
+	switch {
+	case lay.injStart > 0 && i >= lay.injStart && (lay.sortStart == 0 || i < lay.sortStart):
+		c.kind = checkInj
+		c.injI = i - lay.injStart // 0-based header index
+	case lay.sortStart > 0 && i >= lay.sortStart:
+		c.kind = checkSort
+		off := i - lay.sortStart
+		p := off / N
+		c.bitB = off%N + 1
+		c.pairI, c.pairJ = pairFromIndex(p, m)
+		c.sort = sortState
+		c.headerIdx = -1
+	default:
+		c.kind = checkBit
+		if lay.headerLen == 2*m { // set equality: f-checks then g-checks
+			if i <= N*m {
+				j := (i - 1) / N
+				c.headerIdx = j
+				c.primaryK = H + j
+				c.secondaryBase = H + m
+			} else {
+				j := (i - N*m - 1) / N
+				c.headerIdx = m + j
+				c.primaryK = H + m + j
+				c.secondaryBase = H
+			}
+			c.bitB = (i-1)%N + 1
+		} else { // multiset equality / checksort: π-checks
+			j := (i - 1) / N
+			c.headerIdx = j
+			c.primaryK = H + j
+			c.secondaryBase = H + m
+			c.bitB = (i-1)%N + 1
+		}
+	}
+	return c
+}
+
+// pairFromIndex returns the p-th pair (i, j) with 0 ≤ i < j < m in
+// lexicographic order.
+func pairFromIndex(p, m int) (int, int) {
+	for i := 0; i < m; i++ {
+		count := m - 1 - i
+		if p < count {
+			return i, i + 1 + p
+		}
+		p -= count
+	}
+	return m - 2, m - 1 // unreachable for valid p
+}
+
+// feed consumes one symbol of the copy.
+func (c *copyChecker) feed(b byte) {
+	if b == '#' {
+		c.endItem()
+		c.k++
+		c.pos = 0
+		return
+	}
+	bit := 0
+	if b == '1' {
+		bit = 1
+	}
+	H := c.lay.headerLen
+	m := c.lay.m
+	switch c.kind {
+	case checkBit:
+		if c.k < H {
+			if c.k == c.headerIdx {
+				c.mapped = c.mapped<<1 | bit
+			}
+		} else {
+			if c.k == c.primaryK && c.pos == c.bitB-1 {
+				c.vBit = bit
+			}
+			if c.k == c.secondaryBase+c.mapped && c.pos == c.bitB-1 {
+				c.wBit = bit
+			}
+		}
+	case checkInj:
+		if c.k < H {
+			if c.k == c.injI {
+				c.injVal = c.injVal<<1 | bit
+			} else if c.k > c.injI {
+				c.curHdr = c.curHdr<<1 | bit
+			}
+		}
+	case checkSort:
+		base := H + m // v' section
+		if c.k == base+c.pairI && c.pos == c.bitB-1 {
+			c.vBit = bit
+		}
+		if c.k == base+c.pairJ && c.pos == c.bitB-1 {
+			c.wBit = bit
+		}
+	}
+	c.pos++
+}
+
+// endItem handles a separator: injectivity comparisons are resolved
+// per header item.
+func (c *copyChecker) endItem() {
+	if c.kind == checkInj && c.k < c.lay.headerLen && c.k > c.injI {
+		if c.curHdr == c.injVal {
+			c.failed = true
+		}
+		c.curHdr = 0
+	}
+}
+
+// finish evaluates the check after the whole copy has streamed by.
+// Sortedness checks defer their verdict to the shared pairState.
+func (c *copyChecker) finish() bool {
+	switch c.kind {
+	case checkBit:
+		// Accept iff the two values agree on bit b or both lack it.
+		return c.vBit == c.wBit
+	case checkInj:
+		return !c.failed
+	case checkSort:
+		c.sort.step(pairKey(c.pairI, c.pairJ, c.lay.m), c.vBit, c.wBit)
+		return true
+	default:
+		return false
+	}
+}
+
+// pairKey linearizes a pair (i, j) for the cross-copy state.
+func pairKey(i, j, m int) int { return i*m + j }

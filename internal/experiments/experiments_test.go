@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run and report PASS with the default seed —
+// this is the repository's end-to-end reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	results := All(1)
+	if len(results) != 16 {
+		t.Fatalf("got %d experiments, want 16", len(results))
+	}
+	ids := map[string]bool{}
+	for _, r := range results {
+		if ids[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if !strings.HasPrefix(r.Notes, "PASS") {
+			t.Errorf("%s (%s) did not pass:\n%s\n%s", r.ID, r.Title, r.Table, r.Notes)
+		}
+		if r.Table == "" {
+			t.Errorf("%s produced no table", r.ID)
+		}
+		if r.Claim == "" {
+			t.Errorf("%s has no claim", r.ID)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "EX", Title: "title", Claim: "claim", Table: "table\n", Notes: "PASS"}
+	s := r.String()
+	for _, frag := range []string{"EX", "title", "claim", "table", "PASS"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String misses %q: %s", frag, s)
+		}
+	}
+}
+
+// Different seeds must not change any verdict (robustness of the
+// reproduction, not just one lucky seed).
+func TestExperimentsSeedRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for seed := int64(2); seed <= 4; seed++ {
+		for _, r := range All(seed) {
+			if !strings.HasPrefix(r.Notes, "PASS") {
+				t.Errorf("seed %d: %s failed:\n%s", seed, r.ID, r.Notes)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+// Integration tests across modules: the paper gives SIX independent
+// ways to decide (variants of) equality of two collections — the
+// reference decider, the deterministic ST algorithm (Cor. 7), the NST
+// verifier (Thm 8b), the relational query Q' (Thm 11), the XQuery
+// query (Thm 12), and the boosted XPath filter (Thm 13) — plus the
+// randomized fingerprint for multisets (Thm 8a). On any instance they
+// must all agree; disagreement anywhere would mean one of the
+// reproduced constructions is wrong.
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/problems"
+	"extmem/internal/relalg"
+	"extmem/internal/xmlstream"
+	"extmem/internal/xpath"
+	"extmem/internal/xquery"
+)
+
+func TestAllSetEqualityRoutesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	xq := xquery.TheoremQuery()
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.Intn(8)
+		var in problems.Instance
+		switch trial % 3 {
+		case 0:
+			in = problems.GenSetYes(m, 8, rng)
+		case 1:
+			in = problems.GenSetNo(max(2, m), 8, rng)
+		default: // random unstructured
+			in = problems.Instance{V: make([]string, m), W: make([]string, m)}
+			for i := 0; i < m; i++ {
+				in.V[i] = randomBitString(3, rng)
+				in.W[i] = randomBitString(3, rng)
+			}
+		}
+		want := problems.SetEquality(in)
+
+		// Route 1: deterministic ST decider.
+		mach := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		mach.SetInput(in.Encode())
+		v1, err := algorithms.SetEqualityST(mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v1 == core.Accept) != want {
+			t.Fatalf("ST decider disagrees on %+v", in)
+		}
+
+		// Route 2: NST certificate verifier.
+		m2 := core.NewMachine(2, 1)
+		m2.SetInput(in.Encode())
+		v2, err := algorithms.DecideNST(algorithms.NSTSetEquality, m2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v2 == core.Accept) != want {
+			t.Fatalf("NST verifier disagrees on %+v", in)
+		}
+
+		// Route 3: relational algebra Q' (streaming).
+		m3 := core.NewMachine(relalg.NumQueryTapes, 1)
+		r, err := relalg.EvalST(relalg.SymmetricDifference("R1", "R2"), relalg.InstanceDB(in), m3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(r.Tuples) == 0) != want {
+			t.Fatalf("relational Q' disagrees on %+v", in)
+		}
+
+		// Route 4: XQuery.
+		doc, err := xmlstream.Parse(xmlstream.EncodeInstance(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := xq.Eval(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xquery.ResultIsTrue(res) != want {
+			t.Fatalf("XQuery disagrees on %+v", in)
+		}
+
+		// Route 5: boosted XPath filter.
+		if xpath.SetEqualityViaFilter(xpath.ExactFilter, in, rng) != want {
+			t.Fatalf("XPath booster disagrees on %+v", in)
+		}
+	}
+}
+
+func TestMultisetRoutesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.Intn(8)
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenMultisetYes(m, 5, rng)
+		} else {
+			in = problems.GenMultisetNo(m, 5, rng)
+		}
+		want := problems.MultisetEquality(in)
+
+		mach := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		mach.SetInput(in.Encode())
+		v1, err := algorithms.MultisetEqualityST(mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v1 == core.Accept) != want {
+			t.Fatalf("ST decider disagrees on %+v", in)
+		}
+
+		m2 := core.NewMachine(2, 1)
+		m2.SetInput(in.Encode())
+		v2, err := algorithms.DecideNST(algorithms.NSTMultisetEquality, m2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v2 == core.Accept) != want {
+			t.Fatalf("NST verifier disagrees on %+v", in)
+		}
+
+		// The fingerprint has one-sided error: it must accept all
+		// yes-instances; a no-instance may rarely be accepted, so only
+		// the completeness direction is an invariant.
+		m3 := core.NewMachine(1, rng.Int63())
+		m3.SetInput(in.Encode())
+		v3, _, err := algorithms.FingerprintMultisetEquality(m3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want && v3 != core.Accept {
+			t.Fatalf("fingerprint rejected a yes-instance %+v", in)
+		}
+	}
+}
+
+// CHECK-ϕ structured inputs tie the whole story together: all three
+// problems, the SHORT reduction, and the deterministic decider agree.
+func TestCheckPhiPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	g, err := problems.NewCheckPhiGen(8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = g.Yes(rng)
+		} else {
+			in = g.No(rng)
+		}
+		want := g.Decide(in)
+
+		// The three problems coincide here (the Theorem 6 observation).
+		for _, p := range []problems.Problem{
+			problems.SetEqualityProblem,
+			problems.MultisetEqualityProblem,
+			problems.CheckSortProblem,
+		} {
+			mach := core.NewMachine(algorithms.NumDeciderTapes, 1)
+			mach.SetInput(in.Encode())
+			v, err := algorithms.DecideST(int(p), mach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (v == core.Accept) != want {
+				t.Fatalf("%v disagrees with CHECK-ϕ on structured input", p)
+			}
+		}
+
+		// The SHORT reduction preserves the answer, checked by the
+		// machine decider on the reduced instance.
+		short, err := problems.ShortReduction(in, g.Phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		mach.SetInput(short.Encode())
+		v, err := algorithms.CheckSortST(mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v == core.Accept) != want {
+			t.Fatalf("SHORT reduction + decider disagree with CHECK-ϕ")
+		}
+	}
+}
+
+func randomBitString(n int, rng *rand.Rand) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '0' + byte(rng.Intn(2))
+	}
+	return string(b)
+}

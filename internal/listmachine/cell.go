@@ -1,0 +1,131 @@
+// Package listmachine implements the nondeterministic list machines
+// (NLMs) of Section 5 of the paper (Definitions 14 and 24), together
+// with their run semantics, exact acceptance probabilities
+// (Lemma 25), skeletons (Definition 28) and the compared-positions
+// census (Definition 33) used by the merge lemma experiments.
+//
+// An NLM has t lists whose cells store strings over the alphabet
+// A = I ∪ C ∪ A ∪ {⟨,⟩} (input numbers, nondeterministic choices,
+// states, and brackets). We represent such strings as token slices
+// that remember, for every input number, the input POSITION it
+// originated from — which makes the index strings ind(·) and
+// skeletons of Definition 28 exact, not parsed approximations.
+package listmachine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the token types of the alphabet A.
+type Kind int
+
+// Token kinds: input number, nondeterministic choice, state, brackets.
+const (
+	KInput Kind = iota
+	KChoice
+	KState
+	KOpen
+	KClose
+)
+
+// Token is one symbol of a cell string. Input tokens carry both the
+// concrete value and the input position it came from; the skeleton
+// keeps only the position (the index string of Definition 28).
+type Token struct {
+	Kind   Kind
+	Val    string // concrete input value (KInput)
+	Input  int    // originating input position, 0-based (KInput)
+	State  string // state name (KState)
+	Choice int    // nondeterministic choice (KChoice)
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case KInput:
+		return t.Val
+	case KChoice:
+		return fmt.Sprintf("c%d", t.Choice)
+	case KState:
+		return t.State
+	case KOpen:
+		return "⟨"
+	case KClose:
+		return "⟩"
+	default:
+		return "?"
+	}
+}
+
+// indString renders the token for the index string ind(·): input
+// values are replaced by their position, choices by the wildcard "?".
+func (t Token) indString() string {
+	switch t.Kind {
+	case KInput:
+		return fmt.Sprintf("i%d", t.Input)
+	case KChoice:
+		return "?"
+	default:
+		return t.String()
+	}
+}
+
+// A Cell is the content of one list cell: a string over A.
+type Cell []Token
+
+// String renders the concrete cell content.
+func (c Cell) String() string {
+	var b strings.Builder
+	for _, t := range c {
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// Ind renders the index string ind(c) of Definition 28.
+func (c Cell) Ind() string {
+	var b strings.Builder
+	for _, t := range c {
+		b.WriteString(t.indString())
+	}
+	return b.String()
+}
+
+// InputPositions returns the set of input positions occurring in the
+// cell, in order of first occurrence.
+func (c Cell) InputPositions() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, t := range c {
+		if t.Kind == KInput && !seen[t.Input] {
+			seen[t.Input] = true
+			out = append(out, t.Input)
+		}
+	}
+	return out
+}
+
+// InputOccurrences returns every input position in the cell in token
+// order, with repetitions — the raw material of the merge lemma's
+// "sequence occurring in a configuration" (Definition 36).
+func (c Cell) InputOccurrences() []int {
+	var out []int
+	for _, t := range c {
+		if t.Kind == KInput {
+			out = append(out, t.Input)
+		}
+	}
+	return out
+}
+
+// clone copies the cell.
+func (c Cell) clone() Cell { return append(Cell(nil), c...) }
+
+// inputCell builds the initial cell ⟨v⟩ for input position i holding
+// value v.
+func inputCell(v string, i int) Cell {
+	return Cell{{Kind: KOpen}, {Kind: KInput, Val: v, Input: i}, {Kind: KClose}}
+}
+
+// emptyCell builds the initial cell ⟨⟩ of the non-input lists.
+func emptyCell() Cell { return Cell{{Kind: KOpen}, {Kind: KClose}} }

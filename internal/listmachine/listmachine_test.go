@@ -1,0 +1,402 @@
+package listmachine
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestNewConfigLayout(t *testing.T) {
+	m := ScanAcceptNLM(3)
+	c, err := m.NewConfig([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Lists[0]) != 3 {
+		t.Fatalf("input list has %d cells, want 3", len(c.Lists[0]))
+	}
+	if got := c.Lists[0][1].String(); got != "⟨b⟩" {
+		t.Fatalf("cell 1 = %q, want ⟨b⟩", got)
+	}
+	if got := c.Lists[0][1].Ind(); got != "⟨i1⟩" {
+		t.Fatalf("ind(cell 1) = %q, want ⟨i1⟩", got)
+	}
+	if c.Pos[0] != 0 || c.Dir[0] != +1 {
+		t.Fatal("head not at left end facing forward")
+	}
+}
+
+func TestNewConfigWrongArity(t *testing.T) {
+	m := ScanAcceptNLM(3)
+	if _, err := m.NewConfig([]string{"a"}); err == nil {
+		t.Fatal("wrong input arity accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := ScanAcceptNLM(2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &NLM{T: 0, M: 1, Choices: 1, MaxSteps: 10,
+		Final: map[string]bool{}, Accept: map[string]bool{},
+		Alpha: func(string, []Cell, int) (string, []Movement) { return "", nil }}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	bad2 := &NLM{T: 1, M: 1, Choices: 1, MaxSteps: 10,
+		Final:  map[string]bool{},
+		Accept: map[string]bool{"a": true},
+		Alpha:  func(string, []Cell, int) (string, []Movement) { return "", nil }}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("accepting non-final state accepted")
+	}
+}
+
+func TestScanAccept(t *testing.T) {
+	m := ScanAcceptNLM(4)
+	run, err := m.RunDeterministic([]string{"w", "x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Accepted {
+		t.Fatal("scan machine rejected")
+	}
+	if run.Rev[0] != 0 {
+		t.Fatalf("scan reversed: %v", run.Rev)
+	}
+	if run.Scans() != 1 {
+		t.Fatalf("Scans = %d, want 1", run.Scans())
+	}
+}
+
+// A state-only step (no head moves or turns) must leave lists
+// untouched (Definition 24(c), first case).
+func TestStateOnlyStepLeavesListsUntouched(t *testing.T) {
+	m := GuessNLM(3, 2)
+	c, err := m.NewConfig([]string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Step(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Next.State != "g1" {
+		t.Fatalf("state = %q", res.Next.State)
+	}
+	if len(res.Next.Lists[0]) != 1 || res.Next.Lists[0][0].String() != "⟨v⟩" {
+		t.Fatalf("state-only step modified the list: %v", res.Next.Lists[0])
+	}
+	for _, d := range res.Delta {
+		if d != 0 {
+			t.Fatal("state-only step reported movement")
+		}
+	}
+}
+
+// A moving step overwrites the left-behind cell with the record
+// y = a⟨x1⟩…⟨xt⟩⟨c⟩.
+func TestMovingStepWritesRecord(t *testing.T) {
+	m := ScanAcceptNLM(3)
+	c, _ := m.NewConfig([]string{"a", "b", "c"})
+	res, err := m.Step(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Next.Pos[0] != 1 {
+		t.Fatalf("head at %d, want 1", res.Next.Pos[0])
+	}
+	got := res.Next.Lists[0][0].String()
+	want := "s0⟨⟨a⟩⟩⟨c0⟩"
+	if got != want {
+		t.Fatalf("record = %q, want %q", got, want)
+	}
+	// The record must remember input position 0.
+	if ps := res.Next.Lists[0][0].InputPositions(); len(ps) != 1 || ps[0] != 0 {
+		t.Fatalf("record positions = %v", ps)
+	}
+}
+
+// A clipped forward move at the right end inserts the record before
+// the current cell and keeps the head on the old cell.
+func TestClippedMoveInsertsRecord(t *testing.T) {
+	m := CopyReverseCompareNLM(1) // head 2 is clipped on its 1-cell list
+	c, _ := m.NewConfig([]string{"a", "b"})
+	res, err := m.Step(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := res.Next.Lists[1]
+	if len(l2) != 2 {
+		t.Fatalf("list 2 has %d cells, want 2 (inserted record + old cell)", len(l2))
+	}
+	if res.Next.Pos[1] != 1 {
+		t.Fatalf("head 2 at %d, want 1 (still on the old cell)", res.Next.Pos[1])
+	}
+	if l2[1].String() != "⟨⟩" {
+		t.Fatalf("old cell = %q, want ⟨⟩", l2[1])
+	}
+	if !strings.Contains(l2[0].String(), "⟨a⟩") {
+		t.Fatalf("inserted record %q misses the copied value", l2[0])
+	}
+}
+
+func TestPingPongReversals(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		m := PingPongNLM(5, k)
+		run, err := m.RunDeterministic([]string{"a", "b", "c", "d", "e"})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !run.Accepted {
+			t.Fatalf("k=%d: rejected", k)
+		}
+		if want := 2 * (k - 1); run.Rev[0] != want {
+			t.Fatalf("k=%d: rev = %d, want %d", k, run.Rev[0], want)
+		}
+	}
+}
+
+func TestGuessProbabilityExact(t *testing.T) {
+	cases := []struct {
+		k, c int
+	}{{1, 2}, {2, 2}, {3, 2}, {2, 3}, {1, 5}}
+	for _, tc := range cases {
+		m := GuessNLM(tc.k, tc.c)
+		p, err := m.AcceptProbability([]string{"v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		den := int64(1)
+		for i := 0; i < tc.k; i++ {
+			den *= int64(tc.c)
+		}
+		if want := big.NewRat(1, den); p.Cmp(want) != 0 {
+			t.Fatalf("k=%d c=%d: Pr = %v, want %v", tc.k, tc.c, p, want)
+		}
+	}
+}
+
+// Lemma 25: the probability equals the fraction of accepting choice
+// sequences.
+func TestChoiceCountingMatchesProbability(t *testing.T) {
+	m := GuessNLM(2, 3)
+	accepts := 0
+	total := 0
+	for c0 := 0; c0 < 3; c0++ {
+		for c1 := 0; c1 < 3; c1++ {
+			run, err := m.RunWithChoices([]string{"v"}, []int{c0, c1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if run.Accepted {
+				accepts++
+			}
+		}
+	}
+	p, err := m.AcceptProbability([]string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(int64(accepts), int64(total)); p.Cmp(want) != 0 {
+		t.Fatalf("Pr = %v, counted %d/%d", p, accepts, total)
+	}
+}
+
+func TestSkeletonShape(t *testing.T) {
+	m := ScanAcceptNLM(3)
+	run, err := m.RunDeterministic([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := run.Skeleton
+	if len(sk.Views) != run.Steps+1 {
+		t.Fatalf("views = %d, steps = %d", len(sk.Views), run.Steps)
+	}
+	if len(sk.Moves) != run.Steps {
+		t.Fatalf("moves = %d, steps = %d", len(sk.Moves), run.Steps)
+	}
+	if sk.Views[0] == nil {
+		t.Fatal("initial view missing")
+	}
+	// Index strings must contain positions, not values.
+	if !strings.Contains(sk.Views[0].Inds[0], "i0") {
+		t.Fatalf("initial ind = %q", sk.Views[0].Inds[0])
+	}
+	if strings.Contains(sk.Views[0].Inds[0], "a") {
+		t.Fatalf("skeleton leaks input value: %q", sk.Views[0].Inds[0])
+	}
+}
+
+func TestSkeletonWildcardOnStateOnlySteps(t *testing.T) {
+	m := GuessNLM(2, 2)
+	run, err := m.RunWithChoices([]string{"v"}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(run.Skeleton.Views); i++ {
+		if run.Skeleton.Views[i] != nil {
+			t.Fatalf("view %d recorded despite no movement", i)
+		}
+	}
+}
+
+// Skeletons depend on input positions, not input values: runs of the
+// same machine on different inputs have equal skeletons when the
+// machine's control flow is input-independent.
+func TestSkeletonInputValueIndependence(t *testing.T) {
+	m := CopyReverseCompareNLM(3)
+	r1, err := m.RunDeterministic([]string{"a", "b", "c", "d", "e", "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.RunDeterministic([]string{"x", "y", "z", "p", "q", "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Skeleton.Key() != r2.Skeleton.Key() {
+		t.Fatal("skeletons differ across input values")
+	}
+}
+
+// The copy-reverse machine pairs second-half position m+i with
+// first-half position m−1−i: the merge-lemma information-flow
+// pattern.
+func TestCopyReverseComparedPairs(t *testing.T) {
+	const m = 3
+	mc := CopyReverseCompareNLM(m)
+	run, err := mc.RunDeterministic([]string{"a", "b", "c", "d", "e", "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Accepted {
+		t.Fatal("rejected")
+	}
+	sk := run.Skeleton
+	for i := 0; i < m; i++ {
+		lo, hi := m-1-i, m+i
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if !sk.Compared(lo, hi) {
+			t.Fatalf("pair (%d, %d) not compared; pairs: %v", lo, hi, sk.ComparedPairs())
+		}
+	}
+	// The identity pairing (i, m+i) must NOT be compared for i with
+	// m−1−i ≠ i (the machine reversed the first half).
+	if sk.Compared(0, m) && m > 1 {
+		t.Fatalf("pair (0, %d) compared; the reversal should prevent it", m)
+	}
+}
+
+func TestComparedPairsSymmetricAndIrreflexive(t *testing.T) {
+	mc := CopyReverseCompareNLM(2)
+	run, err := mc.RunDeterministic([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pair := range run.Skeleton.ComparedPairs() {
+		if pair[0] >= pair[1] {
+			t.Fatalf("non-canonical pair %v", pair)
+		}
+	}
+}
+
+func TestRunDeterministicRejectsNondeterministic(t *testing.T) {
+	m := GuessNLM(1, 2)
+	if _, err := m.RunDeterministic([]string{"v"}); err == nil {
+		t.Fatal("nondeterministic machine ran as deterministic")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := &NLM{
+		Name: "loop", T: 1, M: 1, Choices: 1, MaxSteps: 5,
+		Start: "s", Final: map[string]bool{}, Accept: map[string]bool{},
+		Alpha: func(state string, heads []Cell, choice int) (string, []Movement) {
+			return "s", []Movement{{Dir: +1, Move: false}}
+		},
+	}
+	if _, err := m.RunWithChoices([]string{"v"}, nil); err == nil {
+		t.Fatal("infinite run not caught")
+	}
+	if _, err := m.AcceptProbability([]string{"v"}); err == nil {
+		t.Fatal("infinite run not caught by AcceptProbability")
+	}
+}
+
+// Lemma 30(a): total list length never exceeds (t+1)^r · m for runs
+// observed on the sample machines.
+func TestTotalListLengthBound(t *testing.T) {
+	const m = 4
+	mc := CopyReverseCompareNLM(m)
+	run, err := mc.RunDeterministic([]string{"a", "b", "c", "d", "e", "f", "g", "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.Scans()
+	bound := 1
+	for i := 0; i < r; i++ {
+		bound *= mc.T + 1
+	}
+	bound *= 2 * m
+	if got := run.Final.TotalListLength(); got > bound {
+		t.Fatalf("total list length %d > Lemma 30 bound %d", got, bound)
+	}
+}
+
+// Lemma 30(b): cell size stays within 11·max(t,2)^r.
+func TestCellSizeBound(t *testing.T) {
+	mc := CopyReverseCompareNLM(3)
+	run, err := mc.RunDeterministic([]string{"a", "b", "c", "d", "e", "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.Scans()
+	base := mc.T
+	if base < 2 {
+		base = 2
+	}
+	bound := 11
+	for i := 0; i < r; i++ {
+		bound *= base
+	}
+	if got := run.Final.CellSize(); got > bound {
+		t.Fatalf("cell size %d > Lemma 30 bound %d", got, bound)
+	}
+}
+
+func TestConfigKeyDistinguishesDirections(t *testing.T) {
+	m := ScanAcceptNLM(2)
+	a, _ := m.NewConfig([]string{"x", "y"})
+	b, _ := m.NewConfig([]string{"x", "y"})
+	b.Dir[0] = -1
+	if a.Key() == b.Key() {
+		t.Fatal("direction not part of the key")
+	}
+}
+
+func TestCellHelpers(t *testing.T) {
+	cell := Cell{
+		{Kind: KState, State: "q"},
+		{Kind: KOpen},
+		{Kind: KInput, Val: "101", Input: 4},
+		{Kind: KInput, Val: "000", Input: 4},
+		{Kind: KClose},
+		{Kind: KChoice, Choice: 7},
+	}
+	if got := cell.String(); got != "q⟨101000⟩c7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := cell.Ind(); got != "q⟨i4i4⟩?" {
+		t.Fatalf("Ind = %q", got)
+	}
+	if ps := cell.InputPositions(); len(ps) != 1 || ps[0] != 4 {
+		t.Fatalf("InputPositions = %v", ps)
+	}
+	if oc := cell.InputOccurrences(); len(oc) != 2 {
+		t.Fatalf("InputOccurrences = %v", oc)
+	}
+}

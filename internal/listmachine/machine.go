@@ -1,0 +1,271 @@
+package listmachine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Movement is one head instruction of a transition (Definition 14):
+// the direction the head faces and whether it moves to the adjacent
+// cell.
+type Movement struct {
+	Dir  int8 // +1 or −1
+	Move bool
+}
+
+// TransFunc is the transition function
+// α : (A\B) × (A*)^t × C → A × Movement^t. It sees the current state,
+// the cell contents under all heads, and the nondeterministic choice,
+// and returns the next state and head movements — exactly the
+// information α has in Definition 14 (it never sees head positions).
+type TransFunc func(state string, heads []Cell, choice int) (next string, mov []Movement)
+
+// NLM is a nondeterministic list machine
+// M = (t, m, I, C, A, a0, α, B, Bacc).
+type NLM struct {
+	Name    string
+	T       int // number of lists
+	M       int // input length (number of input values)
+	Choices int // |C|; the machine is deterministic iff Choices == 1
+	Start   string
+	Final   map[string]bool // B
+	Accept  map[string]bool // Bacc ⊆ B
+	Alpha   TransFunc
+
+	// MaxSteps guards against ill-formed machines with infinite runs
+	// ((r,t)-bounded machines always halt, Lemma 31).
+	MaxSteps int
+}
+
+// ErrInvalid is returned for ill-formed machines.
+var ErrInvalid = errors.New("listmachine: invalid machine")
+
+// ErrStepLimit is returned when a run exceeds MaxSteps.
+var ErrStepLimit = errors.New("listmachine: step limit exceeded")
+
+// Validate checks basic well-formedness.
+func (m *NLM) Validate() error {
+	if m.T < 1 {
+		return fmt.Errorf("%w: t = %d", ErrInvalid, m.T)
+	}
+	if m.M < 0 {
+		return fmt.Errorf("%w: m = %d", ErrInvalid, m.M)
+	}
+	if m.Choices < 1 {
+		return fmt.Errorf("%w: |C| = %d", ErrInvalid, m.Choices)
+	}
+	if m.Alpha == nil {
+		return fmt.Errorf("%w: nil transition function", ErrInvalid)
+	}
+	for a := range m.Accept {
+		if !m.Final[a] {
+			return fmt.Errorf("%w: accepting state %q not final", ErrInvalid, a)
+		}
+	}
+	if m.MaxSteps <= 0 {
+		return fmt.Errorf("%w: MaxSteps must be positive", ErrInvalid)
+	}
+	return nil
+}
+
+// Deterministic reports whether the machine is deterministic
+// (|C| = 1).
+func (m *NLM) Deterministic() bool { return m.Choices == 1 }
+
+// Config is a configuration (a, p, d, X) of Definition 24.
+type Config struct {
+	State string
+	Pos   []int    // head positions, 0-based (the paper uses 1-based)
+	Dir   []int8   // head directions
+	Lists [][]Cell // X: the cell contents of each list
+}
+
+// NewConfig builds the initial configuration for the input values
+// (Definition 24(b)): list 0 holds ⟨v_0⟩ … ⟨v_{m−1}⟩, all other lists
+// a single empty cell, heads at the left ends facing forward.
+func (m *NLM) NewConfig(input []string) (*Config, error) {
+	if len(input) != m.M {
+		return nil, fmt.Errorf("listmachine: input has %d values, machine expects %d", len(input), m.M)
+	}
+	c := &Config{
+		State: m.Start,
+		Pos:   make([]int, m.T),
+		Dir:   make([]int8, m.T),
+		Lists: make([][]Cell, m.T),
+	}
+	for i := range c.Dir {
+		c.Dir[i] = +1
+	}
+	first := make([]Cell, 0, max(1, len(input)))
+	for i, v := range input {
+		first = append(first, inputCell(v, i))
+	}
+	if len(first) == 0 {
+		first = append(first, emptyCell())
+	}
+	c.Lists[0] = first
+	for tau := 1; tau < m.T; tau++ {
+		c.Lists[tau] = []Cell{emptyCell()}
+	}
+	return c, nil
+}
+
+// Heads returns the cell contents under all heads.
+func (c *Config) Heads() []Cell {
+	out := make([]Cell, len(c.Lists))
+	for i := range c.Lists {
+		out[i] = c.Lists[i][c.Pos[i]]
+	}
+	return out
+}
+
+// clone deep-copies the configuration. Cells are immutable once
+// written, so sharing them is safe; list slices are copied.
+func (c *Config) clone() *Config {
+	n := &Config{
+		State: c.State,
+		Pos:   append([]int(nil), c.Pos...),
+		Dir:   append([]int8(nil), c.Dir...),
+		Lists: make([][]Cell, len(c.Lists)),
+	}
+	for i := range c.Lists {
+		n.Lists[i] = append([]Cell(nil), c.Lists[i]...)
+	}
+	return n
+}
+
+// Key returns a canonical identifier of the configuration for
+// memoized exploration.
+func (c *Config) Key() string {
+	var b strings.Builder
+	b.WriteString(c.State)
+	for i := range c.Lists {
+		fmt.Fprintf(&b, "|%d,%d:", c.Pos[i], c.Dir[i])
+		for _, cell := range c.Lists[i] {
+			b.WriteString(cell.String())
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+// IsFinal reports whether the configuration's state is final.
+func (m *NLM) IsFinal(c *Config) bool { return m.Final[c.State] }
+
+// IsAccepting reports whether the configuration's state is accepting.
+func (m *NLM) IsAccepting(c *Config) bool { return m.Accept[c.State] }
+
+// StepResult is one c-successor together with the per-list cell
+// movement deltas (−1, 0, +1) used for moves(ρ) in Definition 27.
+type StepResult struct {
+	Next  *Config
+	Delta []int8
+}
+
+// Step computes the c-successor of a configuration per
+// Definition 24(c).
+func (m *NLM) Step(c *Config, choice int) (*StepResult, error) {
+	if m.IsFinal(c) {
+		return nil, fmt.Errorf("listmachine: Step from final state %q", c.State)
+	}
+	nextState, mov := m.Alpha(c.State, c.Heads(), choice)
+	if len(mov) != m.T {
+		return nil, fmt.Errorf("listmachine: α returned %d movements, want %d", len(mov), m.T)
+	}
+
+	// Clip movements at the list ends (the e′ rule).
+	eff := make([]Movement, m.T)
+	anyF := false
+	for i := 0; i < m.T; i++ {
+		e := mov[i]
+		if e.Dir != +1 && e.Dir != -1 {
+			return nil, fmt.Errorf("listmachine: α returned direction %d on list %d", e.Dir, i)
+		}
+		if c.Pos[i] == 0 && e.Dir == -1 && e.Move {
+			e = Movement{Dir: -1, Move: false}
+		}
+		if c.Pos[i] == len(c.Lists[i])-1 && e.Dir == +1 && e.Move {
+			e = Movement{Dir: +1, Move: false}
+		}
+		eff[i] = e
+		if e.Move || e.Dir != c.Dir[i] {
+			anyF = true
+		}
+	}
+
+	n := c.clone()
+	n.State = nextState
+	delta := make([]int8, m.T)
+	if !anyF {
+		// No head moves or turns: only the state changes.
+		return &StepResult{Next: n, Delta: delta}, nil
+	}
+
+	// Build the record y = a⟨x1⟩…⟨xt⟩⟨c⟩ from the PRE-step state and
+	// head cells.
+	y := buildRecord(c.State, c.Heads(), choice)
+
+	for i := 0; i < m.T; i++ {
+		pi := c.Pos[i]
+		list := n.Lists[i]
+		// Rewrite the list per Definition 24(c), tracking where the
+		// old head cell x_{pi} lands (oldIdx) so the cell-movement
+		// delta of Definition 27(iii) is physical, not index-based.
+		var oldIdx int
+		switch {
+		case eff[i].Move:
+			// Overwrite the current cell with y.
+			list = append([]Cell(nil), list...)
+			list[pi] = y
+			oldIdx = pi // x_{pi} is gone; y took its place
+		case c.Dir[i] == +1:
+			// Insert y before the current cell.
+			list = insertCell(list, pi, y)
+			oldIdx = pi + 1
+		default: // c.Dir[i] == −1: insert y after the current cell.
+			list = insertCell(list, pi+1, y)
+			oldIdx = pi
+		}
+		n.Lists[i] = list
+
+		// New head position p′ per Definition 24(c), driven by the
+		// EFFECTIVE movement (on a turn without moving, the head ends
+		// on the inserted record cell y).
+		switch {
+		case eff[i].Dir == +1 && eff[i].Move:
+			n.Pos[i] = pi + 1
+		case eff[i].Dir == -1 && eff[i].Move:
+			n.Pos[i] = pi - 1
+		case eff[i].Dir == +1: // (+1, false)
+			n.Pos[i] = pi + 1
+		default: // (−1, false)
+			n.Pos[i] = pi
+		}
+		delta[i] = int8(n.Pos[i] - oldIdx)
+		n.Dir[i] = eff[i].Dir
+	}
+	return &StepResult{Next: n, Delta: delta}, nil
+}
+
+// insertCell inserts y at index idx.
+func insertCell(list []Cell, idx int, y Cell) []Cell {
+	out := make([]Cell, 0, len(list)+1)
+	out = append(out, list[:idx]...)
+	out = append(out, y)
+	out = append(out, list[idx:]...)
+	return out
+}
+
+// buildRecord assembles the string a⟨x1⟩…⟨xt⟩⟨c⟩ written by a
+// transition.
+func buildRecord(state string, heads []Cell, choice int) Cell {
+	y := Cell{{Kind: KState, State: state}}
+	for _, h := range heads {
+		y = append(y, Token{Kind: KOpen})
+		y = append(y, h...)
+		y = append(y, Token{Kind: KClose})
+	}
+	y = append(y, Token{Kind: KOpen}, Token{Kind: KChoice, Choice: choice}, Token{Kind: KClose})
+	return y
+}

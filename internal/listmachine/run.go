@@ -1,0 +1,281 @@
+package listmachine
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// LocalView is lv(γ) of Definition 27 with values already reduced to
+// index strings: the state, head directions, and ind(x_head) per list.
+// Positions is the set of input positions occurring in the viewed
+// cells — the raw data of the compared-positions census.
+type LocalView struct {
+	State     string
+	Dir       []int8
+	Inds      []string
+	Positions []int
+}
+
+// Key canonically serializes the view.
+func (v *LocalView) Key() string {
+	var b strings.Builder
+	b.WriteString(v.State)
+	for i := range v.Inds {
+		fmt.Fprintf(&b, "|%d:%s", v.Dir[i], v.Inds[i])
+	}
+	return b.String()
+}
+
+// Skeleton is skel(ρ) of Definition 28: the sequence of local-view
+// skeletons (nil entries encode the wildcard "?") and the cell
+// movements of every step.
+type Skeleton struct {
+	Views []*LocalView // Views[0] = skel(lv(ρ1)); nil = "?"
+	Moves [][]int8
+}
+
+// Key canonically serializes the skeleton, so runs with equal
+// skeletons compare equal as strings (used by the Lemma 21 pigeonhole
+// experiments).
+func (s *Skeleton) Key() string {
+	var b strings.Builder
+	for _, v := range s.Views {
+		if v == nil {
+			b.WriteString("?")
+		} else {
+			b.WriteString(v.Key())
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("moves:")
+	for _, mv := range s.Moves {
+		for _, d := range mv {
+			fmt.Fprintf(&b, "%d", d)
+		}
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Compared reports whether input positions i and j are compared in
+// the skeleton (Definition 33): some recorded local view contains
+// both.
+func (s *Skeleton) Compared(i, j int) bool {
+	for _, v := range s.Views {
+		if v == nil {
+			continue
+		}
+		hasI, hasJ := false, false
+		for _, p := range v.Positions {
+			if p == i {
+				hasI = true
+			}
+			if p == j {
+				hasJ = true
+			}
+		}
+		if hasI && hasJ {
+			return true
+		}
+	}
+	return false
+}
+
+// ComparedPairs returns all unordered position pairs compared in the
+// skeleton.
+func (s *Skeleton) ComparedPairs() map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, v := range s.Views {
+		if v == nil {
+			continue
+		}
+		ps := v.Positions
+		for a := 0; a < len(ps); a++ {
+			for b := a + 1; b < len(ps); b++ {
+				i, j := ps[a], ps[b]
+				if i > j {
+					i, j = j, i
+				}
+				if i != j {
+					out[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// localView extracts the skeleton view of a configuration.
+func localView(c *Config) *LocalView {
+	v := &LocalView{
+		State: c.State,
+		Dir:   append([]int8(nil), c.Dir...),
+	}
+	seen := map[int]bool{}
+	for i := range c.Lists {
+		cell := c.Lists[i][c.Pos[i]]
+		v.Inds = append(v.Inds, cell.Ind())
+		for _, p := range cell.InputPositions() {
+			if !seen[p] {
+				seen[p] = true
+				v.Positions = append(v.Positions, p)
+			}
+		}
+	}
+	return v
+}
+
+// Run is a complete run of an NLM with its instrumentation.
+type Run struct {
+	Accepted bool
+	Steps    int
+	Rev      []int // direction changes per list
+	Skeleton *Skeleton
+	Final    *Config
+}
+
+// Scans returns 1 + Σ reversals, the (r, t)-boundedness measure of
+// Definition 14's rev convention.
+func (r *Run) Scans() int {
+	s := 1
+	for _, v := range r.Rev {
+		s += v
+	}
+	return s
+}
+
+// RunWithChoices executes the machine on the input resolving the
+// nondeterministic choice of step i as choices[i] mod |C| (0 beyond
+// the end of the slice) — the ρ_M(v, c) of Definition 15.
+func (m *NLM) RunWithChoices(input []string, choices []int) (*Run, error) {
+	c, err := m.NewConfig(input)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		Rev:      make([]int, m.T),
+		Skeleton: &Skeleton{Views: []*LocalView{localView(c)}},
+	}
+	for step := 0; ; step++ {
+		if m.IsFinal(c) {
+			run.Accepted = m.IsAccepting(c)
+			run.Steps = step
+			run.Final = c
+			return run, nil
+		}
+		if step >= m.MaxSteps {
+			return nil, fmt.Errorf("%w after %d steps", ErrStepLimit, step)
+		}
+		choice := 0
+		if step < len(choices) {
+			choice = choices[step] % m.Choices
+			if choice < 0 {
+				choice += m.Choices
+			}
+		}
+		res, err := m.Step(c, choice)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m.T; i++ {
+			if res.Next.Dir[i] != c.Dir[i] {
+				run.Rev[i]++
+			}
+		}
+		run.Skeleton.Moves = append(run.Skeleton.Moves, res.Delta)
+		moved := false
+		for _, d := range res.Delta {
+			if d != 0 {
+				moved = true
+			}
+		}
+		if moved {
+			run.Skeleton.Views = append(run.Skeleton.Views, localView(res.Next))
+		} else {
+			run.Skeleton.Views = append(run.Skeleton.Views, nil)
+		}
+		c = res.Next
+	}
+}
+
+// RunDeterministic runs a deterministic machine (|C| = 1).
+func (m *NLM) RunDeterministic(input []string) (*Run, error) {
+	if !m.Deterministic() {
+		return nil, fmt.Errorf("listmachine: %q is not deterministic (|C| = %d)", m.Name, m.Choices)
+	}
+	return m.RunWithChoices(input, nil)
+}
+
+// AcceptProbability computes Pr[M accepts input] exactly by memoized
+// run-tree exploration: each step draws the choice uniformly from C
+// (Lemma 25).
+func (m *NLM) AcceptProbability(input []string) (*big.Rat, error) {
+	memo := map[string]*big.Rat{}
+	onPath := map[string]bool{}
+	var visit func(c *Config, depth int) (*big.Rat, error)
+	visit = func(c *Config, depth int) (*big.Rat, error) {
+		if m.IsFinal(c) {
+			if m.IsAccepting(c) {
+				return big.NewRat(1, 1), nil
+			}
+			return new(big.Rat), nil
+		}
+		if depth > m.MaxSteps {
+			return nil, fmt.Errorf("%w at depth %d", ErrStepLimit, depth)
+		}
+		key := c.Key()
+		if p, ok := memo[key]; ok {
+			return p, nil
+		}
+		if onPath[key] {
+			return nil, fmt.Errorf("listmachine: infinite run at state %q", c.State)
+		}
+		onPath[key] = true
+		defer delete(onPath, key)
+		total := new(big.Rat)
+		for choice := 0; choice < m.Choices; choice++ {
+			res, err := m.Step(c, choice)
+			if err != nil {
+				return nil, err
+			}
+			p, err := visit(res.Next, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			total.Add(total, p)
+		}
+		total.Quo(total, new(big.Rat).SetInt64(int64(m.Choices)))
+		memo[key] = total
+		return total, nil
+	}
+	c, err := m.NewConfig(input)
+	if err != nil {
+		return nil, err
+	}
+	return visit(c, 0)
+}
+
+// TotalListLength returns the total list length of a configuration
+// (Lemma 30(a)).
+func (c *Config) TotalListLength() int {
+	n := 0
+	for _, l := range c.Lists {
+		n += len(l)
+	}
+	return n
+}
+
+// CellSize returns the maximum cell length of a configuration
+// (Lemma 30(b)).
+func (c *Config) CellSize() int {
+	s := 0
+	for _, l := range c.Lists {
+		for _, cell := range l {
+			if len(cell) > s {
+				s = len(cell)
+			}
+		}
+	}
+	return s
+}

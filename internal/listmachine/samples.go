@@ -1,0 +1,139 @@
+package listmachine
+
+import "fmt"
+
+// Sample list machines used by tests and the merge-lemma experiments
+// (E12). States encode counters where needed — list machines cannot
+// sense list ends or positions, exactly as in Definition 14.
+
+// ScanAcceptNLM returns a deterministic 1-list machine that scans its
+// m input cells left to right and accepts. It performs no reversals.
+func ScanAcceptNLM(m int) *NLM {
+	return &NLM{
+		Name: fmt.Sprintf("scan-%d", m), T: 1, M: m, Choices: 1,
+		Start:    "s0",
+		Final:    map[string]bool{"acc": true},
+		Accept:   map[string]bool{"acc": true},
+		MaxSteps: 4 * (m + 2),
+		Alpha: func(state string, heads []Cell, choice int) (string, []Movement) {
+			var i int
+			fmt.Sscanf(state, "s%d", &i)
+			if i >= m-1 || m == 0 {
+				return "acc", []Movement{{Dir: +1, Move: false}}
+			}
+			return fmt.Sprintf("s%d", i+1), []Movement{{Dir: +1, Move: true}}
+		},
+	}
+}
+
+// GuessNLM returns a nondeterministic 1-list machine on k steps that
+// accepts iff every choice drawn is 0; with |C| = c choices its
+// acceptance probability is exactly c^{−k}.
+func GuessNLM(k, c int) *NLM {
+	return &NLM{
+		Name: fmt.Sprintf("guess-%d-%d", k, c), T: 1, M: 1, Choices: c,
+		Start:    "g0",
+		Final:    map[string]bool{"acc": true, "rej": true},
+		Accept:   map[string]bool{"acc": true},
+		MaxSteps: k + 2,
+		Alpha: func(state string, heads []Cell, choice int) (string, []Movement) {
+			var i int
+			fmt.Sscanf(state, "g%d", &i)
+			stay := []Movement{{Dir: +1, Move: false}}
+			if choice != 0 {
+				return "rej", stay
+			}
+			if i >= k-1 {
+				return "acc", stay
+			}
+			return fmt.Sprintf("g%d", i+1), stay
+		},
+	}
+}
+
+// PingPongNLM returns a deterministic 1-list machine on m inputs that
+// sweeps its list forward and backward k times and accepts. It
+// performs 2(k−1) direction changes, the list-machine analogue of
+// turing.ZigZagMachine.
+func PingPongNLM(m, k int) *NLM {
+	if m < 2 {
+		panic("listmachine: PingPongNLM needs m >= 2")
+	}
+	return &NLM{
+		Name: fmt.Sprintf("pingpong-%d-%d", m, k), T: 1, M: m, Choices: 1,
+		Start:    "f1.0",
+		Final:    map[string]bool{"acc": true},
+		Accept:   map[string]bool{"acc": true},
+		MaxSteps: 4 * m * (k + 2),
+		Alpha: func(state string, heads []Cell, choice int) (string, []Movement) {
+			// State f<pass>.<i> / b<pass>.<i>: i is the head position
+			// AFTER the movement below executes — list machines cannot
+			// sense positions, so the state carries them.
+			var pass, i int
+			var dir byte
+			fmt.Sscanf(state, "%c%d.%d", &dir, &pass, &i)
+			fwd := []Movement{{Dir: +1, Move: true}}
+			back := []Movement{{Dir: -1, Move: true}}
+			if dir == 'f' {
+				if i < m-1 {
+					return fmt.Sprintf("f%d.%d", pass, i+1), fwd
+				}
+				if pass == k {
+					return "acc", []Movement{{Dir: +1, Move: false}}
+				}
+				return fmt.Sprintf("b%d.%d", pass, m-2), back
+			}
+			if i > 0 {
+				return fmt.Sprintf("b%d.%d", pass, i-1), back
+			}
+			return fmt.Sprintf("f%d.%d", pass+1, 1), fwd
+		},
+	}
+}
+
+// CopyReverseCompareNLM returns a deterministic 2-list machine on 2m
+// inputs that (a) scans the first m cells while its second head drops
+// a record of each onto list 2, then (b) scans the remaining m cells
+// while reading list 2 backward. Phase (b)'s local views therefore
+// contain input position m+i together with position m−i, i.e. the
+// machine compares the second half against the REVERSED first half —
+// the information-flow pattern the merge lemma (Lemma 37/38)
+// formalizes: one reversal can only pair positions along monotone
+// subsequences.
+func CopyReverseCompareNLM(m int) *NLM {
+	if m < 1 {
+		panic("listmachine: CopyReverseCompareNLM needs m >= 1")
+	}
+	return &NLM{
+		Name: fmt.Sprintf("copyrev-%d", m), T: 2, M: 2 * m, Choices: 1,
+		Start:    "c0",
+		Final:    map[string]bool{"acc": true},
+		Accept:   map[string]bool{"acc": true},
+		MaxSteps: 16 * (m + 2),
+		Alpha: func(state string, heads []Cell, choice int) (string, []Movement) {
+			var i int
+			stay := Movement{Dir: +1, Move: false}
+			switch {
+			case state[0] == 'c': // copy phase: both heads step right
+				fmt.Sscanf(state, "c%d", &i)
+				mov := []Movement{{Dir: +1, Move: true}, {Dir: +1, Move: false}}
+				// Head 2 sits on the last cell of list 2; a clipped
+				// forward move inserts the record before it, so list 2
+				// accumulates one record per input cell.
+				if i == m-1 {
+					return "t0", mov
+				}
+				return fmt.Sprintf("c%d", i+1), mov
+			case state[0] == 't': // turn head 2 around
+				return "x0", []Movement{stay, {Dir: -1, Move: true}}
+			default: // x%d: compare phase
+				fmt.Sscanf(state, "x%d", &i)
+				if i == m-1 {
+					return "acc", []Movement{stay, {Dir: -1, Move: false}}
+				}
+				return fmt.Sprintf("x%d", i+1),
+					[]Movement{{Dir: +1, Move: true}, {Dir: -1, Move: true}}
+			}
+		},
+	}
+}

@@ -1,0 +1,151 @@
+// Package lowerbound implements the counting machinery behind the
+// paper's main theorem (Theorem 6): the quantitative bounds of
+// Lemmas 30, 31 and 32 on list machines, the parameter requirements
+// of Lemma 21 and Lemma 22, the Ω(log N) tightness frontier they
+// induce, and a pigeonhole ADVERSARY that constructively defeats any
+// deterministic bounded-state one-scan machine on MULTISET-EQUALITY
+// (the information-theoretic mechanism the proof formalizes).
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// TotalListLengthBound returns the Lemma 30(a) bound (t+1)^r · m on
+// the total list length of an (r, t)-bounded NLM on m inputs.
+func TotalListLengthBound(t, r, m int) *big.Int {
+	b := new(big.Int).Exp(big.NewInt(int64(t+1)), big.NewInt(int64(r)), nil)
+	return b.Mul(b, big.NewInt(int64(m)))
+}
+
+// CellSizeBound returns the Lemma 30(b) bound 11 · max(t,2)^r on the
+// cell size of an (r, t)-bounded NLM.
+func CellSizeBound(t, r int) *big.Int {
+	base := t
+	if base < 2 {
+		base = 2
+	}
+	b := new(big.Int).Exp(big.NewInt(int64(base)), big.NewInt(int64(r)), nil)
+	return b.Mul(b, big.NewInt(11))
+}
+
+// RunLengthBound returns the Lemma 31(a) bound k + k·(t+1)^{r+1}·m on
+// the length of runs of an (r, t)-bounded NLM with k states.
+func RunLengthBound(k *big.Int, t, r, m int) *big.Int {
+	moves := new(big.Int).Exp(big.NewInt(int64(t+1)), big.NewInt(int64(r+1)), nil)
+	moves.Mul(moves, big.NewInt(int64(m)))
+	moves.Mul(moves, k)
+	return moves.Add(moves, k)
+}
+
+// SkeletonCountBound returns the Lemma 32 bound
+//
+//	(m + k + 3)^(12·m·(t+1)^{2r+2} + 24·(t+1)^r)
+//
+// on the number of skeletons of runs of an (r, t)-bounded NLM with k
+// states and m inputs.
+func SkeletonCountBound(t, r, m int, k *big.Int) *big.Int {
+	base := new(big.Int).Add(k, big.NewInt(int64(m+3)))
+	e1 := new(big.Int).Exp(big.NewInt(int64(t+1)), big.NewInt(int64(2*r+2)), nil)
+	e1.Mul(e1, big.NewInt(int64(12*m)))
+	e2 := new(big.Int).Exp(big.NewInt(int64(t+1)), big.NewInt(int64(r)), nil)
+	e2.Mul(e2, big.NewInt(24))
+	exp := e1.Add(e1, e2)
+	return new(big.Int).Exp(base, exp, nil)
+}
+
+// SimplifiedSkeletonBound returns the (2k)^{m²} bound used in
+// Claim 2 of the proof of Lemma 21, valid under that lemma's
+// parameter requirements.
+func SimplifiedSkeletonBound(m int, k *big.Int) *big.Int {
+	base := new(big.Int).Lsh(k, 1) // 2k
+	exp := new(big.Int).Mul(big.NewInt(int64(m)), big.NewInt(int64(m)))
+	return new(big.Int).Exp(base, exp, nil)
+}
+
+// EqualInputCount returns |I_eq| = (2^n / m)^m, the number of
+// structured yes-inputs of Lemma 21 (m must divide 2^n, i.e. m a
+// power of two and n ≥ log₂ m).
+func EqualInputCount(m, n int) *big.Int {
+	interval := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	interval.Div(interval, big.NewInt(int64(m)))
+	return new(big.Int).Exp(interval, big.NewInt(int64(m)), nil)
+}
+
+// StateCountBound returns the Lemma 16 bound (equation (2)) on the
+// number of list-machine states needed to simulate an (r, s, t)-
+// bounded Turing machine on inputs of m values of length n:
+//
+//	2^(d·t²·r·s + 3·t·log(m·(n+1)))
+//
+// with the machine-dependent constant d.
+func StateCountBound(d, t, r, s, m, n int) *big.Int {
+	logTerm := bits64(uint64(m) * uint64(n+1))
+	exp := int64(d)*int64(t)*int64(t)*int64(r)*int64(s) + 3*int64(t)*int64(logTerm)
+	return new(big.Int).Lsh(big.NewInt(1), uint(exp))
+}
+
+func bits64(x uint64) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// Lemma21Check verifies the parameter requirements of Lemma 21:
+// t ≥ 2, m a power of two with m ≥ 2^4·(t+1)^{4r} + 1, k ≥ 2m+3 and
+// n ≥ 1 + (m²+1)·log₂(2k). If all hold, NO (r, t)-bounded NLM with
+// ≤ k states can solve CHECK-ϕ on the structured inputs — the lower
+// bound applies.
+func Lemma21Check(t, r, m, n int, k *big.Int) error {
+	if t < 2 {
+		return fmt.Errorf("lowerbound: t = %d < 2", t)
+	}
+	if m <= 0 || m&(m-1) != 0 {
+		return fmt.Errorf("lowerbound: m = %d not a power of two", m)
+	}
+	mMin := new(big.Int).Exp(big.NewInt(int64(t+1)), big.NewInt(int64(4*r)), nil)
+	mMin.Mul(mMin, big.NewInt(16))
+	mMin.Add(mMin, big.NewInt(1))
+	if big.NewInt(int64(m)).Cmp(mMin) < 0 {
+		return fmt.Errorf("lowerbound: m = %d < 2^4·(t+1)^{4r}+1 = %v", m, mMin)
+	}
+	if k.Cmp(big.NewInt(int64(2*m+3))) < 0 {
+		return fmt.Errorf("lowerbound: k = %v < 2m+3 = %d", k, 2*m+3)
+	}
+	two2k := new(big.Int).Lsh(k, 1)
+	log2k := two2k.BitLen() // ⌈log₂(2k)⌉ up to off-by-one on powers of two; conservative
+	nMin := 1 + (m*m+1)*log2k
+	if n < nMin {
+		return fmt.Errorf("lowerbound: n = %d < 1+(m²+1)·log(2k) = %d", n, nMin)
+	}
+	return nil
+}
+
+// PigeonholeGap quantifies the heart of Lemma 21's proof for given
+// parameters: the number of structured yes-inputs per (choice
+// sequence, skeleton) class. The proof needs this to be ≥ 2 so two
+// inputs can be cross-composed (Lemma 34) into an accepted
+// no-instance. It returns inputs/(2·(2k)^{m²}·(2^n/m)^{m−1}) — the
+// count of v_1 values sharing a class after fixing v_2…v_m — matching
+// the final computation in the proof of Lemma 21.
+func PigeonholeGap(m, n int, k *big.Int) *big.Rat {
+	// 2^n / (2m · (2k)^{m²})
+	num := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	den := SimplifiedSkeletonBound(m, k)
+	den.Mul(den, big.NewInt(int64(2*m)))
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// MemoryBound returns the paper's internal-memory regime
+// s(N) = ⌊N^{1/4} / log₂ N⌋ of Theorem 6 (in cells/bits).
+func MemoryBound(n float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Pow(n, 0.25) / math.Log2(n)
+}

@@ -1,0 +1,80 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrontierPoint is one row of the Ω(log N) tightness frontier of
+// Lemma 22 / Theorem 6: for input parameter m (a power of two,
+// n = m³, N = 2m(n+1)), MaxScans is the largest scan count r for
+// which the lower-bound argument still applies — every randomized
+// one-sided-error machine with ≤ MaxScans sequential scans and
+// internal memory ≤ s(N) = N^{1/4}/log N fails on CHECK-ϕ (hence on
+// (multi)set equality and checksort).
+type FrontierPoint struct {
+	M        int     // values per half
+	N        float64 // input size 2m(m³+1)
+	Log2N    float64
+	MaxScans int     // largest r where the contradiction holds
+	Ratio    float64 // MaxScans / log₂ N — converges to a constant
+}
+
+// Frontier computes the tightness frontier for t external tapes and
+// simulation constant d, for m = 2^lo .. 2^hi. Condition (3) of
+// Lemma 22 requires m ≥ 2^4·(t+1)^{4r}+1; condition (4) requires
+// m³ ≥ 1 + d·t²·r·s(N) + 3t·log(N). MaxScans is the largest r
+// satisfying both.
+//
+// The arithmetic is in float64: the quantities compared are smooth
+// (powers and logarithms), and the frontier's SHAPE — MaxScans =
+// Θ(log N) — is the reproduction target, not exact integer
+// thresholds.
+func Frontier(t, d, lo, hi int) []FrontierPoint {
+	var out []FrontierPoint
+	for e := lo; e <= hi; e++ {
+		m := math.Pow(2, float64(e))
+		n := m * m * m
+		bigN := 2 * m * (n + 1)
+		logN := math.Log2(bigN)
+		s := MemoryBound(bigN)
+
+		// Condition (3): 16·(t+1)^{4r} + 1 ≤ m.
+		r3 := math.Floor(math.Log2((m-1)/16) / (4 * math.Log2(float64(t+1))))
+		// Condition (4): d·t²·r·s(N) + 3t·log N + 1 ≤ m³.
+		r4 := math.Floor((n - 1 - 3*float64(t)*logN) / (float64(d) * float64(t*t) * s))
+		r := math.Min(r3, r4)
+		if r < 0 {
+			r = 0
+		}
+		out = append(out, FrontierPoint{
+			M:        1 << uint(e),
+			N:        bigN,
+			Log2N:    logN,
+			MaxScans: int(r),
+			Ratio:    r / logN,
+		})
+	}
+	return out
+}
+
+// FrontierTable renders the frontier as aligned text rows.
+func FrontierTable(points []FrontierPoint) string {
+	s := fmt.Sprintf("%10s %14s %10s %10s %12s\n", "m", "N", "log2(N)", "max r", "r/log2(N)")
+	for _, p := range points {
+		s += fmt.Sprintf("%10d %14.4g %10.1f %10d %12.4f\n", p.M, p.N, p.Log2N, p.MaxScans, p.Ratio)
+	}
+	return s
+}
+
+// UpperBoundScans returns the number of scans the Corollary 7
+// deterministic algorithm needs (a small constant times log₂ N),
+// closing the gap from above: together with Frontier this exhibits
+// the TIGHTNESS of Theorem 6 — hard below c₁·log N scans, solvable
+// at c₂·log N scans.
+func UpperBoundScans(n float64, passConstant float64) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(passConstant * math.Log2(n)))
+}

@@ -1,0 +1,134 @@
+// Package memory meters the internal-memory usage of an ST-model
+// computation.
+//
+// In the model of Grohe, Hernich and Schweikardt, internal memory
+// tapes may be accessed freely but their total size is bounded by
+// s(N). Algorithms in this repository account for every variable that
+// conceptually lives in internal memory by registering it with a
+// Meter. The meter tracks current and peak usage in bits and can
+// enforce a budget.
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// ErrBudget is returned (wrapped) when an allocation would exceed the
+// configured budget.
+var ErrBudget = errors.New("memory: internal-memory budget exhausted")
+
+// Meter tracks internal-memory usage in bits. The zero value is an
+// unlimited meter ready for use.
+type Meter struct {
+	regions   map[string]int64 // bits per named region
+	current   int64
+	peak      int64
+	budget    int64
+	hasBudget bool
+}
+
+// NewMeter returns an unlimited meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// SetBudget limits the total internal-memory size in bits. A negative
+// budget means unlimited.
+func (m *Meter) SetBudget(bits int64) {
+	m.budget = bits
+	m.hasBudget = bits >= 0
+}
+
+// Budget returns the configured budget in bits and whether one is set.
+func (m *Meter) Budget() (int64, bool) { return m.budget, m.hasBudget }
+
+// Set declares that the named region currently occupies the given
+// number of bits, replacing any previous size for that region. It
+// returns an error wrapping ErrBudget if the new total would exceed
+// the budget; in that case usage is left unchanged.
+func (m *Meter) Set(region string, sizeBits int64) error {
+	if sizeBits < 0 {
+		return fmt.Errorf("memory: negative size %d for region %q", sizeBits, region)
+	}
+	if m.regions == nil {
+		m.regions = make(map[string]int64)
+	}
+	old := m.regions[region]
+	next := m.current - old + sizeBits
+	if m.hasBudget && next > m.budget {
+		return fmt.Errorf("%w: region %q would raise usage to %d bits (budget %d)",
+			ErrBudget, region, next, m.budget)
+	}
+	m.regions[region] = sizeBits
+	m.current = next
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	return nil
+}
+
+// SetInt declares that the named region holds the nonnegative integer
+// v, charging the length of its binary representation (at least one
+// bit).
+func (m *Meter) SetInt(region string, v uint64) error {
+	return m.Set(region, int64(max(1, bits.Len64(v))))
+}
+
+// Grow increases the named region by delta bits.
+func (m *Meter) Grow(region string, delta int64) error {
+	if m.regions == nil {
+		m.regions = make(map[string]int64)
+	}
+	return m.Set(region, m.regions[region]+delta)
+}
+
+// Free releases the named region.
+func (m *Meter) Free(region string) {
+	if m.regions == nil {
+		return
+	}
+	old, ok := m.regions[region]
+	if !ok {
+		return
+	}
+	delete(m.regions, region)
+	m.current -= old
+}
+
+// Current returns the current usage in bits.
+func (m *Meter) Current() int64 { return m.current }
+
+// Peak returns the peak usage in bits.
+func (m *Meter) Peak() int64 { return m.peak }
+
+// Region returns the current size of the named region in bits.
+func (m *Meter) Region(region string) int64 {
+	if m.regions == nil {
+		return 0
+	}
+	return m.regions[region]
+}
+
+// Regions returns the names of all live regions in sorted order.
+func (m *Meter) Regions() []string {
+	names := make([]string, 0, len(m.regions))
+	for name := range m.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all regions and counters, keeping the budget.
+func (m *Meter) Reset() {
+	m.regions = nil
+	m.current = 0
+	m.peak = 0
+}
+
+// String returns a short diagnostic description.
+func (m *Meter) String() string {
+	return fmt.Sprintf("memory: current=%d bits, peak=%d bits, regions=%d",
+		m.current, m.peak, len(m.regions))
+}

@@ -1,0 +1,213 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUnlimited(t *testing.T) {
+	var m Meter
+	if err := m.Set("a", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Current() != 1_000_000 {
+		t.Fatalf("Current = %d", m.Current())
+	}
+}
+
+func TestPeakTracksMaximum(t *testing.T) {
+	m := NewMeter()
+	if err := m.Set("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b", 50); err != nil {
+		t.Fatal(err)
+	}
+	m.Free("a")
+	if err := m.Set("c", 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Current() != 60 {
+		t.Fatalf("Current = %d, want 60", m.Current())
+	}
+	if m.Peak() != 150 {
+		t.Fatalf("Peak = %d, want 150", m.Peak())
+	}
+}
+
+func TestSetReplaces(t *testing.T) {
+	m := NewMeter()
+	if err := m.Set("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Current() != 40 {
+		t.Fatalf("Current = %d, want 40", m.Current())
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(64)
+	if err := m.Set("a", 64); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Set("b", 1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// Refused allocation must not change usage.
+	if m.Current() != 64 {
+		t.Fatalf("Current = %d, want 64", m.Current())
+	}
+	if m.Region("b") != 0 {
+		t.Fatal("region b should not exist after refusal")
+	}
+}
+
+func TestBudgetReplacementWithinBudget(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(100)
+	if err := m.Set("a", 90); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking a and growing b in one replacement must work.
+	if err := m.Set("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b", 90); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetIntChargesBitLength(t *testing.T) {
+	m := NewMeter()
+	if err := m.SetInt("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("v") != 1 {
+		t.Fatalf("bits(0) = %d, want 1", m.Region("v"))
+	}
+	if err := m.SetInt("v", 255); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("v") != 8 {
+		t.Fatalf("bits(255) = %d, want 8", m.Region("v"))
+	}
+	if err := m.SetInt("v", 256); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("v") != 9 {
+		t.Fatalf("bits(256) = %d, want 9", m.Region("v"))
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := NewMeter()
+	if err := m.Grow("buf", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow("buf", 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("buf") != 16 {
+		t.Fatalf("Region = %d, want 16", m.Region("buf"))
+	}
+}
+
+func TestFreeUnknownRegionIsNoop(t *testing.T) {
+	m := NewMeter()
+	m.Free("nope")
+	if m.Current() != 0 {
+		t.Fatal("Free of unknown region changed usage")
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	m := NewMeter()
+	if err := m.Set("a", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestRegionsSorted(t *testing.T) {
+	m := NewMeter()
+	for _, name := range []string{"z", "a", "m"} {
+		if err := m.Set(name, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Regions()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Regions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(10)
+	if err := m.Set("a", 5); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Current() != 0 || m.Peak() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if b, ok := m.Budget(); !ok || b != 10 {
+		t.Fatal("Reset cleared the budget")
+	}
+}
+
+// Property: current usage always equals the sum of region sizes, and
+// peak is monotone.
+func TestQuickInvariants(t *testing.T) {
+	type op struct {
+		Name byte
+		Size uint16
+	}
+	f := func(ops []op) bool {
+		m := NewMeter()
+		peak := int64(0)
+		sizes := map[string]int64{}
+		for _, o := range ops {
+			name := string('a' + o.Name%4)
+			if o.Size%5 == 0 {
+				m.Free(name)
+				delete(sizes, name)
+			} else {
+				if err := m.Set(name, int64(o.Size)); err != nil {
+					return false
+				}
+				sizes[name] = int64(o.Size)
+			}
+			var sum int64
+			for _, v := range sizes {
+				sum += v
+			}
+			if m.Current() != sum {
+				return false
+			}
+			if m.Peak() < peak {
+				return false
+			}
+			peak = m.Peak()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := NewMeter()
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

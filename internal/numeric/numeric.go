@@ -1,0 +1,229 @@
+// Package numeric provides the number-theoretic substrate of the
+// fingerprinting algorithm of Theorem 8(a): 64-bit modular
+// arithmetic, deterministic Miller–Rabin primality testing, random
+// prime selection below a bound, and Bertrand-postulate prime search.
+//
+// All arithmetic is exact on uint64 operands using 128-bit
+// intermediates from math/bits; no big-integer allocation happens on
+// the hot path.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// ErrNoPrime is returned when a prime search fails in its range.
+var ErrNoPrime = errors.New("numeric: no prime found in range")
+
+// MulMod returns a*b mod m using a 128-bit intermediate product. m
+// must be nonzero.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// AddMod returns (a+b) mod m without overflow. m must be nonzero.
+func AddMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a >= m-b && b != 0 {
+		return a - (m - b)
+	}
+	return a + b
+}
+
+// SubMod returns (a−b) mod m. m must be nonzero.
+func SubMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a >= b {
+		return a - b
+	}
+	return a + (m - b)
+}
+
+// PowMod returns a^e mod m by binary exponentiation. m must be
+// nonzero. PowMod(a, 0, m) = 1 mod m.
+func PowMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, a, m)
+		}
+		a = MulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// millerRabinBases is a base set for which Miller–Rabin is a
+// deterministic primality test for all n < 2^64 (Sorenson & Webster).
+var millerRabinBases = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for all
+// uint64 values.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n−1 = d·2^s with d odd.
+	d := n - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	for _, a := range millerRabinBases {
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < s-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime ≥ n, or an error if none fits
+// in uint64.
+func NextPrime(n uint64) (uint64, error) {
+	if n <= 2 {
+		return 2, nil
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for ; n >= 3; n += 2 { // n >= 3 guards wraparound
+		if IsPrime(n) {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: above %d", ErrNoPrime, n)
+}
+
+// RandomPrimeUpTo returns a prime chosen uniformly at random from the
+// primes ≤ k, using rejection sampling exactly as step (2) of the
+// Theorem 8(a) algorithm: draw a uniform number in {2, …, k} and
+// repeat until it is prime. It returns an error if k < 2.
+func RandomPrimeUpTo(k uint64, rng *rand.Rand) (uint64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("%w: bound %d too small", ErrNoPrime, k)
+	}
+	for {
+		n := 2 + uint64(rng.Int63n(int64(k-1)))
+		if IsPrime(n) {
+			return n, nil
+		}
+	}
+}
+
+// BertrandPrime returns a prime p with 3k < p ≤ 6k; one exists by
+// Bertrand's postulate for every k ≥ 1 (step (3) of the Theorem 8(a)
+// algorithm). It returns the smallest such prime.
+func BertrandPrime(k uint64) (uint64, error) {
+	if k == 0 {
+		return 0, fmt.Errorf("%w: k = 0", ErrNoPrime)
+	}
+	p, err := NextPrime(3*k + 1)
+	if err != nil {
+		return 0, err
+	}
+	if p > 6*k {
+		return 0, fmt.Errorf("%w: smallest prime above %d is %d > %d", ErrNoPrime, 3*k, p, 6*k)
+	}
+	return p, nil
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1 (and 0 for n ≤ 1). The paper's
+// ˙log is a ceiling logarithm.
+func CeilLog2(n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(n - 1)
+}
+
+// FingerprintModulus computes the parameter k = m³ · n · ⌈log(m³·n)⌉
+// of step (2) of Theorem 8(a)'s algorithm, reporting overflow.
+func FingerprintModulus(m, n uint64) (uint64, error) {
+	m3, ok := mulCheck(m, m)
+	if ok {
+		m3, ok = mulCheck(m3, m)
+	}
+	if !ok {
+		return 0, fmt.Errorf("numeric: m³ overflows for m = %d", m)
+	}
+	m3n, ok := mulCheck(m3, n)
+	if !ok {
+		return 0, fmt.Errorf("numeric: m³·n overflows for m = %d, n = %d", m, n)
+	}
+	lg := uint64(CeilLog2(m3n))
+	if lg == 0 {
+		lg = 1
+	}
+	k, ok := mulCheck(m3n, lg)
+	if !ok {
+		return 0, fmt.Errorf("numeric: m³·n·log overflows for m = %d, n = %d", m, n)
+	}
+	// BertrandPrime needs 6k to fit.
+	if k > (1<<63)/4 {
+		return 0, fmt.Errorf("numeric: 6k overflows for m = %d, n = %d", m, n)
+	}
+	// Degenerate inputs (m = n = 1) give k = 1, below the smallest
+	// prime; the algorithm's analysis only needs k at least this
+	// large, so clamping preserves correctness.
+	if k < 2 {
+		k = 2
+	}
+	return k, nil
+}
+
+func mulCheck(a, b uint64) (uint64, bool) {
+	hi, lo := bits.Mul64(a, b)
+	return lo, hi == 0
+}
+
+// PrimesUpTo returns all primes ≤ n by a sieve of Eratosthenes. It is
+// intended for the experiment harness, not the streaming algorithms.
+func PrimesUpTo(n int) []uint64 {
+	if n < 2 {
+		return nil
+	}
+	sieve := make([]bool, n+1)
+	var primes []uint64
+	for i := 2; i <= n; i++ {
+		if sieve[i] {
+			continue
+		}
+		primes = append(primes, uint64(i))
+		for j := i * i; j <= n && j > 0; j += i {
+			sieve[j] = true
+		}
+	}
+	return primes
+}

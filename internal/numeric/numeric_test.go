@@ -1,0 +1,258 @@
+package numeric
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint64()
+		b := rng.Uint64()
+		m := rng.Uint64()
+		if m == 0 {
+			m = 1
+		}
+		got := MulMod(a, b, m)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, new(big.Int).SetUint64(m))
+		if got != want.Uint64() {
+			t.Fatalf("MulMod(%d,%d,%d) = %d, want %d", a, b, m, got, want.Uint64())
+		}
+	}
+}
+
+func TestAddSubMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint64()
+		b := rng.Uint64()
+		m := rng.Uint64()
+		if m == 0 {
+			m = 1
+		}
+		sum := AddMod(a, b, m)
+		wantSum := new(big.Int).Add(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		wantSum.Mod(wantSum, new(big.Int).SetUint64(m))
+		if sum != wantSum.Uint64() {
+			t.Fatalf("AddMod(%d,%d,%d) = %d, want %d", a, b, m, sum, wantSum.Uint64())
+		}
+		diff := SubMod(a, b, m)
+		wantDiff := new(big.Int).Sub(new(big.Int).SetUint64(a%m), new(big.Int).SetUint64(b%m))
+		wantDiff.Mod(wantDiff, new(big.Int).SetUint64(m))
+		if diff != wantDiff.Uint64() {
+			t.Fatalf("SubMod(%d,%d,%d) = %d, want %d", a, b, m, diff, wantDiff.Uint64())
+		}
+	}
+}
+
+func TestPowModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := rng.Uint64()
+		e := uint64(rng.Int63n(1 << 20))
+		m := rng.Uint64()
+		if m == 0 {
+			m = 1
+		}
+		got := PowMod(a, e, m)
+		want := new(big.Int).Exp(
+			new(big.Int).SetUint64(a),
+			new(big.Int).SetUint64(e),
+			new(big.Int).SetUint64(m))
+		if got != want.Uint64() {
+			t.Fatalf("PowMod(%d,%d,%d) = %d, want %d", a, e, m, got, want.Uint64())
+		}
+	}
+}
+
+func TestPowModEdge(t *testing.T) {
+	if PowMod(5, 0, 7) != 1 {
+		t.Fatal("a^0 mod 7 != 1")
+	}
+	if PowMod(5, 100, 1) != 0 {
+		t.Fatal("mod 1 should be 0")
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		6: false, 7: true, 9: false, 11: true, 25: false, 31: true,
+		37: true, 41: true, 561: false /* Carmichael */, 1105: false,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 10000
+	sieve := map[uint64]bool{}
+	for _, p := range PrimesUpTo(limit) {
+		sieve[p] = true
+	}
+	for n := uint64(0); n <= limit; n++ {
+		if IsPrime(n) != sieve[n] {
+			t.Fatalf("IsPrime(%d) = %v disagrees with sieve", n, IsPrime(n))
+		}
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	cases := map[uint64]bool{
+		(1 << 61) - 1:        true,  // Mersenne prime 2^61−1
+		18446744073709551557: true,  // largest prime < 2^64
+		18446744073709551555: false, //
+		2147483647:           true,  // 2^31−1
+		3215031751:           false, // strong pseudoprime to bases 2,3,5,7
+		3825123056546413051:  false, // strong pseudoprime to bases 2..23
+		9223372036854775783:  true,  // largest prime < 2^63
+		1000000000000000003:  true,
+		1000000000000000005:  false,
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{0: 2, 2: 2, 3: 3, 4: 5, 14: 17, 90: 97}
+	for n, want := range cases {
+		got, err := NextPrime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("NextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRandomPrimeUpTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		p, err := RandomPrimeUpTo(1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1000 || !IsPrime(p) {
+			t.Fatalf("RandomPrimeUpTo returned %d", p)
+		}
+	}
+	if _, err := RandomPrimeUpTo(1, rng); err == nil {
+		t.Fatal("RandomPrimeUpTo(1) should fail")
+	}
+}
+
+func TestRandomPrimeUpToIsRoughlyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := map[uint64]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		p, err := RandomPrimeUpTo(30, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	// Primes ≤ 30: 2,3,5,7,11,13,17,19,23,29 — ten of them, expect
+	// about trials/10 each; allow wide slack.
+	if len(counts) != 10 {
+		t.Fatalf("saw %d distinct primes, want 10", len(counts))
+	}
+	for p, c := range counts {
+		if c < trials/20 || c > trials/5 {
+			t.Fatalf("prime %d drawn %d times out of %d; not uniform", p, c, trials)
+		}
+	}
+}
+
+func TestBertrandPrime(t *testing.T) {
+	for _, k := range []uint64{1, 2, 3, 10, 100, 12345, 1 << 30} {
+		p, err := BertrandPrime(k)
+		if err != nil {
+			t.Fatalf("BertrandPrime(%d): %v", k, err)
+		}
+		if p <= 3*k || p > 6*k || !IsPrime(p) {
+			t.Fatalf("BertrandPrime(%d) = %d out of range (3k, 6k]", k, p)
+		}
+	}
+	if _, err := BertrandPrime(0); err == nil {
+		t.Fatal("BertrandPrime(0) should fail")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFingerprintModulus(t *testing.T) {
+	k, err := FingerprintModulus(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m³·n = 64·8 = 512, ⌈log₂ 512⌉ = 9, k = 4608.
+	if k != 4608 {
+		t.Fatalf("FingerprintModulus(4,8) = %d, want 4608", k)
+	}
+	if _, err := FingerprintModulus(1<<32, 1<<32); err == nil {
+		t.Fatal("overflow not detected")
+	}
+}
+
+func TestPrimesUpTo(t *testing.T) {
+	got := PrimesUpTo(30)
+	want := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("PrimesUpTo(30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimesUpTo(30) = %v", got)
+		}
+	}
+	if PrimesUpTo(1) != nil {
+		t.Fatal("PrimesUpTo(1) should be empty")
+	}
+}
+
+// Property: PowMod satisfies a^(e1+e2) = a^e1 · a^e2 (mod m).
+func TestQuickPowModHomomorphism(t *testing.T) {
+	f := func(a, e1, e2 uint32, mRaw uint64) bool {
+		m := mRaw%1000003 + 2
+		lhs := PowMod(uint64(a), uint64(e1)+uint64(e2), m)
+		rhs := MulMod(PowMod(uint64(a), uint64(e1), m), PowMod(uint64(a), uint64(e2), m), m)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fermat's little theorem for random primes.
+func TestQuickFermat(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p, err := RandomPrimeUpTo(1_000_000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := 1 + uint64(rng.Int63n(int64(p-1)))
+		if PowMod(a, p-1, p) != 1 {
+			t.Fatalf("Fermat fails for a=%d p=%d", a, p)
+		}
+	}
+}

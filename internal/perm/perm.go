@@ -1,0 +1,175 @@
+// Package perm implements the permutation machinery of Remark 20 of
+// the paper: the bit-reversal permutation ϕ_m with sortedness
+// O(√m), and the sortedness measure itself (the length of the longest
+// monotone subsequence, Definition 19).
+package perm
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// A Perm is a permutation of {0, …, m−1} in one-line notation:
+// p[i] is the image of i. (The paper indexes from 1; we use 0-based
+// indices throughout and convert at the boundaries.)
+type Perm []int
+
+// Identity returns the identity permutation on m elements.
+func Identity(m int) Perm {
+	p := make(Perm, m)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Reverse returns the permutation i ↦ m−1−i.
+func Reverse(m int) Perm {
+	p := make(Perm, m)
+	for i := range p {
+		p[i] = m - 1 - i
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation on m elements drawn
+// from rng.
+func Random(m int, rng *rand.Rand) Perm {
+	return Perm(rng.Perm(m))
+}
+
+// BitReversal returns the permutation ϕ_m of Remark 20 for m a power
+// of two: position i is mapped to the number whose log₂(m)-bit binary
+// representation is that of i reversed. Equivalently, (ϕ(0), …,
+// ϕ(m−1)) lists 0, …, m−1 sorted lexicographically by reverse binary
+// representation. It panics if m is not a positive power of two.
+func BitReversal(m int) Perm {
+	if m <= 0 || m&(m-1) != 0 {
+		panic(fmt.Sprintf("perm: BitReversal requires a positive power of two, got %d", m))
+	}
+	w := bits.Len(uint(m)) - 1 // log2 m
+	p := make(Perm, m)
+	for i := 0; i < m; i++ {
+		p[i] = int(bits.Reverse64(uint64(i)) >> (64 - w))
+	}
+	if w == 0 {
+		p[0] = 0
+	}
+	return p
+}
+
+// IsValid reports whether p is a permutation of {0, …, len(p)−1}.
+func (p Perm) IsValid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns the inverse permutation. It panics if p is not
+// valid.
+func (p Perm) Inverse() Perm {
+	if !p.IsValid() {
+		panic("perm: Inverse of an invalid permutation")
+	}
+	inv := make(Perm, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// Compose returns the permutation i ↦ p[q[i]].
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: Compose of permutations with different sizes")
+	}
+	out := make(Perm, len(p))
+	for i := range q {
+		out[i] = p[q[i]]
+	}
+	return out
+}
+
+// Apply permutes the slice xs by p: result[i] = xs[p[i]]. The result
+// has the property that if xs = (x_0, …, x_{m−1}) then Apply lists
+// x_{p(0)}, …, x_{p(m−1)}, matching the paper's I_{ϕ(1)} × … ×
+// I_{ϕ(m)} input layout.
+func Apply[T any](p Perm, xs []T) []T {
+	if len(p) != len(xs) {
+		panic("perm: Apply length mismatch")
+	}
+	out := make([]T, len(xs))
+	for i := range p {
+		out[i] = xs[p[i]]
+	}
+	return out
+}
+
+// LIS returns the length of the longest strictly increasing
+// subsequence of xs, computed by patience sorting in O(m log m).
+func LIS(xs []int) int {
+	var tails []int // tails[k] = smallest tail of an increasing subsequence of length k+1
+	for _, x := range xs {
+		k := sort.SearchInts(tails, x)
+		if k == len(tails) {
+			tails = append(tails, x)
+		} else {
+			tails[k] = x
+		}
+	}
+	return len(tails)
+}
+
+// LDS returns the length of the longest strictly decreasing
+// subsequence of xs.
+func LDS(xs []int) int {
+	neg := make([]int, len(xs))
+	for i, x := range xs {
+		neg[i] = -x
+	}
+	return LIS(neg)
+}
+
+// Sortedness returns the sortedness of p in the sense of Definition
+// 19: the length of the longest subsequence of (p(0), …, p(m−1)) that
+// is sorted in either ascending or descending order.
+func Sortedness(p Perm) int {
+	inc := LIS([]int(p))
+	dec := LDS([]int(p))
+	if inc > dec {
+		return inc
+	}
+	return dec
+}
+
+// ErdosSzekeresFloor returns the Erdős–Szekeres lower bound ⌈√m⌉ on
+// the sortedness of any permutation of m elements (LIS·LDS ≥ m).
+func ErdosSzekeresFloor(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	r := 1
+	for r*r < m {
+		r++
+	}
+	return r
+}
+
+// BitReversalBound returns the Remark 20 upper bound 2√m − 1 on the
+// sortedness of the bit-reversal permutation, for m a power of two.
+func BitReversalBound(m int) int {
+	r := 0
+	for r*r < m {
+		r++
+	}
+	// For m a power of two with even exponent, √m is exact; with odd
+	// exponent we round √m up, keeping the bound valid.
+	return 2*r - 1
+}

@@ -1,0 +1,252 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("Identity[%d] = %d", i, v)
+		}
+	}
+	if !p.IsValid() {
+		t.Fatal("identity not valid")
+	}
+	if Sortedness(p) != 5 {
+		t.Fatalf("Sortedness(id) = %d, want 5", Sortedness(p))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := Reverse(4)
+	want := Perm{3, 2, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Reverse = %v, want %v", p, want)
+		}
+	}
+	if Sortedness(p) != 4 {
+		t.Fatalf("Sortedness(reverse) = %d, want 4", Sortedness(p))
+	}
+}
+
+func TestBitReversalSmall(t *testing.T) {
+	cases := []struct {
+		m    int
+		want Perm
+	}{
+		{1, Perm{0}},
+		{2, Perm{0, 1}},
+		{4, Perm{0, 2, 1, 3}},
+		{8, Perm{0, 4, 2, 6, 1, 5, 3, 7}},
+	}
+	for _, c := range cases {
+		got := BitReversal(c.m)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("BitReversal(%d) = %v, want %v", c.m, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBitReversalIsInvolution(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8, 16, 64, 1024} {
+		p := BitReversal(m)
+		if !p.IsValid() {
+			t.Fatalf("BitReversal(%d) invalid", m)
+		}
+		pp := p.Compose(p)
+		for i, v := range pp {
+			if v != i {
+				t.Fatalf("BitReversal(%d) is not an involution at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestBitReversalPanicsOnNonPowerOfTwo(t *testing.T) {
+	for _, m := range []int{0, 3, 6, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BitReversal(%d) did not panic", m)
+				}
+			}()
+			BitReversal(m)
+		}()
+	}
+}
+
+// Remark 20: sortedness(ϕ_m) ≤ 2√m − 1.
+func TestBitReversalSortednessBound(t *testing.T) {
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096, 1 << 16} {
+		got := Sortedness(BitReversal(m))
+		bound := BitReversalBound(m)
+		if got > bound {
+			t.Fatalf("sortedness(ϕ_%d) = %d > bound %d", m, got, bound)
+		}
+	}
+}
+
+// Erdős–Szekeres: every permutation has sortedness ≥ ⌈√m⌉.
+func TestErdosSzekeresOnRandomPerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(500)
+		p := Random(m, rng)
+		if got, want := Sortedness(p), ErdosSzekeresFloor(m); got < want {
+			t.Fatalf("sortedness = %d < ES floor %d for m=%d", got, want, m)
+		}
+	}
+}
+
+func TestLIS(t *testing.T) {
+	cases := []struct {
+		xs   []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{5}, 1},
+		{[]int{1, 2, 3}, 3},
+		{[]int{3, 2, 1}, 1},
+		{[]int{2, 1, 4, 3, 6, 5}, 3},
+		{[]int{10, 9, 2, 5, 3, 7, 101, 18}, 4},
+	}
+	for _, c := range cases {
+		if got := LIS(c.xs); got != c.want {
+			t.Fatalf("LIS(%v) = %d, want %d", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestLDS(t *testing.T) {
+	// Strictly decreasing subsequences of (3,1,4,1,5,9,2,6) have
+	// length at most 2 (e.g. 9,2).
+	if got := LDS([]int{3, 1, 4, 1, 5, 9, 2, 6}); got != 2 {
+		t.Fatalf("LDS = %d, want 2", got)
+	}
+	if got := LDS([]int{9, 7, 5, 3}); got != 4 {
+		t.Fatalf("LDS = %d, want 4", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := Perm{2, 0, 1}
+	inv := p.Inverse()
+	want := Perm{1, 2, 0}
+	for i := range want {
+		if inv[i] != want[i] {
+			t.Fatalf("Inverse = %v, want %v", inv, want)
+		}
+	}
+}
+
+func TestInversePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inverse of invalid permutation did not panic")
+		}
+	}()
+	Perm{0, 0}.Inverse()
+}
+
+func TestApply(t *testing.T) {
+	p := Perm{2, 0, 1}
+	got := Apply(p, []string{"a", "b", "c"})
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestApplyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply with mismatched lengths did not panic")
+		}
+	}()
+	Apply(Perm{0}, []int{1, 2})
+}
+
+func TestComposePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose with mismatched sizes did not panic")
+		}
+	}()
+	Perm{0}.Compose(Perm{0, 1})
+}
+
+func TestIsValidRejects(t *testing.T) {
+	bad := []Perm{{0, 0}, {1, 2}, {-1, 0}}
+	for _, p := range bad {
+		if p.IsValid() {
+			t.Fatalf("%v reported valid", p)
+		}
+	}
+}
+
+// Property: for random valid permutations, p.Inverse().Compose(p) is
+// the identity and applying then un-applying round-trips.
+func TestQuickInverseComposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, sz uint8) bool {
+		m := int(sz%64) + 1
+		p := Random(m, rand.New(rand.NewSource(seed)))
+		id := p.Inverse().Compose(p)
+		for i, v := range id {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rng, MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sortedness is invariant under reversal of the sequence
+// order combined with value reversal... more simply: sortedness of p
+// equals sortedness of its reverse-read sequence (reading backwards
+// swaps ascending and descending subsequences).
+func TestQuickSortednessReversalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(200)
+		p := Random(m, rng)
+		rev := make(Perm, m)
+		for i := range p {
+			rev[i] = p[m-1-i]
+		}
+		if Sortedness(p) != Sortedness(rev) {
+			t.Fatalf("sortedness not reversal invariant: %d vs %d", Sortedness(p), Sortedness(rev))
+		}
+	}
+}
+
+func TestErdosSzekeresFloor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 4: 2, 5: 3, 9: 3, 10: 4, 16: 4}
+	for m, want := range cases {
+		if got := ErdosSzekeresFloor(m); got != want {
+			t.Fatalf("ErdosSzekeresFloor(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestBitReversalBound(t *testing.T) {
+	if got := BitReversalBound(16); got != 7 {
+		t.Fatalf("BitReversalBound(16) = %d, want 7", got)
+	}
+	if got := BitReversalBound(4); got != 3 {
+		t.Fatalf("BitReversalBound(4) = %d, want 3", got)
+	}
+}

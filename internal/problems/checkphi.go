@@ -1,0 +1,135 @@
+package problems
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"extmem/internal/perm"
+)
+
+// CheckPhiGen generates instances of the CHECK-ϕ problem of Lemma 22.
+//
+// For m a power of two, the set I = {0,1}^n (identified with
+// {0, …, 2^n−1}) is divided into m consecutive intervals I_1, …, I_m
+// of equal length; an instance draws v_i from I_{ϕ(i)} and v'_i from
+// I_i, where ϕ is the bit-reversal permutation of Remark 20. The
+// yes-instances satisfy (v_1,…,v_m) = (v'_ϕ(1),…,v'_ϕ(m)).
+//
+// On such structured inputs the four problems CHECK-ϕ, SET-EQUALITY,
+// MULTISET-EQUALITY and CHECK-SORT coincide (the observation that
+// proves Theorem 6 from Lemma 22): the v'_i are in ascending interval
+// order, all values are distinct across intervals, and equality can
+// only happen via the pairing ϕ.
+type CheckPhiGen struct {
+	M   int       // number of values per half (power of two)
+	N   int       // value length in bits, N ≥ log2(M)
+	Phi perm.Perm // the permutation ϕ (0-based)
+
+	prefixBits int
+}
+
+// NewCheckPhiGen returns a generator for parameters m (a power of
+// two) and value length n ≥ log₂ m, with ϕ the bit-reversal
+// permutation.
+func NewCheckPhiGen(m, n int) (*CheckPhiGen, error) {
+	if m <= 0 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("problems: CHECK-ϕ needs m a positive power of two, got %d", m)
+	}
+	b := bits.Len(uint(m)) - 1
+	if n < b {
+		return nil, fmt.Errorf("problems: value length n = %d < log2(m) = %d", n, b)
+	}
+	return &CheckPhiGen{M: m, N: n, Phi: perm.BitReversal(m), prefixBits: b}, nil
+}
+
+// drawFromInterval returns a uniformly random 0-1-string of length
+// g.N whose leading prefixBits encode the interval index j (0-based),
+// i.e. an element of I_{j+1} in the paper's 1-based notation.
+func (g *CheckPhiGen) drawFromInterval(j int, rng *rand.Rand) string {
+	b := make([]byte, g.N)
+	for i := 0; i < g.prefixBits; i++ {
+		if j&(1<<uint(g.prefixBits-1-i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	for i := g.prefixBits; i < g.N; i++ {
+		b[i] = '0' + byte(rng.Intn(2))
+	}
+	return string(b)
+}
+
+// Interval returns the interval index (0-based) that the value v
+// belongs to, by decoding its prefix bits.
+func (g *CheckPhiGen) Interval(v string) int {
+	j := 0
+	for i := 0; i < g.prefixBits; i++ {
+		j <<= 1
+		if v[i] == '1' {
+			j |= 1
+		}
+	}
+	return j
+}
+
+// Yes returns a yes-instance: v_i ∈ I_{ϕ(i)} random, and v'_{ϕ(i)} =
+// v_i, so v'_i ∈ I_i as required and CHECK-ϕ holds.
+func (g *CheckPhiGen) Yes(rng *rand.Rand) Instance {
+	v := make([]string, g.M)
+	w := make([]string, g.M)
+	for i := 0; i < g.M; i++ {
+		v[i] = g.drawFromInterval(g.Phi[i], rng)
+		w[g.Phi[i]] = v[i]
+	}
+	return Instance{V: v, W: w}
+}
+
+// No returns a no-instance: like Yes but with at least one position
+// i where v'_ϕ(i) differs from v_i inside the same interval (so the
+// instance remains in the structured input space I_{ϕ(1)} × … × I_m).
+// Requires N > log₂(M) so that each interval has at least two
+// elements.
+func (g *CheckPhiGen) No(rng *rand.Rand) Instance {
+	if g.N == g.prefixBits {
+		panic("problems: CHECK-ϕ no-instances need n > log2(m); intervals are singletons")
+	}
+	in := g.Yes(rng)
+	i := rng.Intn(g.M)
+	for {
+		repl := g.drawFromInterval(g.Phi[i], rng)
+		if repl != in.V[i] {
+			in.W[g.Phi[i]] = repl
+			return in
+		}
+	}
+}
+
+// IsStructured reports whether the instance lies in the input space
+// I_{ϕ(1)} × … × I_{ϕ(m)} × I_1 × … × I_m of Lemma 21.
+func (g *CheckPhiGen) IsStructured(in Instance) bool {
+	if len(in.V) != g.M || len(in.W) != g.M {
+		return false
+	}
+	for i := 0; i < g.M; i++ {
+		if len(in.V[i]) != g.N || len(in.W[i]) != g.N {
+			return false
+		}
+		if g.Interval(in.V[i]) != g.Phi[i] {
+			return false
+		}
+		if g.Interval(in.W[i]) != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide decides CHECK-ϕ for this generator's ϕ.
+func (g *CheckPhiGen) Decide(in Instance) bool { return CheckPhi(in, g.Phi) }
+
+// PaperN returns the paper's canonical value length n = m³ for this
+// generator's m (Lemma 22 sets n = m³). Generators in experiments use
+// smaller n for tractability; this reports the canonical value.
+func (g *CheckPhiGen) PaperN() int { return g.M * g.M * g.M }

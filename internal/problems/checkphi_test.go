@@ -1,0 +1,135 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewCheckPhiGenValidation(t *testing.T) {
+	if _, err := NewCheckPhiGen(3, 10); err == nil {
+		t.Fatal("non-power-of-two m accepted")
+	}
+	if _, err := NewCheckPhiGen(8, 2); err == nil {
+		t.Fatal("n < log2(m) accepted")
+	}
+	if _, err := NewCheckPhiGen(8, 3); err != nil {
+		t.Fatalf("n = log2(m) rejected: %v", err)
+	}
+}
+
+func TestCheckPhiYesInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, err := NewCheckPhiGen(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		in := g.Yes(rng)
+		if !g.Decide(in) {
+			t.Fatalf("yes-instance rejected by CHECK-ϕ: %+v", in)
+		}
+		if !g.IsStructured(in) {
+			t.Fatalf("yes-instance not structured: %+v", in)
+		}
+	}
+}
+
+func TestCheckPhiNoInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g, err := NewCheckPhiGen(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		in := g.No(rng)
+		if g.Decide(in) {
+			t.Fatalf("no-instance accepted by CHECK-ϕ: %+v", in)
+		}
+		if !g.IsStructured(in) {
+			t.Fatalf("no-instance left the structured input space: %+v", in)
+		}
+	}
+}
+
+func TestCheckPhiNoPanicsOnSingletonIntervals(t *testing.T) {
+	g, err := NewCheckPhiGen(4, 2) // n = log2(m): intervals are singletons
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("No() on singleton intervals did not panic")
+		}
+	}()
+	g.No(rand.New(rand.NewSource(1)))
+}
+
+// The observation that proves Theorem 6 from Lemma 22: on structured
+// CHECK-ϕ inputs, all four problems coincide.
+func TestProblemsCoincideOnStructuredInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g, err := NewCheckPhiGen(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		var in Instance
+		if trial%2 == 0 {
+			in = g.Yes(rng)
+		} else {
+			in = g.No(rng)
+		}
+		want := g.Decide(in)
+		if got := SetEquality(in); got != want {
+			t.Fatalf("SET-EQUALITY = %v, CHECK-ϕ = %v on %+v", got, want, in)
+		}
+		if got := MultisetEquality(in); got != want {
+			t.Fatalf("MULTISET-EQUALITY = %v, CHECK-ϕ = %v on %+v", got, want, in)
+		}
+		if got := CheckSort(in); got != want {
+			t.Fatalf("CHECK-SORT = %v, CHECK-ϕ = %v on %+v", got, want, in)
+		}
+	}
+}
+
+func TestIntervalDecoding(t *testing.T) {
+	g, err := NewCheckPhiGen(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{"0000": 0, "0111": 1, "1000": 2, "1111": 3}
+	for v, want := range cases {
+		if got := g.Interval(v); got != want {
+			t.Fatalf("Interval(%q) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCheckPhiTrivialM1(t *testing.T) {
+	g, err := NewCheckPhiGen(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	in := g.Yes(rng)
+	if !g.Decide(in) || in.V[0] != in.W[0] {
+		t.Fatalf("m=1 yes-instance wrong: %+v", in)
+	}
+}
+
+func TestPaperN(t *testing.T) {
+	g, err := NewCheckPhiGen(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PaperN() != 64 {
+		t.Fatalf("PaperN = %d, want 64", g.PaperN())
+	}
+}
+
+func TestCheckPhiMismatchedLengths(t *testing.T) {
+	g, _ := NewCheckPhiGen(4, 4)
+	if CheckPhi(Instance{V: []string{"0"}, W: []string{"0", "1"}}, g.Phi) {
+		t.Fatal("CheckPhi accepted mismatched instance")
+	}
+}

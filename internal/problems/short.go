@@ -1,0 +1,134 @@
+package problems
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"extmem/internal/perm"
+)
+
+// ShortReduction implements the reduction f of the proof of
+// Corollary 7 (Appendix E): it maps an instance of CHECK-ϕ with
+// values of length n to an instance of the SHORT versions of
+// (MULTI)SET-EQUALITY and CHECK-SORT whose values have length
+// 5·log₂ m.
+//
+// Each value v_i is subdivided into µ = ⌈n / log₂ m⌉ consecutive
+// blocks v_{i,1}, …, v_{i,µ} of length log₂ m (the last block padded
+// with leading zeros), and the output pairs are
+//
+//	w_{i,j}  = BIN(ϕ(i)) BIN'(j) v_{i,j}
+//	w'_{i,j} = BIN(i)    BIN'(j) v'_{i,j}
+//
+// with BIN the log₂ m-bit binary representation and BIN' the
+// 3·log₂ m-bit one. The output is a yes-instance of
+// SHORT-(MULTI)SET-EQUALITY and of SHORT-CHECK-SORT exactly when the
+// input is a yes-instance of CHECK-ϕ.
+//
+// m must be a power of two ≥ 2 and µ must fit in 3·log₂ m bits.
+func ShortReduction(in Instance, phi perm.Perm) (Instance, error) {
+	m := len(in.V)
+	if m < 2 || m&(m-1) != 0 {
+		return Instance{}, fmt.Errorf("problems: ShortReduction needs m a power of two >= 2, got %d", m)
+	}
+	if len(in.W) != m || len(phi) != m {
+		return Instance{}, fmt.Errorf("problems: ShortReduction length mismatch: |V|=%d |W|=%d |phi|=%d",
+			len(in.V), len(in.W), len(phi))
+	}
+	lg := bits.Len(uint(m)) - 1 // log2 m >= 1
+	n := len(in.V[0])
+	for _, half := range [][]string{in.V, in.W} {
+		for _, v := range half {
+			if len(v) != n {
+				return Instance{}, fmt.Errorf("problems: ShortReduction needs equal-length values")
+			}
+		}
+	}
+	mu := (n + lg - 1) / lg // number of blocks per value
+	if mu == 0 {
+		mu = 1
+	}
+	// The paper uses a 3·log₂ m-bit block index, which suffices for
+	// its canonical n = m³. For other n we widen the index field just
+	// enough; every property of the reduction is preserved.
+	idxBits := 3 * lg
+	for mu >= 1<<uint(idxBits) {
+		idxBits++
+	}
+
+	out := Instance{
+		V: make([]string, 0, m*mu),
+		W: make([]string, 0, m*mu),
+	}
+	for i := 0; i < m; i++ {
+		blocksV := splitBlocks(in.V[i], lg, mu)
+		blocksW := splitBlocks(in.W[i], lg, mu)
+		for j := 0; j < mu; j++ {
+			out.V = append(out.V, binStr(phi[i], lg)+binStr(j, idxBits)+blocksV[j])
+			out.W = append(out.W, binStr(i, lg)+binStr(j, idxBits)+blocksW[j])
+		}
+	}
+	return out, nil
+}
+
+// splitBlocks cuts v into mu blocks of length blockLen, padding the
+// final block with leading zeros (as in the paper's construction).
+func splitBlocks(v string, blockLen, mu int) []string {
+	blocks := make([]string, 0, mu)
+	for j := 0; j < mu; j++ {
+		lo := j * blockLen
+		hi := lo + blockLen
+		if hi > len(v) {
+			hi = len(v)
+		}
+		if lo > len(v) {
+			lo = len(v)
+		}
+		block := v[lo:hi]
+		if len(block) < blockLen {
+			block = strings.Repeat("0", blockLen-len(block)) + block
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// binStr returns the w-bit binary representation of x as a
+// 0-1-string.
+func binStr(x, w int) string {
+	b := make([]byte, w)
+	for i := w - 1; i >= 0; i-- {
+		b[i] = '0' + byte(x&1)
+		x >>= 1
+	}
+	return string(b)
+}
+
+// ShortValueLength returns the value length 5·log₂ m of the SHORT
+// instance produced by ShortReduction for a given m, valid whenever
+// the number of blocks fits in 3·log₂ m bits (in particular for the
+// paper's canonical n = m³).
+func ShortValueLength(m int) int {
+	return 5 * (bits.Len(uint(m)) - 1)
+}
+
+// IsShortInstance reports whether every value of in has length at most
+// c·log₂ m' where m' is the instance's own pair count — the defining
+// property of the SHORT problem versions (the paper allows any
+// constant c ≥ 2; we check with the given c).
+func IsShortInstance(in Instance, c float64) bool {
+	m := len(in.V)
+	if m == 0 {
+		return true
+	}
+	limit := int(c * float64(bits.Len(uint(m))))
+	for _, half := range [][]string{in.V, in.W} {
+		for _, v := range half {
+			if len(v) > limit {
+				return false
+			}
+		}
+	}
+	return true
+}

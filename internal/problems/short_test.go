@@ -1,0 +1,159 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/perm"
+)
+
+func TestShortReductionPreservesYes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, m := range []int{2, 4, 8, 16} {
+		g, err := NewCheckPhiGen(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			in := g.Yes(rng)
+			out, err := ShortReduction(in, g.Phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !MultisetEquality(out) {
+				t.Fatalf("m=%d: yes-instance mapped to multiset-unequal output", m)
+			}
+			if !SetEquality(out) {
+				t.Fatalf("m=%d: yes-instance mapped to set-unequal output", m)
+			}
+			if !CheckSort(out) {
+				t.Fatalf("m=%d: yes-instance mapped to unsorted output", m)
+			}
+		}
+	}
+}
+
+func TestShortReductionPreservesNo(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, m := range []int{2, 4, 8, 16} {
+		g, err := NewCheckPhiGen(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			in := g.No(rng)
+			out, err := ShortReduction(in, g.Phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if MultisetEquality(out) {
+				t.Fatalf("m=%d: no-instance mapped to multiset-equal output", m)
+			}
+			if SetEquality(out) {
+				t.Fatalf("m=%d: no-instance mapped to set-equal output", m)
+			}
+			if CheckSort(out) {
+				t.Fatalf("m=%d: no-instance mapped to checksort-yes output", m)
+			}
+		}
+	}
+}
+
+func TestShortReductionOutputIsShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g, err := NewCheckPhiGen(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.Yes(rng)
+	out, err := ShortReduction(in, g.Phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := ShortValueLength(16) // 5 * 4 = 20
+	if wantLen != 20 {
+		t.Fatalf("ShortValueLength(16) = %d, want 20", wantLen)
+	}
+	for _, v := range append(append([]string{}, out.V...), out.W...) {
+		if len(v) != wantLen {
+			t.Fatalf("output value %q has length %d, want %d", v, len(v), wantLen)
+		}
+	}
+	// The defining SHORT property: values of length ≤ c·log2(m') for
+	// the output's own pair count m'. Output m' = m·µ = 16·4 = 64,
+	// log2(64)+1 bits length = 7; with c = 3, limit = 21 ≥ 20.
+	if !IsShortInstance(out, 3) {
+		t.Fatal("output is not a SHORT instance at c=3")
+	}
+}
+
+func TestShortReductionSizeLinear(t *testing.T) {
+	// Property (1) of the reduction: |f(v)| = Θ(|v|).
+	rng := rand.New(rand.NewSource(34))
+	g, err := NewCheckPhiGen(8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.Yes(rng)
+	out, err := ShortReduction(in, g.Phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µ = 24/3 = 8 blocks, each block becomes a value of length 15:
+	// output size = 2·(8·8)·(15+1) = 2048; input size = 2·8·25 = 400.
+	if out.Size() != 2048 {
+		t.Fatalf("output size = %d, want 2048", out.Size())
+	}
+	if out.Size() > 8*in.Size() {
+		t.Fatalf("output size %d not linear in input size %d", out.Size(), in.Size())
+	}
+}
+
+func TestShortReductionErrors(t *testing.T) {
+	phi := perm.BitReversal(4)
+	if _, err := ShortReduction(Instance{V: []string{"0", "1", "0"}, W: []string{"0", "1", "0"}}, perm.Identity(3)); err == nil {
+		t.Fatal("non-power-of-two m accepted")
+	}
+	if _, err := ShortReduction(Instance{V: []string{"00", "01", "10", "11"}, W: []string{"00", "01"}}, phi); err == nil {
+		t.Fatal("mismatched halves accepted")
+	}
+	if _, err := ShortReduction(Instance{
+		V: []string{"00", "01", "10", "1"},
+		W: []string{"00", "01", "10", "11"},
+	}, phi); err == nil {
+		t.Fatal("unequal value lengths accepted")
+	}
+}
+
+func TestSplitBlocksPadding(t *testing.T) {
+	blocks := splitBlocks("10110", 2, 3)
+	want := []string{"10", "11", "00"} // last block "0" padded to "00"
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("splitBlocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestBinStr(t *testing.T) {
+	cases := []struct {
+		x, w int
+		want string
+	}{
+		{0, 3, "000"},
+		{5, 3, "101"},
+		{5, 5, "00101"},
+		{7, 3, "111"},
+	}
+	for _, c := range cases {
+		if got := binStr(c.x, c.w); got != c.want {
+			t.Fatalf("binStr(%d,%d) = %q, want %q", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestIsShortInstanceEmpty(t *testing.T) {
+	if !IsShortInstance(Instance{}, 2) {
+		t.Fatal("empty instance should be SHORT")
+	}
+}

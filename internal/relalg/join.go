@@ -1,0 +1,96 @@
+package relalg
+
+import "fmt"
+
+// EquiJoin is the derived operator σ[l.A = r.B](L × R): it is
+// compiled to product-select-project, which keeps the streaming
+// evaluation within the constant-operator budget of Theorem 11(a).
+type EquiJoin struct {
+	L, R Expr
+	OnL  string // join column of the left input
+	OnR  string // join column of the right input
+}
+
+func (e EquiJoin) String() string {
+	return "(" + e.L.String() + " ⋈[" + e.OnL + "=" + e.OnR + "] " + e.R.String() + ")"
+}
+
+// expand rewrites the join into primitive operators.
+func (e EquiJoin) expand() Expr {
+	return Select{
+		Pred: ColEq{A: "l." + e.OnL, B: "r." + e.OnR},
+		In:   Product{L: e.L, R: e.R},
+	}
+}
+
+// SemiJoin keeps the left tuples that have a join partner on the
+// right: π[left columns](L ⋈ R) with the original column names
+// restored.
+type SemiJoin struct {
+	L, R Expr
+	OnL  string
+	OnR  string
+}
+
+func (e SemiJoin) String() string {
+	return "(" + e.L.String() + " ⋉[" + e.OnL + "=" + e.OnR + "] " + e.R.String() + ")"
+}
+
+// expand rewrites the semi-join into primitives, using the inferred
+// left schema.
+func (e SemiJoin) expand(db DB) (Expr, error) {
+	ls, err := InferSchema(e.L, db)
+	if err != nil {
+		return nil, err
+	}
+	prefixed := make([]string, len(ls))
+	for i, c := range ls {
+		prefixed[i] = "l." + c
+	}
+	return Rename{
+		Cols: []string(ls),
+		In: Project{
+			Cols: prefixed,
+			In:   EquiJoin{L: e.L, R: e.R, OnL: e.OnL, OnR: e.OnR}.expand(),
+		},
+	}, nil
+}
+
+// InferSchema computes the output schema of an expression without
+// evaluating any tuples.
+func InferSchema(e Expr, db DB) (Schema, error) {
+	switch e := e.(type) {
+	case Scan:
+		r, ok := db[e.Rel]
+		if !ok {
+			return nil, fmt.Errorf("relalg: unknown relation %q", e.Rel)
+		}
+		return r.Schema, nil
+	case Select:
+		return InferSchema(e.In, db)
+	case Project:
+		return Schema(e.Cols), nil
+	case Union:
+		return InferSchema(e.L, db)
+	case Diff:
+		return InferSchema(e.L, db)
+	case Product:
+		ls, err := InferSchema(e.L, db)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := InferSchema(e.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return productSchema(e, ls, rs), nil
+	case Rename:
+		return Schema(e.Cols), nil
+	case EquiJoin:
+		return InferSchema(e.expand(), db)
+	case SemiJoin:
+		return InferSchema(e.L, db)
+	default:
+		return nil, fmt.Errorf("relalg: cannot infer schema of %T", e)
+	}
+}

@@ -1,0 +1,129 @@
+package relalg
+
+import (
+	"testing"
+
+	"extmem/internal/core"
+)
+
+func joinDB() DB {
+	return DB{
+		"Emp": {Schema: Schema{"name", "dept"}, Tuples: []Tuple{
+			{"ann", "d1"}, {"bob", "d2"}, {"cat", "d1"}, {"dan", "d3"},
+		}},
+		"Dept": {Schema: Schema{"id", "city"}, Tuples: []Tuple{
+			{"d1", "berlin"}, {"d2", "paris"},
+		}},
+	}
+}
+
+func TestEquiJoinReference(t *testing.T) {
+	db := joinDB()
+	q := EquiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"}
+	r, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, r,
+		"ann|d1|d1|berlin",
+		"bob|d2|d2|paris",
+		"cat|d1|d1|berlin",
+	)
+	if !r.Schema.Equal(Schema{"l.name", "l.dept", "r.id", "r.city"}) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+}
+
+func TestSemiJoinReference(t *testing.T) {
+	db := joinDB()
+	q := SemiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"}
+	r, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dan (d3) has no department row.
+	wantTuples(t, r, "ann|d1", "bob|d2", "cat|d1")
+	if !r.Schema.Equal(Schema{"name", "dept"}) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+}
+
+func TestJoinsStreamingMatchesReference(t *testing.T) {
+	db := joinDB()
+	queries := []Expr{
+		EquiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"},
+		SemiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"},
+		// A join feeding a projection.
+		Project{Cols: []string{"r.city"}, In: EquiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"}},
+	}
+	for _, q := range queries {
+		want, err := Eval(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		m := core.NewMachine(NumQueryTapes, 1)
+		got, err := EvalST(q, db, m)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("%s:\nstream    = %v\nreference = %v", q, tuplesOf(got), tuplesOf(want))
+		}
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	db := joinDB()
+	cases := []struct {
+		e    Expr
+		want Schema
+	}{
+		{Scan{Rel: "Emp"}, Schema{"name", "dept"}},
+		{Select{Pred: ConstEq{Col: "name", Const: "x"}, In: Scan{Rel: "Emp"}}, Schema{"name", "dept"}},
+		{Project{Cols: []string{"dept"}, In: Scan{Rel: "Emp"}}, Schema{"dept"}},
+		{Union{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Emp"}}, Schema{"name", "dept"}},
+		{Diff{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Emp"}}, Schema{"name", "dept"}},
+		{Rename{Cols: []string{"a", "b"}, In: Scan{Rel: "Emp"}}, Schema{"a", "b"}},
+		{Product{L: Scan{Rel: "Dept"}, R: Scan{Rel: "Dept"}}, Schema{"l.id", "l.city", "r.id", "r.city"}},
+		{SemiJoin{L: Scan{Rel: "Emp"}, R: Scan{Rel: "Dept"}, OnL: "dept", OnR: "id"}, Schema{"name", "dept"}},
+	}
+	for _, c := range cases {
+		got, err := InferSchema(c.e, db)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if !got.Equal(c.want) {
+			t.Fatalf("%s: schema %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := InferSchema(Scan{Rel: "nope"}, db); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestJoinStrings(t *testing.T) {
+	q := EquiJoin{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}, OnL: "x", OnR: "y"}
+	if q.String() != "(A ⋈[x=y] B)" {
+		t.Fatalf("String = %q", q.String())
+	}
+	s := SemiJoin{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}, OnL: "x", OnR: "y"}
+	if s.String() != "(A ⋉[x=y] B)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestEquiJoinEmptySides(t *testing.T) {
+	db := DB{
+		"A": {Schema: Schema{"x"}, Tuples: nil},
+		"B": {Schema: Schema{"y"}, Tuples: []Tuple{{"1"}}},
+	}
+	q := EquiJoin{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}, OnL: "x", OnR: "y"}
+	m := core.NewMachine(NumQueryTapes, 1)
+	got, err := EvalST(q, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 0 {
+		t.Fatalf("join with empty side = %v", got.Tuples)
+	}
+}

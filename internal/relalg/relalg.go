@@ -1,0 +1,412 @@
+// Package relalg implements the relational algebra of Theorem 11: a
+// query AST (selection, projection, union, difference, product,
+// equi-join, rename), a reference in-memory evaluator with set
+// semantics, and a streaming evaluator that runs every operator as
+// scan/sort passes on the instrumented ST machine — realizing
+// Theorem 11(a)'s ST(O(log N), O(1), O(1)) data complexity, where the
+// O(1) internal memory holds a constant number of tuples.
+//
+// The hard query of Theorem 11(b), the symmetric difference
+// Q' = (R1 − R2) ∪ (R2 − R1), is provided by SymmetricDifference; its
+// emptiness decides SET-EQUALITY, which transfers the Theorem 6 lower
+// bound to relational query evaluation.
+package relalg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"extmem/internal/problems"
+)
+
+// A Schema names the attributes of a relation.
+type Schema []string
+
+// Col returns the index of the named attribute, or −1.
+func (s Schema) Col(name string) int {
+	for i, a := range s {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas are identical.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A Tuple is a row; fields are strings and must not contain the tape
+// encoding separators '|' and '#'.
+type Tuple []string
+
+// key canonicalizes a tuple for set semantics.
+func (t Tuple) key() string { return strings.Join(t, "|") }
+
+// A Relation is a named set of tuples over a schema.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Tuples []Tuple
+}
+
+// Sorted returns the tuples sorted by their encoded form (for
+// deterministic comparison).
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple(nil), r.Tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// EqualSet reports whether two relations hold the same set of tuples.
+func (r *Relation) EqualSet(o *Relation) bool {
+	a := map[string]bool{}
+	for _, t := range r.Tuples {
+		a[t.key()] = true
+	}
+	b := map[string]bool{}
+	for _, t := range o.Tuples {
+		b[t.key()] = true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// DB maps relation names to relations.
+type DB map[string]*Relation
+
+// Size returns the total input size: the number of encoded symbols of
+// all relations (the N of Theorem 11).
+func (db DB) Size() int {
+	n := 0
+	for _, r := range db {
+		for _, t := range r.Tuples {
+			n += len(t.key()) + 1
+		}
+	}
+	return n
+}
+
+// Predicate is a selection predicate evaluated per tuple.
+type Predicate interface {
+	Eval(s Schema, t Tuple) (bool, error)
+	String() string
+}
+
+// ColEq compares two columns for equality.
+type ColEq struct{ A, B string }
+
+// Eval implements Predicate.
+func (p ColEq) Eval(s Schema, t Tuple) (bool, error) {
+	i, j := s.Col(p.A), s.Col(p.B)
+	if i < 0 || j < 0 {
+		return false, fmt.Errorf("relalg: unknown column in %s", p)
+	}
+	return t[i] == t[j], nil
+}
+
+func (p ColEq) String() string { return p.A + " = " + p.B }
+
+// ConstEq compares a column against a constant.
+type ConstEq struct {
+	Col   string
+	Const string
+}
+
+// Eval implements Predicate.
+func (p ConstEq) Eval(s Schema, t Tuple) (bool, error) {
+	i := s.Col(p.Col)
+	if i < 0 {
+		return false, fmt.Errorf("relalg: unknown column %q", p.Col)
+	}
+	return t[i] == p.Const, nil
+}
+
+func (p ConstEq) String() string { return p.Col + " = " + quote(p.Const) }
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(s Schema, t Tuple) (bool, error) {
+	v, err := p.P.Eval(s, t)
+	return !v, err
+}
+
+func (p Not) String() string { return "not(" + p.P.String() + ")" }
+
+// And conjoins predicates.
+type And struct{ Ps []Predicate }
+
+// Eval implements Predicate.
+func (p And) Eval(s Schema, t Tuple) (bool, error) {
+	for _, q := range p.Ps {
+		v, err := q.Eval(s, t)
+		if err != nil || !v {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (p And) String() string {
+	parts := make([]string, len(p.Ps))
+	for i, q := range p.Ps {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+func quote(s string) string { return "'" + s + "'" }
+
+// Expr is a relational algebra expression.
+type Expr interface {
+	String() string
+}
+
+// Scan reads a base relation.
+type Scan struct{ Rel string }
+
+func (e Scan) String() string { return e.Rel }
+
+// Select filters by a predicate (σ).
+type Select struct {
+	Pred Predicate
+	In   Expr
+}
+
+func (e Select) String() string { return "σ[" + e.Pred.String() + "](" + e.In.String() + ")" }
+
+// Project keeps the named columns (π), with set-semantics
+// deduplication.
+type Project struct {
+	Cols []string
+	In   Expr
+}
+
+func (e Project) String() string {
+	return "π[" + strings.Join(e.Cols, ",") + "](" + e.In.String() + ")"
+}
+
+// Union is set union (schemas must match).
+type Union struct{ L, R Expr }
+
+func (e Union) String() string { return "(" + e.L.String() + " ∪ " + e.R.String() + ")" }
+
+// Diff is set difference (schemas must match).
+type Diff struct{ L, R Expr }
+
+func (e Diff) String() string { return "(" + e.L.String() + " − " + e.R.String() + ")" }
+
+// Product is the cartesian product; attribute names are prefixed with
+// the side tags to stay unique.
+type Product struct {
+	L, R             Expr
+	LPrefix, RPrefix string // optional prefixes; default "l." / "r."
+}
+
+func (e Product) String() string { return "(" + e.L.String() + " × " + e.R.String() + ")" }
+
+// Rename renames the columns of its input.
+type Rename struct {
+	Cols []string
+	In   Expr
+}
+
+func (e Rename) String() string {
+	return "ρ[" + strings.Join(e.Cols, ",") + "](" + e.In.String() + ")"
+}
+
+// SymmetricDifference returns Theorem 11(b)'s hard query
+// Q' = (R1 − R2) ∪ (R2 − R1).
+func SymmetricDifference(r1, r2 string) Expr {
+	return Union{L: Diff{L: Scan{Rel: r1}, R: Scan{Rel: r2}}, R: Diff{L: Scan{Rel: r2}, R: Scan{Rel: r1}}}
+}
+
+// InstanceDB encodes a SET-EQUALITY instance as a database of two
+// unary relations R1 = {v_1,…,v_m} and R2 = {v'_1,…,v'_m} — the
+// reduction of Theorem 11(b): the instance is a yes-instance iff
+// SymmetricDifference("R1","R2") evaluates to the empty relation.
+func InstanceDB(in problems.Instance) DB {
+	r1 := &Relation{Name: "R1", Schema: Schema{"x"}}
+	for _, v := range in.V {
+		r1.Tuples = append(r1.Tuples, Tuple{v})
+	}
+	r2 := &Relation{Name: "R2", Schema: Schema{"x"}}
+	for _, v := range in.W {
+		r2.Tuples = append(r2.Tuples, Tuple{v})
+	}
+	return DB{"R1": r1, "R2": r2}
+}
+
+// ErrSchema is returned on schema mismatches.
+var ErrSchema = errors.New("relalg: schema mismatch")
+
+// Eval is the reference in-memory evaluator with set semantics.
+func Eval(e Expr, db DB) (*Relation, error) {
+	switch e := e.(type) {
+	case Scan:
+		r, ok := db[e.Rel]
+		if !ok {
+			return nil, fmt.Errorf("relalg: unknown relation %q", e.Rel)
+		}
+		return dedup(&Relation{Name: e.Rel, Schema: r.Schema, Tuples: r.Tuples}), nil
+	case Select:
+		in, err := Eval(e.In, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &Relation{Schema: in.Schema}
+		for _, t := range in.Tuples {
+			ok, err := e.Pred.Eval(in.Schema, t)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out, nil
+	case Project:
+		in, err := Eval(e.In, db)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(e.Cols))
+		for i, c := range e.Cols {
+			if idx[i] = in.Schema.Col(c); idx[i] < 0 {
+				return nil, fmt.Errorf("relalg: unknown column %q", c)
+			}
+		}
+		out := &Relation{Schema: Schema(e.Cols)}
+		for _, t := range in.Tuples {
+			nt := make(Tuple, len(idx))
+			for i, j := range idx {
+				nt[i] = t[j]
+			}
+			out.Tuples = append(out.Tuples, nt)
+		}
+		return dedup(out), nil
+	case Union:
+		l, r, err := evalPair(e.L, e.R, db)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Schema.Equal(r.Schema) {
+			return nil, fmt.Errorf("%w: %v vs %v", ErrSchema, l.Schema, r.Schema)
+		}
+		out := &Relation{Schema: l.Schema, Tuples: append(append([]Tuple{}, l.Tuples...), r.Tuples...)}
+		return dedup(out), nil
+	case Diff:
+		l, r, err := evalPair(e.L, e.R, db)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Schema.Equal(r.Schema) {
+			return nil, fmt.Errorf("%w: %v vs %v", ErrSchema, l.Schema, r.Schema)
+		}
+		drop := map[string]bool{}
+		for _, t := range r.Tuples {
+			drop[t.key()] = true
+		}
+		out := &Relation{Schema: l.Schema}
+		for _, t := range l.Tuples {
+			if !drop[t.key()] {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return dedup(out), nil
+	case Product:
+		l, r, err := evalPair(e.L, e.R, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &Relation{Schema: productSchema(e, l.Schema, r.Schema)}
+		for _, lt := range l.Tuples {
+			for _, rt := range r.Tuples {
+				out.Tuples = append(out.Tuples, append(append(Tuple{}, lt...), rt...))
+			}
+		}
+		return dedup(out), nil
+	case Rename:
+		in, err := Eval(e.In, db)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.Cols) != len(in.Schema) {
+			return nil, fmt.Errorf("%w: rename arity %d vs %d", ErrSchema, len(e.Cols), len(in.Schema))
+		}
+		return &Relation{Schema: Schema(e.Cols), Tuples: in.Tuples}, nil
+	case EquiJoin:
+		return Eval(e.expand(), db)
+	case SemiJoin:
+		ex, err := e.expand(db)
+		if err != nil {
+			return nil, err
+		}
+		return Eval(ex, db)
+	default:
+		return nil, fmt.Errorf("relalg: unknown expression %T", e)
+	}
+}
+
+func evalPair(l, r Expr, db DB) (*Relation, *Relation, error) {
+	lr, err := Eval(l, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := Eval(r, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lr, rr, nil
+}
+
+func productSchema(e Product, l, r Schema) Schema {
+	lp, rp := e.LPrefix, e.RPrefix
+	if lp == "" {
+		lp = "l."
+	}
+	if rp == "" {
+		rp = "r."
+	}
+	out := make(Schema, 0, len(l)+len(r))
+	for _, a := range l {
+		out = append(out, lp+a)
+	}
+	for _, a := range r {
+		out = append(out, rp+a)
+	}
+	return out
+}
+
+func dedup(r *Relation) *Relation {
+	seen := map[string]bool{}
+	out := &Relation{Name: r.Name, Schema: r.Schema}
+	for _, t := range r.Tuples {
+		k := t.key()
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package relalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+func testDB() DB {
+	return DB{
+		"R1": {Name: "R1", Schema: Schema{"x"}, Tuples: []Tuple{{"a"}, {"b"}, {"c"}}},
+		"R2": {Name: "R2", Schema: Schema{"x"}, Tuples: []Tuple{{"b"}, {"c"}, {"d"}}},
+		"S":  {Name: "S", Schema: Schema{"x", "y"}, Tuples: []Tuple{{"a", "1"}, {"b", "2"}, {"a", "2"}}},
+	}
+}
+
+func tuplesOf(r *Relation) []string {
+	var out []string
+	for _, t := range r.Sorted() {
+		out = append(out, t.key())
+	}
+	return out
+}
+
+func wantTuples(t *testing.T, r *Relation, want ...string) {
+	t.Helper()
+	got := tuplesOf(r)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tuples = %v, want %v", got, want)
+	}
+}
+
+func TestEvalScanSelectProject(t *testing.T) {
+	db := testDB()
+	r, err := Eval(Select{Pred: ConstEq{Col: "x", Const: "a"}, In: Scan{Rel: "S"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, r, "a|1", "a|2")
+
+	p, err := Eval(Project{Cols: []string{"x"}, In: Scan{Rel: "S"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, p, "a", "b") // dedup: two 'a' rows collapse
+}
+
+func TestEvalUnionDiff(t *testing.T) {
+	db := testDB()
+	u, err := Eval(Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, u, "a", "b", "c", "d")
+
+	d, err := Eval(Diff{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, d, "a")
+}
+
+func TestEvalProduct(t *testing.T) {
+	db := DB{
+		"A": {Schema: Schema{"x"}, Tuples: []Tuple{{"1"}, {"2"}}},
+		"B": {Schema: Schema{"y"}, Tuples: []Tuple{{"p"}, {"q"}}},
+	}
+	r, err := Eval(Product{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTuples(t, r, "1|p", "1|q", "2|p", "2|q")
+	if !r.Schema.Equal(Schema{"l.x", "r.y"}) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+}
+
+func TestEvalRename(t *testing.T) {
+	db := testDB()
+	r, err := Eval(Rename{Cols: []string{"z"}, In: Scan{Rel: "R1"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schema.Equal(Schema{"z"}) {
+		t.Fatalf("schema = %v", r.Schema)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := testDB()
+	if _, err := Eval(Scan{Rel: "nope"}, db); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := Eval(Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "S"}}, db); err == nil {
+		t.Fatal("union schema mismatch accepted")
+	}
+	if _, err := Eval(Project{Cols: []string{"nope"}, In: Scan{Rel: "S"}}, db); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := Eval(Rename{Cols: []string{"a", "b"}, In: Scan{Rel: "R1"}}, db); err == nil {
+		t.Fatal("rename arity mismatch accepted")
+	}
+}
+
+func TestSymmetricDifferenceDecidesSetEquality(t *testing.T) {
+	// Theorem 11(b): Q' evaluates empty iff R1 = R2 as sets.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(6, 8, rng)
+		} else {
+			in = problems.GenSetNo(6, 8, rng)
+		}
+		db := InstanceDB(in)
+		r, err := Eval(SymmetricDifference("R1", "R2"), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty := len(r.Tuples) == 0
+		if empty != problems.SetEquality(in) {
+			t.Fatalf("Q' empty = %v but set equality = %v on %+v", empty, problems.SetEquality(in), in)
+		}
+	}
+}
+
+// randomExpr builds a random small query over the test DB.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		return Scan{Rel: []string{"R1", "R2"}[rng.Intn(2)]}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Select{Pred: ConstEq{Col: "x", Const: string(rune('a' + rng.Intn(4)))}, In: randomExpr(rng, depth-1)}
+	case 1:
+		return Union{L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		return Diff{L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	default:
+		return Project{Cols: []string{"x"}, In: randomExpr(rng, depth-1)}
+	}
+}
+
+// The streaming evaluator must agree with the reference evaluator on
+// random queries.
+func TestStreamingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	db := testDB()
+	for trial := 0; trial < 60; trial++ {
+		e := randomExpr(rng, 1+rng.Intn(3))
+		want, err := Eval(e, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewMachine(NumQueryTapes, 1)
+		got, err := EvalST(e, db, m)
+		if err != nil {
+			t.Fatalf("EvalST(%s): %v", e, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("query %s:\nstream  = %v\nreference = %v", e, tuplesOf(got), tuplesOf(want))
+		}
+	}
+}
+
+func TestStreamingProductMatchesReference(t *testing.T) {
+	db := DB{
+		"A": {Schema: Schema{"x"}, Tuples: []Tuple{{"1"}, {"2"}, {"3"}}},
+		"B": {Schema: Schema{"y"}, Tuples: []Tuple{{"p"}, {"q"}}},
+	}
+	e := Product{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}}
+	want, err := Eval(e, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(NumQueryTapes, 1)
+	got, err := EvalST(e, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("stream = %v, want %v", tuplesOf(got), tuplesOf(want))
+	}
+}
+
+// Theorem 11(a): evaluation stays within O(log N) scans.
+func TestStreamingScanBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	q := SymmetricDifference("R1", "R2")
+	for _, size := range []int{8, 64, 512} {
+		in := problems.GenSetYes(size, 10, rng)
+		db := InstanceDB(in)
+		m := core.NewMachine(NumQueryTapes, 1)
+		if _, err := EvalST(q, db, m); err != nil {
+			t.Fatal(err)
+		}
+		res := m.Resources()
+		n := db.Size()
+		bound := core.Bound{Name: "ST(60 log N, ., 12)", R: core.LogR(60), S: func(int) int64 { return 1 << 40 }, T: NumQueryTapes}
+		if err := bound.Admits(res, n); err != nil {
+			t.Fatalf("size=%d: %v (%v)", size, err, res)
+		}
+	}
+}
+
+func TestStreamingSymmetricDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 10; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(5, 6, rng)
+		} else {
+			in = problems.GenSetNo(5, 6, rng)
+		}
+		db := InstanceDB(in)
+		m := core.NewMachine(NumQueryTapes, 1)
+		r, err := EvalST(SymmetricDifference("R1", "R2"), db, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(r.Tuples) == 0) != problems.SetEquality(in) {
+			t.Fatalf("streaming Q' wrong on %+v", in)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := Schema{"x", "y"}
+	tup := Tuple{"a", "a"}
+	ok, err := (ColEq{A: "x", B: "y"}).Eval(s, tup)
+	if err != nil || !ok {
+		t.Fatalf("ColEq: %v %v", ok, err)
+	}
+	ok, err = (Not{P: ColEq{A: "x", B: "y"}}).Eval(s, tup)
+	if err != nil || ok {
+		t.Fatalf("Not: %v %v", ok, err)
+	}
+	ok, err = (And{Ps: []Predicate{ConstEq{Col: "x", Const: "a"}, ConstEq{Col: "y", Const: "a"}}}).Eval(s, tup)
+	if err != nil || !ok {
+		t.Fatalf("And: %v %v", ok, err)
+	}
+	if _, err := (ColEq{A: "z", B: "y"}).Eval(s, tup); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := (ConstEq{Col: "z"}).Eval(s, tup); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	q := SymmetricDifference("R1", "R2")
+	if q.String() != "((R1 − R2) ∪ (R2 − R1))" {
+		t.Fatalf("String = %q", q.String())
+	}
+	exprs := []Expr{
+		Select{Pred: ConstEq{Col: "x", Const: "v"}, In: Scan{Rel: "R"}},
+		Project{Cols: []string{"x"}, In: Scan{Rel: "R"}},
+		Product{L: Scan{Rel: "A"}, R: Scan{Rel: "B"}},
+		Rename{Cols: []string{"z"}, In: Scan{Rel: "R"}},
+	}
+	for _, e := range exprs {
+		if e.String() == "" {
+			t.Fatalf("%T renders empty", e)
+		}
+	}
+}
+
+func TestDBSize(t *testing.T) {
+	db := DB{"R": {Schema: Schema{"x"}, Tuples: []Tuple{{"ab"}, {"c"}}}}
+	if db.Size() != 5 { // "ab"+1 + "c"+1
+		t.Fatalf("Size = %d, want 5", db.Size())
+	}
+}
+
+func TestEqualSet(t *testing.T) {
+	a := &Relation{Tuples: []Tuple{{"x"}, {"y"}}}
+	b := &Relation{Tuples: []Tuple{{"y"}, {"x"}, {"x"}}}
+	if !a.EqualSet(b) {
+		t.Fatal("set-equal relations reported unequal")
+	}
+	c := &Relation{Tuples: []Tuple{{"x"}}}
+	if a.EqualSet(c) {
+		t.Fatal("unequal relations reported equal")
+	}
+}

@@ -1,0 +1,560 @@
+package relalg
+
+import (
+	"fmt"
+	"strings"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/tape"
+)
+
+// The streaming evaluator compiles every operator to scan and sort
+// passes over machine tapes, the Theorem 11(a) strategy:
+//
+//   - selection: one scan;
+//   - projection: one scan, then sort + dedup (set semantics);
+//   - union: two scans to concatenate, then sort + dedup;
+//   - difference: sort both sides, one parallel anti-merge scan;
+//   - product: replicate the right side by doubling (O(log) scans),
+//     then one paired scan with a single buffered outer tuple;
+//   - rename: free.
+//
+// Each operator costs O(log N) head reversals (from its sorts), and a
+// query tree has constantly many operators, so total reversals are
+// O(log N) with O(1) tuples of internal memory — the data complexity
+// of Theorem 11(a).
+
+// NumQueryTapes is the number of external tapes the streaming
+// evaluator expects on its machine: two merge-sort scratch tapes plus
+// a pool for operand and result tapes.
+const NumQueryTapes = 12
+
+const (
+	sortScratchA = 0
+	sortScratchB = 1
+	firstPool    = 2
+)
+
+// evalCtx carries the machine and the tape free-list.
+type evalCtx struct {
+	m    *core.Machine
+	db   DB
+	free []int
+}
+
+func (c *evalCtx) acquire() (int, error) {
+	if len(c.free) == 0 {
+		return 0, fmt.Errorf("relalg: out of tapes (query too deep for %d tapes)", NumQueryTapes)
+	}
+	idx := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return idx, nil
+}
+
+func (c *evalCtx) release(idx int) { c.free = append(c.free, idx) }
+
+// EvalST evaluates the expression over the database on the given
+// machine (which must have NumQueryTapes tapes), returning the result
+// relation; all tape traffic is charged to the machine's counters.
+func EvalST(e Expr, db DB, m *core.Machine) (*Relation, error) {
+	if m.NumTapes() < NumQueryTapes {
+		return nil, fmt.Errorf("relalg: machine has %d tapes, need %d", m.NumTapes(), NumQueryTapes)
+	}
+	ctx := &evalCtx{m: m, db: db}
+	for i := m.NumTapes() - 1; i >= firstPool; i-- {
+		ctx.free = append(ctx.free, i)
+	}
+	idx, schema, err := ctx.eval(e)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.release(idx)
+	return readRelationTape(m, idx, schema)
+}
+
+// eval returns the tape index holding the (deduplicated) result and
+// its schema.
+func (c *evalCtx) eval(e Expr) (int, Schema, error) {
+	switch e := e.(type) {
+	case Scan:
+		r, ok := c.db[e.Rel]
+		if !ok {
+			return 0, nil, fmt.Errorf("relalg: unknown relation %q", e.Rel)
+		}
+		idx, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := writeRelationTape(c.m, idx, r); err != nil {
+			return 0, nil, err
+		}
+		if err := c.sortDedup(idx); err != nil {
+			return 0, nil, err
+		}
+		return idx, r.Schema, nil
+
+	case Select:
+		in, schema, err := c.eval(e.In)
+		if err != nil {
+			return 0, nil, err
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.filterScan(in, dst, schema, e.Pred); err != nil {
+			return 0, nil, err
+		}
+		c.release(in)
+		return dst, schema, nil
+
+	case Project:
+		in, schema, err := c.eval(e.In)
+		if err != nil {
+			return 0, nil, err
+		}
+		idx := make([]int, len(e.Cols))
+		for i, col := range e.Cols {
+			if idx[i] = schema.Col(col); idx[i] < 0 {
+				return 0, nil, fmt.Errorf("relalg: unknown column %q", col)
+			}
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.rewriteScan(in, dst, func(t Tuple) (Tuple, bool) {
+			nt := make(Tuple, len(idx))
+			for i, j := range idx {
+				nt[i] = t[j]
+			}
+			return nt, true
+		}); err != nil {
+			return 0, nil, err
+		}
+		c.release(in)
+		if err := c.sortDedup(dst); err != nil {
+			return 0, nil, err
+		}
+		return dst, Schema(e.Cols), nil
+
+	case Union:
+		l, ls, r, rs, err := c.evalPair(e.L, e.R)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ls.Equal(rs) {
+			return 0, nil, fmt.Errorf("%w: %v vs %v", ErrSchema, ls, rs)
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.concat(l, r, dst); err != nil {
+			return 0, nil, err
+		}
+		c.release(l)
+		c.release(r)
+		if err := c.sortDedup(dst); err != nil {
+			return 0, nil, err
+		}
+		return dst, ls, nil
+
+	case Diff:
+		l, ls, r, rs, err := c.evalPair(e.L, e.R)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !ls.Equal(rs) {
+			return 0, nil, fmt.Errorf("%w: %v vs %v", ErrSchema, ls, rs)
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.antiMerge(l, r, dst); err != nil {
+			return 0, nil, err
+		}
+		c.release(l)
+		c.release(r)
+		return dst, ls, nil
+
+	case Product:
+		l, ls, r, rs, err := c.evalPair(e.L, e.R)
+		if err != nil {
+			return 0, nil, err
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.product(l, r, dst); err != nil {
+			return 0, nil, err
+		}
+		c.release(l)
+		c.release(r)
+		// Concatenated variable-length fields need not be in item
+		// order; restore the sorted-and-deduplicated invariant.
+		if err := c.sortDedup(dst); err != nil {
+			return 0, nil, err
+		}
+		return dst, productSchema(e, ls, rs), nil
+
+	case Rename:
+		in, schema, err := c.eval(e.In)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(e.Cols) != len(schema) {
+			return 0, nil, fmt.Errorf("%w: rename arity %d vs %d", ErrSchema, len(e.Cols), len(schema))
+		}
+		return in, Schema(e.Cols), nil
+
+	case EquiJoin:
+		return c.eval(e.expand())
+
+	case SemiJoin:
+		ex, err := e.expand(c.db)
+		if err != nil {
+			return 0, nil, err
+		}
+		return c.eval(ex)
+
+	default:
+		return 0, nil, fmt.Errorf("relalg: unknown expression %T", e)
+	}
+}
+
+func (c *evalCtx) evalPair(l, r Expr) (int, Schema, int, Schema, error) {
+	li, ls, err := c.eval(l)
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	ri, rs, err := c.eval(r)
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	return li, ls, ri, rs, nil
+}
+
+// sortDedup sorts the tape's items and removes adjacent duplicates in
+// place (via a pool tape).
+func (c *evalCtx) sortDedup(idx int) error {
+	if err := algorithms.MergeSort(c.m, idx, sortScratchA, sortScratchB); err != nil {
+		return err
+	}
+	tmp, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.release(tmp)
+	if err := c.dedupScan(idx, tmp); err != nil {
+		return err
+	}
+	return c.copyAll(tmp, idx)
+}
+
+// dedupScan copies src to dst skipping adjacent duplicates.
+func (c *evalCtx) dedupScan(src, dst int) error {
+	ts, td := c.m.Tape(src), c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	if err := ts.Rewind(); err != nil {
+		return err
+	}
+	mem := c.m.Mem()
+	var prev []byte
+	have := false
+	for {
+		item, ok, err := algorithms.ReadItem(ts, mem, "item.relalg.dedup")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			mem.Free("item.relalg.prev")
+			return nil
+		}
+		if have && string(item) == string(prev) {
+			continue
+		}
+		if err := algorithms.WriteItem(td, item); err != nil {
+			return err
+		}
+		prev = append(prev[:0], item...)
+		if err := mem.Set("item.relalg.prev", int64(len(prev))); err != nil {
+			return err
+		}
+		have = true
+	}
+}
+
+// filterScan copies tuples satisfying the predicate.
+func (c *evalCtx) filterScan(src, dst int, schema Schema, pred Predicate) error {
+	var perr error
+	err := c.rewriteScan(src, dst, func(t Tuple) (Tuple, bool) {
+		ok, err := pred.Eval(schema, t)
+		if err != nil {
+			perr = err
+			return nil, false
+		}
+		return t, ok
+	})
+	if perr != nil {
+		return perr
+	}
+	return err
+}
+
+// rewriteScan streams src through fn into dst (one buffered tuple).
+func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error {
+	ts, td := c.m.Tape(src), c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	if err := ts.Rewind(); err != nil {
+		return err
+	}
+	mem := c.m.Mem()
+	for {
+		item, ok, err := algorithms.ReadItem(ts, mem, "item.relalg.rw")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if out, keep := fn(decodeTuple(item)); keep {
+			if err := algorithms.WriteItem(td, encodeTuple(out)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// concat writes src1's then src2's items to dst.
+func (c *evalCtx) concat(src1, src2, dst int) error {
+	td := c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	for _, src := range []int{src1, src2} {
+		ts := c.m.Tape(src)
+		if err := ts.Rewind(); err != nil {
+			return err
+		}
+		if _, err := algorithms.CopyItems(ts, td, int(^uint(0)>>1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyAll replaces dst's content with src's.
+func (c *evalCtx) copyAll(src, dst int) error {
+	td := c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	ts := c.m.Tape(src)
+	if err := ts.Rewind(); err != nil {
+		return err
+	}
+	_, err := algorithms.CopyItems(ts, td, int(^uint(0)>>1))
+	return err
+}
+
+// antiMerge emits items of l absent from r; both inputs are sorted
+// and deduplicated.
+func (c *evalCtx) antiMerge(l, r, dst int) error {
+	tl, tr, td := c.m.Tape(l), c.m.Tape(r), c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	if err := tl.Rewind(); err != nil {
+		return err
+	}
+	if err := tr.Rewind(); err != nil {
+		return err
+	}
+	mem := c.m.Mem()
+	var rItem []byte
+	rOK := false
+	advanceR := func() error {
+		item, ok, err := algorithms.ReadItem(tr, mem, "item.relalg.r")
+		if err != nil {
+			return err
+		}
+		rItem, rOK = item, ok
+		return nil
+	}
+	if err := advanceR(); err != nil {
+		return err
+	}
+	for {
+		lItem, ok, err := algorithms.ReadItem(tl, mem, "item.relalg.l")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for rOK && string(rItem) < string(lItem) {
+			if err := advanceR(); err != nil {
+				return err
+			}
+		}
+		if rOK && string(rItem) == string(lItem) {
+			continue
+		}
+		if err := algorithms.WriteItem(td, lItem); err != nil {
+			return err
+		}
+	}
+}
+
+// product pairs every l tuple with every r tuple: the right side is
+// replicated by repeated doubling (O(log |l|) scans), then one paired
+// scan with a single buffered outer tuple emits the pairs.
+func (c *evalCtx) product(l, r, dst int) error {
+	mem := c.m.Mem()
+	// Count both sides.
+	tl := c.m.Tape(l)
+	if err := tl.Rewind(); err != nil {
+		return err
+	}
+	lCount, err := algorithms.CountItems(tl, mem, "counter.relalg.lcount")
+	if err != nil {
+		return err
+	}
+	tr := c.m.Tape(r)
+	if err := tr.Rewind(); err != nil {
+		return err
+	}
+	rCount, err := algorithms.CountItems(tr, mem, "counter.relalg.rcount")
+	if err != nil {
+		return err
+	}
+	td := c.m.Tape(dst)
+	if err := rewindTruncate(td); err != nil {
+		return err
+	}
+	if lCount == 0 || rCount == 0 {
+		return nil
+	}
+
+	// Replicate r onto a pool tape ≥ lCount times by doubling.
+	rep, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.release(rep)
+	if err := c.copyAll(r, rep); err != nil {
+		return err
+	}
+	copies := 1
+	for copies < lCount {
+		// rep ← rep + rep via a scratch tape.
+		tmp, err := c.acquire()
+		if err != nil {
+			return err
+		}
+		if err := c.concat(rep, rep, tmp); err != nil {
+			// concat reads rep twice: two scans of the same tape.
+			c.release(tmp)
+			return err
+		}
+		if err := c.copyAll(tmp, rep); err != nil {
+			c.release(tmp)
+			return err
+		}
+		c.release(tmp)
+		copies *= 2
+	}
+
+	// Paired scan: outer tuple i buffered while streaming its block
+	// of rCount replicated inner tuples.
+	if err := tl.Rewind(); err != nil {
+		return err
+	}
+	trep := c.m.Tape(rep)
+	if err := trep.Rewind(); err != nil {
+		return err
+	}
+	for {
+		outer, ok, err := algorithms.ReadItem(tl, mem, "item.relalg.outer")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for j := 0; j < rCount; j++ {
+			inner, ok, err := algorithms.ReadItem(trep, mem, "item.relalg.inner")
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("relalg: replicated tape exhausted early")
+			}
+			pair := append(append([]byte{}, outer...), '|')
+			pair = append(pair, inner...)
+			if err := algorithms.WriteItem(td, pair); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func rewindTruncate(t *tape.Tape) error {
+	if err := t.Rewind(); err != nil {
+		return err
+	}
+	t.Truncate()
+	return nil
+}
+
+// encodeTuple renders a tuple as a tape item.
+func encodeTuple(t Tuple) []byte { return []byte(strings.Join(t, "|")) }
+
+// decodeTuple parses a tape item.
+func decodeTuple(item []byte) Tuple {
+	if len(item) == 0 {
+		return Tuple{""}
+	}
+	return Tuple(strings.Split(string(item), "|"))
+}
+
+// writeRelationTape writes the relation's tuples as items.
+func writeRelationTape(m *core.Machine, idx int, r *Relation) error {
+	t := m.Tape(idx)
+	if err := rewindTruncate(t); err != nil {
+		return err
+	}
+	for _, tp := range r.Tuples {
+		if err := algorithms.WriteItem(t, encodeTuple(tp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRelationTape decodes a tape back into a relation.
+func readRelationTape(m *core.Machine, idx int, schema Schema) (*Relation, error) {
+	t := m.Tape(idx)
+	if err := t.Rewind(); err != nil {
+		return nil, err
+	}
+	out := &Relation{Schema: schema}
+	for {
+		item, ok, err := algorithms.ReadItem(t, m.Mem(), "item.relalg.read")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, decodeTuple(item))
+	}
+}

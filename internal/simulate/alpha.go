@@ -1,0 +1,205 @@
+package simulate
+
+import (
+	"extmem/internal/listmachine"
+	"extmem/internal/turing"
+)
+
+// alpha is the wrapped NLM's transition function: it advances the
+// simulated Turing machine by one step, resolving nondeterminism with
+// the list machine's choice (rule number choice mod |rules|, uniform
+// because |C| = lcm(1..b) is divisible by every branching degree —
+// Definition 17). List-head movements mirror input-block crossings
+// and external head turns, so the NLM's reversal count equals the
+// TM's external reversal count.
+func (s *Sim) alpha(state string, heads []listmachine.Cell, choice int) (string, []listmachine.Movement) {
+	st, err := decodeState(state)
+	if err != nil {
+		return "stuck", s.stays(nil)
+	}
+	if st.TransitTarget >= 0 {
+		// In transit: keep moving over record cells until the head
+		// reaches the cell of the target block, then resume.
+		if firstInputIndex(heads[0]) != st.TransitTarget {
+			mov := s.stays(st)
+			mov[0] = listmachine.Movement{Dir: st.TransitDir, Move: true}
+			return state, mov
+		}
+		st.TransitTarget = -1
+	}
+	if s.TM.Final[st.Q] {
+		if s.TM.Accept[st.Q] {
+			return "acc", s.stays(st)
+		}
+		return "rej", s.stays(st)
+	}
+
+	// Read the symbols under all TM heads.
+	reads := make([]byte, s.TM.Tapes())
+	for i := 0; i < s.TM.T; i++ {
+		var sym byte
+		if i == 0 {
+			sym, err = s.inputSymbol(st, heads, st.ExtPos[0])
+			if err != nil {
+				return "stuck", s.stays(st)
+			}
+		} else {
+			var ok bool
+			if sym, ok = st.Writes[i][st.ExtPos[i]]; !ok {
+				sym = turing.Blank
+			}
+		}
+		reads[i] = sym
+	}
+	for j := 0; j < s.TM.U; j++ {
+		tape := st.Internal[j]
+		if st.IntPos[j] < len(tape) {
+			reads[s.TM.T+j] = tape[st.IntPos[j]]
+		} else {
+			reads[s.TM.T+j] = turing.Blank
+		}
+	}
+
+	rules := s.TM.MatchRules(st.Q, reads)
+	if len(rules) == 0 {
+		return "stuck", s.stays(st)
+	}
+	rule := rules[choice%len(rules)]
+
+	// Apply writes and head movements to a fresh state.
+	next := cloneState(st)
+	for i := 0; i < s.TM.T; i++ {
+		if rule.Write[i] != reads[i] || i > 0 {
+			if i == 0 {
+				next.W0[st.ExtPos[0]] = rule.Write[0]
+			} else {
+				next.Writes[i][st.ExtPos[i]] = rule.Write[i]
+			}
+		}
+	}
+	for j := 0; j < s.TM.U; j++ {
+		next.Internal[j] = writeAt(next.Internal[j], st.IntPos[j], rule.Write[s.TM.T+j])
+	}
+	for i := 0; i < s.TM.T; i++ {
+		p := st.ExtPos[i] + int(rule.Dir[i])
+		if p < 0 {
+			p = 0
+		}
+		next.ExtPos[i] = p
+		if rule.Dir[i] == turing.R {
+			next.ExtDir[i] = +1
+		} else if rule.Dir[i] == turing.L {
+			next.ExtDir[i] = -1
+		}
+	}
+	for j := 0; j < s.TM.U; j++ {
+		p := st.IntPos[j] + int(rule.Dir[s.TM.T+j])
+		if p < 0 {
+			p = 0
+		}
+		next.IntPos[j] = p
+	}
+
+	// Translate to list-head movements. A block crossing on the input
+	// tape starts a transit toward the target block's cell (record
+	// cells inserted by Definition 24(c) may lie in between).
+	mov := make([]listmachine.Movement, s.TM.T)
+	for i := 0; i < s.TM.T; i++ {
+		if i == 0 {
+			oldBlock := capBlock(st.ExtPos[0]/s.stride(), s.M)
+			newBlock := capBlock(next.ExtPos[0]/s.stride(), s.M)
+			if newBlock != oldBlock {
+				next.TransitTarget = newBlock
+				next.TransitDir = int8(sign(newBlock - oldBlock))
+				mov[0] = listmachine.Movement{Dir: next.TransitDir, Move: true}
+				continue
+			}
+		}
+		mov[i] = listmachine.Movement{Dir: next.ExtDir[i], Move: false}
+	}
+
+	if s.TM.Final[rule.To] {
+		if s.TM.Accept[rule.To] {
+			return "acc", mov
+		}
+		return "rej", mov
+	}
+	next.Q = rule.To
+	return encodeState(next), mov
+}
+
+// stays returns no-op movements preserving the current directions.
+func (s *Sim) stays(st *simState) []listmachine.Movement {
+	mov := make([]listmachine.Movement, s.TM.T)
+	for i := range mov {
+		d := int8(+1)
+		if st != nil {
+			d = st.ExtDir[i]
+		}
+		mov[i] = listmachine.Movement{Dir: d, Move: false}
+	}
+	return mov
+}
+
+// firstInputIndex returns the input position of the first input token
+// in the cell, or −1 if there is none. For list-0 cells this is the
+// original block the cell descends from (records embed the cell they
+// replaced or split as their first bracket group).
+func firstInputIndex(c listmachine.Cell) int {
+	for _, t := range c {
+		if t.Kind == listmachine.KInput {
+			return t.Input
+		}
+	}
+	return -1
+}
+
+func cloneState(st *simState) *simState {
+	n := &simState{
+		Q:             st.Q,
+		ExtPos:        append([]int(nil), st.ExtPos...),
+		ExtDir:        append([]int8(nil), st.ExtDir...),
+		Internal:      append([]string(nil), st.Internal...),
+		IntPos:        append([]int(nil), st.IntPos...),
+		Writes:        make([]map[int]byte, len(st.Writes)),
+		W0:            map[int]byte{},
+		TransitTarget: st.TransitTarget,
+		TransitDir:    st.TransitDir,
+	}
+	for i, w := range st.Writes {
+		n.Writes[i] = map[int]byte{}
+		for k, v := range w {
+			n.Writes[i][k] = v
+		}
+	}
+	for k, v := range st.W0 {
+		n.W0[k] = v
+	}
+	return n
+}
+
+// writeAt sets position p of tape to b, extending with blanks.
+func writeAt(tape string, p int, b byte) string {
+	for p >= len(tape) {
+		tape += string(turing.Blank)
+	}
+	return tape[:p] + string(b) + tape[p+1:]
+}
+
+func capBlock(b, m int) int {
+	if b >= m {
+		return m - 1
+	}
+	return b
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

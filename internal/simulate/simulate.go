@@ -1,0 +1,286 @@
+// Package simulate realizes the Simulation Lemma (Lemma 16 of the
+// paper) operationally: it wraps a multi-tape nondeterministic Turing
+// machine as a nondeterministic list machine whose
+//
+//   - acceptance probability equals the Turing machine's EXACTLY,
+//   - list-head reversals equal the Turing machine's external-tape
+//     head reversals (so (r,s,t)-bounded TMs yield (r,t)-bounded
+//     NLMs), and
+//   - input list cells correspond to the input blocks v_1#, …, v_m#
+//     of the construction, with head movements mirroring block
+//     crossings.
+//
+// Deviations from the paper's construction (documented in DESIGN.md):
+// the paper bundles an entire block traversal into one list-machine
+// step with choice space C = (C_T)^ℓ and reconstructs tape blocks
+// from cell contents alone, which optimizes the STATE COUNT (needed
+// for the counting argument of Lemma 21 — provided there by formula
+// in internal/lowerbound). This executable wrapper instead advances
+// one TM step per NLM step with choice space C = C_T and carries the
+// TM's internal configuration (state, internal tapes, head positions
+// and work-tape writes — but never the input word) in the NLM state.
+// All measured quantities of experiment E10 are unaffected.
+package simulate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extmem/internal/listmachine"
+	"extmem/internal/turing"
+)
+
+// Sim wraps a Turing machine as a list machine for inputs of shape
+// m values of length n.
+type Sim struct {
+	TM *turing.Machine
+	M  int // number of input values
+	N  int // length of each value
+	// Sep states whether the TM input is v_1#…v_m# ('#'-separated
+	// blocks, the paper's format) or the single unseparated word v_1
+	// (for machines whose alphabet has no separator; requires M = 1).
+	Sep bool
+
+	NLM *listmachine.NLM
+}
+
+// stride returns the width of one input block on the TM tape (at
+// least 1, so empty-value inputs still partition the tape).
+func (s *Sim) stride() int {
+	if s.Sep {
+		return s.N + 1
+	}
+	if s.N < 1 {
+		return 1
+	}
+	return s.N
+}
+
+// New builds the simulation wrapper. maxSteps bounds the run length
+// of both machines.
+func New(tm *turing.Machine, m, n int, sep bool, maxSteps int) (*Sim, error) {
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	if !sep && m != 1 {
+		return nil, fmt.Errorf("simulate: unseparated input requires m = 1, got %d", m)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("simulate: need m >= 1, got %d", m)
+	}
+	s := &Sim{TM: tm, M: m, N: n, Sep: sep}
+	s.NLM = &listmachine.NLM{
+		Name:     "sim:" + tm.Name,
+		T:        tm.T,
+		M:        m,
+		Choices:  tm.ChoiceModulus(),
+		Start:    s.encodeInitial(),
+		Final:    map[string]bool{"acc": true, "rej": true, "stuck": true},
+		Accept:   map[string]bool{"acc": true},
+		MaxSteps: maxSteps,
+		Alpha:    s.alpha,
+	}
+	return s, nil
+}
+
+// TMInput renders the TM input word for the given values.
+func (s *Sim) TMInput(values []string) []byte {
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteString(v)
+		if s.Sep {
+			b.WriteByte('#')
+		}
+	}
+	return []byte(b.String())
+}
+
+// simState is the decoded NLM state: the simulated TM's configuration
+// except for the input word (which lives in the list cells).
+type simState struct {
+	Q        turing.State
+	ExtPos   []int          // external head positions
+	ExtDir   []int8         // external head directions (+1 start)
+	Internal []string       // internal tape contents
+	IntPos   []int          // internal head positions
+	Writes   []map[int]byte // per external tape >0: position -> symbol
+	W0       map[int]byte   // writes on the input tape
+
+	// Transit: when the TM head crosses an input-block boundary, the
+	// list head must reach the cell of the adjacent block, skipping
+	// any record cells inserted in between (insertions split blocks;
+	// a record cell's origin block is identified by the position
+	// index of its first input token). TransitTarget is the block
+	// being sought, −1 when not in transit.
+	TransitTarget int
+	TransitDir    int8
+}
+
+func (s *Sim) encodeInitial() string {
+	st := &simState{
+		Q:             s.TM.Start,
+		ExtPos:        make([]int, s.TM.T),
+		ExtDir:        make([]int8, s.TM.T),
+		Internal:      make([]string, s.TM.U),
+		IntPos:        make([]int, s.TM.U),
+		Writes:        make([]map[int]byte, s.TM.T),
+		W0:            map[int]byte{},
+		TransitTarget: -1,
+		TransitDir:    +1,
+	}
+	for i := range st.ExtDir {
+		st.ExtDir[i] = +1
+	}
+	for i := range st.Writes {
+		st.Writes[i] = map[int]byte{}
+	}
+	return encodeState(st)
+}
+
+func encodeState(st *simState) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "q=%s", st.Q)
+	fmt.Fprintf(&b, "|ep=%v|ed=%v|ip=%v", st.ExtPos, st.ExtDir, st.IntPos)
+	for _, tape := range st.Internal {
+		fmt.Fprintf(&b, "|it=%q", tape)
+	}
+	for i := 1; i < len(st.Writes); i++ {
+		fmt.Fprintf(&b, "|x%d=%s", i, encodeWrites(st.Writes[i]))
+	}
+	fmt.Fprintf(&b, "|w0=%s", encodeWrites(st.W0))
+	fmt.Fprintf(&b, "|tt=%d|td=%d", st.TransitTarget, st.TransitDir)
+	return b.String()
+}
+
+func encodeWrites(w map[int]byte) string {
+	keys := make([]int, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%c,", k, w[k])
+	}
+	return b.String()
+}
+
+func decodeState(enc string) (*simState, error) {
+	st := &simState{W0: map[int]byte{}, TransitTarget: -1, TransitDir: +1}
+	parts := strings.Split(enc, "|")
+	if len(parts) < 4 || !strings.HasPrefix(parts[0], "q=") {
+		return nil, fmt.Errorf("simulate: cannot decode state %q", enc)
+	}
+	st.Q = turing.State(strings.TrimPrefix(parts[0], "q="))
+	var err error
+	if st.ExtPos, err = parseInts(strings.TrimPrefix(parts[1], "ep=")); err != nil {
+		return nil, err
+	}
+	dirs, err := parseInts(strings.TrimPrefix(parts[2], "ed="))
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		st.ExtDir = append(st.ExtDir, int8(d))
+	}
+	if st.IntPos, err = parseInts(strings.TrimPrefix(parts[3], "ip=")); err != nil {
+		return nil, err
+	}
+	for _, p := range parts[4:] {
+		switch {
+		case strings.HasPrefix(p, "tt="):
+			if _, err := fmt.Sscanf(p, "tt=%d", &st.TransitTarget); err != nil {
+				return nil, fmt.Errorf("simulate: bad transit %q", p)
+			}
+		case strings.HasPrefix(p, "td="):
+			var d int
+			if _, err := fmt.Sscanf(p, "td=%d", &d); err != nil {
+				return nil, fmt.Errorf("simulate: bad transit dir %q", p)
+			}
+			st.TransitDir = int8(d)
+		case strings.HasPrefix(p, "it="):
+			var tape string
+			if _, err := fmt.Sscanf(strings.TrimPrefix(p, "it="), "%q", &tape); err != nil {
+				return nil, fmt.Errorf("simulate: bad internal tape %q: %v", p, err)
+			}
+			st.Internal = append(st.Internal, tape)
+		case strings.HasPrefix(p, "w0="):
+			st.W0 = decodeWrites(strings.TrimPrefix(p, "w0="))
+		case strings.HasPrefix(p, "x"):
+			st.Writes = append(st.Writes, decodeWrites(p[strings.Index(p, "=")+1:]))
+		}
+	}
+	// Writes[0] is a placeholder: input-tape writes live in W0.
+	st.Writes = append([]map[int]byte{{}}, st.Writes...)
+	return st, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	s = strings.Trim(s, "[]")
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		if _, err := fmt.Sscanf(f, "%d", &out[i]); err != nil {
+			return nil, fmt.Errorf("simulate: bad int %q", f)
+		}
+	}
+	return out, nil
+}
+
+func decodeWrites(s string) map[int]byte {
+	out := map[int]byte{}
+	for _, entry := range strings.Split(s, ",") {
+		if entry == "" {
+			continue
+		}
+		var k int
+		var c byte
+		if _, err := fmt.Sscanf(entry, "%d:%c", &k, &c); err == nil {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// inputSymbol reconstructs the symbol at input-tape position pos. The
+// current value string is read from the list cell under head 0; other
+// blocks' values are unreadable here, but by the block invariant the
+// head is always inside the block its list cell represents.
+func (s *Sim) inputSymbol(st *simState, heads []listmachine.Cell, pos int) (byte, error) {
+	if b, ok := st.W0[pos]; ok {
+		return b, nil
+	}
+	block := pos / s.stride()
+	off := pos % s.stride()
+	if block >= s.M {
+		return turing.Blank, nil
+	}
+	if s.Sep && off == s.N {
+		return '#', nil
+	}
+	val := firstInputValue(heads[0])
+	if val == "" && s.N > 0 {
+		return 0, fmt.Errorf("simulate: head cell of list 0 carries no input value")
+	}
+	if off >= len(val) {
+		return turing.Blank, nil
+	}
+	return val[off], nil
+}
+
+// firstInputValue extracts the input value of the block this cell
+// represents: list-0 cells are only ever overwritten by records whose
+// first bracket group descends from the original ⟨v_j⟩, so the first
+// input token is v_j.
+func firstInputValue(c listmachine.Cell) string {
+	for _, t := range c {
+		if t.Kind == listmachine.KInput {
+			return t.Val
+		}
+	}
+	return ""
+}

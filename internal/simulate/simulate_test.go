@@ -1,0 +1,351 @@
+package simulate
+
+import (
+	"testing"
+
+	"extmem/internal/turing"
+)
+
+// probEqual asserts Pr[TM accepts] == Pr[NLM accepts] exactly.
+func probEqual(t *testing.T, s *Sim, values []string) {
+	t.Helper()
+	pTM, err := s.TM.AcceptProbability(s.TMInput(values), 10000)
+	if err != nil {
+		t.Fatalf("TM probability: %v", err)
+	}
+	pLM, err := s.NLM.AcceptProbability(values)
+	if err != nil {
+		t.Fatalf("NLM probability: %v", err)
+	}
+	if pTM.Cmp(pLM) != 0 {
+		t.Fatalf("Pr[TM] = %v but Pr[NLM] = %v on %v", pTM, pLM, values)
+	}
+}
+
+func TestSimulationParityAllInputs(t *testing.T) {
+	// Exhaustive over all inputs up to length 5: the deterministic
+	// NLM must decide exactly like the TM.
+	for n := 1; n <= 5; n++ {
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			val := make([]byte, n)
+			ones := 0
+			for i := 0; i < n; i++ {
+				if bits&(1<<uint(i)) != 0 {
+					val[i] = '1'
+					ones++
+				} else {
+					val[i] = '0'
+				}
+			}
+			s, err := New(turing.ParityMachine(), 1, n, false, 10000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := s.NLM.RunDeterministic([]string{string(val)})
+			if err != nil {
+				t.Fatalf("%s: %v", val, err)
+			}
+			if want := ones%2 == 0; run.Accepted != want {
+				t.Fatalf("NLM parity(%s) = %v, want %v", val, run.Accepted, want)
+			}
+			probEqual(t, s, []string{string(val)})
+		}
+	}
+}
+
+func TestSimulationZigZagReversals(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		tm := turing.ZigZagMachine(k)
+		input := "^0110"
+		s, err := New(tm, 1, len(input), false, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmRes, err := tm.RunDeterministic([]byte(input), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmRun, err := s.NLM.RunDeterministic([]string{input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lmRun.Accepted {
+			t.Fatalf("k=%d: NLM rejected", k)
+		}
+		// Lemma 16: the NLM is (r(N), t)-bounded when the TM is
+		// (r, s, t)-bounded — our wrapper gives reversal EQUALITY.
+		if lmRun.Rev[0] != tmRes.Stats.Rev[0] {
+			t.Fatalf("k=%d: NLM rev = %d, TM rev = %d", k, lmRun.Rev[0], tmRes.Stats.Rev[0])
+		}
+	}
+}
+
+func TestSimulationRandomizedProbabilities(t *testing.T) {
+	cases := []struct {
+		tm     *turing.Machine
+		values []string
+		n      int
+	}{
+		{turing.CoinMachine(1), []string{""}, 0},
+		{turing.CoinMachine(3), []string{""}, 0},
+		{turing.ThreeWayMachine(), []string{""}, 0},
+		{turing.RandomScanMachine(), []string{"101"}, 3},
+		{turing.RandomScanMachine(), []string{"11011"}, 5},
+		{turing.RandomScanMachine(), []string{"000"}, 3},
+	}
+	for _, c := range cases {
+		s, err := New(c.tm, 1, c.n, false, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", c.tm.Name, err)
+		}
+		probEqual(t, s, c.values)
+	}
+}
+
+func TestSimulationGuessBitWithInternalTape(t *testing.T) {
+	s, err := New(turing.GuessBitMachine(), 1, 1, false, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"0", "1"} {
+		probEqual(t, s, []string{v})
+	}
+}
+
+func TestSimulationCopyMachineTwoTapes(t *testing.T) {
+	s, err := New(turing.CopyMachine(), 1, 5, false, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.NLM.RunDeterministic([]string{"10110"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Accepted {
+		t.Fatal("copy simulation rejected")
+	}
+	probEqual(t, s, []string{"10110"})
+}
+
+// firstBitsEqualMachine accepts inputs v1#v2# iff the first bits of
+// v1 and v2 agree, remembering v1's first bit in internal memory. It
+// crosses the block boundary, exercising list-head movement.
+func firstBitsEqualMachine() *turing.Machine {
+	mc := &turing.Machine{
+		Name: "firstbits", T: 1, U: 1,
+		Start:    "rd1",
+		Accept:   map[turing.State]bool{"acc": true},
+		Final:    map[turing.State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{'0', '1', '#', turing.Blank},
+	}
+	for _, b := range []byte{'0', '1'} {
+		// Remember the first bit on the internal tape, then scan to '#'.
+		mc.Rules = append(mc.Rules, turing.Rule{
+			From: "rd1", Read: []byte{b, turing.Blank},
+			To: "scan", Write: []byte{b, b}, Dir: []turing.Move{turing.R, turing.N},
+		})
+	}
+	for _, b := range []byte{'0', '1'} {
+		for _, g := range []byte{'0', '1'} {
+			mc.Rules = append(mc.Rules, turing.Rule{
+				From: "scan", Read: []byte{b, g},
+				To: "scan", Write: []byte{b, g}, Dir: []turing.Move{turing.R, turing.N},
+			})
+		}
+	}
+	for _, g := range []byte{'0', '1'} {
+		mc.Rules = append(mc.Rules, turing.Rule{
+			From: "scan", Read: []byte{'#', g},
+			To: "rd2", Write: []byte{'#', g}, Dir: []turing.Move{turing.R, turing.N},
+		})
+		for _, b := range []byte{'0', '1'} {
+			to := turing.State("rej")
+			if b == g {
+				to = "acc"
+			}
+			mc.Rules = append(mc.Rules, turing.Rule{
+				From: "rd2", Read: []byte{b, g},
+				To: to, Write: []byte{b, g}, Dir: []turing.Move{turing.N, turing.N},
+			})
+		}
+	}
+	return mc
+}
+
+func TestSimulationBlockCrossing(t *testing.T) {
+	tm := firstBitsEqualMachine()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	cases := []struct {
+		values []string
+		want   bool
+	}{
+		{[]string{"101", "110"}, true},
+		{[]string{"101", "010"}, false},
+		{[]string{"000", "011"}, true},
+	}
+	for _, c := range cases {
+		s, err := New(tm, 2, n, true, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := s.NLM.RunDeterministic(c.values)
+		if err != nil {
+			t.Fatalf("%v: %v", c.values, err)
+		}
+		if run.Accepted != c.want {
+			t.Fatalf("NLM firstbits(%v) = %v, want %v", c.values, run.Accepted, c.want)
+		}
+		probEqual(t, s, c.values)
+		// The head crossed into block 1: the skeleton must show the
+		// list head on input position 1's cell at some point.
+		crossed := false
+		for _, v := range run.Skeleton.Views {
+			if v == nil {
+				continue
+			}
+			for _, p := range v.Positions {
+				if p == 1 {
+					crossed = true
+				}
+			}
+		}
+		if !crossed {
+			t.Fatal("list head never reached the second block's cell")
+		}
+	}
+}
+
+// copyTurnBackMachine copies v1#v2# (n = 1) to tape 1, turns the
+// tape-1 head around (inserting a record cell into list 0), then
+// walks the input head back across the block boundary — exercising
+// the TRANSIT over inserted record cells.
+func copyTurnBackMachine() *turing.Machine {
+	mc := &turing.Machine{
+		Name: "copyturnback", T: 2, U: 0,
+		Start:    "cpA",
+		Accept:   map[turing.State]bool{"acc": true},
+		Final:    map[turing.State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{'0', '1', '#', turing.Blank},
+	}
+	syms := []byte{'0', '1', '#'}
+	all := []byte{'0', '1', '#', turing.Blank}
+	for _, x := range syms {
+		mc.Rules = append(mc.Rules,
+			turing.Rule{From: "cpA", Read: []byte{x, turing.Blank}, To: "cpB", Write: []byte{x, x}, Dir: []turing.Move{turing.N, turing.R}},
+			turing.Rule{From: "cpB", Read: []byte{x, turing.Blank}, To: "cpA", Write: []byte{x, turing.Blank}, Dir: []turing.Move{turing.R, turing.N}},
+		)
+	}
+	// Input exhausted at position 4 (blocks 0..1 copied): turn tape 1
+	// around and walk it home (4 left moves: bk3..bk0).
+	mc.Rules = append(mc.Rules, turing.Rule{
+		From: "cpA", Read: []byte{turing.Blank, turing.Blank},
+		To: "bk3", Write: []byte{turing.Blank, turing.Blank}, Dir: []turing.Move{turing.N, turing.L}})
+	for i := 3; i >= 1; i-- {
+		from := turing.State([]string{"bk1", "bk2", "bk3"}[i-1])
+		to := turing.State("l4")
+		if i > 1 {
+			to = turing.State([]string{"bk1", "bk2"}[i-2])
+		}
+		for _, y := range all {
+			mc.Rules = append(mc.Rules, turing.Rule{
+				From: from, Read: []byte{turing.Blank, y},
+				To: to, Write: []byte{turing.Blank, y}, Dir: []turing.Move{turing.N, turing.L}})
+		}
+	}
+	// Walk the input head left from position 4 to position 1 (three
+	// moves), then accept iff it reads '#' there (it always does).
+	for step, pair := range map[turing.State]turing.State{"l4": "l3", "l3": "l2", "l2": "l1"} {
+		for _, x := range all {
+			for _, y := range all {
+				mc.Rules = append(mc.Rules, turing.Rule{
+					From: step, Read: []byte{x, y},
+					To: pair, Write: []byte{x, y}, Dir: []turing.Move{turing.L, turing.N}})
+			}
+		}
+	}
+	for _, y := range all {
+		mc.Rules = append(mc.Rules, turing.Rule{
+			From: "l1", Read: []byte{'#', y},
+			To: "acc", Write: []byte{'#', y}, Dir: []turing.Move{turing.N, turing.N}})
+		for _, x := range []byte{'0', '1', turing.Blank} {
+			mc.Rules = append(mc.Rules, turing.Rule{
+				From: "l1", Read: []byte{x, y},
+				To: "rej", Write: []byte{x, y}, Dir: []turing.Move{turing.N, turing.N}})
+		}
+	}
+	return mc
+}
+
+func TestSimulationTransitOverInsertedRecords(t *testing.T) {
+	tm := copyTurnBackMachine()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, values := range [][]string{{"0", "1"}, {"1", "0"}, {"1", "1"}} {
+		s, err := New(tm, 2, 1, true, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmRes, err := tm.RunDeterministic(s.TMInput(values), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := s.NLM.RunDeterministic(values)
+		if err != nil {
+			t.Fatalf("%v: %v", values, err)
+		}
+		if run.Accepted != tmRes.Accepted {
+			t.Fatalf("NLM = %v, TM = %v on %v", run.Accepted, tmRes.Accepted, values)
+		}
+		if !run.Accepted {
+			t.Fatalf("copyturnback should accept %v", values)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(turing.ParityMachine(), 2, 3, false, 100); err == nil {
+		t.Fatal("unseparated m=2 accepted")
+	}
+	if _, err := New(turing.ParityMachine(), 0, 3, true, 100); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	st := &simState{
+		Q:             "q7",
+		ExtPos:        []int{3, 0},
+		ExtDir:        []int8{-1, 1},
+		Internal:      []string{"01_1"},
+		IntPos:        []int{2},
+		Writes:        []map[int]byte{{}, {5: 'x'}},
+		W0:            map[int]byte{0: '^'},
+		TransitTarget: 2,
+		TransitDir:    -1,
+	}
+	dec, err := decodeState(encodeState(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Q != st.Q || dec.ExtPos[0] != 3 || dec.ExtDir[0] != -1 ||
+		dec.Internal[0] != "01_1" || dec.IntPos[0] != 2 ||
+		dec.Writes[1][5] != 'x' || dec.W0[0] != '^' ||
+		dec.TransitTarget != 2 || dec.TransitDir != -1 {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+}
+
+func TestTMInput(t *testing.T) {
+	s := &Sim{M: 2, N: 2, Sep: true}
+	if got := string(s.TMInput([]string{"01", "10"})); got != "01#10#" {
+		t.Fatalf("TMInput = %q", got)
+	}
+	s2 := &Sim{M: 1, N: 3, Sep: false}
+	if got := string(s2.TMInput([]string{"011"})); got != "011" {
+		t.Fatalf("TMInput = %q", got)
+	}
+}

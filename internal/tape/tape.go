@@ -1,0 +1,299 @@
+// Package tape implements the external-memory tape device of the ST
+// model of Grohe, Hernich and Schweikardt (PODS 2006).
+//
+// A Tape is a one-sided infinite sequence of byte cells with a single
+// read/write head. The two cost measures of the model are tracked
+// exactly:
+//
+//   - head reversals: every change of the head's direction of movement
+//     increments the reversal counter. Following the paper's
+//     Definition 1, the number of sequential scans of a tape is
+//     1 + reversals.
+//   - space: the number of cells ever touched.
+//
+// Random access is not offered by the API: a machine may only step the
+// head one cell at a time, exactly as on a Turing machine tape. Helper
+// methods (Rewind, SeekEnd) are implemented in terms of single steps
+// and therefore pay the correct reversal cost.
+package tape
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Blank is the blank symbol found in cells that were never written.
+// It plays the role of the Turing machine blank ✷.
+const Blank byte = 0
+
+// Direction is the direction of head movement.
+type Direction int8
+
+// Directions of head movement. A fresh tape starts moving Forward.
+const (
+	Forward  Direction = +1
+	Backward Direction = -1
+)
+
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// ErrBudget is returned (wrapped) when an operation would exceed the
+// reversal budget configured with SetBudget.
+var ErrBudget = errors.New("tape: reversal budget exhausted")
+
+// ErrLeftEnd is returned when the head would fall off the left end of
+// the tape.
+var ErrLeftEnd = errors.New("tape: head moved past left end")
+
+// Stats is a snapshot of a tape's resource counters.
+type Stats struct {
+	Reversals int   // number of changes of the head direction
+	Steps     int64 // number of single-cell head movements
+	Reads     int64 // number of Read operations
+	Writes    int64 // number of Write operations
+	MaxCell   int   // highest cell index ever visited
+	Size      int   // number of cells currently materialized
+}
+
+// Scans is the number of sequential scans this tape has performed:
+// 1 + Reversals, following the convention of Definition 1 in the
+// paper.
+func (s Stats) Scans() int { return 1 + s.Reversals }
+
+// A Tape is a one-sided infinite tape of byte cells with a read/write
+// head. The zero value is not ready for use; call New.
+type Tape struct {
+	name      string
+	cells     []byte
+	pos       int // current head position (0-based)
+	dir       Direction
+	moved     bool // whether the head has moved at least once
+	reversals int
+	steps     int64
+	reads     int64
+	writes    int64
+	maxCell   int
+
+	budget    int  // maximum reversals allowed; <0 means unlimited
+	hasBudget bool // whether budget applies
+}
+
+// New returns an empty tape with the given diagnostic name.
+func New(name string) *Tape {
+	return &Tape{name: name, dir: Forward, budget: -1}
+}
+
+// FromBytes returns a tape whose initial content is a copy of data,
+// with the head on cell 0 moving forward. It is the standard way to
+// present an input word to a machine.
+func FromBytes(name string, data []byte) *Tape {
+	t := New(name)
+	t.cells = append(t.cells, data...)
+	if len(t.cells) > 0 {
+		t.maxCell = 0
+	}
+	return t
+}
+
+// FromString is FromBytes for a string input.
+func FromString(name, data string) *Tape { return FromBytes(name, []byte(data)) }
+
+// Name returns the diagnostic name of the tape.
+func (t *Tape) Name() string { return t.name }
+
+// SetBudget limits the number of head reversals this tape may perform.
+// Operations that would exceed the budget return an error wrapping
+// ErrBudget. A negative budget means unlimited.
+func (t *Tape) SetBudget(reversals int) {
+	t.budget = reversals
+	t.hasBudget = reversals >= 0
+}
+
+// Stats returns a snapshot of the tape's resource counters.
+func (t *Tape) Stats() Stats {
+	return Stats{
+		Reversals: t.reversals,
+		Steps:     t.steps,
+		Reads:     t.reads,
+		Writes:    t.writes,
+		MaxCell:   t.maxCell,
+		Size:      len(t.cells),
+	}
+}
+
+// Reversals returns the number of head-direction changes so far.
+func (t *Tape) Reversals() int { return t.reversals }
+
+// Pos returns the current head position (0-based cell index).
+func (t *Tape) Pos() int { return t.pos }
+
+// Dir returns the current direction of head movement.
+func (t *Tape) Dir() Direction { return t.dir }
+
+// Len returns the number of materialized cells (cells at or before the
+// highest cell ever written or visited).
+func (t *Tape) Len() int { return len(t.cells) }
+
+// Read returns the symbol under the head. Reading past the end of the
+// materialized region returns Blank without extending the tape.
+func (t *Tape) Read() byte {
+	t.reads++
+	if t.pos < len(t.cells) {
+		return t.cells[t.pos]
+	}
+	return Blank
+}
+
+// Write stores b in the cell under the head, materializing blank cells
+// as needed.
+func (t *Tape) Write(b byte) {
+	t.writes++
+	for t.pos >= len(t.cells) {
+		t.cells = append(t.cells, Blank)
+	}
+	t.cells[t.pos] = b
+}
+
+// turn registers a direction change if d differs from the current
+// direction, charging one reversal.
+func (t *Tape) turn(d Direction) error {
+	if d == t.dir {
+		return nil
+	}
+	if t.hasBudget && t.reversals+1 > t.budget {
+		return fmt.Errorf("%w: tape %q at %d reversals", ErrBudget, t.name, t.reversals)
+	}
+	t.reversals++
+	t.dir = d
+	return nil
+}
+
+// Move steps the head one cell in direction d. Moving backward from
+// cell 0 returns ErrLeftEnd and leaves the head in place (the reversal,
+// if any, is still charged, mirroring a Turing machine that switched
+// direction before noticing the tape end).
+func (t *Tape) Move(d Direction) error {
+	if err := t.turn(d); err != nil {
+		return err
+	}
+	if d == Backward && t.pos == 0 {
+		return ErrLeftEnd
+	}
+	t.pos += int(d)
+	t.steps++
+	if t.pos > t.maxCell {
+		t.maxCell = t.pos
+	}
+	return nil
+}
+
+// MoveForward steps the head one cell to the right.
+func (t *Tape) MoveForward() error { return t.Move(Forward) }
+
+// MoveBackward steps the head one cell to the left.
+func (t *Tape) MoveBackward() error { return t.Move(Backward) }
+
+// ReadMove reads the symbol under the head and then steps in
+// direction d.
+func (t *Tape) ReadMove(d Direction) (byte, error) {
+	b := t.Read()
+	return b, t.Move(d)
+}
+
+// WriteMove writes b to the cell under the head and then steps in
+// direction d.
+func (t *Tape) WriteMove(b byte, d Direction) error {
+	t.Write(b)
+	return t.Move(d)
+}
+
+// AtEnd reports whether the head is past the last materialized cell,
+// i.e. the current cell and everything to the right is blank.
+func (t *Tape) AtEnd() bool { return t.pos >= len(t.cells) }
+
+// AtStart reports whether the head is on cell 0.
+func (t *Tape) AtStart() bool { return t.pos == 0 }
+
+// Rewind moves the head back to cell 0 by stepping backward. It pays
+// at most one reversal (plus one more when the caller next moves
+// forward).
+func (t *Tape) Rewind() error {
+	for t.pos > 0 {
+		if err := t.Move(Backward); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeekEnd moves the head forward to the first blank cell after the
+// materialized content.
+func (t *Tape) SeekEnd() error {
+	for t.pos < len(t.cells) {
+		if err := t.Move(Forward); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanBytes reads from the current head position forward to the end of
+// the materialized region and returns the bytes read. The head ends at
+// the first blank cell.
+func (t *Tape) ScanBytes() ([]byte, error) {
+	var out []byte
+	for !t.AtEnd() {
+		b, err := t.ReadMove(Forward)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// AppendBytes writes data starting at the current head position,
+// moving forward.
+func (t *Tape) AppendBytes(data []byte) error {
+	for _, b := range data {
+		if err := t.WriteMove(b, Forward); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate discards all content from the current head position to the
+// right. It models overwriting the rest of a tape with blanks in one
+// sweep and is charged zero reversals (a real machine pays them when it
+// actually revisits those cells).
+func (t *Tape) Truncate() {
+	if t.pos < len(t.cells) {
+		t.cells = t.cells[:t.pos]
+	}
+}
+
+// Reset erases the tape's content and returns the head to cell 0
+// without touching the resource counters. It models switching to a
+// fresh region of a device and is used only by test helpers.
+func (t *Tape) Reset() {
+	t.cells = t.cells[:0]
+	t.pos = 0
+}
+
+// Contents returns a copy of the materialized cells.
+func (t *Tape) Contents() []byte {
+	out := make([]byte, len(t.cells))
+	copy(out, t.cells)
+	return out
+}
+
+// String returns a short diagnostic description of the tape.
+func (t *Tape) String() string {
+	return fmt.Sprintf("tape %q: pos=%d dir=%s rev=%d len=%d", t.name, t.pos, t.dir, t.reversals, len(t.cells))
+}

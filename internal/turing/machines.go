@@ -1,0 +1,212 @@
+package turing
+
+import "fmt"
+
+// Sample machines used by tests and by the simulation experiments
+// (E10, E13). They are small by design: acceptance probabilities are
+// computed exactly over their full run trees.
+
+// Marker is the left-end marker symbol used by machines that need to
+// detect the start of the tape (one-sided tapes cannot be sensed).
+const Marker byte = '^'
+
+// ParityMachine returns a deterministic 1-tape machine accepting the
+// 0-1-words with an even number of 1s. It performs a single forward
+// scan (r = 1) with no internal tapes.
+func ParityMachine() *Machine {
+	mc := &Machine{
+		Name:     "parity",
+		T:        1,
+		U:        0,
+		Start:    "even",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{'0', '1', Blank},
+	}
+	mc.Rules = []Rule{
+		{From: "even", Read: []byte{'0'}, To: "even", Write: []byte{'0'}, Dir: []Move{R}},
+		{From: "even", Read: []byte{'1'}, To: "odd", Write: []byte{'1'}, Dir: []Move{R}},
+		{From: "even", Read: []byte{Blank}, To: "acc", Write: []byte{Blank}, Dir: []Move{N}},
+		{From: "odd", Read: []byte{'0'}, To: "odd", Write: []byte{'0'}, Dir: []Move{R}},
+		{From: "odd", Read: []byte{'1'}, To: "even", Write: []byte{'1'}, Dir: []Move{R}},
+		{From: "odd", Read: []byte{Blank}, To: "rej", Write: []byte{Blank}, Dir: []Move{N}},
+	}
+	return mc
+}
+
+// ZigZagMachine returns a deterministic 1-tape machine that scans its
+// input forward and backward k times and accepts. Inputs must start
+// with the Marker symbol. It performs exactly 2(k−1) head reversals,
+// i.e. 2k−1 sequential scans, making it the canonical fixture for
+// reversal accounting.
+func ZigZagMachine(k int) *Machine {
+	if k < 1 {
+		panic("turing: ZigZagMachine needs k >= 1")
+	}
+	mc := &Machine{
+		Name:     fmt.Sprintf("zigzag-%d", k),
+		T:        1,
+		U:        0,
+		Start:    State("fwd1"),
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true},
+		Alphabet: []byte{Marker, '0', '1', Blank},
+	}
+	for i := 1; i <= k; i++ {
+		fwd := State(fmt.Sprintf("fwd%d", i))
+		back := State(fmt.Sprintf("back%d", i))
+		for _, b := range []byte{Marker, '0', '1'} {
+			mc.Rules = append(mc.Rules, Rule{From: fwd, Read: []byte{b}, To: fwd, Write: []byte{b}, Dir: []Move{R}})
+		}
+		if i == k {
+			mc.Rules = append(mc.Rules, Rule{From: fwd, Read: []byte{Blank}, To: "acc", Write: []byte{Blank}, Dir: []Move{N}})
+			continue
+		}
+		mc.Rules = append(mc.Rules, Rule{From: fwd, Read: []byte{Blank}, To: back, Write: []byte{Blank}, Dir: []Move{L}})
+		for _, b := range []byte{'0', '1'} {
+			mc.Rules = append(mc.Rules, Rule{From: back, Read: []byte{b}, To: back, Write: []byte{b}, Dir: []Move{L}})
+		}
+		next := State(fmt.Sprintf("fwd%d", i+1))
+		mc.Rules = append(mc.Rules, Rule{From: back, Read: []byte{Marker}, To: next, Write: []byte{Marker}, Dir: []Move{R}})
+	}
+	return mc
+}
+
+// CopyMachine returns a deterministic 2-external-tape machine that
+// copies its input onto tape 1 and accepts. Because machines are
+// normalized to move one head per step, each symbol takes two steps.
+func CopyMachine() *Machine {
+	mc := &Machine{
+		Name:     "copy",
+		T:        2,
+		U:        0,
+		Start:    "cpA",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true},
+		Alphabet: []byte{'0', '1', Blank},
+	}
+	for _, x := range []byte{'0', '1'} {
+		mc.Rules = append(mc.Rules,
+			Rule{From: "cpA", Read: []byte{x, Blank}, To: "cpB", Write: []byte{x, x}, Dir: []Move{N, R}},
+			Rule{From: "cpB", Read: []byte{x, Blank}, To: "cpA", Write: []byte{x, Blank}, Dir: []Move{R, N}},
+		)
+	}
+	mc.Rules = append(mc.Rules,
+		Rule{From: "cpA", Read: []byte{Blank, Blank}, To: "acc", Write: []byte{Blank, Blank}, Dir: []Move{N, N}})
+	return mc
+}
+
+// CoinMachine returns a randomized machine (on empty input) that
+// accepts with probability exactly 2^{−k}: it must flip heads k times
+// in a row.
+func CoinMachine(k int) *Machine {
+	if k < 1 {
+		panic("turing: CoinMachine needs k >= 1")
+	}
+	mc := &Machine{
+		Name:     fmt.Sprintf("coin-%d", k),
+		T:        1,
+		U:        0,
+		Start:    "f1",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{Blank},
+	}
+	for i := 1; i <= k; i++ {
+		from := State(fmt.Sprintf("f%d", i))
+		to := State(fmt.Sprintf("f%d", i+1))
+		if i == k {
+			to = "acc"
+		}
+		mc.Rules = append(mc.Rules,
+			Rule{From: from, Read: []byte{Blank}, To: to, Write: []byte{Blank}, Dir: []Move{N}},
+			Rule{From: from, Read: []byte{Blank}, To: "rej", Write: []byte{Blank}, Dir: []Move{N}},
+		)
+	}
+	return mc
+}
+
+// ThreeWayMachine returns a randomized machine (on empty input) with a
+// three-way branch, accepting with probability exactly 2/3. Its
+// maximum branching degree 3 exercises the lcm-based choice modulus of
+// Definition 17.
+func ThreeWayMachine() *Machine {
+	return &Machine{
+		Name:     "threeway",
+		T:        1,
+		U:        0,
+		Start:    "s",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{Blank},
+		Rules: []Rule{
+			{From: "s", Read: []byte{Blank}, To: "acc", Write: []byte{Blank}, Dir: []Move{N}},
+			{From: "s", Read: []byte{Blank}, To: "acc", Write: []byte{Blank}, Dir: []Move{R}},
+			{From: "s", Read: []byte{Blank}, To: "rej", Write: []byte{Blank}, Dir: []Move{N}},
+		},
+	}
+}
+
+// GuessBitMachine returns a nondeterministic machine with one external
+// and one internal tape: it guesses a bit, stores it in internal
+// memory, and accepts iff the guess equals the single input bit. As a
+// randomized machine it accepts every 1-bit input with probability
+// exactly 1/2; as a nondeterministic machine it accepts every 1-bit
+// input.
+func GuessBitMachine() *Machine {
+	mc := &Machine{
+		Name:     "guessbit",
+		T:        1,
+		U:        1,
+		Start:    "guess",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{'0', '1', Blank},
+	}
+	for _, b := range []byte{'0', '1'} {
+		for _, g := range []byte{'0', '1'} {
+			mc.Rules = append(mc.Rules, Rule{
+				From: "guess", Read: []byte{b, Blank},
+				To: "check", Write: []byte{b, g}, Dir: []Move{N, N},
+			})
+		}
+	}
+	for _, b := range []byte{'0', '1'} {
+		for _, g := range []byte{'0', '1'} {
+			to := State("rej")
+			if b == g {
+				to = "acc"
+			}
+			mc.Rules = append(mc.Rules, Rule{
+				From: "check", Read: []byte{b, g},
+				To: to, Write: []byte{b, g}, Dir: []Move{N, N},
+			})
+		}
+	}
+	return mc
+}
+
+// RandomScanMachine returns a randomized 1-tape machine that scans its
+// 0-1 input once and accepts iff every coin flip taken at a '1' comes
+// up heads: Pr[accept] = 2^{−(#1s)}. It combines data flow with
+// randomness, which makes it a good fixture for exact-probability
+// tests on nontrivial inputs.
+func RandomScanMachine() *Machine {
+	mc := &Machine{
+		Name:     "randomscan",
+		T:        1,
+		U:        0,
+		Start:    "scan",
+		Accept:   map[State]bool{"acc": true},
+		Final:    map[State]bool{"acc": true, "rej": true},
+		Alphabet: []byte{'0', '1', Blank},
+	}
+	mc.Rules = []Rule{
+		{From: "scan", Read: []byte{'0'}, To: "scan", Write: []byte{'0'}, Dir: []Move{R}},
+		// On '1': coin flip — continue or reject.
+		{From: "scan", Read: []byte{'1'}, To: "scan", Write: []byte{'1'}, Dir: []Move{R}},
+		{From: "scan", Read: []byte{'1'}, To: "rej", Write: []byte{'1'}, Dir: []Move{N}},
+		{From: "scan", Read: []byte{Blank}, To: "acc", Write: []byte{Blank}, Dir: []Move{N}},
+	}
+	return mc
+}

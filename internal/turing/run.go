@@ -1,0 +1,301 @@
+package turing
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrStuck is returned when a run reaches a non-final configuration
+// with no applicable transition.
+var ErrStuck = errors.New("turing: stuck in non-final configuration")
+
+// ErrNondeterministic is returned by RunDeterministic when a
+// configuration has more than one successor.
+var ErrNondeterministic = errors.New("turing: machine is not deterministic here")
+
+// ErrStepLimit is returned when a run exceeds the step limit.
+var ErrStepLimit = errors.New("turing: step limit exceeded")
+
+// Tracker accumulates the resource measures of Definition 1 along a
+// run: head reversals per tape and space per tape.
+type Tracker struct {
+	lastDir []int8 // +1 / -1; heads start in forward direction
+	Rev     []int  // direction changes per tape
+	Space   []int  // cells used per tape (max of content length and head reach)
+	Steps   int
+}
+
+// NewTracker returns a tracker for a machine with the given total
+// tape count.
+func NewTracker(tapes int) *Tracker {
+	tk := &Tracker{
+		lastDir: make([]int8, tapes),
+		Rev:     make([]int, tapes),
+		Space:   make([]int, tapes),
+	}
+	for i := range tk.lastDir {
+		tk.lastDir[i] = +1
+	}
+	return tk
+}
+
+// Observe folds one configuration transition into the counters.
+func (tk *Tracker) Observe(prev, next *Config) {
+	tk.Steps++
+	for i := range prev.Pos {
+		d := next.Pos[i] - prev.Pos[i]
+		if d > 0 && tk.lastDir[i] == -1 {
+			tk.Rev[i]++
+			tk.lastDir[i] = +1
+		} else if d < 0 && tk.lastDir[i] == +1 {
+			tk.Rev[i]++
+			tk.lastDir[i] = -1
+		}
+		if used := len(next.Tape[i]); used > tk.Space[i] {
+			tk.Space[i] = used
+		}
+		if reach := next.Pos[i] + 1; reach > tk.Space[i] {
+			tk.Space[i] = reach
+		}
+	}
+}
+
+// Init records the space of the initial configuration.
+func (tk *Tracker) Init(c *Config) {
+	for i := range c.Tape {
+		if used := len(c.Tape[i]); used > tk.Space[i] {
+			tk.Space[i] = used
+		}
+	}
+}
+
+// ExternalScans returns 1 + Σ reversals over the first t tapes
+// (Definition 1's bound r).
+func (tk *Tracker) ExternalScans(t int) int {
+	s := 1
+	for i := 0; i < t && i < len(tk.Rev); i++ {
+		s += tk.Rev[i]
+	}
+	return s
+}
+
+// InternalSpace returns Σ space over the internal tapes (tapes
+// t .. t+u-1), Definition 1's bound s.
+func (tk *Tracker) InternalSpace(t int) int {
+	s := 0
+	for i := t; i < len(tk.Space); i++ {
+		s += tk.Space[i]
+	}
+	return s
+}
+
+// RunResult reports a completed run.
+type RunResult struct {
+	Accepted bool
+	Final    *Config
+	Stats    *Tracker
+}
+
+// RunDeterministic executes a deterministic machine on the input,
+// failing if any configuration has several successors or the step
+// limit is exceeded.
+func (mc *Machine) RunDeterministic(input []byte, maxSteps int) (*RunResult, error) {
+	c := mc.NewConfig(input)
+	tk := NewTracker(mc.Tapes())
+	tk.Init(c)
+	for steps := 0; ; steps++ {
+		if mc.IsFinal(c) {
+			return &RunResult{Accepted: mc.IsAccepting(c), Final: c, Stats: tk}, nil
+		}
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("%w after %d steps", ErrStepLimit, steps)
+		}
+		succ := mc.Next(c)
+		switch len(succ) {
+		case 0:
+			return nil, fmt.Errorf("%w: state %q reading %q", ErrStuck, c.State, c.ReadAll())
+		case 1:
+			tk.Observe(c, succ[0])
+			c = succ[0]
+		default:
+			return nil, fmt.Errorf("%w: state %q has %d successors", ErrNondeterministic, c.State, len(succ))
+		}
+	}
+}
+
+// RunWithChoices executes the machine resolving nondeterminism by the
+// choice sequence (Definition 17): in step i, successor number
+// choices[i] mod |Next| is taken. If the run is longer than the
+// choice sequence, remaining choices default to 0.
+func (mc *Machine) RunWithChoices(input []byte, choices []int, maxSteps int) (*RunResult, error) {
+	c := mc.NewConfig(input)
+	tk := NewTracker(mc.Tapes())
+	tk.Init(c)
+	for steps := 0; ; steps++ {
+		if mc.IsFinal(c) {
+			return &RunResult{Accepted: mc.IsAccepting(c), Final: c, Stats: tk}, nil
+		}
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("%w after %d steps", ErrStepLimit, steps)
+		}
+		succ := mc.Next(c)
+		if len(succ) == 0 {
+			return nil, fmt.Errorf("%w: state %q reading %q", ErrStuck, c.State, c.ReadAll())
+		}
+		pick := 0
+		if steps < len(choices) {
+			pick = choices[steps] % len(succ)
+			if pick < 0 {
+				pick += len(succ)
+			}
+		}
+		tk.Observe(c, succ[pick])
+		c = succ[pick]
+	}
+}
+
+// AcceptProbability computes Pr[T accepts input] exactly by memoized
+// exploration of the run tree, with each successor chosen uniformly
+// (the randomized semantics of Section 2). It fails on infinite runs
+// (cycle on the exploration path) and on stuck configurations.
+func (mc *Machine) AcceptProbability(input []byte, maxDepth int) (Prob, error) {
+	memo := map[string]Prob{}
+	onPath := map[string]bool{}
+	var visit func(c *Config, depth int) (Prob, error)
+	visit = func(c *Config, depth int) (Prob, error) {
+		if mc.IsFinal(c) {
+			if mc.IsAccepting(c) {
+				return probOne(), nil
+			}
+			return probZero(), nil
+		}
+		if depth > maxDepth {
+			return nil, fmt.Errorf("%w at depth %d", ErrStepLimit, depth)
+		}
+		key := c.Key()
+		if p, ok := memo[key]; ok {
+			return p, nil
+		}
+		if onPath[key] {
+			return nil, fmt.Errorf("turing: infinite run detected at state %q", c.State)
+		}
+		onPath[key] = true
+		defer delete(onPath, key)
+		succ := mc.Next(c)
+		if len(succ) == 0 {
+			return nil, fmt.Errorf("%w: state %q reading %q", ErrStuck, c.State, c.ReadAll())
+		}
+		total := probZero()
+		for _, s := range succ {
+			p, err := visit(s, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			total.Add(total, p)
+		}
+		total.Quo(total, new(big.Rat).SetInt64(int64(len(succ))))
+		memo[key] = total
+		return total, nil
+	}
+	return visit(mc.NewConfig(input), 0)
+}
+
+// RunVisitor is called once per complete run with its outcome and
+// resource statistics.
+type RunVisitor func(accepted bool, stats *Tracker) error
+
+// ExploreRuns enumerates every run of the machine on the input (depth
+// first), invoking the visitor at each final configuration. The
+// tracker passed to the visitor is a snapshot; runCap bounds the
+// number of runs and maxDepth each run's length.
+func (mc *Machine) ExploreRuns(input []byte, maxDepth, runCap int, visit RunVisitor) error {
+	runs := 0
+	var rec func(c *Config, tk *Tracker, depth int) error
+	rec = func(c *Config, tk *Tracker, depth int) error {
+		if mc.IsFinal(c) {
+			runs++
+			if runs > runCap {
+				return fmt.Errorf("turing: more than %d runs", runCap)
+			}
+			return visit(mc.IsAccepting(c), tk)
+		}
+		if depth > maxDepth {
+			return fmt.Errorf("%w at depth %d", ErrStepLimit, depth)
+		}
+		succ := mc.Next(c)
+		if len(succ) == 0 {
+			return fmt.Errorf("%w: state %q reading %q", ErrStuck, c.State, c.ReadAll())
+		}
+		for _, s := range succ {
+			snap := &Tracker{
+				lastDir: append([]int8(nil), tk.lastDir...),
+				Rev:     append([]int(nil), tk.Rev...),
+				Space:   append([]int(nil), tk.Space...),
+				Steps:   tk.Steps,
+			}
+			snap.Observe(c, s)
+			if err := rec(s, snap, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c := mc.NewConfig(input)
+	tk := NewTracker(mc.Tapes())
+	tk.Init(c)
+	return rec(c, tk, 0)
+}
+
+// VerifyBounded checks that every run of the machine on the input
+// satisfies the (r, s, t)-bound of Definition 1: finiteness,
+// 1 + Σ external reversals ≤ r, and Σ internal space ≤ s.
+func (mc *Machine) VerifyBounded(input []byte, r, s, maxDepth, runCap int) error {
+	return mc.ExploreRuns(input, maxDepth, runCap, func(accepted bool, tk *Tracker) error {
+		if got := tk.ExternalScans(mc.T); got > r {
+			return fmt.Errorf("turing: run uses %d scans > r = %d", got, r)
+		}
+		if got := tk.InternalSpace(mc.T); got > s {
+			return fmt.Errorf("turing: run uses %d internal cells > s = %d", got, s)
+		}
+		return nil
+	})
+}
+
+// MaxBranch returns the maximum branching degree b of the machine: an
+// upper bound on |Next(γ)| over all configurations, computed from the
+// transition index.
+func (mc *Machine) MaxBranch() int {
+	if mc.index == nil {
+		mc.buildIndex()
+	}
+	b := 1
+	for _, ids := range mc.index {
+		if len(ids) > b {
+			b = len(ids)
+		}
+	}
+	return b
+}
+
+// ChoiceModulus returns b' = lcm(1, …, b) for b = MaxBranch()
+// (Definition 17): drawing c uniformly from {0, …, b'−1} and taking
+// successor c mod |Next(γ)| is uniform for every branching degree
+// ≤ b.
+func (mc *Machine) ChoiceModulus() int {
+	b := mc.MaxBranch()
+	l := 1
+	for i := 2; i <= b; i++ {
+		l = lcm(l, i)
+	}
+	return l
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

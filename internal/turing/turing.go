@@ -1,0 +1,282 @@
+// Package turing implements the multi-tape nondeterministic Turing
+// machines underlying the ST model (Definition 1 and Appendix A of
+// the paper): t external-memory tapes (tape 0 is the input tape) and
+// u internal-memory tapes, with exact accounting of head reversals on
+// the external tapes and of space on the internal tapes.
+//
+// The package supports deterministic, nondeterministic and randomized
+// execution. Randomized acceptance probabilities are computed EXACTLY
+// by exploring the run tree (Definition 17/Lemma 18 of the paper),
+// not by sampling, so the simulation experiments can verify equalities
+// like Pr[TM accepts] = Pr[list machine accepts] literally.
+package turing
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Blank is the blank tape symbol ✷.
+const Blank byte = '_'
+
+// Move directions for transition rules.
+type Move int8
+
+// Head movements: left, none, right.
+const (
+	L Move = -1
+	N Move = 0
+	R Move = +1
+)
+
+func (m Move) String() string {
+	switch m {
+	case L:
+		return "L"
+	case N:
+		return "N"
+	case R:
+		return "R"
+	default:
+		return fmt.Sprintf("Move(%d)", int8(m))
+	}
+}
+
+// State is a machine state identified by name.
+type State string
+
+// Rule is one transition: in state From reading Read[i] on tape i,
+// switch to state To, write Write[i] and move head i by Dir[i].
+// Following the paper's normalization, at most one head may move per
+// step (enforced by Machine.Validate).
+type Rule struct {
+	From  State
+	Read  []byte
+	To    State
+	Write []byte
+	Dir   []Move
+}
+
+// Machine is a nondeterministic multi-tape Turing machine
+// T = (Q, Σ, Δ, q0, F, Facc) with T external tapes and U internal
+// tapes (total T+U tapes; tape 0 is the input tape).
+type Machine struct {
+	Name     string
+	T        int // number of external-memory tapes
+	U        int // number of internal-memory tapes
+	Start    State
+	Accept   map[State]bool // accepting final states Facc
+	Final    map[State]bool // all final states F (includes Facc)
+	Rules    []Rule
+	Alphabet []byte // tape alphabet; must include Blank
+
+	index map[string][]int // transition lookup: state+symbols -> rule indices
+}
+
+// ErrInvalid is returned by Validate for ill-formed machines.
+var ErrInvalid = errors.New("turing: invalid machine")
+
+// Tapes returns the total number of tapes T+U.
+func (mc *Machine) Tapes() int { return mc.T + mc.U }
+
+// Validate checks structural well-formedness: rule arities, the
+// one-moving-head normalization, final states having no outgoing
+// rules, and alphabet closure.
+func (mc *Machine) Validate() error {
+	if mc.T < 1 {
+		return fmt.Errorf("%w: need at least one external tape", ErrInvalid)
+	}
+	if mc.U < 0 {
+		return fmt.Errorf("%w: negative internal tape count", ErrInvalid)
+	}
+	alpha := map[byte]bool{}
+	for _, a := range mc.Alphabet {
+		alpha[a] = true
+	}
+	if !alpha[Blank] {
+		return fmt.Errorf("%w: alphabet misses the blank symbol", ErrInvalid)
+	}
+	for a := range mc.Accept {
+		if !mc.Final[a] {
+			return fmt.Errorf("%w: accepting state %q not final", ErrInvalid, a)
+		}
+	}
+	k := mc.Tapes()
+	for i, r := range mc.Rules {
+		if len(r.Read) != k || len(r.Write) != k || len(r.Dir) != k {
+			return fmt.Errorf("%w: rule %d arity %d/%d/%d, want %d",
+				ErrInvalid, i, len(r.Read), len(r.Write), len(r.Dir), k)
+		}
+		if mc.Final[r.From] {
+			return fmt.Errorf("%w: rule %d leaves final state %q", ErrInvalid, i, r.From)
+		}
+		moving := 0
+		for _, d := range r.Dir {
+			if d != N {
+				moving++
+			}
+		}
+		if moving > 1 {
+			return fmt.Errorf("%w: rule %d moves %d heads; machines are normalized to move at most one",
+				ErrInvalid, i, moving)
+		}
+		for _, b := range r.Read {
+			if !alpha[b] {
+				return fmt.Errorf("%w: rule %d reads %q outside alphabet", ErrInvalid, i, b)
+			}
+		}
+		for _, b := range r.Write {
+			if !alpha[b] {
+				return fmt.Errorf("%w: rule %d writes %q outside alphabet", ErrInvalid, i, b)
+			}
+		}
+	}
+	return nil
+}
+
+// buildIndex prepares the transition lookup table.
+func (mc *Machine) buildIndex() {
+	mc.index = map[string][]int{}
+	for i, r := range mc.Rules {
+		mc.index[ruleKey(r.From, r.Read)] = append(mc.index[ruleKey(r.From, r.Read)], i)
+	}
+}
+
+func ruleKey(s State, read []byte) string {
+	return string(s) + "\x00" + string(read)
+}
+
+// Config is a configuration: state, head positions and tape contents.
+// Tapes are one-sided infinite with cells indexed from 0; content
+// slices hold the touched prefix.
+type Config struct {
+	State State
+	Pos   []int
+	Tape  [][]byte
+}
+
+// NewConfig returns the initial configuration for the given input word
+// on tape 0.
+func (mc *Machine) NewConfig(input []byte) *Config {
+	c := &Config{
+		State: mc.Start,
+		Pos:   make([]int, mc.Tapes()),
+		Tape:  make([][]byte, mc.Tapes()),
+	}
+	c.Tape[0] = append([]byte(nil), input...)
+	return c
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	n := &Config{
+		State: c.State,
+		Pos:   append([]int(nil), c.Pos...),
+		Tape:  make([][]byte, len(c.Tape)),
+	}
+	for i, t := range c.Tape {
+		n.Tape[i] = append([]byte(nil), t...)
+	}
+	return n
+}
+
+// Read returns the symbol under head i.
+func (c *Config) Read(i int) byte {
+	if c.Pos[i] < len(c.Tape[i]) {
+		return c.Tape[i][c.Pos[i]]
+	}
+	return Blank
+}
+
+// ReadAll returns the symbols under all heads.
+func (c *Config) ReadAll() []byte {
+	out := make([]byte, len(c.Tape))
+	for i := range c.Tape {
+		out[i] = c.Read(i)
+	}
+	return out
+}
+
+// write stores b under head i, materializing blanks as needed.
+// Writing a blank past the materialized region is a no-op (the cell
+// already holds a blank).
+func (c *Config) write(i int, b byte) {
+	if b == Blank && c.Pos[i] >= len(c.Tape[i]) {
+		return
+	}
+	for c.Pos[i] >= len(c.Tape[i]) {
+		c.Tape[i] = append(c.Tape[i], Blank)
+	}
+	c.Tape[i][c.Pos[i]] = b
+}
+
+// Key returns a canonical string identifying the configuration (for
+// memoized run-tree exploration).
+func (c *Config) Key() string {
+	var b strings.Builder
+	b.WriteString(string(c.State))
+	for i := range c.Tape {
+		fmt.Fprintf(&b, "|%d:", c.Pos[i])
+		b.Write(c.Tape[i])
+	}
+	return b.String()
+}
+
+// Next returns all successor configurations of c (the set Next_T(γ)
+// of the paper). A configuration in a final state has no successors.
+func (mc *Machine) Next(c *Config) []*Config {
+	if mc.index == nil {
+		mc.buildIndex()
+	}
+	if mc.Final[c.State] {
+		return nil
+	}
+	ids := mc.index[ruleKey(c.State, c.ReadAll())]
+	out := make([]*Config, 0, len(ids))
+	for _, id := range ids {
+		r := mc.Rules[id]
+		n := c.Clone()
+		n.State = r.To
+		for i := range r.Write {
+			n.write(i, r.Write[i])
+		}
+		for i, d := range r.Dir {
+			p := n.Pos[i] + int(d)
+			if p < 0 {
+				p = 0 // falling off the left end: stay (one-sided tapes)
+			}
+			n.Pos[i] = p
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// MatchRules returns the transition rules applicable in state q when
+// reading the given symbols, in declaration order.
+func (mc *Machine) MatchRules(q State, reads []byte) []Rule {
+	if mc.index == nil {
+		mc.buildIndex()
+	}
+	ids := mc.index[ruleKey(q, reads)]
+	out := make([]Rule, len(ids))
+	for i, id := range ids {
+		out[i] = mc.Rules[id]
+	}
+	return out
+}
+
+// IsFinal reports whether c is in a final state.
+func (mc *Machine) IsFinal(c *Config) bool { return mc.Final[c.State] }
+
+// IsAccepting reports whether c is in an accepting state.
+func (mc *Machine) IsAccepting(c *Config) bool { return mc.Accept[c.State] }
+
+// Prob is an exact rational probability.
+type Prob = *big.Rat
+
+// zero and one probabilities.
+func probZero() Prob { return new(big.Rat) }
+func probOne() Prob  { return big.NewRat(1, 1) }

@@ -1,0 +1,351 @@
+package turing
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestValidateSampleMachines(t *testing.T) {
+	machines := []*Machine{
+		ParityMachine(), ZigZagMachine(3), CopyMachine(),
+		CoinMachine(2), ThreeWayMachine(), GuessBitMachine(), RandomScanMachine(),
+	}
+	for _, mc := range machines {
+		if err := mc.Validate(); err != nil {
+			t.Fatalf("%s: %v", mc.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	// Two moving heads.
+	mc := &Machine{
+		T: 2, U: 0, Start: "s",
+		Final:    map[State]bool{"f": true},
+		Accept:   map[State]bool{},
+		Alphabet: []byte{Blank},
+		Rules: []Rule{
+			{From: "s", Read: []byte{Blank, Blank}, To: "f", Write: []byte{Blank, Blank}, Dir: []Move{R, R}},
+		},
+	}
+	if err := mc.Validate(); err == nil {
+		t.Fatal("two moving heads accepted")
+	}
+	// Rule leaving a final state.
+	mc2 := &Machine{
+		T: 1, U: 0, Start: "s",
+		Final:    map[State]bool{"s": true},
+		Accept:   map[State]bool{},
+		Alphabet: []byte{Blank},
+		Rules: []Rule{
+			{From: "s", Read: []byte{Blank}, To: "s", Write: []byte{Blank}, Dir: []Move{N}},
+		},
+	}
+	if err := mc2.Validate(); err == nil {
+		t.Fatal("rule from final state accepted")
+	}
+	// Accepting state not final.
+	mc3 := &Machine{
+		T: 1, U: 0, Start: "s",
+		Final:    map[State]bool{},
+		Accept:   map[State]bool{"a": true},
+		Alphabet: []byte{Blank},
+	}
+	if err := mc3.Validate(); err == nil {
+		t.Fatal("accepting non-final state accepted")
+	}
+	// Missing blank.
+	mc4 := &Machine{T: 1, U: 0, Start: "s", Final: map[State]bool{}, Accept: map[State]bool{}, Alphabet: []byte{'0'}}
+	if err := mc4.Validate(); err == nil {
+		t.Fatal("alphabet without blank accepted")
+	}
+}
+
+func TestParityMachine(t *testing.T) {
+	mc := ParityMachine()
+	cases := map[string]bool{
+		"":       true,
+		"0":      true,
+		"1":      false,
+		"11":     true,
+		"10110":  false,
+		"101101": true,
+	}
+	for in, want := range cases {
+		res, err := mc.RunDeterministic([]byte(in), 1000)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if res.Accepted != want {
+			t.Fatalf("parity(%q) = %v, want %v", in, res.Accepted, want)
+		}
+		if res.Stats.ExternalScans(1) != 1 {
+			t.Fatalf("parity used %d scans, want 1", res.Stats.ExternalScans(1))
+		}
+	}
+}
+
+func TestZigZagReversals(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		mc := ZigZagMachine(k)
+		res, err := mc.RunDeterministic([]byte("^0110"), 10000)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("k=%d: rejected", k)
+		}
+		wantRev := 2 * (k - 1)
+		if res.Stats.Rev[0] != wantRev {
+			t.Fatalf("k=%d: %d reversals, want %d", k, res.Stats.Rev[0], wantRev)
+		}
+		if res.Stats.ExternalScans(1) != 2*k-1 {
+			t.Fatalf("k=%d: %d scans, want %d", k, res.Stats.ExternalScans(1), 2*k-1)
+		}
+	}
+}
+
+func TestCopyMachine(t *testing.T) {
+	mc := CopyMachine()
+	res, err := mc.RunDeterministic([]byte("10110"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("copy rejected")
+	}
+	if got := string(res.Final.Tape[1]); got != "10110" {
+		t.Fatalf("tape 1 = %q, want %q", got, "10110")
+	}
+	if res.Stats.Rev[0] != 0 || res.Stats.Rev[1] != 0 {
+		t.Fatalf("copy reversed heads: %v", res.Stats.Rev)
+	}
+}
+
+func TestCoinMachineProbability(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		mc := CoinMachine(k)
+		p, err := mc.AcceptProbability(nil, 100)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := new(big.Rat).SetFrac64(1, 1<<uint(k))
+		if p.Cmp(want) != 0 {
+			t.Fatalf("k=%d: Pr = %v, want %v", k, p, want)
+		}
+	}
+}
+
+func TestThreeWayProbability(t *testing.T) {
+	mc := ThreeWayMachine()
+	p, err := mc.AcceptProbability(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cmp(big.NewRat(2, 3)) != 0 {
+		t.Fatalf("Pr = %v, want 2/3", p)
+	}
+	if mc.MaxBranch() != 3 {
+		t.Fatalf("MaxBranch = %d, want 3", mc.MaxBranch())
+	}
+	if mc.ChoiceModulus() != 6 {
+		t.Fatalf("ChoiceModulus = %d, want lcm(1,2,3) = 6", mc.ChoiceModulus())
+	}
+}
+
+func TestGuessBitProbability(t *testing.T) {
+	mc := GuessBitMachine()
+	for _, in := range []string{"0", "1"} {
+		p, err := mc.AcceptProbability([]byte(in), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cmp(big.NewRat(1, 2)) != 0 {
+			t.Fatalf("Pr[accept %q] = %v, want 1/2", in, p)
+		}
+	}
+}
+
+func TestRandomScanProbability(t *testing.T) {
+	mc := RandomScanMachine()
+	cases := map[string]*big.Rat{
+		"":      big.NewRat(1, 1),
+		"000":   big.NewRat(1, 1),
+		"1":     big.NewRat(1, 2),
+		"101":   big.NewRat(1, 4),
+		"11011": big.NewRat(1, 16),
+	}
+	for in, want := range cases {
+		p, err := mc.AcceptProbability([]byte(in), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cmp(want) != 0 {
+			t.Fatalf("Pr[accept %q] = %v, want %v", in, p, want)
+		}
+	}
+}
+
+// Lemma 18 / Definition 17: averaging runs over uniform choice
+// sequences reproduces the acceptance probability.
+func TestChoiceSequencesReproduceProbability(t *testing.T) {
+	mc := ThreeWayMachine()
+	b := mc.ChoiceModulus() // 6
+	accepts := 0
+	total := 0
+	// The machine halts in one step; one choice suffices.
+	for c := 0; c < b; c++ {
+		res, err := mc.RunWithChoices(nil, []int{c}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.Accepted {
+			accepts++
+		}
+	}
+	if accepts*3 != total*2 {
+		t.Fatalf("choice enumeration: %d/%d accepts, want ratio 2/3", accepts, total)
+	}
+}
+
+func TestRunWithChoicesMultiStep(t *testing.T) {
+	mc := CoinMachine(3)
+	accepts := 0
+	for c0 := 0; c0 < 2; c0++ {
+		for c1 := 0; c1 < 2; c1++ {
+			for c2 := 0; c2 < 2; c2++ {
+				res, err := mc.RunWithChoices(nil, []int{c0, c1, c2}, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Accepted {
+					accepts++
+				}
+			}
+		}
+	}
+	if accepts != 1 {
+		t.Fatalf("%d accepting choice triples, want 1", accepts)
+	}
+}
+
+func TestRunDeterministicErrors(t *testing.T) {
+	mc := CoinMachine(1)
+	if _, err := mc.RunDeterministic(nil, 10); !errors.Is(err, ErrNondeterministic) {
+		t.Fatalf("err = %v, want ErrNondeterministic", err)
+	}
+	stuck := &Machine{
+		T: 1, U: 0, Start: "s",
+		Final:    map[State]bool{"f": true},
+		Accept:   map[State]bool{"f": true},
+		Alphabet: []byte{Blank},
+	}
+	if _, err := stuck.RunDeterministic(nil, 10); !errors.Is(err, ErrStuck) {
+		t.Fatalf("err = %v, want ErrStuck", err)
+	}
+	loop := &Machine{
+		T: 1, U: 0, Start: "s",
+		Final:    map[State]bool{},
+		Accept:   map[State]bool{},
+		Alphabet: []byte{Blank},
+		Rules: []Rule{
+			{From: "s", Read: []byte{Blank}, To: "s", Write: []byte{Blank}, Dir: []Move{N}},
+		},
+	}
+	if _, err := loop.RunDeterministic(nil, 10); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	if _, err := loop.AcceptProbability(nil, 10); err == nil {
+		t.Fatal("infinite run not detected by AcceptProbability")
+	}
+}
+
+func TestExploreRunsCountsAllRuns(t *testing.T) {
+	mc := CoinMachine(2)
+	runs := 0
+	accepts := 0
+	err := mc.ExploreRuns(nil, 100, 100, func(acc bool, tk *Tracker) error {
+		runs++
+		if acc {
+			accepts++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs: rej (1st flip), rej (2nd flip), acc — three leaves.
+	if runs != 3 || accepts != 1 {
+		t.Fatalf("runs = %d accepts = %d, want 3/1", runs, accepts)
+	}
+}
+
+func TestVerifyBounded(t *testing.T) {
+	mc := ZigZagMachine(2)
+	// 3 scans needed; r = 3 passes, r = 2 fails.
+	if err := mc.VerifyBounded([]byte("^01"), 3, 10, 1000, 10); err != nil {
+		t.Fatalf("r=3 rejected: %v", err)
+	}
+	if err := mc.VerifyBounded([]byte("^01"), 2, 10, 1000, 10); err == nil {
+		t.Fatal("r=2 accepted")
+	}
+	// Internal space of GuessBit: 1 cell; s = 1 passes, s = 0 fails.
+	gb := GuessBitMachine()
+	if err := gb.VerifyBounded([]byte("1"), 1, 1, 100, 10); err != nil {
+		t.Fatalf("s=1 rejected: %v", err)
+	}
+	if err := gb.VerifyBounded([]byte("1"), 1, 0, 100, 10); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+}
+
+func TestConfigKeyDistinguishes(t *testing.T) {
+	mc := ParityMachine()
+	a := mc.NewConfig([]byte("01"))
+	b := mc.NewConfig([]byte("10"))
+	if a.Key() == b.Key() {
+		t.Fatal("distinct configs share a key")
+	}
+	c := a.Clone()
+	if a.Key() != c.Key() {
+		t.Fatal("clone changed the key")
+	}
+	c.Pos[0] = 1
+	if a.Key() == c.Key() {
+		t.Fatal("position not in key")
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if L.String() != "L" || N.String() != "N" || R.String() != "R" {
+		t.Fatal("Move.String mismatch")
+	}
+	if !strings.Contains(Move(5).String(), "5") {
+		t.Fatal("unknown move formatting")
+	}
+}
+
+func TestTrackerSpaceIncludesReach(t *testing.T) {
+	// A head that only moves right over blanks uses cells without
+	// writing; Space must count them.
+	mc := &Machine{
+		T: 1, U: 0, Start: "s",
+		Final:    map[State]bool{"f": true},
+		Accept:   map[State]bool{"f": true},
+		Alphabet: []byte{Blank},
+		Rules: []Rule{
+			{From: "s", Read: []byte{Blank}, To: "t", Write: []byte{Blank}, Dir: []Move{R}},
+			{From: "t", Read: []byte{Blank}, To: "f", Write: []byte{Blank}, Dir: []Move{R}},
+		},
+	}
+	res, err := mc.RunDeterministic(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Space[0] != 3 {
+		t.Fatalf("Space = %d, want 3 (cells 0,1,2 reached)", res.Stats.Space[0])
+	}
+}

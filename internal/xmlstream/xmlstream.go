@@ -1,0 +1,215 @@
+// Package xmlstream provides the XML document encoding of Section 4
+// of the paper: a SET-EQUALITY instance x1#…xm#y1#…ym# becomes
+//
+//	<instance>
+//	  <set1> <item><string>x1</string></item> … </set1>
+//	  <set2> <item><string>y1</string></item> … </set2>
+//	</instance>
+//
+// together with a minimal tokenizer and tree parser for the tag-only
+// XML fragment the reductions need (no attributes, no entities).
+package xmlstream
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"extmem/internal/problems"
+)
+
+// A Node is an element or text node of the document tree.
+type Node struct {
+	Name     string // element name; empty for text nodes
+	Text     string // text content for text nodes
+	Children []*Node
+	Parent   *Node
+}
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool { return n.Name == "" }
+
+// StringValue returns the concatenated text content of the subtree
+// (the XPath string-value).
+func (n *Node) StringValue() string {
+	if n.IsText() {
+		return n.Text
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		b.WriteString(c.StringValue())
+	}
+	return b.String()
+}
+
+// ChildElements returns the element children with the given name
+// ("*" matches every element).
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if !c.IsText() && (name == "*" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants appends all element descendants (not self) with the
+// given name, in document order.
+func (n *Node) Descendants(name string) []*Node {
+	var out []*Node
+	var rec func(x *Node)
+	rec = func(x *Node) {
+		for _, c := range x.Children {
+			if !c.IsText() {
+				if name == "*" || c.Name == name {
+					out = append(out, c)
+				}
+				rec(c)
+			}
+		}
+	}
+	rec(n)
+	return out
+}
+
+// Ancestors returns the element ancestors with the given name, from
+// the parent upward.
+func (n *Node) Ancestors(name string) []*Node {
+	var out []*Node
+	for a := n.Parent; a != nil; a = a.Parent {
+		if !a.IsText() && (name == "*" || a.Name == name) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// EncodeInstance renders the Section 4 document for the instance.
+func EncodeInstance(in problems.Instance) []byte {
+	var b strings.Builder
+	b.WriteString("<instance>")
+	writeSet := func(tag string, values []string) {
+		b.WriteString("<" + tag + ">")
+		for _, v := range values {
+			b.WriteString("<item><string>")
+			b.WriteString(v)
+			b.WriteString("</string></item>")
+		}
+		b.WriteString("</" + tag + ">")
+	}
+	writeSet("set1", in.V)
+	writeSet("set2", in.W)
+	b.WriteString("</instance>")
+	return []byte(b.String())
+}
+
+// ErrParse is returned for ill-formed documents.
+var ErrParse = errors.New("xmlstream: parse error")
+
+// Parse builds the document tree of a tag-only XML document. The
+// returned node is a synthetic root whose single element child is the
+// document element.
+func Parse(data []byte) (*Node, error) {
+	root := &Node{Name: "#root"}
+	cur := root
+	i := 0
+	for i < len(data) {
+		if data[i] == '<' {
+			j := i + 1
+			for j < len(data) && data[j] != '>' {
+				j++
+			}
+			if j >= len(data) {
+				return nil, fmt.Errorf("%w: unterminated tag at %d", ErrParse, i)
+			}
+			tag := string(data[i+1 : j])
+			switch {
+			case strings.HasPrefix(tag, "/"):
+				name := tag[1:]
+				if cur == root || cur.Name != name {
+					return nil, fmt.Errorf("%w: unexpected </%s>", ErrParse, name)
+				}
+				cur = cur.Parent
+			case strings.HasSuffix(tag, "/"):
+				name := strings.TrimSuffix(tag, "/")
+				if name == "" {
+					return nil, fmt.Errorf("%w: empty self-closing tag", ErrParse)
+				}
+				child := &Node{Name: name, Parent: cur}
+				cur.Children = append(cur.Children, child)
+			default:
+				if tag == "" {
+					return nil, fmt.Errorf("%w: empty tag", ErrParse)
+				}
+				child := &Node{Name: tag, Parent: cur}
+				cur.Children = append(cur.Children, child)
+				cur = child
+			}
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(data) && data[j] != '<' {
+			j++
+		}
+		text := strings.TrimSpace(string(data[i:j]))
+		if text != "" {
+			cur.Children = append(cur.Children, &Node{Text: text, Parent: cur})
+		}
+		i = j
+	}
+	if cur != root {
+		return nil, fmt.Errorf("%w: unclosed element <%s>", ErrParse, cur.Name)
+	}
+	if len(root.ChildElements("*")) != 1 {
+		return nil, fmt.Errorf("%w: document needs exactly one root element", ErrParse)
+	}
+	return root, nil
+}
+
+// DecodeInstance inverts EncodeInstance: it extracts the two halves
+// from a parsed Section 4 document.
+func DecodeInstance(root *Node) (problems.Instance, error) {
+	doc := root.ChildElements("instance")
+	if len(doc) != 1 {
+		return problems.Instance{}, fmt.Errorf("%w: missing <instance>", ErrParse)
+	}
+	var in problems.Instance
+	for tag, dst := range map[string]*[]string{"set1": &in.V, "set2": &in.W} {
+		sets := doc[0].ChildElements(tag)
+		if len(sets) != 1 {
+			return problems.Instance{}, fmt.Errorf("%w: missing <%s>", ErrParse, tag)
+		}
+		for _, item := range sets[0].ChildElements("item") {
+			strs := item.ChildElements("string")
+			if len(strs) != 1 {
+				return problems.Instance{}, fmt.Errorf("%w: item without string", ErrParse)
+			}
+			*dst = append(*dst, strs[0].StringValue())
+		}
+	}
+	return in, nil
+}
+
+// Render serializes the tree back to markup (element children only at
+// the synthetic root).
+func Render(n *Node) string {
+	if n.Name == "#root" {
+		var b strings.Builder
+		for _, c := range n.Children {
+			b.WriteString(Render(c))
+		}
+		return b.String()
+	}
+	if n.IsText() {
+		return n.Text
+	}
+	var b strings.Builder
+	b.WriteString("<" + n.Name + ">")
+	for _, c := range n.Children {
+		b.WriteString(Render(c))
+	}
+	b.WriteString("</" + n.Name + ">")
+	return b.String()
+}

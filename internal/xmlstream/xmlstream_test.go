@@ -1,0 +1,159 @@
+package xmlstream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"extmem/internal/problems"
+)
+
+func TestEncodeInstanceShape(t *testing.T) {
+	in := problems.Instance{V: []string{"01"}, W: []string{"10"}}
+	got := string(EncodeInstance(in))
+	want := "<instance><set1><item><string>01</string></item></set1>" +
+		"<set2><item><string>10</string></item></set2></instance>"
+	if got != want {
+		t.Fatalf("encoded = %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		in := problems.GenMultisetYes(1+rng.Intn(8), 1+rng.Intn(6), rng)
+		doc, err := Parse(EncodeInstance(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeInstance(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(dec.V, ",") != strings.Join(in.V, ",") ||
+			strings.Join(dec.W, ",") != strings.Join(in.W, ",") {
+			t.Fatalf("round trip: %+v -> %+v", in, dec)
+		}
+	}
+}
+
+func TestParseWhitespaceAndText(t *testing.T) {
+	doc, err := Parse([]byte("<a>\n  <b>hello</b>\n  <b>world</b>\n</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := doc.ChildElements("a")[0]
+	bs := a.ChildElements("b")
+	if len(bs) != 2 || bs[0].StringValue() != "hello" || bs[1].StringValue() != "world" {
+		t.Fatalf("parsed: %+v", a)
+	}
+}
+
+func TestParseSelfClosing(t *testing.T) {
+	doc, err := Parse([]byte("<r><true/></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := doc.ChildElements("r")[0]
+	if len(r.ChildElements("true")) != 1 {
+		t.Fatal("self-closing element lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"<a><b></a>",     // mismatched close
+		"<a>",            // unclosed
+		"<a></a><b></b>", // two roots
+		"</a>",           // close without open
+		"<a",             // unterminated tag
+		"<a><></a>",      // empty tag
+	}
+	for _, s := range bad {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Fatalf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestStringValueConcatenates(t *testing.T) {
+	doc, err := Parse([]byte("<a><b>x</b><c>y</c></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.ChildElements("a")[0].StringValue(); got != "xy" {
+		t.Fatalf("StringValue = %q", got)
+	}
+}
+
+func TestDescendantsOrder(t *testing.T) {
+	doc, err := Parse([]byte("<a><b><c>1</c></b><c>2</c></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := doc.Descendants("c")
+	if len(cs) != 2 || cs[0].StringValue() != "1" || cs[1].StringValue() != "2" {
+		t.Fatalf("Descendants = %v", cs)
+	}
+	all := doc.Descendants("*")
+	if len(all) != 4 { // a, b, c, c
+		t.Fatalf("Descendants(*) = %d nodes, want 4", len(all))
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	doc, err := Parse([]byte("<a><b><c>1</c></b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := doc.Descendants("c")[0]
+	if got := c.Ancestors("a"); len(got) != 1 {
+		t.Fatalf("Ancestors(a) = %d", len(got))
+	}
+	if got := c.Ancestors("*"); len(got) != 3 { // b, a, #root
+		t.Fatalf("Ancestors(*) = %d, want 3", len(got))
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := "<a><b>x</b><c><d></d></c></a>"
+	doc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Render(doc); got != src {
+		t.Fatalf("Render = %q, want %q", got, src)
+	}
+}
+
+func TestDecodeInstanceErrors(t *testing.T) {
+	for _, s := range []string{
+		"<other></other>",
+		"<instance><set1></set1></instance>",
+		"<instance><set1><item></item></set1><set2></set2></instance>",
+	} {
+		doc, err := Parse([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeInstance(doc); err == nil {
+			t.Fatalf("DecodeInstance(%q) succeeded", s)
+		}
+	}
+}
+
+func TestEmptyStringValues(t *testing.T) {
+	// Values of length zero produce <string></string>.
+	in := problems.Instance{V: []string{""}, W: []string{""}}
+	doc, err := Parse(EncodeInstance(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeInstance(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.V) != 1 || dec.V[0] != "" {
+		t.Fatalf("decoded: %+v", dec)
+	}
+}

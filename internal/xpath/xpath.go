@@ -1,0 +1,194 @@
+// Package xpath evaluates the XPath fragment used by Theorem 13:
+// location paths over the axes child, descendant, ancestor and self,
+// with predicates built from node-set comparisons (the W3C
+// "existential" semantics), not(...), and conjunction. The package
+// provides the exact query of Figure 1 and the two-run booster
+// machine T̃ from the theorem's proof.
+package xpath
+
+import (
+	"strings"
+
+	"extmem/internal/xmlstream"
+)
+
+// Axis selects the navigation direction of a step.
+type Axis int
+
+// Supported axes.
+const (
+	Child Axis = iota
+	Descendant
+	Ancestor
+	Self
+)
+
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Descendant:
+		return "descendant"
+	case Ancestor:
+		return "ancestor"
+	default:
+		return "self"
+	}
+}
+
+// Step is one location step axis::name[predicate?].
+type Step struct {
+	Axis Axis
+	Name string // element name test; "*" matches all
+	Pred Pred   // optional
+}
+
+// Path is a sequence of steps, evaluated relative to a context node.
+type Path []Step
+
+// Pred is a predicate over a context node.
+type Pred interface {
+	Holds(ctx *xmlstream.Node) bool
+	String() string
+}
+
+// Compare is the existential node-set equality L = R: it holds iff
+// some node selected by L and some node selected by R have equal
+// string values.
+type Compare struct{ L, R Path }
+
+// Holds implements Pred.
+func (c Compare) Holds(ctx *xmlstream.Node) bool {
+	left := c.L.Select(ctx)
+	right := c.R.Select(ctx)
+	seen := map[string]bool{}
+	for _, n := range left {
+		seen[n.StringValue()] = true
+	}
+	for _, n := range right {
+		if seen[n.StringValue()] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Compare) String() string { return c.L.String() + " = " + c.R.String() }
+
+// NotPred negates a predicate (the XPath not() function).
+type NotPred struct{ P Pred }
+
+// Holds implements Pred.
+func (n NotPred) Holds(ctx *xmlstream.Node) bool { return !n.P.Holds(ctx) }
+
+func (n NotPred) String() string { return "not(" + n.P.String() + ")" }
+
+// AndPred conjoins predicates.
+type AndPred struct{ Ps []Pred }
+
+// Holds implements Pred.
+func (a AndPred) Holds(ctx *xmlstream.Node) bool {
+	for _, p := range a.Ps {
+		if !p.Holds(ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a AndPred) String() string {
+	parts := make([]string, len(a.Ps))
+	for i, p := range a.Ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// ExistsPred holds iff the path selects at least one node.
+type ExistsPred struct{ P Path }
+
+// Holds implements Pred.
+func (e ExistsPred) Holds(ctx *xmlstream.Node) bool { return len(e.P.Select(ctx)) > 0 }
+
+func (e ExistsPred) String() string { return e.P.String() }
+
+// Select evaluates the path relative to ctx, returning the selected
+// nodes in document-order-ish traversal order (duplicates removed).
+func (p Path) Select(ctx *xmlstream.Node) []*xmlstream.Node {
+	current := []*xmlstream.Node{ctx}
+	for _, step := range p {
+		var next []*xmlstream.Node
+		seen := map[*xmlstream.Node]bool{}
+		for _, n := range current {
+			for _, cand := range step.candidates(n) {
+				if step.Pred != nil && !step.Pred.Holds(cand) {
+					continue
+				}
+				if !seen[cand] {
+					seen[cand] = true
+					next = append(next, cand)
+				}
+			}
+		}
+		current = next
+	}
+	return current
+}
+
+func (s Step) candidates(n *xmlstream.Node) []*xmlstream.Node {
+	switch s.Axis {
+	case Child:
+		return n.ChildElements(s.Name)
+	case Descendant:
+		return n.Descendants(s.Name)
+	case Ancestor:
+		return n.Ancestors(s.Name)
+	default: // Self
+		if !n.IsText() && (s.Name == "*" || n.Name == s.Name) {
+			return []*xmlstream.Node{n}
+		}
+		return nil
+	}
+}
+
+// String renders the path in XPath syntax.
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		str := s.Axis.String() + "::" + s.Name
+		if s.Pred != nil {
+			str += "[" + s.Pred.String() + "]"
+		}
+		parts[i] = str
+	}
+	return strings.Join(parts, "/")
+}
+
+// Figure1Query returns the query of Figure 1 of the paper:
+//
+//	descendant::set1 / child::item [ not( child::string =
+//	    ancestor::instance / child::set2 / child::item / child::string ) ]
+//
+// Evaluated from the document root, it selects the item nodes below
+// set1 whose string does NOT occur below set2 — the elements of
+// X − Y.
+func Figure1Query() Path {
+	return Path{
+		{Axis: Descendant, Name: "set1"},
+		{Axis: Child, Name: "item", Pred: NotPred{P: Compare{
+			L: Path{{Axis: Child, Name: "string"}},
+			R: Path{
+				{Axis: Ancestor, Name: "instance"},
+				{Axis: Child, Name: "set2"},
+				{Axis: Child, Name: "item"},
+				{Axis: Child, Name: "string"},
+			},
+		}}},
+	}
+}
+
+// Filter reports whether the query selects at least one node of the
+// document — the filtering problem of Theorem 13.
+func Filter(doc *xmlstream.Node, q Path) bool {
+	return len(q.Select(doc)) > 0
+}

@@ -1,0 +1,212 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/problems"
+	"extmem/internal/xmlstream"
+)
+
+func mustDoc(t *testing.T, in problems.Instance) *xmlstream.Node {
+	t.Helper()
+	doc, err := xmlstream.Parse(xmlstream.EncodeInstance(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// Figure 1: the query selects exactly the set1 items whose string is
+// missing from set2 — X − Y.
+func TestFigure1SelectsSetDifference(t *testing.T) {
+	in := problems.Instance{
+		V: []string{"00", "01", "10"},
+		W: []string{"01", "11", "11"},
+	}
+	doc := mustDoc(t, in)
+	sel := Figure1Query().Select(doc)
+	got := map[string]bool{}
+	for _, n := range sel {
+		got[n.StringValue()] = true
+	}
+	want := map[string]bool{"00": true, "10": true} // X − Y
+	if len(got) != len(want) {
+		t.Fatalf("selected %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing %q in %v", k, got)
+		}
+	}
+}
+
+func TestFilterEmptyDifference(t *testing.T) {
+	in := problems.Instance{V: []string{"0", "1"}, W: []string{"1", "0"}}
+	if Filter(mustDoc(t, in), Figure1Query()) {
+		t.Fatal("X ⊆ Y but the filter matched")
+	}
+}
+
+// Filtering is one-directional: X ⊆ Y, not set equality.
+func TestFilterIsSubsetCheckOnly(t *testing.T) {
+	in := problems.Instance{V: []string{"0"}, W: []string{"0", "1"}}
+	if Filter(mustDoc(t, in), Figure1Query()) {
+		t.Fatal("X ⊆ Y but filter matched")
+	}
+	rev := problems.Instance{V: in.W, W: in.V}
+	if !Filter(mustDoc(t, rev), Figure1Query()) {
+		t.Fatal("Y ⊄ X but filter did not match")
+	}
+}
+
+func TestFilterAgainstReferenceSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(3)
+		in := problems.Instance{V: make([]string, m), W: make([]string, m)}
+		for i := 0; i < m; i++ {
+			in.V[i] = randomBits(n, rng)
+			in.W[i] = randomBits(n, rng)
+		}
+		// Reference: X − Y nonempty?
+		y := map[string]bool{}
+		for _, w := range in.W {
+			y[w] = true
+		}
+		want := false
+		for _, v := range in.V {
+			if !y[v] {
+				want = true
+			}
+		}
+		if got := Filter(mustDoc(t, in), Figure1Query()); got != want {
+			t.Fatalf("filter = %v, want %v on %+v", got, want, in)
+		}
+	}
+}
+
+func randomBits(n int, rng *rand.Rand) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '0' + byte(rng.Intn(2))
+	}
+	return string(b)
+}
+
+func TestPathString(t *testing.T) {
+	q := Figure1Query()
+	s := q.String()
+	want := "descendant::set1/child::item[not(child::string = ancestor::instance/child::set2/child::item/child::string)]"
+	if s != want {
+		t.Fatalf("String = %q, want %q", s, want)
+	}
+}
+
+func TestAxes(t *testing.T) {
+	doc, err := xmlstream.Parse([]byte("<a><b><c>x</c></b><c>y</c></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (Path{{Axis: Descendant, Name: "c"}}).Select(doc); len(got) != 2 {
+		t.Fatalf("descendant::c = %d nodes", len(got))
+	}
+	if got := (Path{{Axis: Child, Name: "a"}, {Axis: Child, Name: "c"}}).Select(doc); len(got) != 1 {
+		t.Fatalf("child::a/child::c = %d nodes", len(got))
+	}
+	c := doc.Descendants("b")[0].ChildElements("c")[0]
+	if got := (Path{{Axis: Ancestor, Name: "a"}}).Select(c); len(got) != 1 {
+		t.Fatalf("ancestor::a = %d nodes", len(got))
+	}
+	if got := (Path{{Axis: Self, Name: "c"}}).Select(c); len(got) != 1 {
+		t.Fatalf("self::c = %d nodes", len(got))
+	}
+	if got := (Path{{Axis: Self, Name: "z"}}).Select(c); len(got) != 0 {
+		t.Fatalf("self::z = %d nodes", len(got))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	doc, err := xmlstream.Parse([]byte("<a><b><c>x</c></b><b><c>y</c></b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// child::a/child::b[child::c = child::c] — trivially true.
+	p := Path{
+		{Axis: Child, Name: "a"},
+		{Axis: Child, Name: "b", Pred: Compare{
+			L: Path{{Axis: Child, Name: "c"}},
+			R: Path{{Axis: Child, Name: "c"}},
+		}},
+	}
+	if got := p.Select(doc); len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+	// ExistsPred and AndPred.
+	p2 := Path{
+		{Axis: Child, Name: "a"},
+		{Axis: Child, Name: "b", Pred: AndPred{Ps: []Pred{
+			ExistsPred{P: Path{{Axis: Child, Name: "c"}}},
+			NotPred{P: ExistsPred{P: Path{{Axis: Child, Name: "z"}}}},
+		}}},
+	}
+	if got := p2.Select(doc); len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+	if (AndPred{Ps: []Pred{ExistsPred{P: Path{{Axis: Child, Name: "z"}}}}}).String() == "" {
+		t.Fatal("empty AndPred string")
+	}
+}
+
+// The booster with the exact filter decides SET-EQUALITY exactly.
+func TestBoosterExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 40; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(5, 6, rng)
+		} else {
+			in = problems.GenSetNo(5, 6, rng)
+		}
+		got := SetEqualityViaFilter(ExactFilter, in, rng)
+		if got != problems.SetEquality(in) {
+			t.Fatalf("booster = %v, want %v on %+v", got, problems.SetEquality(in), in)
+		}
+	}
+}
+
+// With a noisy filter (false accepts at rate ≤ 1/2 on the no-node
+// side), the booster keeps one-sided error: no-instances NEVER
+// accepted, yes-instances accepted with probability ≥ 1/2 empirically.
+func TestBoosterNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	noisy := NoisyFilter(ExactFilter, 0.5)
+
+	// No-instances: zero accepts.
+	for trial := 0; trial < 50; trial++ {
+		in := problems.GenSetNo(4, 6, rng)
+		if SetEqualityViaFilter(noisy, in, rng) {
+			t.Fatalf("boosted decider accepted a no-instance: %+v", in)
+		}
+	}
+	// Yes-instances: acceptance rate ≥ 1/2 over many coins.
+	yes := problems.GenSetYes(4, 6, rng)
+	accepts := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if SetEqualityViaFilter(noisy, yes, rng) {
+			accepts++
+		}
+	}
+	if accepts < trials/2 {
+		t.Fatalf("yes-instance accepted only %d/%d times, want >= 1/2", accepts, trials)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if Child.String() != "child" || Descendant.String() != "descendant" ||
+		Ancestor.String() != "ancestor" || Self.String() != "self" {
+		t.Fatal("Axis.String mismatch")
+	}
+}

@@ -1,0 +1,183 @@
+// Package xquery evaluates the XQuery fragment of Theorem 12:
+// quantified expressions (every/some … in path satisfies …), variable
+// equality comparisons, conjunction, and the conditional element
+// constructor — exactly the constructs of the query Q in the
+// theorem's proof, which expresses SET-EQUALITY:
+//
+//	<result>
+//	  if ( every $x in /instance/set1/item/string satisfies
+//	         some $y in /instance/set2/item/string satisfies $x = $y )
+//	     and
+//	     ( every $y in /instance/set2/item/string satisfies
+//	         some $x in /instance/set1/item/string satisfies $x = $y )
+//	  then <true/> else ()
+//	</result>
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"extmem/internal/xmlstream"
+)
+
+// Env binds variables to document nodes.
+type Env map[string]*xmlstream.Node
+
+// clone copies the environment with one extra binding.
+func (e Env) with(name string, n *xmlstream.Node) Env {
+	out := make(Env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	out[name] = n
+	return out
+}
+
+// AbsPath is a rooted child path /a/b/c.
+type AbsPath []string
+
+// Select evaluates the path from the document root.
+func (p AbsPath) Select(root *xmlstream.Node) []*xmlstream.Node {
+	current := []*xmlstream.Node{root}
+	for _, name := range p {
+		var next []*xmlstream.Node
+		for _, n := range current {
+			next = append(next, n.ChildElements(name)...)
+		}
+		current = next
+	}
+	return current
+}
+
+func (p AbsPath) String() string { return "/" + strings.Join(p, "/") }
+
+// Cond is a boolean XQuery expression.
+type Cond interface {
+	Eval(root *xmlstream.Node, env Env) (bool, error)
+	String() string
+}
+
+// Every is "every $Var in Path satisfies Body".
+type Every struct {
+	Var  string
+	Path AbsPath
+	Body Cond
+}
+
+// Eval implements Cond.
+func (e Every) Eval(root *xmlstream.Node, env Env) (bool, error) {
+	for _, n := range e.Path.Select(root) {
+		ok, err := e.Body.Eval(root, env.with(e.Var, n))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (e Every) String() string {
+	return "every $" + e.Var + " in " + e.Path.String() + " satisfies " + e.Body.String()
+}
+
+// Some is "some $Var in Path satisfies Body".
+type Some struct {
+	Var  string
+	Path AbsPath
+	Body Cond
+}
+
+// Eval implements Cond.
+func (s Some) Eval(root *xmlstream.Node, env Env) (bool, error) {
+	for _, n := range s.Path.Select(root) {
+		ok, err := s.Body.Eval(root, env.with(s.Var, n))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (s Some) String() string {
+	return "some $" + s.Var + " in " + s.Path.String() + " satisfies " + s.Body.String()
+}
+
+// VarEq compares the string values of two bound variables.
+type VarEq struct{ A, B string }
+
+// Eval implements Cond.
+func (v VarEq) Eval(_ *xmlstream.Node, env Env) (bool, error) {
+	a, okA := env[v.A]
+	b, okB := env[v.B]
+	if !okA || !okB {
+		return false, fmt.Errorf("xquery: unbound variable in $%s = $%s", v.A, v.B)
+	}
+	return a.StringValue() == b.StringValue(), nil
+}
+
+func (v VarEq) String() string { return "$" + v.A + " = $" + v.B }
+
+// And conjoins conditions.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (a And) Eval(root *xmlstream.Node, env Env) (bool, error) {
+	l, err := a.L.Eval(root, env)
+	if err != nil || !l {
+		return false, err
+	}
+	return a.R.Eval(root, env)
+}
+
+func (a And) String() string { return "(" + a.L.String() + ") and (" + a.R.String() + ")" }
+
+// Query is the conditional element constructor
+// <Wrapper> if Cond then <Then/> else () </Wrapper>.
+type Query struct {
+	Wrapper string
+	Cond    Cond
+	Then    string
+}
+
+// Eval produces the result document.
+func (q Query) Eval(root *xmlstream.Node) (*xmlstream.Node, error) {
+	out := &xmlstream.Node{Name: q.Wrapper}
+	ok, err := q.Cond.Eval(root, Env{})
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		out.Children = append(out.Children, &xmlstream.Node{Name: q.Then, Parent: out})
+	}
+	return out, nil
+}
+
+func (q Query) String() string {
+	return "<" + q.Wrapper + "> if (" + q.Cond.String() + ") then <" + q.Then + "/> else () </" + q.Wrapper + ">"
+}
+
+// TheoremQuery returns the exact query Q of Theorem 12.
+func TheoremQuery() Query {
+	set1 := AbsPath{"instance", "set1", "item", "string"}
+	set2 := AbsPath{"instance", "set2", "item", "string"}
+	return Query{
+		Wrapper: "result",
+		Then:    "true",
+		Cond: And{
+			L: Every{Var: "x", Path: set1, Body: Some{Var: "y", Path: set2, Body: VarEq{A: "x", B: "y"}}},
+			R: Every{Var: "y", Path: set2, Body: Some{Var: "x", Path: set1, Body: VarEq{A: "x", B: "y"}}},
+		},
+	}
+}
+
+// ResultIsTrue reports whether the result document is
+// <result><true/></result> (vs. the empty <result></result>).
+func ResultIsTrue(result *xmlstream.Node) bool {
+	return len(result.ChildElements("true")) == 1
+}

@@ -1,0 +1,153 @@
+package xquery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"extmem/internal/problems"
+	"extmem/internal/xmlstream"
+)
+
+func mustDoc(t *testing.T, in problems.Instance) *xmlstream.Node {
+	t.Helper()
+	doc, err := xmlstream.Parse(xmlstream.EncodeInstance(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// Theorem 12: Q returns <result><true/></result> exactly on
+// SET-EQUALITY yes-instances.
+func TestTheoremQueryDecidesSetEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	q := TheoremQuery()
+	for trial := 0; trial < 60; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(1+rng.Intn(6), 6, rng)
+		} else {
+			in = problems.GenSetNo(2+rng.Intn(5), 6, rng)
+		}
+		result, err := q.Eval(mustDoc(t, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ResultIsTrue(result), problems.SetEquality(in); got != want {
+			t.Fatalf("query = %v, want %v on %+v", got, want, in)
+		}
+	}
+}
+
+func TestTheoremQueryResultShape(t *testing.T) {
+	q := TheoremQuery()
+	yes := problems.Instance{V: []string{"0"}, W: []string{"0"}}
+	result, err := q.Eval(mustDoc(t, yes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlstream.Render(result); got != "<result><true/></result>" && got != "<result><true></true></result>" {
+		t.Fatalf("result = %q", got)
+	}
+	no := problems.Instance{V: []string{"0"}, W: []string{"1"}}
+	result2, err := q.Eval(mustDoc(t, no))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlstream.Render(result2); got != "<result></result>" {
+		t.Fatalf("empty result = %q", got)
+	}
+}
+
+func TestQueryIgnoresMultiplicity(t *testing.T) {
+	// Set semantics: {a,a,b} = {a,b,b}.
+	in := problems.Instance{V: []string{"00", "00", "11"}, W: []string{"00", "11", "11"}}
+	result, err := TheoremQuery().Eval(mustDoc(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResultIsTrue(result) {
+		t.Fatal("multiplicity affected the set-equality query")
+	}
+}
+
+func TestEveryEmptyDomainIsTrue(t *testing.T) {
+	in := problems.Instance{}
+	result, err := TheoremQuery().Eval(mustDoc(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResultIsTrue(result) {
+		t.Fatal("empty sets should be equal")
+	}
+}
+
+func TestSomeEmptyDomainIsFalse(t *testing.T) {
+	// X = {0}, Y = {}: every x fails because some-y over nothing is
+	// false.
+	in := problems.Instance{V: []string{"0"}, W: nil}
+	result, err := TheoremQuery().Eval(mustDoc(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultIsTrue(result) {
+		t.Fatal("nonempty vs empty should be unequal")
+	}
+}
+
+func TestAbsPathSelect(t *testing.T) {
+	doc, err := xmlstream.Parse([]byte("<a><b><c>1</c></b><b><c>2</c></b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AbsPath{"a", "b", "c"}.Select(doc)
+	if len(got) != 2 {
+		t.Fatalf("selected %d nodes, want 2", len(got))
+	}
+	if (AbsPath{"a", "z"}).Select(doc) != nil {
+		t.Fatal("nonexistent path selected nodes")
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	doc, err := xmlstream.Parse([]byte("<a><b>x</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Wrapper: "r", Then: "t", Cond: Every{
+		Var: "x", Path: AbsPath{"a", "b"},
+		Body: VarEq{A: "x", B: "unbound"},
+	}}
+	if _, err := q.Eval(doc); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := TheoremQuery().String()
+	for _, frag := range []string{"every $x", "some $y", "/instance/set1/item/string", "then <true/>"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("query string misses %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAndShortCircuits(t *testing.T) {
+	doc, err := xmlstream.Parse([]byte("<a><b>x</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left side false: the erroring right side must not be evaluated.
+	cond := And{
+		L: Some{Var: "x", Path: AbsPath{"a", "nope"}, Body: VarEq{A: "x", B: "x"}},
+		R: VarEq{A: "no", B: "pe"},
+	}
+	ok, err := cond.Eval(doc, Env{})
+	if err != nil {
+		t.Fatalf("short circuit failed: %v", err)
+	}
+	if ok {
+		t.Fatal("false and _ evaluated true")
+	}
+}
