@@ -30,6 +30,7 @@ func BenchmarkE1DeterministicUpperBound(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	in := problems.GenMultisetYes(512, 16, rng)
 	enc := in.Encode()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(algorithms.NumDeciderTapes, 1)
@@ -46,6 +47,51 @@ func BenchmarkE2Fingerprint(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	in := problems.GenMultisetYes(512, 16, rng)
 	enc := in.Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(1, int64(i))
+		m.SetInput(enc)
+		if v, _, err := algorithms.FingerprintMultisetEquality(m); err != nil || v != core.Accept {
+			b.Fatal(err, v)
+		}
+	}
+}
+
+// BenchmarkE1Deterministic64KiB is the E1 workload at the 64 KiB
+// input size class (1024 values of 31 bits per half; 2·1024·32 =
+// 65536 encoded symbols), which the bulk tape fast paths make
+// practical.
+func BenchmarkE1Deterministic64KiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := problems.GenMultisetYes(1024, 31, rng)
+	enc := in.Encode()
+	if len(enc) != 64<<10 {
+		b.Fatalf("encoded input is %d bytes, want %d", len(enc), 64<<10)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(algorithms.NumDeciderTapes, 1)
+		m.SetInput(enc)
+		if v, err := algorithms.MultisetEqualityST(m); err != nil || v != core.Accept {
+			b.Fatal(err, v)
+		}
+	}
+}
+
+// BenchmarkE2Fingerprint64KiB is the E2 workload at the 64 KiB input
+// size class.
+func BenchmarkE2Fingerprint64KiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := problems.GenMultisetYes(1024, 31, rng)
+	enc := in.Encode()
+	if len(enc) != 64<<10 {
+		b.Fatalf("encoded input is %d bytes, want %d", len(enc), 64<<10)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(1, int64(i))
@@ -61,6 +107,7 @@ func BenchmarkE2Fingerprint(b *testing.B) {
 func BenchmarkE3NSTVerifier(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	in := problems.GenMultisetYes(6, 4, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(2, 1)
@@ -77,6 +124,7 @@ func BenchmarkE4Separation(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	in := problems.GenMultisetYes(256, 12, rng)
 	enc := in.Encode()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det := core.NewMachine(algorithms.NumDeciderTapes, 1)
@@ -97,6 +145,7 @@ func BenchmarkE5Sort(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	in := problems.GenMultisetYes(512, 16, rng)
 	enc := in.Encode()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(4, 1)
@@ -114,6 +163,7 @@ func BenchmarkE6RelAlg(b *testing.B) {
 	in := problems.GenSetYes(128, 12, rng)
 	db := relalg.InstanceDB(in)
 	q := relalg.SymmetricDifference("R1", "R2")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := core.NewMachine(relalg.NumQueryTapes, 1)
@@ -133,6 +183,7 @@ func BenchmarkE7XQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := xquery.TheoremQuery()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		result, err := q.Eval(doc)
@@ -147,6 +198,7 @@ func BenchmarkE7XQuery(b *testing.B) {
 func BenchmarkE8XPath(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	in := problems.GenSetYes(64, 12, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !xpath.SetEqualityViaFilter(xpath.ExactFilter, in, rng) {
@@ -160,6 +212,7 @@ func BenchmarkE8XPath(b *testing.B) {
 func BenchmarkE9Sortedness(b *testing.B) {
 	phi := perm.BitReversal(1 << 14)
 	bound := perm.BitReversalBound(1 << 14)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := perm.Sortedness(phi); s > bound {
@@ -177,6 +230,7 @@ func BenchmarkE10Simulation(b *testing.B) {
 		b.Fatal(err)
 	}
 	values := []string{"1101"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pTM, err := tm.AcceptProbability(s.TMInput(values), 100000)
@@ -196,6 +250,7 @@ func BenchmarkE10Simulation(b *testing.B) {
 // BenchmarkE11Counting measures the Lemma 22 frontier computation
 // (E11).
 func BenchmarkE11Counting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts := lowerbound.Frontier(2, 1, 11, 24)
 		if len(pts) == 0 || pts[len(pts)-1].MaxScans <= 0 {
@@ -213,6 +268,7 @@ func BenchmarkE12MergeLemma(b *testing.B) {
 	for i := range input {
 		input[i] = string(rune('a' + i%26))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run, err := mc.RunDeterministic(input)
@@ -230,6 +286,7 @@ func BenchmarkE12MergeLemma(b *testing.B) {
 func BenchmarkE13RunLength(b *testing.B) {
 	tm := turing.ZigZagMachine(4)
 	input := []byte("^101100111010")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := tm.RunDeterministic(input, 1_000_000)
@@ -247,6 +304,7 @@ func BenchmarkE14PrimeCollision(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := numeric.RandomPrimeUpTo(k, rng); err != nil {
@@ -264,6 +322,7 @@ func BenchmarkE15ShortReduction(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := g.Yes(rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := problems.ShortReduction(in, g.Phi)
@@ -279,6 +338,7 @@ func BenchmarkE16Adversary(b *testing.B) {
 	rng := rand.New(rand.NewSource(16))
 	sm := lowerbound.NewCommutativeHashStream(8, 4)
 	halves := lowerbound.RandomHalves(300, 4, 8, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, found := lowerbound.FindCollision(sm, halves); !found {
@@ -290,6 +350,7 @@ func BenchmarkE16Adversary(b *testing.B) {
 // BenchmarkFullSuite runs the complete experiment report once per
 // iteration — the cmd/stbench workload.
 func BenchmarkFullSuite(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, r := range experiments.All(int64(i + 1)) {
 			if len(r.Notes) < 4 || r.Notes[:4] != "PASS" {

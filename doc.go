@@ -8,6 +8,16 @@
 // evaluation reductions for relational algebra, XQuery and XPath
 // (Theorems 11–13).
 //
+// The tape device (internal/tape) offers bulk transfer operations
+// (ReadBlock, WriteBlock, ScanBytes, ScanUntil, ReadBlockBackward,
+// and O(1) Rewind/SeekEnd) next to the single-cell head primitives.
+// Bulk ops are performance sugar only: reversal, step, read and write
+// accounting is identical to the equivalent sequence of single-cell
+// steps, so every resource report — the (r, s, t) quantities the
+// paper's classes bound — is unchanged while whole-direction sweeps
+// run at memcpy speed. Differential property tests in internal/tape
+// enforce this invariant.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured record, and cmd/stbench for the full experiment
 // suite. The packages live under internal/; the runnable entry points

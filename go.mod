@@ -1,0 +1,3 @@
+module extmem
+
+go 1.24

@@ -6,7 +6,6 @@ import (
 	"extmem/internal/core"
 	"extmem/internal/numeric"
 	"extmem/internal/problems"
-	"extmem/internal/tape"
 )
 
 // FingerprintParams are the random parameters of one run of the
@@ -46,18 +45,25 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 	mem := m.Mem()
 	var params FingerprintParams
 
-	// Scan 1: determine m and n.
+	// Scan 1: determine m and n. The tape is swept in one bulk read;
+	// the register values are re-charged per symbol exactly as the
+	// single-step loop did, via map-lookup-free meter handles. (On a
+	// mid-processing memory-budget refusal the tape counters reflect
+	// the already-completed sweep rather than a partial one; such
+	// errors abort the run, so no resource report is produced.)
 	if err := in.Rewind(); err != nil {
+		return core.Reject, params, err
+	}
+	scan1, err := in.ScanBytes()
+	if err != nil {
 		return core.Reject, params, err
 	}
 	count := 0
 	firstLen := -1
 	curLen := 0
-	for !in.AtEnd() {
-		b, err := in.ReadMove(tape.Forward)
-		if err != nil {
-			return core.Reject, params, err
-		}
+	regM := mem.Register(counterRegion("fp.m"))
+	regLen := mem.Register(counterRegion("fp.len"))
+	for _, b := range scan1 {
 		if b == problems.Separator {
 			if firstLen < 0 {
 				firstLen = curLen
@@ -66,13 +72,13 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 			}
 			count++
 			curLen = 0
-			if err := chargeCounter(mem, "fp.m", uint64(count)); err != nil {
+			if err := regM.SetInt(uint64(count)); err != nil {
 				return core.Reject, params, err
 			}
 			continue
 		}
 		curLen++
-		if err := chargeCounter(mem, "fp.len", uint64(curLen)); err != nil {
+		if err := regLen.SetInt(uint64(curLen)); err != nil {
 			return core.Reject, params, err
 		}
 	}
@@ -125,7 +131,10 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 	// e_i = v_i mod p1 is accumulated as e ← e + bit·pow (mod p1) with
 	// pow ← 2·pow (mod p1); x^{e_i} mod p2 is then computed by binary
 	// exponentiation in internal memory. All registers are O(log N)
-	// bits.
+	// bits. The backward sweep is one bulk read (symbols arrive in
+	// visit order, i.e. reversed); the e/pow registers are re-charged
+	// per symbol so the peak-memory report matches the step-by-step
+	// loop bit for bit.
 	var (
 		sumV, sumW uint64
 		e          uint64
@@ -134,6 +143,10 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 		sepCount   int
 		itemIdx    int
 	)
+	regSumV := mem.Register(counterRegion("fp.sumv"))
+	regSumW := mem.Register(counterRegion("fp.sumw"))
+	regE := mem.Register(counterRegion("fp.e"))
+	regPow := mem.Register(counterRegion("fp.pow"))
 	finalize := func() error {
 		term := numeric.PowMod(params.X, e, p2)
 		if itemIdx < params.M {
@@ -141,16 +154,16 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 		} else {
 			sumW = numeric.AddMod(sumW, term, p2)
 		}
-		if err := chargeCounter(mem, "fp.sumv", sumV); err != nil {
+		if err := regSumV.SetInt(sumV); err != nil {
 			return err
 		}
-		return chargeCounter(mem, "fp.sumw", sumW)
+		return regSumW.SetInt(sumW)
 	}
-	for !in.AtStart() {
-		if err := in.MoveBackward(); err != nil {
-			return core.Reject, params, err
-		}
-		b := in.Read()
+	scan2, err := in.ReadBlockBackward(in.Pos())
+	if err != nil {
+		return core.Reject, params, err
+	}
+	for _, b := range scan2 {
 		if b == problems.Separator {
 			if haveItem {
 				if err := finalize(); err != nil {
@@ -172,10 +185,10 @@ func FingerprintMultisetEquality(m *core.Machine) (core.Verdict, FingerprintPara
 			e = numeric.AddMod(e, pow, p1)
 		}
 		pow = numeric.AddMod(pow, pow, p1)
-		if err := chargeCounter(mem, "fp.e", e); err != nil {
+		if err := regE.SetInt(e); err != nil {
 			return core.Reject, params, err
 		}
-		if err := chargeCounter(mem, "fp.pow", pow); err != nil {
+		if err := regPow.SetInt(pow); err != nil {
 			return core.Reject, params, err
 		}
 	}

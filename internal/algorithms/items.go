@@ -32,6 +32,11 @@ import (
 // forward, buffering it in internal memory charged to the meter under
 // the given region name. It returns ok = false (and releases the
 // region) when the tape is exhausted before any symbol is read.
+//
+// The item is consumed in one bulk sweep before the buffer is charged,
+// so on a memory-budget refusal the tape counters cover the whole item
+// rather than a prefix; such errors abort the run, so no resource
+// report is produced.
 func ReadItem(tp *tape.Tape, mem *memory.Meter, region string) (item []byte, ok bool, err error) {
 	if tp.AtEnd() {
 		mem.Free(region)
@@ -40,20 +45,19 @@ func ReadItem(tp *tape.Tape, mem *memory.Meter, region string) (item []byte, ok 
 	if err := mem.Set(region, 0); err != nil {
 		return nil, false, err
 	}
-	for !tp.AtEnd() {
-		b, err := tp.ReadMove(tape.Forward)
-		if err != nil {
-			return nil, false, err
-		}
-		if b == problems.Separator {
-			return item, true, nil
-		}
-		item = append(item, b)
-		if err := mem.Grow(region, 1); err != nil {
-			return nil, false, err
-		}
+	data, found, err := tp.ScanUntil(problems.Separator)
+	if err != nil {
+		return nil, false, err
 	}
-	return nil, false, fmt.Errorf("algorithms: item on tape %q not terminated by %q", tp.Name(), problems.Separator)
+	if !found {
+		return nil, false, fmt.Errorf("algorithms: item on tape %q not terminated by %q", tp.Name(), problems.Separator)
+	}
+	item = data[:len(data)-1]
+	// The buffer grew one symbol at a time; its peak is its final size.
+	if err := mem.Grow(region, int64(len(item))); err != nil {
+		return nil, false, err
+	}
+	return item, true, nil
 }
 
 // WriteItem writes item followed by the separator at the head of tp,
@@ -74,48 +78,39 @@ func Compare(a, b []byte) int { return bytes.Compare(a, b) }
 // end and returns the number of '#'-terminated items, using only a
 // counter in internal memory (no item buffering).
 func CountItems(tp *tape.Tape, mem *memory.Meter, region string) (int, error) {
-	count := 0
-	sawSymbol := false
-	for !tp.AtEnd() {
-		b, err := tp.ReadMove(tape.Forward)
-		if err != nil {
+	data, err := tp.ScanBytes()
+	if err != nil {
+		return 0, err
+	}
+	count := bytes.Count(data, []byte{problems.Separator})
+	// The counter only ever grows, so charging its final value records
+	// the same peak as charging it after every separator.
+	if count > 0 {
+		if err := mem.SetInt(region, uint64(count)); err != nil {
 			return 0, err
 		}
-		sawSymbol = true
-		if b == problems.Separator {
-			count++
-			if err := mem.SetInt(region, uint64(count)); err != nil {
-				return 0, err
-			}
-		}
 	}
-	_ = sawSymbol
 	mem.Free(region)
 	return count, nil
 }
 
 // CopyItems copies count items from src (head moving forward) to dst,
-// streaming symbol by symbol with O(1) internal memory. It returns the
+// item block by item block with O(1) internal memory. It returns the
 // number of items actually copied (less than count if src ran out).
 func CopyItems(src, dst *tape.Tape, count int) (int, error) {
 	copied := 0
 	for copied < count && !src.AtEnd() {
-		for {
-			b, err := src.ReadMove(tape.Forward)
-			if err != nil {
-				return copied, err
-			}
-			if err := dst.WriteMove(b, tape.Forward); err != nil {
-				return copied, err
-			}
-			if b == problems.Separator {
-				copied++
-				break
-			}
-			if src.AtEnd() {
-				return copied, fmt.Errorf("algorithms: unterminated item while copying from %q", src.Name())
-			}
+		data, found, err := src.ScanUntil(problems.Separator)
+		if err != nil {
+			return copied, err
 		}
+		if err := dst.WriteBlock(data); err != nil {
+			return copied, err
+		}
+		if !found {
+			return copied, fmt.Errorf("algorithms: unterminated item while copying from %q", src.Name())
+		}
+		copied++
 	}
 	return copied, nil
 }

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"bytes"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -281,18 +282,21 @@ func VerifyNST(p NSTProblem, m *core.Machine, w NSTWitness) (core.Verdict, error
 
 	ok := true
 	var sortState pairState // cross-copy state for sortedness checks
+	regCopy := mem.Register(counterRegion("nst.copy"))
 	for i := 1; i <= lay.copies; i++ {
-		if err := chargeCounter(mem, "nst.copy", uint64(i)); err != nil {
+		if err := regCopy.SetInt(uint64(i)); err != nil {
 			return core.Reject, err
 		}
 		chk := newCopyChecker(lay, i, &sortState)
+		// Each copy is one forward bulk write per tape; the streaming
+		// check consumes the same symbols from the in-memory block.
+		if err := t0.WriteBlock(lay.u); err != nil {
+			return core.Reject, err
+		}
+		if err := t1.WriteBlock(lay.u); err != nil {
+			return core.Reject, err
+		}
 		for _, b := range lay.u {
-			if err := t0.WriteMove(b, tape.Forward); err != nil {
-				return core.Reject, err
-			}
-			if err := t1.WriteMove(b, tape.Forward); err != nil {
-				return core.Reject, err
-			}
 			chk.feed(b)
 		}
 		if !chk.finish() {
@@ -311,22 +315,13 @@ func VerifyNST(p NSTProblem, m *core.Machine, w NSTWitness) (core.Verdict, error
 		// Discard u_ℓ on tape 1 is NOT what we want; tape 0 must lag.
 		// Move tape 0 back over its last copy so it points at the end
 		// of u_{ℓ−1} while tape 1 points at the end of u_ℓ.
-		for s := 0; s < uLen; s++ {
-			if err := t0.MoveBackward(); err != nil {
-				return core.Reject, err
-			}
+		if err := t0.MoveBackwardN(uLen); err != nil {
+			return core.Reject, err
 		}
-		// Lockstep compare (ℓ−1)·|u| symbols.
-		for s := 0; s < (lay.copies-1)*uLen; s++ {
-			if err := t0.MoveBackward(); err != nil {
-				return core.Reject, err
-			}
-			if err := t1.MoveBackward(); err != nil {
-				return core.Reject, err
-			}
-			if t0.Read() != t1.Read() {
-				ok = false
-			}
+		// Lockstep compare (ℓ−1)·|u| symbols, in bounded bulk chunks
+		// so huge certificates don't buffer entirely in host memory.
+		if err := compareBackward(t0, t1, (lay.copies-1)*uLen, &ok); err != nil {
+			return core.Reject, err
 		}
 		// Tape 0 is now at the start of its copy region (end of the
 		// input); tape 1 at the start of u_2 (end of u_1). Compare the
@@ -344,16 +339,8 @@ func VerifyNST(p NSTProblem, m *core.Machine, w NSTWitness) (core.Verdict, error
 			}
 			return verdictOf(false), nil
 		}
-		for s := 0; s < inputLen; s++ {
-			if err := t0.MoveBackward(); err != nil {
-				return core.Reject, err
-			}
-			if err := t1.MoveBackward(); err != nil {
-				return core.Reject, err
-			}
-			if t0.Read() != t1.Read() {
-				ok = false
-			}
+		if err := compareBackward(t0, t1, inputLen, &ok); err != nil {
+			return core.Reject, err
 		}
 		// Finish the backward scans (tape 1 over the header of u_1).
 		if err := t1.Rewind(); err != nil {
@@ -361,6 +348,36 @@ func VerifyNST(p NSTProblem, m *core.Machine, w NSTWitness) (core.Verdict, error
 		}
 	}
 	return verdictOf(ok), nil
+}
+
+// compareBackwardChunk bounds how many symbols one bulk backward read
+// buffers during the lockstep compares of the backward phase.
+const compareBackwardChunk = 1 << 16
+
+// compareBackward moves both tapes n cells backward in lockstep,
+// clearing *ok if any pair of cells read along the way differs. It
+// sweeps in bounded bulk chunks; per-tape accounting is identical to
+// n interleaved MoveBackward+Read pairs.
+func compareBackward(t0, t1 *tape.Tape, n int, ok *bool) error {
+	for n > 0 {
+		k := n
+		if k > compareBackwardChunk {
+			k = compareBackwardChunk
+		}
+		a, err := t0.ReadBlockBackward(k)
+		if err != nil {
+			return err
+		}
+		b, err := t1.ReadBlockBackward(k)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			*ok = false
+		}
+		n -= k
+	}
+	return nil
 }
 
 // DecideNST decides the problem nondeterministically: it accepts iff

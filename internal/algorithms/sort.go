@@ -181,14 +181,12 @@ func SortToTape(m *core.Machine, dst, auxA, auxB int) error {
 		return err
 	}
 	td.Truncate()
-	for !in.AtEnd() {
-		b, err := in.ReadMove(tape.Forward)
-		if err != nil {
-			return err
-		}
-		if err := td.WriteMove(b, tape.Forward); err != nil {
-			return err
-		}
+	data, err := in.ScanBytes()
+	if err != nil {
+		return err
+	}
+	if err := td.WriteBlock(data); err != nil {
+		return err
 	}
 	return MergeSort(m, dst, auxA, auxB)
 }

@@ -3,6 +3,7 @@ package listmachine
 import (
 	"fmt"
 	"math/big"
+	"strconv"
 	"strings"
 )
 
@@ -20,9 +21,17 @@ type LocalView struct {
 // Key canonically serializes the view.
 func (v *LocalView) Key() string {
 	var b strings.Builder
+	n := len(v.State)
+	for i := range v.Inds {
+		n += len(v.Inds[i]) + 5
+	}
+	b.Grow(n)
 	b.WriteString(v.State)
 	for i := range v.Inds {
-		fmt.Fprintf(&b, "|%d:%s", v.Dir[i], v.Inds[i])
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(int(v.Dir[i])))
+		b.WriteByte(':')
+		b.WriteString(v.Inds[i])
 	}
 	return b.String()
 }
@@ -51,7 +60,7 @@ func (s *Skeleton) Key() string {
 	b.WriteString("moves:")
 	for _, mv := range s.Moves {
 		for _, d := range mv {
-			fmt.Fprintf(&b, "%d", d)
+			b.WriteString(strconv.Itoa(int(d)))
 		}
 		b.WriteByte(',')
 	}
@@ -111,16 +120,22 @@ func localView(c *Config) *LocalView {
 	v := &LocalView{
 		State: c.State,
 		Dir:   append([]int8(nil), c.Dir...),
+		Inds:  make([]string, 0, len(c.Lists)),
 	}
-	seen := map[int]bool{}
+	// The handful of viewed positions is deduplicated with a linear
+	// scan: cheaper than a per-step map for the small views that occur
+	// in practice.
 	for i := range c.Lists {
 		cell := c.Lists[i][c.Pos[i]]
 		v.Inds = append(v.Inds, cell.Ind())
+	cellPositions:
 		for _, p := range cell.InputPositions() {
-			if !seen[p] {
-				seen[p] = true
-				v.Positions = append(v.Positions, p)
+			for _, q := range v.Positions {
+				if q == p {
+					continue cellPositions
+				}
 			}
+			v.Positions = append(v.Positions, p)
 		}
 	}
 	return v

@@ -23,7 +23,7 @@ var ErrBudget = errors.New("memory: internal-memory budget exhausted")
 // Meter tracks internal-memory usage in bits. The zero value is an
 // unlimited meter ready for use.
 type Meter struct {
-	regions   map[string]int64 // bits per named region
+	regions   map[string]*int64 // bits per named region
 	current   int64
 	peak      int64
 	budget    int64
@@ -52,20 +52,85 @@ func (m *Meter) Set(region string, sizeBits int64) error {
 		return fmt.Errorf("memory: negative size %d for region %q", sizeBits, region)
 	}
 	if m.regions == nil {
-		m.regions = make(map[string]int64)
+		m.regions = make(map[string]*int64)
 	}
-	old := m.regions[region]
-	next := m.current - old + sizeBits
+	if e, ok := m.regions[region]; ok {
+		return m.setEntry(region, e, sizeBits)
+	}
+	// A refused allocation must not create the region.
+	next := m.current + sizeBits
 	if m.hasBudget && next > m.budget {
 		return fmt.Errorf("%w: region %q would raise usage to %d bits (budget %d)",
 			ErrBudget, region, next, m.budget)
 	}
-	m.regions[region] = sizeBits
+	e := new(int64)
+	*e = sizeBits
+	m.regions[region] = e
 	m.current = next
 	if m.current > m.peak {
 		m.peak = m.current
 	}
 	return nil
+}
+
+func (m *Meter) setEntry(region string, e *int64, sizeBits int64) error {
+	next := m.current - *e + sizeBits
+	if m.hasBudget && next > m.budget {
+		return fmt.Errorf("%w: region %q would raise usage to %d bits (budget %d)",
+			ErrBudget, region, next, m.budget)
+	}
+	*e = sizeBits
+	m.current = next
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	return nil
+}
+
+// A Register is a map-lookup-free handle to a single meter region, for
+// hot loops that re-charge a machine register on every input symbol.
+// It shares the meter's current/peak/budget accounting exactly: the
+// region is created by the first successful Set (a refused allocation
+// does not create it, matching Meter.Set), and a handle whose region
+// was freed with Meter.Free transparently re-registers on its next
+// use.
+type Register struct {
+	m      *Meter
+	region string
+	size   *int64 // nil until the region exists
+}
+
+// Register returns a handle to the named region.
+func (m *Meter) Register(region string) *Register {
+	r := &Register{m: m, region: region}
+	if m.regions != nil {
+		if e, ok := m.regions[region]; ok {
+			r.size = e
+		}
+	}
+	return r
+}
+
+// Set declares the region's current size in bits, like Meter.Set but
+// without the per-call map lookup once the region exists.
+func (r *Register) Set(sizeBits int64) error {
+	if sizeBits < 0 {
+		return fmt.Errorf("memory: negative size %d for region %q", sizeBits, r.region)
+	}
+	if r.size == nil || *r.size == freedSentinel {
+		if err := r.m.Set(r.region, sizeBits); err != nil {
+			return err
+		}
+		r.size = r.m.regions[r.region]
+		return nil
+	}
+	return r.m.setEntry(r.region, r.size, sizeBits)
+}
+
+// SetInt declares that the region holds the nonnegative integer v,
+// charging the length of its binary representation (at least one bit).
+func (r *Register) SetInt(v uint64) error {
+	return r.Set(int64(max(1, bits.Len64(v))))
 }
 
 // SetInt declares that the named region holds the nonnegative integer
@@ -75,25 +140,40 @@ func (m *Meter) SetInt(region string, v uint64) error {
 	return m.Set(region, int64(max(1, bits.Len64(v))))
 }
 
-// Grow increases the named region by delta bits.
+// Grow increases the named region by delta bits. Like Set, it rejects
+// a negative resulting size, and a refused allocation must not create
+// the region.
 func (m *Meter) Grow(region string, delta int64) error {
-	if m.regions == nil {
-		m.regions = make(map[string]int64)
+	if m.regions != nil {
+		if e, ok := m.regions[region]; ok {
+			next := *e + delta
+			if next < 0 {
+				return fmt.Errorf("memory: negative size %d for region %q", next, region)
+			}
+			return m.setEntry(region, e, next)
+		}
 	}
-	return m.Set(region, m.regions[region]+delta)
+	return m.Set(region, delta)
 }
 
-// Free releases the named region.
+// freedSentinel marks a region slot released by Free or Reset, so a
+// stale Register handle re-registers instead of writing through the
+// orphaned slot and corrupting the accounting.
+const freedSentinel = -1
+
+// Free releases the named region. Register handles to it re-register
+// themselves on their next use.
 func (m *Meter) Free(region string) {
 	if m.regions == nil {
 		return
 	}
-	old, ok := m.regions[region]
+	e, ok := m.regions[region]
 	if !ok {
 		return
 	}
 	delete(m.regions, region)
-	m.current -= old
+	m.current -= *e
+	*e = freedSentinel
 }
 
 // Current returns the current usage in bits.
@@ -107,7 +187,10 @@ func (m *Meter) Region(region string) int64 {
 	if m.regions == nil {
 		return 0
 	}
-	return m.regions[region]
+	if e, ok := m.regions[region]; ok {
+		return *e
+	}
+	return 0
 }
 
 // Regions returns the names of all live regions in sorted order.
@@ -122,6 +205,9 @@ func (m *Meter) Regions() []string {
 
 // Reset clears all regions and counters, keeping the budget.
 func (m *Meter) Reset() {
+	for _, e := range m.regions {
+		*e = freedSentinel
+	}
 	m.regions = nil
 	m.current = 0
 	m.peak = 0

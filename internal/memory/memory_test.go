@@ -118,6 +118,96 @@ func TestGrow(t *testing.T) {
 	}
 }
 
+func TestGrowRefusalDoesNotCreateRegion(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(4)
+	if err := m.Grow("r", 100); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if got := m.Regions(); len(got) != 0 {
+		t.Fatalf("refused Grow left regions %v", got)
+	}
+}
+
+func TestGrowNegativeResultRejected(t *testing.T) {
+	m := NewMeter()
+	if err := m.Set("r", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow("r", -10); err == nil {
+		t.Fatal("negative resulting size accepted")
+	}
+	if m.Region("r") != 4 || m.Current() != 4 {
+		t.Fatalf("refused Grow changed state: Region = %d, Current = %d", m.Region("r"), m.Current())
+	}
+}
+
+func TestRegisterRefusalDoesNotCreateRegion(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(4)
+	r := m.Register("v")
+	if err := r.Set(100); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if got := m.Regions(); len(got) != 0 {
+		t.Fatalf("refused Register.Set left regions %v", got)
+	}
+	// A later in-budget charge creates the region normally.
+	if err := r.SetInt(7); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("v") != 3 {
+		t.Fatalf("Region = %d, want 3", m.Region("v"))
+	}
+}
+
+func TestRegisterSurvivesFree(t *testing.T) {
+	m := NewMeter()
+	r := m.Register("v")
+	if err := r.Set(8); err != nil {
+		t.Fatal(err)
+	}
+	m.Free("v")
+	if m.Current() != 0 {
+		t.Fatalf("Current = %d after Free, want 0", m.Current())
+	}
+	// The stale handle must re-register, not write through the freed
+	// slot.
+	if err := r.Set(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Current() != 3 || m.Region("v") != 3 {
+		t.Fatalf("Current = %d, Region = %d, want 3/3", m.Current(), m.Region("v"))
+	}
+	m.Free("v")
+	if m.Current() != 0 {
+		t.Fatalf("Current = %d after second Free, want 0", m.Current())
+	}
+}
+
+func TestRegisterSharesAccounting(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(8)
+	r := m.Register("v")
+	if err := r.SetInt(255); err != nil {
+		t.Fatal(err)
+	}
+	if m.Region("v") != 8 || m.Current() != 8 {
+		t.Fatalf("Region = %d, Current = %d, want 8/8", m.Region("v"), m.Current())
+	}
+	if err := r.SetInt(256); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// A refused Set through the handle must leave usage unchanged.
+	if m.Current() != 8 || m.Peak() != 8 {
+		t.Fatalf("Current = %d, Peak = %d, want 8/8", m.Current(), m.Peak())
+	}
+	m.Free("v")
+	if m.Current() != 0 {
+		t.Fatalf("Current = %d after Free, want 0", m.Current())
+	}
+}
+
 func TestFreeUnknownRegionIsNoop(t *testing.T) {
 	m := NewMeter()
 	m.Free("nope")

@@ -6,6 +6,7 @@ import (
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
+	"extmem/internal/problems"
 	"extmem/internal/tape"
 )
 
@@ -333,36 +334,48 @@ func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error 
 	}
 }
 
-// concat writes src1's then src2's items to dst.
+// concat writes src1's then src2's items to dst. Every tape holds
+// '#'-terminated items only, so each side is one whole-tape sweep:
+// a bulk read of src and a bulk write to dst, with the same counter
+// totals as an item-by-item copy.
 func (c *evalCtx) concat(src1, src2, dst int) error {
 	td := c.m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
 	for _, src := range []int{src1, src2} {
-		ts := c.m.Tape(src)
-		if err := ts.Rewind(); err != nil {
-			return err
-		}
-		if _, err := algorithms.CopyItems(ts, td, int(^uint(0)>>1)); err != nil {
+		if err := c.sweepItems(src, td); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// copyAll replaces dst's content with src's.
+// copyAll replaces dst's content with src's in one bulk sweep.
 func (c *evalCtx) copyAll(src, dst int) error {
 	td := c.m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
+	return c.sweepItems(src, td)
+}
+
+// sweepItems appends the whole item sequence of tape src to td,
+// rejecting a trailing unterminated fragment (so a corrupted tape
+// cannot fuse with the next item written to td).
+func (c *evalCtx) sweepItems(src int, td *tape.Tape) error {
 	ts := c.m.Tape(src)
 	if err := ts.Rewind(); err != nil {
 		return err
 	}
-	_, err := algorithms.CopyItems(ts, td, int(^uint(0)>>1))
-	return err
+	data, err := ts.ScanBytes()
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 && data[len(data)-1] != problems.Separator {
+		return fmt.Errorf("relalg: unterminated item on tape %q", ts.Name())
+	}
+	return td.WriteBlock(data)
 }
 
 // antiMerge emits items of l absent from r; both inputs are sorted

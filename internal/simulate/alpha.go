@@ -178,12 +178,20 @@ func cloneState(st *simState) *simState {
 	return n
 }
 
-// writeAt sets position p of tape to b, extending with blanks.
+// writeAt sets position p of tape to b, extending with blanks in one
+// sized allocation.
 func writeAt(tape string, p int, b byte) string {
-	for p >= len(tape) {
-		tape += string(turing.Blank)
+	n := len(tape)
+	if p < n {
+		return tape[:p] + string(b) + tape[p+1:]
 	}
-	return tape[:p] + string(b) + tape[p+1:]
+	buf := make([]byte, p+1)
+	copy(buf, tape)
+	for i := n; i < p; i++ {
+		buf[i] = turing.Blank
+	}
+	buf[p] = b
+	return string(buf)
 }
 
 func capBlock(b, m int) int {

@@ -25,6 +25,7 @@ package simulate
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"extmem/internal/listmachine"
@@ -224,9 +225,11 @@ func parseInts(s string) ([]int, error) {
 	fields := strings.Fields(s)
 	out := make([]int, len(fields))
 	for i, f := range fields {
-		if _, err := fmt.Sscanf(f, "%d", &out[i]); err != nil {
+		v, err := strconv.Atoi(f)
+		if err != nil {
 			return nil, fmt.Errorf("simulate: bad int %q", f)
 		}
+		out[i] = v
 	}
 	return out, nil
 }
@@ -234,14 +237,15 @@ func parseInts(s string) ([]int, error) {
 func decodeWrites(s string) map[int]byte {
 	out := map[int]byte{}
 	for _, entry := range strings.Split(s, ",") {
-		if entry == "" {
+		i := strings.IndexByte(entry, ':')
+		if i <= 0 || i+1 >= len(entry) {
 			continue
 		}
-		var k int
-		var c byte
-		if _, err := fmt.Sscanf(entry, "%d:%c", &k, &c); err == nil {
-			out[k] = c
+		k, err := strconv.Atoi(entry[:i])
+		if err != nil {
+			continue
 		}
+		out[k] = entry[i+1]
 	}
 	return out
 }

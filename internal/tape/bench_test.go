@@ -1,0 +1,111 @@
+package tape
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The bulk/step benchmark pair tracks the fast path's speedup
+// independently of the deciders built on top of it: both perform the
+// same whole-tape forward scan (and pay identical reversal, step and
+// read counts); only the mechanics differ.
+
+const benchScanSize = 64 << 10 // 64 KiB, the size class the bulk path unlocks
+
+func benchInput() []byte {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, benchScanSize)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(4))
+	}
+	return data
+}
+
+// BenchmarkTapeBulkScan measures a whole-tape sweep through the bulk
+// fast path: one Rewind and one ScanBytes per iteration.
+func BenchmarkTapeBulkScan(b *testing.B) {
+	tp := FromBytes("bulk", benchInput())
+	b.SetBytes(benchScanSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tp.Rewind(); err != nil {
+			b.Fatal(err)
+		}
+		out, err := tp.ScanBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != benchScanSize {
+			b.Fatalf("scanned %d bytes, want %d", len(out), benchScanSize)
+		}
+	}
+}
+
+// BenchmarkTapeStepScan measures the same sweep one cell at a time —
+// the only mechanism available before the bulk layer existed.
+func BenchmarkTapeStepScan(b *testing.B) {
+	tp := FromBytes("step", benchInput())
+	b.SetBytes(benchScanSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tp.Pos() > 0 {
+			if err := tp.Move(Backward); err != nil {
+				b.Fatal(err)
+			}
+		}
+		out := make([]byte, 0, benchScanSize)
+		for !tp.AtEnd() {
+			s, err := tp.ReadMove(Forward)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, s)
+		}
+		if len(out) != benchScanSize {
+			b.Fatalf("scanned %d bytes, want %d", len(out), benchScanSize)
+		}
+	}
+}
+
+// BenchmarkTapeBulkAppend and BenchmarkTapeStepAppend are the write
+// side of the same pair, including the Truncate+rewrite pattern the
+// sort and relational operators use.
+func BenchmarkTapeBulkAppend(b *testing.B) {
+	data := benchInput()
+	tp := New("bulk")
+	b.SetBytes(benchScanSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tp.Rewind(); err != nil {
+			b.Fatal(err)
+		}
+		tp.Truncate()
+		if err := tp.WriteBlock(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTapeStepAppend(b *testing.B) {
+	data := benchInput()
+	tp := New("step")
+	b.SetBytes(benchScanSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tp.Pos() > 0 {
+			if err := tp.Move(Backward); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tp.Truncate()
+		for _, s := range data {
+			if err := tp.WriteMove(s, Forward); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -12,12 +12,26 @@
 //   - space: the number of cells ever touched.
 //
 // Random access is not offered by the API: a machine may only step the
-// head one cell at a time, exactly as on a Turing machine tape. Helper
-// methods (Rewind, SeekEnd) are implemented in terms of single steps
-// and therefore pay the correct reversal cost.
+// head one cell at a time, exactly as on a Turing machine tape.
+//
+// # Bulk operations and the cost-model invariant
+//
+// In addition to the single-cell primitives (Move, Read, Write), the
+// package offers bulk operations that sweep a whole direction in one
+// call: ReadBlock, WriteBlock, ScanBytes, ScanUntil, AppendBytes,
+// ReadBlockBackward, MoveBackwardN, Rewind and SeekEnd. Bulk ops are
+// performance sugar only — each is defined as, and accounted exactly
+// like, the equivalent sequence of single-cell steps: reversal,
+// step, read and write counters, MaxCell, Size, the head position,
+// budget enforcement and error behavior are all identical to the
+// step-by-step path. The difference is purely mechanical: a sweep of
+// n cells performs one copy/append and one batched counter update
+// instead of n method calls. This invariant is enforced by the
+// differential property tests in diff_test.go.
 package tape
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 )
@@ -72,7 +86,6 @@ type Tape struct {
 	cells     []byte
 	pos       int // current head position (0-based)
 	dir       Direction
-	moved     bool // whether the head has moved at least once
 	reversals int
 	steps     int64
 	reads     int64
@@ -90,13 +103,11 @@ func New(name string) *Tape {
 
 // FromBytes returns a tape whose initial content is a copy of data,
 // with the head on cell 0 moving forward. It is the standard way to
-// present an input word to a machine.
+// present an input word to a machine. Visit tracking (MaxCell) starts
+// at cell 0 and is advanced by head movement only.
 func FromBytes(name string, data []byte) *Tape {
 	t := New(name)
 	t.cells = append(t.cells, data...)
-	if len(t.cells) > 0 {
-		t.maxCell = 0
-	}
 	return t
 }
 
@@ -150,11 +161,11 @@ func (t *Tape) Read() byte {
 }
 
 // Write stores b in the cell under the head, materializing blank cells
-// as needed.
+// as needed in one sized append.
 func (t *Tape) Write(b byte) {
 	t.writes++
-	for t.pos >= len(t.cells) {
-		t.cells = append(t.cells, Blank)
+	if t.pos >= len(t.cells) {
+		t.cells = append(t.cells, make([]byte, t.pos+1-len(t.cells))...)
 	}
 	t.cells[t.pos] = b
 }
@@ -219,26 +230,139 @@ func (t *Tape) AtEnd() bool { return t.pos >= len(t.cells) }
 // AtStart reports whether the head is on cell 0.
 func (t *Tape) AtStart() bool { return t.pos == 0 }
 
-// Rewind moves the head back to cell 0 by stepping backward. It pays
-// at most one reversal (plus one more when the caller next moves
-// forward).
-func (t *Tape) Rewind() error {
-	for t.pos > 0 {
-		if err := t.Move(Backward); err != nil {
-			return err
+// advanceForward batch-charges a forward sweep of n cells: n steps and
+// the MaxCell high-water mark in one update. The caller has already
+// performed (and paid for) the turn.
+func (t *Tape) advanceForward(n int) {
+	t.steps += int64(n)
+	t.pos += n
+	if t.pos > t.maxCell {
+		t.maxCell = t.pos
+	}
+}
+
+// ReadBlock reads n cells with the head moving forward and returns the
+// bytes read, exactly as n repetitions of ReadMove(Forward): cells past
+// the materialized region read Blank, and the head may end beyond the
+// materialized region.
+func (t *Tape) ReadBlock(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if err := t.turn(Forward); err != nil {
+		// The first ReadMove reads the cell before the refused turn.
+		t.reads++
+		return nil, err
+	}
+	out := make([]byte, n)
+	if t.pos < len(t.cells) {
+		copy(out, t.cells[t.pos:])
+	}
+	t.reads += int64(n)
+	t.advanceForward(n)
+	return out, nil
+}
+
+// WriteBlock writes data with the head moving forward, exactly as
+// len(data) repetitions of WriteMove(b, Forward), materializing any
+// blank gap up to the head in one sized append.
+func (t *Tape) WriteBlock(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if err := t.turn(Forward); err != nil {
+		// The first WriteMove writes its cell before the refused turn.
+		t.Write(data[0])
+		return err
+	}
+	end := t.pos + len(data)
+	if end > len(t.cells) {
+		t.cells = append(t.cells, make([]byte, end-len(t.cells))...)
+	}
+	copy(t.cells[t.pos:end], data)
+	t.writes += int64(len(data))
+	t.advanceForward(len(data))
+	return nil
+}
+
+// ReadBlockBackward moves the head n cells backward, reading each cell
+// after its move, exactly as n repetitions of MoveBackward+Read. The
+// returned bytes are in visit order (reverse tape order). If the head
+// reaches cell 0 before n cells are read, the bytes read so far are
+// returned with ErrLeftEnd.
+func (t *Tape) ReadBlockBackward(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if err := t.turn(Backward); err != nil {
+		return nil, err
+	}
+	k := n
+	if t.pos < k {
+		k = t.pos
+	}
+	out := make([]byte, k)
+	for i := 0; i < k; i++ {
+		if p := t.pos - 1 - i; p < len(t.cells) {
+			out[i] = t.cells[p]
 		}
+	}
+	t.steps += int64(k)
+	t.reads += int64(k)
+	t.pos -= k
+	if k < n {
+		return out, ErrLeftEnd
+	}
+	return out, nil
+}
+
+// MoveBackwardN steps the head n cells backward without reading,
+// exactly as n repetitions of MoveBackward. Reaching cell 0 before n
+// steps returns ErrLeftEnd.
+func (t *Tape) MoveBackwardN(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := t.turn(Backward); err != nil {
+		return err
+	}
+	k := n
+	if t.pos < k {
+		k = t.pos
+	}
+	t.steps += int64(k)
+	t.pos -= k
+	if k < n {
+		return ErrLeftEnd
 	}
 	return nil
 }
 
-// SeekEnd moves the head forward to the first blank cell after the
-// materialized content.
-func (t *Tape) SeekEnd() error {
-	for t.pos < len(t.cells) {
-		if err := t.Move(Forward); err != nil {
-			return err
-		}
+// Rewind moves the head back to cell 0 in one backward sweep. It pays
+// at most one reversal (plus one more when the caller next moves
+// forward).
+func (t *Tape) Rewind() error {
+	if t.pos == 0 {
+		return nil
 	}
+	if err := t.turn(Backward); err != nil {
+		return err
+	}
+	t.steps += int64(t.pos)
+	t.pos = 0
+	return nil
+}
+
+// SeekEnd moves the head forward to the first blank cell after the
+// materialized content in one forward sweep.
+func (t *Tape) SeekEnd() error {
+	if t.pos >= len(t.cells) {
+		return nil
+	}
+	if err := t.turn(Forward); err != nil {
+		return err
+	}
+	t.advanceForward(len(t.cells) - t.pos)
 	return nil
 }
 
@@ -246,27 +370,52 @@ func (t *Tape) SeekEnd() error {
 // the materialized region and returns the bytes read. The head ends at
 // the first blank cell.
 func (t *Tape) ScanBytes() ([]byte, error) {
-	var out []byte
-	for !t.AtEnd() {
-		b, err := t.ReadMove(Forward)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, b)
+	if t.AtEnd() {
+		return nil, nil
 	}
+	if err := t.turn(Forward); err != nil {
+		// The first ReadMove reads the cell before the refused turn.
+		t.reads++
+		return nil, err
+	}
+	n := len(t.cells) - t.pos
+	out := make([]byte, n)
+	copy(out, t.cells[t.pos:])
+	t.reads += int64(n)
+	t.advanceForward(n)
 	return out, nil
 }
 
-// AppendBytes writes data starting at the current head position,
-// moving forward.
-func (t *Tape) AppendBytes(data []byte) error {
-	for _, b := range data {
-		if err := t.WriteMove(b, Forward); err != nil {
-			return err
-		}
+// ScanUntil reads forward until just past the first occurrence of
+// delim and returns the bytes read, including the delimiter. If the
+// materialized region ends before a delimiter is found, the bytes up
+// to the end are returned with found = false and the head rests on the
+// first blank cell.
+func (t *Tape) ScanUntil(delim byte) (data []byte, found bool, err error) {
+	if t.AtEnd() {
+		return nil, false, nil
 	}
-	return nil
+	if err := t.turn(Forward); err != nil {
+		// The first ReadMove reads the cell before the refused turn.
+		t.reads++
+		return nil, false, err
+	}
+	rest := t.cells[t.pos:]
+	n := len(rest)
+	if i := bytes.IndexByte(rest, delim); i >= 0 {
+		n = i + 1
+		found = true
+	}
+	out := make([]byte, n)
+	copy(out, rest[:n])
+	t.reads += int64(n)
+	t.advanceForward(n)
+	return out, found, nil
 }
+
+// AppendBytes writes data starting at the current head position,
+// moving forward. It is WriteBlock under its historical name.
+func (t *Tape) AppendBytes(data []byte) error { return t.WriteBlock(data) }
 
 // Truncate discards all content from the current head position to the
 // right. It models overwriting the rest of a tape with blanks in one
