@@ -1,41 +1,115 @@
 // Command stbench runs the full experiment suite of the reproduction
 // (E1–E16, one per theorem/lemma of the paper) and prints every table.
+// Monte-Carlo experiments run their trial fleets on a worker pool with
+// per-trial seeds derived from -seed, so stdout is byte-identical for
+// a fixed seed at any -parallel value.
 //
 // Usage:
 //
-//	stbench [-seed N] [-only E7]
+//	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-format text|json|csv]
+//
+// Formats: text (the human report), json (one JSON object per
+// experiment per line), csv (one record per experiment). Reports
+// stream as each experiment completes; progress goes to stderr.
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"extmem/internal/experiments"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "random seed for all experiments")
-	only := flag.String("only", "", "run a single experiment by id (e.g. E12)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Println("Reproduction of: Grohe, Hernich, Schweikardt —")
-	fmt.Println("\"Randomized Computations on Large Data Sets: Tight Lower Bounds\" (PODS 2006)")
-	fmt.Println()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "root seed for all experiments (per-trial seeds derive from it)")
+	only := fs.String("only", "", "run a single experiment by id (e.g. E12)")
+	trials := fs.Int("trials", 0, "Monte-Carlo fleet size per experiment side (0 = per-experiment default)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial-fleet worker goroutines (never changes the output)")
+	format := fs.String("format", "text", "output format: text, json or csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallel: *parallel}
+
+	runners := experiments.Runners()
+	if *only != "" {
+		found := false
+		for _, r := range runners {
+			if r.ID == *only {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "stbench: no experiment matches -only=%s\n", *only)
+			return 2
+		}
+	}
+
+	var emit func(experiments.Result) error
+	var finish func() error
+	switch *format {
+	case "text":
+		fmt.Fprintln(stdout, "Reproduction of: Grohe, Hernich, Schweikardt —")
+		fmt.Fprintln(stdout, "\"Randomized Computations on Large Data Sets: Tight Lower Bounds\" (PODS 2006)")
+		fmt.Fprintln(stdout)
+		emit = func(r experiments.Result) error {
+			_, err := fmt.Fprintf(stdout, "%s\n\n", r.String())
+			return err
+		}
+		finish = func() error { return nil }
+	case "json":
+		enc := json.NewEncoder(stdout)
+		emit = func(r experiments.Result) error { return enc.Encode(r) }
+		finish = func() error { return nil }
+	case "csv":
+		w := csv.NewWriter(stdout)
+		if err := w.Write([]string{"id", "title", "claim", "notes", "table"}); err != nil {
+			fmt.Fprintln(stderr, "stbench:", err)
+			return 1
+		}
+		emit = func(r experiments.Result) error {
+			return w.Write([]string{r.ID, r.Title, r.Claim, r.Notes, r.Table})
+		}
+		finish = func() error { w.Flush(); return w.Error() }
+	default:
+		fmt.Fprintf(stderr, "stbench: unknown format %q (want text, json or csv)\n", *format)
+		return 2
+	}
 
 	failed := 0
-	for _, r := range experiments.All(*seed) {
-		if *only != "" && r.ID != *only {
+	for i, runner := range runners {
+		if *only != "" && runner.ID != *only {
 			continue
 		}
-		fmt.Println(r.String())
-		fmt.Println()
-		if len(r.Notes) < 4 || r.Notes[:4] != "PASS" {
+		fmt.Fprintf(stderr, "stbench: running %s (%d/%d)\n", runner.ID, i+1, len(runners))
+		r := runner.Run(cfg)
+		if !r.Passed() {
 			failed++
 		}
+		if err := emit(r); err != nil {
+			fmt.Fprintln(stderr, "stbench:", err)
+			return 1
+		}
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(stderr, "stbench:", err)
+		return 1
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)
+		return 1
 	}
+	return 0
 }

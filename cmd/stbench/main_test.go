@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// One tiny end-to-end run per output format, against a fast
+// deterministic experiment.
+func TestFormats(t *testing.T) {
+	cases := []struct {
+		format string
+		check  func(t *testing.T, out string)
+	}{
+		{"text", func(t *testing.T, out string) {
+			for _, frag := range []string{"== E9", "PASS", "PODS 2006"} {
+				if !strings.Contains(out, frag) {
+					t.Fatalf("text output misses %q:\n%s", frag, out)
+				}
+			}
+		}},
+		{"json", func(t *testing.T, out string) {
+			var r struct{ ID, Title, Claim, Table, Notes string }
+			if err := json.Unmarshal([]byte(out), &r); err != nil {
+				t.Fatalf("json output not one object per line: %v\n%s", err, out)
+			}
+			if r.ID != "E9" || !strings.HasPrefix(r.Notes, "PASS") || r.Table == "" {
+				t.Fatalf("bad json record %+v", r)
+			}
+		}},
+		{"csv", func(t *testing.T, out string) {
+			recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 2 || recs[0][0] != "id" || recs[1][0] != "E9" {
+				t.Fatalf("bad csv records %v", recs)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.format, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run([]string{"-only", "E9", "-format", c.format}, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), "running E9") {
+				t.Fatalf("no streaming progress on stderr:\n%s", errOut.String())
+			}
+			c.check(t, out.String())
+		})
+	}
+}
+
+// The acceptance criterion: for a fixed -seed, stdout is
+// byte-identical at -parallel=1 and a high worker count, including on
+// a Monte-Carlo experiment with a custom fleet size.
+func TestOutputParallelInvariant(t *testing.T) {
+	runWith := func(parallel string) string {
+		var out, errOut strings.Builder
+		args := []string{"-only", "E2", "-seed", "7", "-trials", "12", "-parallel", parallel}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if seq, par := runWith("1"), runWith("8"); seq != par {
+		t.Fatalf("output differs across -parallel:\n--- 1 ---\n%s\n--- 8 ---\n%s", seq, par)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format: exit %d", code)
+	}
+	if code := run([]string{"-only", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown experiment id: exit %d", code)
+	}
+}

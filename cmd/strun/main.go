@@ -8,50 +8,119 @@
 //	strun -algo fingerprint -m 1024 -n 16 -yes=false
 //	strun -algo multiset -input '01#10#10#01#'
 //	strun -algo sort -m 64 -n 8
+//	strun -algo fingerprint -yes=false -trials 500 -parallel 8 -format csv
 //
 // Algorithms: multiset, set, checksort (deterministic, Corollary 7);
 // fingerprint (Theorem 8a); nst-multiset, nst-set, nst-checksort
 // (Theorem 8b); sort (Corollary 10).
+//
+// With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
+// fleet of independent fingerprint trials on the same instance across
+// -parallel workers, streams one row per trial in -format (text, json
+// or csv) and reports the acceptance rate with its Wilson 95%
+// interval on stderr. Per-trial coins derive from -seed and the trial
+// index, so the rows are byte-identical at any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/trials"
 )
 
 func main() {
-	algo := flag.String("algo", "multiset", "algorithm to run")
-	mFlag := flag.Int("m", 64, "values per half (generated instances)")
-	nFlag := flag.Int("n", 12, "value length in bits (generated instances)")
-	yes := flag.Bool("yes", true, "generate a yes-instance")
-	seed := flag.Int64("seed", 1, "random seed")
-	input := flag.String("input", "", "explicit instance v1#…vm#v'1#…v'm# (overrides -m/-n)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("strun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "multiset", "algorithm to run")
+	mFlag := fs.Int("m", 64, "values per half (generated instances)")
+	nFlag := fs.Int("n", 12, "value length in bits (generated instances)")
+	yes := fs.Bool("yes", true, "generate a yes-instance")
+	seed := fs.Int64("seed", 1, "random seed")
+	input := fs.String("input", "", "explicit instance v1#…vm#v'1#…v'm# (overrides -m/-n)")
+	trialsN := fs.Int("trials", 1, "fingerprint only: fleet size of independent trials")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "fleet worker goroutines (never changes the rows)")
+	format := fs.String("format", "text", "fleet row format: text, json or csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	in, err := buildInstance(*algo, *input, *mFlag, *nFlag, *yes, rng)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("instance: m=%d, N=%d\n", in.M(), in.Size())
 
-	verdict, res, err := run(*algo, in, *seed)
+	if *trialsN > 1 {
+		if *algo != "fingerprint" {
+			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
+		}
+		return runFleet(in, *trialsN, *parallel, *seed, *format, stdout, stderr)
+	}
+
+	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
+	verdict, res, err := runAlgo(*algo, in, *seed, stdout)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("verdict:  %v\n", verdict)
-	fmt.Printf("resources: %v\n", res)
+	fmt.Fprintf(stdout, "verdict:  %v\n", verdict)
+	fmt.Fprintf(stdout, "resources: %v\n", res)
 	want := reference(*algo, in)
-	fmt.Printf("reference: %v\n", want)
+	fmt.Fprintf(stdout, "reference: %v\n", want)
 	if verdict != want && *algo != "fingerprint" {
-		fail(fmt.Errorf("verdict disagrees with the reference decider"))
+		return fail(stderr, fmt.Errorf("verdict disagrees with the reference decider"))
 	}
+	return 0
+}
+
+// runFleet streams a fingerprint trial fleet on the instance: one
+// machine per trial, coins derived from (seed, trial index).
+func runFleet(in problems.Instance, n, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
+	enc, err := trials.NewEncoder(format, stdout)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	encoded := in.Encode()
+	var encErr error
+	_, sum, err := trials.Engine{
+		Trials:   n,
+		Parallel: parallel,
+		Seed:     seed,
+		OnResult: func(r trials.Result) {
+			if encErr == nil {
+				encErr = enc.Row(r)
+			}
+		},
+	}.Run(func(_ int, rng *rand.Rand) trials.Result {
+		m := core.NewMachine(1, rng.Int63())
+		m.SetInput(encoded)
+		v, _, err := algorithms.FingerprintMultisetEquality(m)
+		if err != nil {
+			return trials.Result{Err: err.Error()}
+		}
+		return trials.Result{Accept: v == core.Accept}
+	})
+	if encErr == nil {
+		encErr = enc.Close()
+	}
+	for _, e := range []error{encErr, err} {
+		if e != nil {
+			return fail(stderr, e)
+		}
+	}
+	fmt.Fprintln(stderr, "strun:", trials.FormatSummary(sum))
+	return 0
 }
 
 func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (problems.Instance, error) {
@@ -68,7 +137,7 @@ func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (prob
 	}
 }
 
-func run(algo string, in problems.Instance, seed int64) (core.Verdict, core.Resources, error) {
+func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (core.Verdict, core.Resources, error) {
 	switch algo {
 	case "multiset", "set", "checksort":
 		m := core.NewMachine(algorithms.NumDeciderTapes, seed)
@@ -89,7 +158,7 @@ func run(algo string, in problems.Instance, seed int64) (core.Verdict, core.Reso
 		m.SetInput(in.Encode())
 		v, params, err := algorithms.FingerprintMultisetEquality(m)
 		if err == nil {
-			fmt.Printf("fingerprint params: k=%d p1=%d p2=%d x=%d\n", params.K, params.P1, params.P2, params.X)
+			fmt.Fprintf(stdout, "fingerprint params: k=%d p1=%d p2=%d x=%d\n", params.K, params.P1, params.P2, params.X)
 		}
 		return v, m.Resources(), err
 	case "nst-multiset", "nst-set", "nst-checksort":
@@ -103,9 +172,7 @@ func run(algo string, in problems.Instance, seed int64) (core.Verdict, core.Reso
 		v, err := algorithms.DecideNST(p, m, in)
 		return v, m.Resources(), err
 	case "sort":
-		m := core.NewMachine(4, seed)
-		m.SetInput(in.Encode())
-		res, err := algorithms.SortLasVegas(m, 1, 2, 3, 1<<30)
+		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 1, 1, seed)
 		return res.Verdict, res.Resources, err
 	default:
 		return core.Reject, core.Resources{}, fmt.Errorf("unknown algorithm %q", algo)
@@ -130,7 +197,7 @@ func reference(algo string, in problems.Instance) core.Verdict {
 	return core.Reject
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "strun:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "strun:", err)
+	return 1
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Smoke: one deterministic decider end to end, agreeing with the
+// reference.
+func TestRunMultiset(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-algo", "multiset", "-m", "8", "-n", "6"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	for _, frag := range []string{"instance:", "verdict:  accept", "reference: accept", "resources:"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output misses %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunExplicitInput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-algo", "multiset", "-input", "01#10#10#01#"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "m=2") {
+		t.Fatalf("explicit instance not decoded:\n%s", out.String())
+	}
+}
+
+// The fingerprint fleet: rows in every format, byte-identical across
+// worker counts, with the summary on stderr.
+func TestFingerprintFleetFormats(t *testing.T) {
+	fleet := func(format, parallel string) (string, string) {
+		var out, errOut strings.Builder
+		args := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
+			"-trials", "16", "-parallel", parallel, "-format", format, "-seed", "5"}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		seq, _ := fleet(format, "1")
+		par, errOut := fleet(format, "8")
+		if seq != par {
+			t.Fatalf("%s rows differ across -parallel:\n--- 1 ---\n%s\n--- 8 ---\n%s", format, seq, par)
+		}
+		if !strings.Contains(errOut, "fleet: ") || !strings.Contains(errOut, "CI") {
+			t.Fatalf("no summary on stderr:\n%s", errOut)
+		}
+		wantLines := 16
+		if format == "csv" {
+			wantLines = 17 // header
+		}
+		if got := strings.Count(par, "\n"); got != wantLines {
+			t.Fatalf("%s: %d lines, want %d:\n%s", format, got, wantLines, par)
+		}
+	}
+	// CSV parses and every trial index appears in order.
+	out, _ := fleet("csv", "4")
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs[1:] {
+		if rec[0] != strconv.Itoa(i) {
+			t.Fatalf("row %d has trial %s (rows must stream in trial order)", i, rec[0])
+		}
+	}
+}
+
+func TestFleetRejectsOtherAlgos(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {
+		t.Fatalf("fleet on sort: exit %d", code)
+	}
+}
+
+func TestFlagAndAlgoErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run([]string{"-algo", "bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown algo: exit %d", code)
+	}
+	if code := run([]string{"-input", "not-an-instance"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad input: exit %d", code)
+	}
+}

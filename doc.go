@@ -18,6 +18,17 @@
 // run at memcpy speed. Differential property tests in internal/tape
 // enforce this invariant.
 //
+// Monte-Carlo trial fleets — error-rate estimation for the Theorem
+// 8(a) fingerprint, Las Vegas repetition, adversary probing, and the
+// randomized experiment sweeps — run on internal/trials: a worker-pool
+// engine whose per-trial randomness derives from a root seed and the
+// trial index via a splitmix64 mixing step, so a fleet produces
+// identical results, streaming order and summaries at any worker
+// count. Summaries report acceptance rates with Wilson confidence
+// intervals, and Result rows stream through text/JSON/CSV encoders
+// (surfaced by cmd/stbench -trials/-parallel/-format and the
+// cmd/strun fingerprint fleet mode).
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured record, and cmd/stbench for the full experiment
 // suite. The packages live under internal/; the runnable entry points

@@ -1,7 +1,10 @@
 package algorithms
 
 import (
+	"math/rand"
+
 	"extmem/internal/core"
+	"extmem/internal/trials"
 )
 
 // SortResult reports a Las Vegas sorting attempt (Corollary 10).
@@ -31,4 +34,40 @@ func SortLasVegas(m *core.Machine, dst, auxA, auxB, scanBudget int) (SortResult,
 		return SortResult{Verdict: core.DontKnow, Resources: res}, nil
 	}
 	return SortResult{Verdict: core.Accept, Resources: res}, nil
+}
+
+// SortLasVegasRepeated is Las Vegas amplification on the trials
+// engine: it runs attempts independent budgeted sorting attempts on
+// the same encoded input, each on a fresh machine with tapes external
+// tapes whose coins derive from (seed, attempt index), and returns
+// the first accepting attempt in attempt order (schedule-independent)
+// together with the fleet summary — the accept count over attempts is
+// the empirical success probability the Corollary 10 repetition
+// argument amplifies. If every attempt answers "I don't know", the
+// first attempt's DontKnow result is returned.
+func SortLasVegasRepeated(input []byte, tapes, dst, auxA, auxB, scanBudget, attempts, parallel int, seed int64) (SortResult, trials.Summary, error) {
+	if attempts <= 0 {
+		return SortResult{Verdict: core.DontKnow}, trials.Summary{}, nil
+	}
+	results := make([]SortResult, attempts)
+	_, sum, err := trials.Engine{Trials: attempts, Parallel: parallel, Seed: seed}.Run(
+		func(i int, rng *rand.Rand) trials.Result {
+			m := core.NewMachine(tapes, rng.Int63())
+			m.SetInput(input)
+			res, err := SortLasVegas(m, dst, auxA, auxB, scanBudget)
+			results[i] = res
+			if err != nil {
+				return trials.Result{Err: err.Error()}
+			}
+			return trials.Result{Accept: res.Verdict == core.Accept}
+		})
+	if err != nil {
+		return SortResult{Verdict: core.DontKnow}, sum, err
+	}
+	for _, r := range results {
+		if r.Verdict == core.Accept {
+			return r, sum, nil
+		}
+	}
+	return results[0], sum, nil
 }

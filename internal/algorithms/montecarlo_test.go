@@ -1,0 +1,112 @@
+package algorithms
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+// The error estimate must be schedule-independent: identical numbers
+// at 1 worker and at 8, for several root seeds.
+func TestEstimateFingerprintErrorsParallelInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seq, err := EstimateFingerprintErrors(16, 10, 24, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := EstimateFingerprintErrors(16, 10, 24, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("seed %d: estimate differs across worker counts:\nseq %+v\npar %+v", seed, seq, par)
+		}
+	}
+}
+
+// The Theorem 8(a) profile, measured through the fleet API: perfect
+// completeness, exactly 2 scans, false-accept rate ≤ 1/2 with a CI
+// that contains the point estimate.
+func TestEstimateFingerprintErrorsProfile(t *testing.T) {
+	est, err := EstimateFingerprintErrors(32, 12, 40, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.YesErrors != 0 {
+		t.Fatalf("completeness violated: %d yes-errors", est.YesErrors)
+	}
+	if est.Scans != 2 {
+		t.Fatalf("fingerprint used %d scans, want 2", est.Scans)
+	}
+	rate := float64(est.FalseAccepts) / float64(est.Trials)
+	if rate > 0.5 {
+		t.Fatalf("false-accept rate %f > 1/2", rate)
+	}
+	if est.FalseAcceptLo > rate || est.FalseAcceptHi < rate {
+		t.Fatalf("CI [%f, %f] excludes rate %f", est.FalseAcceptLo, est.FalseAcceptHi, rate)
+	}
+}
+
+func TestFingerprintRepeatedFleetCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := problems.GenMultisetYes(12, 10, rng)
+	for _, par := range []int{1, 8} {
+		v, sum, err := FingerprintRepeatedFleet(in.Encode(), 10, par, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != core.Accept || sum.Accepts != 10 {
+			t.Fatalf("parallel=%d: fleet rejected a yes-instance (%v, %+v)", par, v, sum)
+		}
+	}
+}
+
+// On a no-instance the repeated fleet must reject with overwhelming
+// probability, and the verdict must not depend on the worker count.
+func TestFingerprintRepeatedFleetSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := problems.GenMultisetNo(12, 10, rng)
+	v1, s1, err := FingerprintRepeatedFleet(in.Encode(), 8, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v8, s8, err := FingerprintRepeatedFleet(in.Encode(), 8, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v8 || !reflect.DeepEqual(s1, s8) {
+		t.Fatalf("verdict differs across worker counts: %v/%+v vs %v/%+v", v1, s1, v8, s8)
+	}
+	if v1 != core.Reject {
+		t.Fatalf("8 repetitions accepted a no-instance (false-accept prob ≤ 2^-8-ish)")
+	}
+}
+
+func TestSortLasVegasRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := problems.GenMultisetYes(32, 8, rng)
+	res, sum, err := SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 3, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Accept || sum.Accepts != 3 {
+		t.Fatalf("unbounded budget: %v, %+v", res.Verdict, sum)
+	}
+	// A scan budget of 2 is below the Θ(log N) requirement: every
+	// attempt must answer "I don't know", never a wrong output.
+	res, sum, err = SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 2, 3, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.DontKnow || sum.Accepts != 0 {
+		t.Fatalf("tight budget: %v, %+v", res.Verdict, sum)
+	}
+	// Degenerate fleets fail closed.
+	res, _, err = SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 0, 4, 11)
+	if err != nil || res.Verdict != core.DontKnow {
+		t.Fatalf("zero attempts: %v, %v", res.Verdict, err)
+	}
+}

@@ -3,6 +3,12 @@
 // the paper has a runner that regenerates its content as a table.
 // The runners are shared by cmd/stbench (human-readable report),
 // bench_test.go (testing.B entry points) and EXPERIMENTS.md.
+//
+// Monte-Carlo experiments (E2, E5, E8, E14, E16) run their trial
+// fleets on internal/trials: per-trial randomness is derived from
+// Config.Seed and the trial index alone, so a Config.Parallel worker
+// pool accelerates the sweeps without changing a single output byte —
+// the tables are identical at Parallel=1 and Parallel=NumCPU.
 package experiments
 
 import (
@@ -14,16 +20,35 @@ import (
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/trials"
 )
+
+// Config parameterizes one run of the experiment suite.
+type Config struct {
+	Seed     int64 // root seed; all randomness (instances and machine coins) derives from it
+	Trials   int   // Monte-Carlo fleet size per experiment side; 0 = per-experiment default
+	Parallel int   // trial workers; <= 0 = GOMAXPROCS. Never affects output bytes.
+}
+
+// fleet resolves the fleet size against an experiment's default.
+func (c Config) fleet(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
 
 // Result is the outcome of one experiment.
 type Result struct {
-	ID    string
-	Title string
-	Claim string // the paper claim being reproduced
-	Table string // formatted rows
-	Notes string // observations / pass-fail summary
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Claim string `json:"claim"` // the paper claim being reproduced
+	Table string `json:"table"` // formatted rows
+	Notes string `json:"notes"` // observations / pass-fail summary
 }
+
+// Passed reports whether the experiment reproduced its claim.
+func (r Result) Passed() bool { return strings.HasPrefix(r.Notes, "PASS") }
 
 // String renders the result as a report section.
 func (r Result) String() string {
@@ -42,18 +67,60 @@ func row(b *strings.Builder, format string, args ...any) {
 	fmt.Fprintf(b, format+"\n", args...)
 }
 
+// A Runner is one named experiment of the suite; cmd/stbench iterates
+// them so it can stream each report as it completes.
+type Runner struct {
+	ID  string
+	Run func(Config) Result
+}
+
+// Runners lists the full E1–E16 suite in order.
+func Runners() []Runner {
+	return []Runner{
+		{"E1", E1DeterministicUpperBound},
+		{"E2", E2Fingerprint},
+		{"E3", E3NSTVerifier},
+		{"E4", E4Separation},
+		{"E5", E5Sort},
+		{"E6", E6RelAlg},
+		{"E7", E7XQuery},
+		{"E8", E8XPath},
+		{"E9", E9Sortedness},
+		{"E10", E10Simulation},
+		{"E11", E11Counting},
+		{"E12", E12MergeLemma},
+		{"E13", E13RunLength},
+		{"E14", E14PrimeCollision},
+		{"E15", E15ShortReduction},
+		{"E16", E16Adversary},
+	}
+}
+
+// All runs every experiment with the given seed and default fleet
+// sizes and parallelism.
+func All(seed int64) []Result { return AllConfig(Config{Seed: seed}) }
+
+// AllConfig runs every experiment under cfg.
+func AllConfig(cfg Config) []Result {
+	var out []Result
+	for _, r := range Runners() {
+		out = append(out, r.Run(cfg))
+	}
+	return out
+}
+
 // E1DeterministicUpperBound reproduces Corollary 7's upper bound:
 // the sort-based deciders run in O(log N) scans with item-sized
 // internal memory. The table sweeps N and reports scans / log₂N.
-func E1DeterministicUpperBound(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E1DeterministicUpperBound(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%10s %10s %8s %10s %14s %12s", "m", "N", "scans", "log2(N)", "scans/log2N", "mem bits")
 	ok := true
 	for _, mSize := range []int{8, 32, 128, 512, 2048, 8192} {
 		in := problems.GenMultisetYes(mSize, 16, rng)
 		n := in.Size()
-		m := core.NewMachine(algorithms.NumDeciderTapes, seed)
+		m := core.NewMachine(algorithms.NumDeciderTapes, cfg.Seed)
 		m.SetInput(in.Encode())
 		v, err := algorithms.MultisetEqualityST(m)
 		if err != nil || v != core.Accept {
@@ -83,45 +150,25 @@ func E1DeterministicUpperBound(seed int64) Result {
 
 // E2Fingerprint reproduces Theorem 8(a): the fingerprint decider uses
 // exactly 2 scans and O(log N) memory, never rejects equal multisets,
-// and accepts distinct ones with small probability.
-func E2Fingerprint(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+// and accepts distinct ones with small probability. The per-size
+// error profile is measured by a parallel trial fleet
+// (algorithms.EstimateFingerprintErrors) and reported with the Wilson
+// 95% interval on the false-accept rate.
+func E2Fingerprint(cfg Config) Result {
 	var b strings.Builder
-	row(&b, "%8s %10s %7s %10s %12s %16s", "m", "N", "scans", "mem bits", "yes-errors", "false-accepts")
+	row(&b, "%8s %10s %7s %10s %12s %16s %20s", "m", "N", "scans", "mem bits", "yes-errors", "false-accepts", "false-acc 95% CI")
 	notes := "PASS: 2 scans, O(log N) bits, perfect completeness, false-accept rate ≪ 1/2."
-	for _, mSize := range []int{8, 64, 512} {
-		const trials = 60
-		yesErr, falseAcc := 0, 0
-		var scans int
-		var mem int64
-		var n int
-		for i := 0; i < trials; i++ {
-			yes := problems.GenMultisetYes(mSize, 12, rng)
-			m := core.NewMachine(1, rng.Int63())
-			m.SetInput(yes.Encode())
-			v, _, err := algorithms.FingerprintMultisetEquality(m)
-			if err != nil {
-				return failure("E2", "T8A-FP", err, v)
-			}
-			if v != core.Accept {
-				yesErr++
-			}
-			res := m.Resources()
-			scans, mem, n = res.Scans(), res.PeakMemoryBits, yes.Size()
-
-			no := problems.GenMultisetNo(mSize, 12, rng)
-			m2 := core.NewMachine(1, rng.Int63())
-			m2.SetInput(no.Encode())
-			v2, _, err := algorithms.FingerprintMultisetEquality(m2)
-			if err != nil {
-				return failure("E2", "T8A-FP", err, v2)
-			}
-			if v2 == core.Accept {
-				falseAcc++
-			}
+	for i, mSize := range []int{8, 64, 512} {
+		est, err := algorithms.EstimateFingerprintErrors(
+			mSize, 12, cfg.fleet(60), cfg.Parallel, trials.Seed(cfg.Seed, 200+i))
+		if err != nil {
+			return failure("E2", "T8A-FP", err, core.Reject)
 		}
-		row(&b, "%8d %10d %7d %10d %10d/%d %14d/%d", mSize, n, scans, mem, yesErr, trials, falseAcc, trials)
-		if yesErr > 0 || scans != 2 || falseAcc > trials/2 {
+		row(&b, "%8d %10d %7d %10d %10d/%d %14d/%d    [%.3f, %.3f]",
+			mSize, est.Size, est.Scans, est.MemBits,
+			est.YesErrors, est.Trials, est.FalseAccepts, est.Trials,
+			est.FalseAcceptLo, est.FalseAcceptHi)
+		if est.YesErrors > 0 || est.Scans != 2 || est.FalseAccepts > est.Trials/2 {
 			notes = "FAIL: error profile violated."
 		}
 	}
@@ -136,8 +183,8 @@ func E2Fingerprint(seed int64) Result {
 
 // E3NSTVerifier reproduces Theorem 8(b): certificate verification in
 // 3 scans on 2 tapes with O(log N) memory, for all three problems.
-func E3NSTVerifier(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E3NSTVerifier(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%22s %6s %7s %7s %10s %8s", "problem", "m", "scans", "tapes", "mem bits", "verdict")
 	notes := "PASS: ≤ 3 scans, 2 tapes, O(log N) memory; yes accepted, no rejected."
@@ -151,7 +198,7 @@ func E3NSTVerifier(seed int64) Result {
 	}
 	for _, c := range cases {
 		in := c.gen()
-		m := core.NewMachine(2, seed)
+		m := core.NewMachine(2, cfg.Seed)
 		m.SetInput(in.Encode())
 		v, err := algorithms.DecideNST(c.p, m, in)
 		if err != nil {
@@ -175,19 +222,19 @@ func E3NSTVerifier(seed int64) Result {
 // E4Separation reproduces Corollary 9's separation as a series: the
 // deterministic decider needs Θ(log N) scans while the co-randomized
 // fingerprint needs exactly 2, at every input size.
-func E4Separation(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E4Separation(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%8s %10s %18s %14s %12s", "m", "N", "ST scans (det)", "co-RST scans", "separation")
 	notes := "PASS: constant-scan randomized vs Θ(log N) deterministic — the Corollary 9 gap."
 	for _, mSize := range []int{8, 64, 512, 4096} {
 		in := problems.GenMultisetYes(mSize, 12, rng)
-		det := core.NewMachine(algorithms.NumDeciderTapes, seed)
+		det := core.NewMachine(algorithms.NumDeciderTapes, cfg.Seed)
 		det.SetInput(in.Encode())
 		if _, err := algorithms.MultisetEqualityST(det); err != nil {
 			return failure("E4", "C9-SEP", err, core.Reject)
 		}
-		fp := core.NewMachine(1, seed)
+		fp := core.NewMachine(1, cfg.Seed)
 		fp.SetInput(in.Encode())
 		if _, _, err := algorithms.FingerprintMultisetEquality(fp); err != nil {
 			return failure("E4", "C9-SEP", err, core.Reject)
@@ -208,26 +255,30 @@ func E4Separation(seed int64) Result {
 }
 
 // E5Sort reproduces Corollary 10's sorting side: the Las Vegas sorter
-// succeeds exactly when its scan budget reaches Θ(log N).
-func E5Sort(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+// succeeds exactly when its scan budget reaches Θ(log N). Each size
+// runs a small fleet of independent attempts (Las Vegas repetition on
+// the trials engine); the table reports accepts/attempts.
+func E5Sort(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
-	row(&b, "%8s %10s %14s %16s", "m", "N", "scans needed", "budget log2(N)?")
+	row(&b, "%8s %10s %14s %16s %10s", "m", "N", "scans needed", "budget log2(N)?", "attempts")
 	notes := "PASS: the success threshold tracks Θ(log N) — below it the sorter answers \"don't know\"."
-	for _, mSize := range []int{8, 64, 512, 4096} {
+	for i, mSize := range []int{8, 64, 512, 4096} {
 		in := problems.GenMultisetYes(mSize, 12, rng)
-		m := core.NewMachine(4, seed)
-		m.SetInput(in.Encode())
-		res, err := algorithms.SortLasVegas(m, 1, 2, 3, 1<<30)
+		res, sum, err := algorithms.SortLasVegasRepeated(
+			in.Encode(), 4, 1, 2, 3, 1<<30,
+			cfg.fleet(2), cfg.Parallel, trials.Seed(cfg.Seed, 500+i))
 		if err != nil {
 			return failure("E5", "C10-SORT", err, res.Verdict)
 		}
 		needed := res.Resources.Scans()
 		logN := int(math.Log2(float64(in.Size())))
 		within := needed <= 10*logN
-		row(&b, "%8d %10d %14d %16v", mSize, in.Size(), needed, within)
+		row(&b, "%8d %10d %14d %16v %7d/%d", mSize, in.Size(), needed, within, sum.Accepts, sum.Trials)
 		if !within {
 			notes = "FAIL: sorting needed more than 10·log2(N) scans."
+		} else if res.Verdict != core.Accept {
+			notes = "FAIL: every Las Vegas attempt answered \"I don't know\"."
 		}
 	}
 	return Result{

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The acceptance-criterion invariant of the trials engine, end to
+// end: for a fixed root seed, the full experiment suite produces
+// byte-identical tables at 1 worker and at 8.
+func TestExperimentTablesParallelInvariant(t *testing.T) {
+	seq := AllConfig(Config{Seed: 3, Parallel: 1})
+	par := AllConfig(Config{Seed: 3, Parallel: 8})
+	if len(seq) != len(par) {
+		t.Fatalf("suite lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("%s differs across worker counts:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+				seq[i].ID, seq[i].String(), par[i].String())
+		}
+	}
+}
+
+// Shrinking the fleet via Config.Trials must keep the Monte-Carlo
+// experiments deterministic and within their fleet budget (a smoke
+// check that the Trials knob is actually plumbed through).
+func TestConfigTrialsKnob(t *testing.T) {
+	small := Config{Seed: 1, Trials: 8, Parallel: 4}
+	a := E2Fingerprint(small)
+	b := E2Fingerprint(small)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("E2 not deterministic under a custom fleet size")
+	}
+	if !strings.Contains(a.Table, "/8") {
+		t.Fatalf("E2 table does not reflect Trials=8:\n%s", a.Table)
+	}
+}

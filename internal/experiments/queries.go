@@ -8,6 +8,7 @@ import (
 	"extmem/internal/core"
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
+	"extmem/internal/trials"
 	"extmem/internal/xmlstream"
 	"extmem/internal/xpath"
 	"extmem/internal/xquery"
@@ -16,8 +17,8 @@ import (
 // E6RelAlg reproduces Theorem 11: (a) streaming evaluation of the
 // symmetric-difference query within O(log N) scans; (b) its result
 // decides SET-EQUALITY (the lower-bound reduction).
-func E6RelAlg(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E6RelAlg(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%8s %10s %8s %12s %10s %10s", "m", "N", "scans", "scans/log2N", "Q' empty", "X = Y?")
 	notes := "PASS: O(log N) scans; Q' emptiness ≡ set equality on every instance."
@@ -29,7 +30,7 @@ func E6RelAlg(seed int64) Result {
 			in = problems.GenSetNo(mSize, 12, rng)
 		}
 		db := relalg.InstanceDB(in)
-		m := core.NewMachine(relalg.NumQueryTapes, seed)
+		m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
 		r, err := relalg.EvalST(relalg.SymmetricDifference("R1", "R2"), db, m)
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
@@ -58,8 +59,8 @@ func E6RelAlg(seed int64) Result {
 
 // E7XQuery reproduces Theorem 12: the every/some query decides
 // SET-EQUALITY on the Section 4 XML encoding.
-func E7XQuery(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E7XQuery(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	q := xquery.TheoremQuery()
 	var b strings.Builder
 	row(&b, "%8s %12s %14s %12s %8s", "m", "doc bytes", "query <true/>", "set equal", "agree")
@@ -99,8 +100,11 @@ func E7XQuery(seed int64) Result {
 // E8XPath reproduces Theorem 13: the Figure 1 query selects X − Y,
 // and the two-run booster T̃ turns any profile-(1)/(2) filter into a
 // one-sided-error SET-EQUALITY decider.
-func E8XPath(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+// The noisy-filter probability check runs two trial fleets (yes- and
+// no-instances) on the trials engine, so the acceptance counts are
+// reproducible at any cfg.Parallel.
+func E8XPath(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%8s %12s %10s %12s", "m", "|X − Y|", "filter", "boosted=eq")
 	notes := "PASS: Figure 1 query computes X − Y; boosted T̃ decides set equality with zero false accepts."
@@ -123,26 +127,35 @@ func E8XPath(seed int64) Result {
 			notes = "FAIL: boosted decider disagrees with set equality."
 		}
 	}
-	// Noisy-filter probability check (profile (2) with p = 1/2).
+	// Noisy-filter probability check (profile (2) with p = 1/2), as
+	// two independent trial fleets.
 	noisy := xpath.NoisyFilter(xpath.ExactFilter, 0.5)
 	yes := problems.GenSetYes(8, 10, rng)
-	accepts := 0
-	const trials = 400
-	for i := 0; i < trials; i++ {
-		if xpath.SetEqualityViaFilter(noisy, yes, rng) {
-			accepts++
-		}
+	nTrials := cfg.fleet(400)
+	_, yesSum, err := trials.Engine{
+		Trials:   nTrials,
+		Parallel: cfg.Parallel,
+		Seed:     trials.Seed(cfg.Seed, 800),
+	}.Run(func(_ int, trng *rand.Rand) trials.Result {
+		return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, yes, trng)}
+	})
+	if err != nil {
+		return failure("E8", "T13-XPATH", err, core.Reject)
 	}
-	falseAccepts := 0
-	for i := 0; i < trials; i++ {
-		no := problems.GenSetNo(8, 10, rng)
-		if xpath.SetEqualityViaFilter(noisy, no, rng) {
-			falseAccepts++
-		}
+	_, noSum, err := trials.Engine{
+		Trials:   nTrials,
+		Parallel: cfg.Parallel,
+		Seed:     trials.Seed(cfg.Seed, 801),
+	}.Run(func(_ int, trng *rand.Rand) trials.Result {
+		no := problems.GenSetNo(8, 10, trng)
+		return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, no, trng)}
+	})
+	if err != nil {
+		return failure("E8", "T13-XPATH", err, core.Reject)
 	}
 	row(&b, "noisy filter: yes accepted %d/%d (want ≥ 1/2), no accepted %d/%d (want 0)",
-		accepts, trials, falseAccepts, trials)
-	if accepts < trials/2 || falseAccepts > 0 {
+		yesSum.Accepts, yesSum.Trials, noSum.Accepts, noSum.Trials)
+	if yesSum.Accepts < yesSum.Trials/2 || noSum.Accepts > 0 {
 		notes = "FAIL: booster probability profile violated."
 	}
 	notes += "\nNote: the paper's proof boosts with 2 rounds of T̃, giving only 1−(3/4)² = 7/16;" +

@@ -12,14 +12,15 @@ import (
 	"extmem/internal/perm"
 	"extmem/internal/problems"
 	"extmem/internal/simulate"
+	"extmem/internal/trials"
 	"extmem/internal/turing"
 )
 
 // E9Sortedness reproduces Remark 20: sortedness(ϕ_m) ≤ 2√m − 1 for
 // the bit-reversal permutation, against the Erdős–Szekeres floor √m
 // that every permutation obeys.
-func E9Sortedness(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E9Sortedness(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%10s %16s %12s %12s %14s", "m", "sortedness(ϕ)", "2√m−1", "ES floor", "random perm")
 	notes := "PASS: the bit-reversal permutation meets its O(√m) bound; random permutations stay above √m."
@@ -47,7 +48,7 @@ func E9Sortedness(seed int64) Result {
 // E10Simulation reproduces Lemma 16: each sample Turing machine and
 // its wrapped list machine have EXACTLY equal acceptance
 // probabilities (compared as rationals, not samples).
-func E10Simulation(seed int64) Result {
+func E10Simulation(Config) Result {
 	var b strings.Builder
 	row(&b, "%14s %10s %14s %14s %8s", "machine", "input", "Pr[TM]", "Pr[NLM]", "equal")
 	notes := "PASS: acceptance probabilities agree exactly on every machine and input."
@@ -95,7 +96,7 @@ func E10Simulation(seed int64) Result {
 // the skeleton-count bound collapses against the structured-input
 // count exactly when n crosses the 1+(m²+1)log(2k) threshold, and the
 // induced scan frontier grows as Θ(log N).
-func E11Counting(int64) Result {
+func E11Counting(Config) Result {
 	var b strings.Builder
 	b.WriteString("Pigeonhole gap (Lemma 21, Claim 2): values of v₁ per (choices, skeleton) class\n")
 	row(&b, "%6s %8s %10s %24s %10s", "m", "k", "n", "gap = 2^n/(2m(2k)^{m²})", "≥ 2 ?")
@@ -135,7 +136,7 @@ func approxRat(r *big.Rat) string {
 // the number of matched pairs (i, m+ϕ(i)) a run compares stays below
 // t^{2r}·sortedness(ϕ), so for the bit-reversal ϕ most pairs are
 // never compared — the information bottleneck behind Theorem 6.
-func E12MergeLemma(int64) Result {
+func E12MergeLemma(Config) Result {
 	var b strings.Builder
 	row(&b, "%6s %4s %4s %16s %22s %14s", "m", "t", "r", "pairs compared", "bound t^2r·srt(ϕ)", "uncompared")
 	notes := "PASS: compared matched pairs ≤ merge-lemma bound; a positive fraction stays uncompared."
@@ -182,7 +183,7 @@ func E12MergeLemma(int64) Result {
 
 // E13RunLength reproduces Lemma 3: measured TM run lengths stay below
 // N·2^{c·r·(t+s)}.
-func E13RunLength(int64) Result {
+func E13RunLength(Config) Result {
 	var b strings.Builder
 	row(&b, "%12s %6s %8s %8s %8s %14s", "machine", "N", "steps", "scans", "space", "bound N·2^{r(t+s)}")
 	notes := "PASS: run lengths within the Lemma 3 envelope (constant c = 1 suffices here)."
@@ -218,32 +219,37 @@ func E13RunLength(int64) Result {
 }
 
 // E14PrimeCollision reproduces Claim 1: the probability that a random
-// prime p ≤ k identifies two distinct values decays as O(1/m).
-func E14PrimeCollision(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+// prime p ≤ k identifies two distinct values decays as O(1/m). Each
+// row is a parallel trial fleet; the Wilson 95% interval on the
+// collision rate is reported next to the point estimate.
+func E14PrimeCollision(cfg Config) Result {
 	var b strings.Builder
-	row(&b, "%6s %6s %12s %14s %14s", "m", "n", "trials", "collision rate", "1/m")
+	row(&b, "%6s %6s %12s %14s %14s %20s", "m", "n", "trials", "collision rate", "1/m", "95% CI")
 	notes := "PASS: empirical collision rate at or below the O(1/m) envelope."
-	for _, m := range []int{4, 8, 16, 32} {
+	for i, m := range []int{4, 8, 16, 32} {
 		n := 12
 		k, err := numeric.FingerprintModulus(uint64(m), uint64(n))
 		if err != nil {
 			return failure("E14", "CLAIM1", err, core.Reject)
 		}
-		const trials = 300
-		collisions := 0
-		for trial := 0; trial < trials; trial++ {
+		_, sum, err := trials.Engine{
+			Trials:   cfg.fleet(300),
+			Parallel: cfg.Parallel,
+			Seed:     trials.Seed(cfg.Seed, 1400+i),
+		}.Run(func(_ int, rng *rand.Rand) trials.Result {
 			in := problems.GenMultisetNo(m, n, rng)
 			p, err := numeric.RandomPrimeUpTo(k, rng)
 			if err != nil {
-				return failure("E14", "CLAIM1", err, core.Reject)
+				return trials.Result{Err: err.Error()}
 			}
-			if residuesCollide(in, p) {
-				collisions++
-			}
+			return trials.Result{Accept: residuesCollide(in, p)}
+		})
+		if err != nil {
+			return failure("E14", "CLAIM1", err, core.Reject)
 		}
-		rate := float64(collisions) / trials
-		row(&b, "%6d %6d %12d %14.4f %14.4f", m, n, trials, rate, 1.0/float64(m))
+		rate := sum.AcceptRate()
+		lo, hi := sum.AcceptCI(1.96)
+		row(&b, "%6d %6d %12d %14.4f %14.4f    [%.4f, %.4f]", m, n, sum.Trials, rate, 1.0/float64(m), lo, hi)
 		if rate > 8.0/float64(m)+0.05 {
 			notes = "FAIL: collision rate above the O(1/m) envelope."
 		}
@@ -289,8 +295,8 @@ func residue(v string, p uint64) uint64 {
 
 // E15ShortReduction reproduces the Corollary 7 reduction f: yes/no
 // preservation into the SHORT problem versions with linear blowup.
-func E15ShortReduction(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+func E15ShortReduction(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%6s %8s %10s %12s %12s %10s", "m", "N in", "N out", "value len", "yes↦yes", "no↦no")
 	notes := "PASS: f preserves membership both ways; output values have length 5·log₂ m."
@@ -328,28 +334,31 @@ func E15ShortReduction(seed int64) Result {
 
 // E16Adversary demonstrates Theorem 6's mechanism constructively: the
 // pigeonhole adversary defeats every deterministic bounded-state
-// one-scan machine.
-func E16Adversary(seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
+// one-scan machine. Probing the candidate halves — the expensive part
+// of the attack — fans out over cfg.Parallel workers, each feeding a
+// fresh machine from the factory; the collision found is identical to
+// the sequential scan's.
+func E16Adversary(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
 	row(&b, "%24s %8s %10s %10s %8s", "machine", "states", "probes", "collision", "fooled")
 	notes := "PASS: every bounded-state sketch collides within ~state-count probes and is fooled."
 	machines := []struct {
 		name string
-		sm   lowerbound.StreamMachine
+		mk   lowerbound.StreamFactory
 		pro  int
 	}{
-		{"hash (10-bit)", lowerbound.NewHashStream(10, 4), 1200},
-		{"commutative (8-bit)", lowerbound.NewCommutativeHashStream(8, 4), 400},
-		{"commutative (12-bit)", lowerbound.NewCommutativeHashStream(12, 4), 5000},
+		{"hash (10-bit)", func() lowerbound.StreamMachine { return lowerbound.NewHashStream(10, 4) }, 1200},
+		{"commutative (8-bit)", func() lowerbound.StreamMachine { return lowerbound.NewCommutativeHashStream(8, 4) }, 400},
+		{"commutative (12-bit)", func() lowerbound.StreamMachine { return lowerbound.NewCommutativeHashStream(12, 4) }, 5000},
 	}
 	for _, mc := range machines {
 		halves := lowerbound.RandomHalves(mc.pro, 4, 8, rng)
-		col, found := lowerbound.FindCollision(mc.sm, halves)
+		col, found := lowerbound.FindCollisionParallel(mc.mk, halves, cfg.Parallel)
 		fooled := false
 		if found {
 			var err error
-			fooled, err = col.Verify(mc.sm)
+			fooled, err = col.Verify(mc.mk())
 			if err != nil {
 				found = false
 			}
@@ -365,27 +374,5 @@ func E16Adversary(seed int64) Result {
 		Claim: "Theorem 6 mechanism: too little retained information ⇒ indistinguishable inputs ⇒ forced error",
 		Table: b.String(),
 		Notes: notes,
-	}
-}
-
-// All runs every experiment with the given seed.
-func All(seed int64) []Result {
-	return []Result{
-		E1DeterministicUpperBound(seed),
-		E2Fingerprint(seed),
-		E3NSTVerifier(seed),
-		E4Separation(seed),
-		E5Sort(seed),
-		E6RelAlg(seed),
-		E7XQuery(seed),
-		E8XPath(seed),
-		E9Sortedness(seed),
-		E10Simulation(seed),
-		E11Counting(seed),
-		E12MergeLemma(seed),
-		E13RunLength(seed),
-		E14PrimeCollision(seed),
-		E15ShortReduction(seed),
-		E16Adversary(seed),
 	}
 }

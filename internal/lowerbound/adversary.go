@@ -3,8 +3,10 @@ package lowerbound
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"extmem/internal/problems"
+	"extmem/internal/trials"
 )
 
 // StreamMachine is any deterministic machine that reads an input in a
@@ -42,14 +44,7 @@ type Collision struct {
 func FindCollision(sm StreamMachine, halves []problems.Instance) (*Collision, bool) {
 	seen := map[string]int{}
 	for idx, h := range halves {
-		sm.Reset()
-		for _, v := range h.V {
-			for i := 0; i < len(v); i++ {
-				sm.Feed(v[i])
-			}
-			sm.Feed(problems.Separator)
-		}
-		key := sm.StateKey()
+		key := feedHalf(sm, h)
 		if prev, ok := seen[key]; ok {
 			return &Collision{
 				I: prev, J: idx,
@@ -100,6 +95,71 @@ func (c *Collision) Verify(sm StreamMachine) (fooled bool, err error) {
 	vYes := run(yes)
 	vNo := run(no)
 	return vYes == vNo, nil
+}
+
+// A StreamFactory builds a fresh, independent instance of the machine
+// under attack. Parallel probing feeds each candidate half into its
+// own machine, so the factory must not share mutable state between
+// the machines it returns.
+type StreamFactory func() StreamMachine
+
+// feedHalf runs one candidate first half (encoded prefix v_1#…v_m#)
+// through a fresh machine and returns the state key it lands in.
+func feedHalf(sm StreamMachine, h problems.Instance) string {
+	sm.Reset()
+	for _, v := range h.V {
+		for i := 0; i < len(v); i++ {
+			sm.Feed(v[i])
+		}
+		sm.Feed(problems.Separator)
+	}
+	return sm.StateKey()
+}
+
+// ProbeStateKeys computes, across parallel workers, the state key each
+// candidate half drives a fresh machine into. The keys come back in
+// half order, so the result is independent of the worker count.
+func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, parallel int) []string {
+	keys := make([]string, len(halves))
+	trials.Engine{Trials: len(halves), Parallel: parallel, Seed: 0}.Run(
+		func(i int, _ *rand.Rand) trials.Result {
+			keys[i] = feedHalf(mk(), halves[i])
+			return trials.Result{}
+		})
+	return keys
+}
+
+// FindCollisionParallel is FindCollision with the probing fanned out
+// over parallel workers: it returns exactly the collision the
+// sequential scan would find (the first duplicate state key in half
+// order, with the same States census), because the pigeonhole search
+// over the probed keys is still performed in order. Fanned-out
+// probing visits every half even when an early collision exists —
+// the price of parallelism — so at an effective worker count of 1
+// (parallel = 1, or parallel <= 0 on a single-CPU machine) it falls
+// back to the early-exiting sequential scan.
+func FindCollisionParallel(mk StreamFactory, halves []problems.Instance, parallel int) (*Collision, bool) {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return FindCollision(mk(), halves)
+	}
+	keys := ProbeStateKeys(mk, halves, parallel)
+	seen := map[string]int{}
+	for idx, key := range keys {
+		if prev, ok := seen[key]; ok {
+			return &Collision{
+				I: prev, J: idx,
+				HalfI:  halves[prev],
+				HalfJ:  halves[idx],
+				States: len(seen),
+			}, true
+		}
+		seen[key] = idx
+	}
+	return nil, false
 }
 
 // RandomHalves generates count distinct first halves with m values of

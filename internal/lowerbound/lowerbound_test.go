@@ -264,3 +264,35 @@ func TestMemoryBound(t *testing.T) {
 		t.Fatalf("MemoryBound(2^16) = %v, want ~1", got)
 	}
 }
+
+// The parallel probe must find exactly the collision the sequential
+// scan finds — same indices, same census — at any worker count.
+func TestFindCollisionParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	const m, n = 4, 8
+	halves := RandomHalves(1200, m, n, rng)
+	seq, foundSeq := FindCollision(NewHashStream(10, m), halves)
+	for _, par := range []int{1, 8} {
+		got, found := FindCollisionParallel(func() StreamMachine { return NewHashStream(10, m) }, halves, par)
+		if found != foundSeq {
+			t.Fatalf("parallel=%d: found=%v, sequential found=%v", par, found, foundSeq)
+		}
+		if got.I != seq.I || got.J != seq.J || got.States != seq.States {
+			t.Fatalf("parallel=%d: collision (%d,%d,%d) != sequential (%d,%d,%d)",
+				par, got.I, got.J, got.States, seq.I, seq.J, seq.States)
+		}
+	}
+}
+
+// ProbeStateKeys must agree with feeding the halves one by one.
+func TestProbeStateKeysOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	halves := RandomHalves(64, 3, 6, rng)
+	keys := ProbeStateKeys(func() StreamMachine { return NewCommutativeHashStream(12, 3) }, halves, 8)
+	sm := NewCommutativeHashStream(12, 3)
+	for i, h := range halves {
+		if got := feedHalf(sm, h); got != keys[i] {
+			t.Fatalf("half %d: parallel key %q != sequential key %q", i, keys[i], got)
+		}
+	}
+}

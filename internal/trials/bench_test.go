@@ -1,0 +1,46 @@
+package trials_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/trials"
+)
+
+// The benchmark workload is the E2 fingerprint error-rate estimation
+// (Theorem 8a): 2×32 trials per estimate, each generating an m=64,
+// n=12 instance and running the two-scan decider. Sequential vs
+// parallel measures the engine's wall-clock win at equal work — the
+// results are identical by construction (the determinism tests
+// enforce it).
+func benchFingerprintFleet(b *testing.B, parallel int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := algorithms.EstimateFingerprintErrors(64, 12, 32, parallel, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.YesErrors != 0 {
+			b.Fatal("completeness violated in benchmark workload")
+		}
+	}
+}
+
+func BenchmarkTrialsSequential(b *testing.B) { benchFingerprintFleet(b, 1) }
+
+func BenchmarkTrialsParallel(b *testing.B) { benchFingerprintFleet(b, runtime.GOMAXPROCS(0)) }
+
+// Engine overhead floor: a fleet of no-op trials, to keep the
+// scheduling cost visible separately from any workload.
+func BenchmarkTrialsEngineOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := trials.Engine{Trials: 1024, Parallel: runtime.GOMAXPROCS(0), Seed: 1}.Run(
+			func(int, *rand.Rand) trials.Result { return trials.Result{Accept: true} })
+		if err != nil || sum.Accepts != 1024 {
+			b.Fatal(err, sum)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package trials
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// An Encoder streams trial Result rows to an output. Rows arrive in
+// trial order (wire an encoder to Engine.OnResult); Close flushes any
+// buffered output. Encoders are not safe for concurrent use — the
+// engine's in-order delivery already serializes calls.
+type Encoder interface {
+	Row(Result) error
+	Close() error
+}
+
+// NewEncoder returns the encoder for format: "text", "json" (one JSON
+// object per line) or "csv" (header + one record per row).
+func NewEncoder(format string, w io.Writer) (Encoder, error) {
+	switch format {
+	case "text":
+		return &textEncoder{w: w}, nil
+	case "json":
+		return &jsonEncoder{enc: json.NewEncoder(w)}, nil
+	case "csv":
+		return &csvEncoder{w: csv.NewWriter(w)}, nil
+	default:
+		return nil, fmt.Errorf("trials: unknown format %q (want text, json or csv)", format)
+	}
+}
+
+type textEncoder struct {
+	w   io.Writer
+	err error
+}
+
+func (t *textEncoder) Row(r Result) error {
+	if t.err != nil {
+		return t.err
+	}
+	_, t.err = fmt.Fprintf(t.w, "trial %6d  accept=%-5v class=%-6s value=%-12s err=%s\n",
+		r.Trial, r.Accept, orDash(r.Class), floatField(r.Value), orDash(r.Err))
+	return t.err
+}
+
+func (t *textEncoder) Close() error { return t.err }
+
+type jsonEncoder struct{ enc *json.Encoder }
+
+func (j *jsonEncoder) Row(r Result) error { return j.enc.Encode(r) }
+func (j *jsonEncoder) Close() error       { return nil }
+
+type csvEncoder struct {
+	w      *csv.Writer
+	header bool
+}
+
+func (c *csvEncoder) Row(r Result) error {
+	if !c.header {
+		c.header = true
+		if err := c.w.Write([]string{"trial", "accept", "class", "value", "err"}); err != nil {
+			return err
+		}
+	}
+	return c.w.Write([]string{
+		strconv.Itoa(r.Trial),
+		strconv.FormatBool(r.Accept),
+		r.Class,
+		floatField(r.Value),
+		r.Err,
+	})
+}
+
+func (c *csvEncoder) Close() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func floatField(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FormatSummary renders a fleet summary with the 95% Wilson interval
+// on the acceptance rate — the shared footer of text reports.
+func FormatSummary(s Summary) string {
+	lo, hi := s.AcceptCI(1.96)
+	out := fmt.Sprintf("fleet: %d/%d accepts (rate %.4f, 95%% CI [%.4f, %.4f])",
+		s.Accepts, s.Trials, s.AcceptRate(), lo, hi)
+	if s.Errors > 0 {
+		out += fmt.Sprintf(", %d errors", s.Errors)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package trials is the Monte-Carlo trial engine of the reproduction:
+// it runs fleets of independent randomized trials (the bounded-error
+// and Las Vegas computations the paper studies) across a worker pool
+// of goroutines while keeping every run bit-for-bit reproducible.
+//
+// Reproducibility across worker counts rests on one invariant: the
+// randomness of trial i is a pure function of (root seed, i), derived
+// with a splitmix64 mixing step (Seed), never of which goroutine ran
+// the trial or in which order trials finished. Results are reported
+// back in trial order regardless of completion order, so a fleet run
+// at Parallel=1 and at Parallel=NumCPU produces identical Result
+// sequences, identical streaming callbacks and identical summaries.
+//
+// A Summary aggregates acceptance counts into error-rate estimates;
+// Wilson computes the Wilson score confidence interval that the
+// experiment tables report next to raw counts.
+package trials
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// golden is the splitmix64 state increment (2^64 / φ, odd).
+const golden = 0x9E3779B97F4A7C15
+
+// mix is the splitmix64 output permutation.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Seed derives the RNG seed of trial i from the fleet's root seed with
+// a splitmix64 mixing step. The derivation is stateless: trial seeds
+// can be computed in any order by any worker, which is what makes the
+// fleet schedule-independent. It is also used to derive independent
+// sub-fleet roots from an experiment seed (distinct streams for the
+// yes-fleet and the no-fleet, say).
+func Seed(root int64, trial int) int64 {
+	return int64(mix(uint64(root) + golden*(uint64(trial)+1)))
+}
+
+// splitmix is a rand.Source64 running the splitmix64 generator.
+// Unlike the default Go source it costs O(1) to construct and seed
+// (no 607-word warm-up), which matters when every trial of a large
+// fleet gets a private source.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+// RNG returns the deterministic random source of trial i under root:
+// a splitmix64 stream whose start state is Seed(root, i).
+func RNG(root int64, trial int) *rand.Rand {
+	return rand.New(&splitmix{state: uint64(Seed(root, trial))})
+}
+
+// Result is the outcome of one trial: a verdict bit plus optional
+// classification label, metric value and error text. The zero value
+// is a clean rejecting trial.
+type Result struct {
+	Trial  int     `json:"trial"`
+	Accept bool    `json:"accept"`
+	Class  string  `json:"class,omitempty"` // optional label, e.g. "yes"/"no"
+	Value  float64 `json:"value,omitempty"` // optional per-trial metric
+	Err    string  `json:"err,omitempty"`   // non-empty if the trial failed
+}
+
+// Func is one Monte-Carlo trial. It must draw all randomness from rng
+// (which is private to the trial) and must not touch shared mutable
+// state; the engine may call it from any goroutine.
+type Func func(trial int, rng *rand.Rand) Result
+
+// Engine runs a fleet of Trials independent trials across Parallel
+// workers, with per-trial randomness derived from Seed.
+type Engine struct {
+	Trials   int   // fleet size
+	Parallel int   // worker goroutines; <= 0 means runtime.GOMAXPROCS(0)
+	Seed     int64 // root seed; trial i uses Seed(Seed, i)
+
+	// OnResult, if non-nil, streams results strictly in trial order
+	// (0, 1, 2, …) as the completed prefix grows — independent of the
+	// order in which workers finish. It is invoked while the engine
+	// holds an internal lock, so it must not call back into the engine.
+	OnResult func(Result)
+}
+
+// Run executes the fleet and returns the per-trial results in trial
+// order together with their Summary. The returned error is the first
+// trial error in trial order (all trials still run to completion);
+// engine misuse aside, a nil error means every trial was clean.
+func (e Engine) Run(fn Func) ([]Result, Summary, error) {
+	n := e.Trials
+	if n <= 0 {
+		return nil, Summary{}, nil
+	}
+	workers := e.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]Result, n)
+	runOne := func(i int) {
+		r := fn(i, RNG(e.Seed, i))
+		r.Trial = i
+		results[i] = r
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i)
+			if e.OnResult != nil {
+				e.OnResult(results[i])
+			}
+		}
+	} else {
+		var (
+			next    int64
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			done    = make([]bool, n)
+			emitted int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+					mu.Lock()
+					done[i] = true
+					for emitted < n && done[emitted] {
+						if e.OnResult != nil {
+							e.OnResult(results[emitted])
+						}
+						emitted++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	sum := Summarize(results)
+	return results, sum, firstErr(results)
+}
+
+func firstErr(rs []Result) error {
+	for _, r := range rs {
+		if r.Err != "" {
+			return fmt.Errorf("trials: trial %d: %s", r.Trial, r.Err)
+		}
+	}
+	return nil
+}
+
+// Count is the accept tally of one class of trials.
+type Count struct {
+	Trials  int `json:"trials"`
+	Accepts int `json:"accepts"`
+}
+
+// Summary aggregates a fleet's results.
+type Summary struct {
+	Trials  int              `json:"trials"`
+	Accepts int              `json:"accepts"`
+	Errors  int              `json:"errors,omitempty"`
+	ByClass map[string]Count `json:"by_class,omitempty"` // only when classes were labeled
+}
+
+// Summarize tallies a result slice.
+func Summarize(rs []Result) Summary {
+	s := Summary{Trials: len(rs)}
+	for _, r := range rs {
+		if r.Err != "" {
+			s.Errors++
+			continue
+		}
+		if r.Accept {
+			s.Accepts++
+		}
+		if r.Class != "" {
+			if s.ByClass == nil {
+				s.ByClass = make(map[string]Count)
+			}
+			c := s.ByClass[r.Class]
+			c.Trials++
+			if r.Accept {
+				c.Accepts++
+			}
+			s.ByClass[r.Class] = c
+		}
+	}
+	return s
+}
+
+// AcceptRate is the empirical acceptance probability of the fleet.
+func (s Summary) AcceptRate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Accepts) / float64(s.Trials)
+}
+
+// AcceptCI returns the Wilson score interval for the acceptance
+// probability at confidence parameter z (1.96 for 95%).
+func (s Summary) AcceptCI(z float64) (lo, hi float64) {
+	return Wilson(s.Accepts, s.Trials, z)
+}
+
+// Wilson returns the Wilson score confidence interval for a Bernoulli
+// proportion after observing successes out of trials, at normal
+// quantile z (z = 1.96 gives the standard 95% interval). Unlike the
+// Wald interval it behaves sensibly at 0 and trials successes, which
+// is exactly the regime of one-sided-error algorithms. trials == 0
+// yields the vacuous interval [0, 1].
+func Wilson(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := (z / den) * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

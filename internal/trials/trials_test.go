@@ -1,0 +1,227 @@
+package trials
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: trial seeds are deterministic and collision-free over a
+// realistic fleet (splitmix64 mixing of root and index).
+func TestSeedDerivation(t *testing.T) {
+	f := func(root int64) bool {
+		seen := map[int64]bool{}
+		for i := 0; i < 2000; i++ {
+			s := Seed(root, i)
+			if s != Seed(root, i) || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedDiffersAcrossRoots(t *testing.T) {
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Fatal("distinct roots gave equal trial-0 seeds")
+	}
+}
+
+// noisyTrial is a trial whose result AND rng consumption vary by
+// trial, so schedule bugs (wrong rng handed to a worker, results
+// landing at the wrong index) cannot cancel out.
+func noisyTrial(i int, rng *rand.Rand) Result {
+	burn := rng.Intn(40)
+	for j := 0; j < burn; j++ {
+		rng.Int63()
+	}
+	v := rng.Float64()
+	return Result{
+		Accept: v < 0.5,
+		Class:  []string{"a", "b", "c"}[rng.Intn(3)],
+		Value:  v,
+	}
+}
+
+// Property (the tentpole invariant): the same root seed produces
+// identical per-trial verdict sequences, identical streamed order and
+// identical summaries at Parallel=1 and Parallel=8.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	f := func(root int64) bool {
+		run := func(par int) ([]Result, Summary, []int) {
+			var order []int
+			rs, sum, err := Engine{
+				Trials:   64,
+				Parallel: par,
+				Seed:     root,
+				OnResult: func(r Result) { order = append(order, r.Trial) },
+			}.Run(noisyTrial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rs, sum, order
+		}
+		r1, s1, o1 := run(1)
+		r8, s8, o8 := run(8)
+		return reflect.DeepEqual(r1, r8) && reflect.DeepEqual(s1, s8) && reflect.DeepEqual(o1, o8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The streaming callback must observe trials strictly in order even
+// when workers finish out of order.
+func TestEngineStreamsInTrialOrder(t *testing.T) {
+	var order []int
+	_, _, err := Engine{
+		Trials:   200,
+		Parallel: 16,
+		Seed:     7,
+		OnResult: func(r Result) { order = append(order, r.Trial) },
+	}.Run(func(i int, rng *rand.Rand) Result {
+		// Skew work so late trials tend to finish first.
+		for j := 0; j < (200-i)*50; j++ {
+			rng.Int63()
+		}
+		return Result{Accept: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 200 {
+		t.Fatalf("streamed %d results, want 200", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("stream position %d saw trial %d", i, got)
+		}
+	}
+}
+
+// Errors: all trials still run, the summary counts them, and Run
+// returns the first error in trial order (not completion order).
+func TestEngineErrorPropagation(t *testing.T) {
+	rs, sum, err := Engine{Trials: 20, Parallel: 4, Seed: 1}.Run(func(i int, rng *rand.Rand) Result {
+		if i == 7 || i == 13 {
+			return Result{Err: "boom"}
+		}
+		return Result{Accept: true}
+	})
+	if err == nil || !strings.Contains(err.Error(), "trial 7") {
+		t.Fatalf("want first-by-index error mentioning trial 7, got %v", err)
+	}
+	if len(rs) != 20 || sum.Errors != 2 || sum.Accepts != 18 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+}
+
+func TestEngineEmptyFleet(t *testing.T) {
+	rs, sum, err := Engine{Trials: 0}.Run(func(int, *rand.Rand) Result { return Result{} })
+	if rs != nil || sum.Trials != 0 || err != nil {
+		t.Fatalf("empty fleet: %v %+v %v", rs, sum, err)
+	}
+}
+
+func TestSummarizeByClass(t *testing.T) {
+	sum := Summarize([]Result{
+		{Accept: true, Class: "yes"},
+		{Accept: false, Class: "yes"},
+		{Accept: true, Class: "no"},
+		{Err: "x", Class: "no"},
+	})
+	if sum.Trials != 4 || sum.Accepts != 2 || sum.Errors != 1 {
+		t.Fatalf("bad summary %+v", sum)
+	}
+	if c := sum.ByClass["yes"]; c.Trials != 2 || c.Accepts != 1 {
+		t.Fatalf("bad yes class %+v", c)
+	}
+	if c := sum.ByClass["no"]; c.Trials != 1 || c.Accepts != 1 {
+		t.Fatalf("bad no class %+v (errored trials are not classified)", c)
+	}
+}
+
+func TestWilson(t *testing.T) {
+	// Hand-checked: 8/10 at z=1.96 → [0.490, 0.943].
+	lo, hi := Wilson(8, 10, 1.96)
+	if math.Abs(lo-0.4902) > 0.01 || math.Abs(hi-0.9433) > 0.01 {
+		t.Fatalf("Wilson(8,10) = [%f, %f]", lo, hi)
+	}
+	// One-sided extremes stay inside [0,1] and are non-degenerate.
+	lo, hi = Wilson(0, 60, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.1 {
+		t.Fatalf("Wilson(0,60) = [%f, %f]", lo, hi)
+	}
+	lo, hi = Wilson(60, 60, 1.96)
+	if hi < 0.999 || hi > 1 || lo < 0.9 {
+		t.Fatalf("Wilson(60,60) = [%f, %f]", lo, hi)
+	}
+	// The point estimate always lies inside the interval.
+	for n := 1; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			lo, hi := Wilson(k, n, 1.96)
+			p := float64(k) / float64(n)
+			if p < lo-1e-12 || p > hi+1e-12 || lo < 0 || hi > 1 {
+				t.Fatalf("Wilson(%d,%d) = [%f, %f] excludes p̂=%f", k, n, lo, hi, p)
+			}
+		}
+	}
+	if lo, hi := Wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = [%f, %f], want vacuous [0,1]", lo, hi)
+	}
+}
+
+func TestEncoders(t *testing.T) {
+	rows := []Result{
+		{Trial: 0, Accept: true, Class: "yes", Value: 0.25},
+		{Trial: 1, Accept: false, Err: "bad"},
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		var b strings.Builder
+		enc, err := NewEncoder(format, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := enc.Row(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		wantLines := 2
+		if format == "csv" {
+			wantLines = 3 // header
+		}
+		if got := strings.Count(out, "\n"); got != wantLines {
+			t.Fatalf("%s: %d lines, want %d:\n%s", format, got, wantLines, out)
+		}
+		for _, frag := range []string{"yes", "bad"} {
+			if !strings.Contains(out, frag) {
+				t.Fatalf("%s output misses %q:\n%s", format, frag, out)
+			}
+		}
+	}
+	if _, err := NewEncoder("xml", nil); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	s := Summarize([]Result{{Accept: true}, {}, {Err: "x"}})
+	out := FormatSummary(s)
+	for _, frag := range []string{"1/3", "CI", "1 errors"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary %q misses %q", out, frag)
+		}
+	}
+}
