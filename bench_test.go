@@ -156,6 +156,78 @@ func BenchmarkE5Sort(b *testing.B) {
 	}
 }
 
+// BenchmarkE5Sort64KiB is the E5 workload at the 64 KiB input size
+// class, sorted the fast way: fan-in 8 (a 10-tape machine) with
+// memory-budgeted run formation via SortLasVegasAuto.
+func BenchmarkE5Sort64KiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := problems.GenMultisetYes(1024, 31, rng)
+	enc := in.Encode()
+	if len(enc) != 64<<10 {
+		b.Fatalf("encoded input is %d bytes, want %d", len(enc), 64<<10)
+	}
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(10, 1)
+		m.SetInput(enc)
+		res, err := algorithms.SortLasVegasAuto(m, 1, 1<<30, algorithms.DefaultRunMemoryBits)
+		if err != nil || res.Verdict != core.Accept {
+			b.Fatal(err, res.Verdict)
+		}
+	}
+}
+
+// BenchmarkSortFanIn sweeps the sort engine over input size × fan-in:
+// the r-vs-(s, t) trade-off of E17 as wall-clock numbers. Fan-in k
+// runs on a (k+2)-tape machine with the default run-formation memory;
+// the k=2/mem=0 rows are the legacy single-item-run shape for
+// reference.
+func BenchmarkSortFanIn(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	sizes := []struct {
+		name string
+		m    int
+	}{
+		{"4KiB", 64},    // 128 items of 31 bits: 4096 encoded bytes
+		{"64KiB", 1024}, // 2048 items of 31 bits: 65536 encoded bytes
+	}
+	for _, size := range sizes {
+		in := problems.GenMultisetYes(size.m, 31, rng)
+		enc := in.Encode()
+		if len(enc) != size.m*64 {
+			b.Fatalf("encoded input is %d bytes, want %d", len(enc), size.m*64)
+		}
+		for _, cfg := range []struct {
+			name string
+			k    int
+			mem  int64
+		}{
+			{"k=2_mem=0", 2, 0},
+			{"k=2", 2, algorithms.DefaultRunMemoryBits},
+			{"k=4", 4, algorithms.DefaultRunMemoryBits},
+			{"k=8", 8, algorithms.DefaultRunMemoryBits},
+		} {
+			b.Run("size="+size.name+"/"+cfg.name, func(b *testing.B) {
+				b.SetBytes(int64(len(enc)))
+				b.ReportAllocs()
+				var scans int
+				for i := 0; i < b.N; i++ {
+					m := core.NewMachine(cfg.k+2, 1)
+					m.SetInput(enc)
+					s := algorithms.Sorter{FanIn: cfg.k, RunMemoryBits: cfg.mem}
+					if err := s.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
+						b.Fatal(err)
+					}
+					scans = m.Resources().Scans()
+				}
+				b.ReportMetric(float64(scans), "scans")
+			})
+		}
+	}
+}
+
 // BenchmarkE6RelAlg measures streaming evaluation of the symmetric
 // difference query of Theorem 11 (E6).
 func BenchmarkE6RelAlg(b *testing.B) {

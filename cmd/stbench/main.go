@@ -1,5 +1,6 @@
 // Command stbench runs the full experiment suite of the reproduction
-// (E1–E16, one per theorem/lemma of the paper) and prints every table.
+// (E1–E17: one per theorem/lemma of the paper, plus the E17 sort
+// r-vs-(s,t) trade-off sweep) and prints every table.
 // Monte-Carlo experiments run their trial fleets on a worker pool with
 // per-trial seeds derived from -seed, so stdout is byte-identical for
 // a fixed seed at any -parallel value.

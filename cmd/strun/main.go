@@ -172,7 +172,7 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 		v, err := algorithms.DecideNST(p, m, in)
 		return v, m.Resources(), err
 	case "sort":
-		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 1, 1, seed)
+		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 1, 1, seed)
 		return res.Verdict, res.Resources, err
 	default:
 		return core.Reject, core.Resources{}, fmt.Errorf("unknown algorithm %q", algo)

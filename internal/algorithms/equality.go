@@ -8,22 +8,37 @@ import (
 )
 
 // Tape roles for the deterministic deciders: the input is on tape 0;
-// tapes 1 and 2 hold the two halves; tapes 3 and 4 are merge-sort work
-// tapes. Corollary 7 achieves t = 2 with the Chen–Yap in-place
-// machinery; our implementation spends a constant number of extra
-// tapes instead, which leaves the ST(O(log N), ·, O(1)) classification
-// unchanged.
+// tapes 1 and 2 hold the two halves; tapes 3–6 are merge lanes for the
+// k-way sort engine (fan-in deciderFanIn). Corollary 7 achieves t = 2
+// with the Chen–Yap in-place machinery; our implementation spends a
+// constant number of extra tapes instead, which leaves the
+// ST(O(log N), ·, O(1)) classification unchanged — and buys back
+// reversals: ⌈log₄⌉ merge passes instead of ⌈log₂⌉, on top of
+// run-formation memory eliminating the first ~log₂(runLen) passes.
 const (
 	tapeInput = 0
 	tapeV     = 1
 	tapeW     = 2
 	tapeAuxA  = 3
 	tapeAuxB  = 4
+	tapeAuxC  = 5
+	tapeAuxD  = 6
 )
 
 // NumDeciderTapes is the number of external tapes the deterministic
 // deciders need.
-const NumDeciderTapes = 5
+const NumDeciderTapes = 7
+
+// deciderFanIn is the merge fan-in of the deciders' sorts: the four
+// lanes tapeAuxA–tapeAuxD.
+const deciderFanIn = 4
+
+// deciderSort sorts one half-tape with the k-way engine over the
+// decider machines' four merge lanes.
+func deciderSort(m *core.Machine, src int) error {
+	return Sorter{FanIn: deciderFanIn, RunMemoryBits: DefaultRunMemoryBits}.
+		Sort(m, src, []int{tapeAuxA, tapeAuxB, tapeAuxC, tapeAuxD})
+}
 
 // SplitHalves copies the first half of the input items (tape 0) onto
 // tape dstV and the second half onto dstW, using two scans of the
@@ -194,10 +209,10 @@ func MultisetEqualityST(m *core.Machine) (core.Verdict, error) {
 	if err := SplitHalves(m, tapeV, tapeW); err != nil {
 		return core.Reject, err
 	}
-	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+	if err := deciderSort(m, tapeV); err != nil {
 		return core.Reject, err
 	}
-	if err := MergeSort(m, tapeW, tapeAuxA, tapeAuxB); err != nil {
+	if err := deciderSort(m, tapeW); err != nil {
 		return core.Reject, err
 	}
 	if err := m.Tape(tapeV).Rewind(); err != nil {
@@ -220,10 +235,10 @@ func SetEqualityST(m *core.Machine) (core.Verdict, error) {
 	if err := SplitHalves(m, tapeV, tapeW); err != nil {
 		return core.Reject, err
 	}
-	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+	if err := deciderSort(m, tapeV); err != nil {
 		return core.Reject, err
 	}
-	if err := MergeSort(m, tapeW, tapeAuxA, tapeAuxB); err != nil {
+	if err := deciderSort(m, tapeW); err != nil {
 		return core.Reject, err
 	}
 	if err := m.Tape(tapeV).Rewind(); err != nil {
@@ -247,7 +262,7 @@ func CheckSortST(m *core.Machine) (core.Verdict, error) {
 	if err := SplitHalves(m, tapeV, tapeW); err != nil {
 		return core.Reject, err
 	}
-	if err := MergeSort(m, tapeV, tapeAuxA, tapeAuxB); err != nil {
+	if err := deciderSort(m, tapeV); err != nil {
 		return core.Reject, err
 	}
 	if err := m.Tape(tapeV).Rewind(); err != nil {

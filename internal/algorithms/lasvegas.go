@@ -18,13 +18,32 @@ type SortResult struct {
 // the budget the sorted sequence is on tape dst and the verdict is
 // Accept; otherwise the machine answers "I don't know".
 //
+// The sort is the k-way engine at fan-in 2 over auxA/auxB with the
+// default run-formation memory; SortLasVegasAuto raises the fan-in to
+// everything the machine's tape count allows.
+//
 // Corollary 10 states that with o(log N) scans and O(N^{1/4}/log N)
 // internal memory, every Las Vegas sorter must answer "I don't know"
 // (with probability > 1/2) on some inputs; experiment E5 sweeps the
 // budget to locate the scan count at which this implementation stops
 // succeeding, which tracks Θ(log N).
 func SortLasVegas(m *core.Machine, dst, auxA, auxB, scanBudget int) (SortResult, error) {
-	if err := SortToTape(m, dst, auxA, auxB); err != nil {
+	s := Sorter{FanIn: 2, RunMemoryBits: DefaultRunMemoryBits}
+	return lasVegasAttempt(m, s, dst, []int{auxA, auxB}, scanBudget)
+}
+
+// SortLasVegasAuto is SortLasVegas with the fan-in derived from the
+// machine's tape count: every tape except the input and dst becomes a
+// merge lane (fan-in t−2), realizing the model's r-vs-t trade — more
+// tapes, fewer reversals under the same budget.
+func SortLasVegasAuto(m *core.Machine, dst, scanBudget int, runMemoryBits int64) (SortResult, error) {
+	work := WorkTapes(m, dst)
+	s := Sorter{FanIn: len(work), RunMemoryBits: runMemoryBits}
+	return lasVegasAttempt(m, s, dst, work, scanBudget)
+}
+
+func lasVegasAttempt(m *core.Machine, s Sorter, dst int, work []int, scanBudget int) (SortResult, error) {
+	if err := s.SortToTape(m, dst, work); err != nil {
 		return SortResult{Verdict: core.DontKnow, Resources: m.Resources()}, err
 	}
 	res := m.Resources()
@@ -43,9 +62,10 @@ func SortLasVegas(m *core.Machine, dst, auxA, auxB, scanBudget int) (SortResult,
 // the first accepting attempt in attempt order (schedule-independent)
 // together with the fleet summary — the accept count over attempts is
 // the empirical success probability the Corollary 10 repetition
-// argument amplifies. If every attempt answers "I don't know", the
-// first attempt's DontKnow result is returned.
-func SortLasVegasRepeated(input []byte, tapes, dst, auxA, auxB, scanBudget, attempts, parallel int, seed int64) (SortResult, trials.Summary, error) {
+// argument amplifies. Every attempt sorts onto tape dst with fan-in
+// tapes−2 (SortLasVegasAuto). If every attempt answers "I don't
+// know", the first attempt's DontKnow result is returned.
+func SortLasVegasRepeated(input []byte, tapes, dst, scanBudget, attempts, parallel int, seed int64) (SortResult, trials.Summary, error) {
 	if attempts <= 0 {
 		return SortResult{Verdict: core.DontKnow}, trials.Summary{}, nil
 	}
@@ -54,7 +74,7 @@ func SortLasVegasRepeated(input []byte, tapes, dst, auxA, auxB, scanBudget, atte
 		func(i int, rng *rand.Rand) trials.Result {
 			m := core.NewMachine(tapes, rng.Int63())
 			m.SetInput(input)
-			res, err := SortLasVegas(m, dst, auxA, auxB, scanBudget)
+			res, err := SortLasVegasAuto(m, dst, scanBudget, DefaultRunMemoryBits)
 			results[i] = res
 			if err != nil {
 				return trials.Result{Err: err.Error()}

@@ -88,7 +88,7 @@ func TestFingerprintRepeatedFleetSoundness(t *testing.T) {
 func TestSortLasVegasRepeated(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	in := problems.GenMultisetYes(32, 8, rng)
-	res, sum, err := SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 3, 4, 11)
+	res, sum, err := SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 3, 4, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestSortLasVegasRepeated(t *testing.T) {
 	}
 	// A scan budget of 2 is below the Θ(log N) requirement: every
 	// attempt must answer "I don't know", never a wrong output.
-	res, sum, err = SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 2, 3, 4, 11)
+	res, sum, err = SortLasVegasRepeated(in.Encode(), 6, 1, 2, 3, 4, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestSortLasVegasRepeated(t *testing.T) {
 		t.Fatalf("tight budget: %v, %+v", res.Verdict, sum)
 	}
 	// Degenerate fleets fail closed.
-	res, _, err = SortLasVegasRepeated(in.Encode(), 4, 1, 2, 3, 1<<30, 0, 4, 11)
+	res, _, err = SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 0, 4, 11)
 	if err != nil || res.Verdict != core.DontKnow {
 		t.Fatalf("zero attempts: %v, %v", res.Verdict, err)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"extmem/internal/core"
-	"extmem/internal/tape"
 )
 
 // MergeSort sorts the '#'-terminated items on tape src of m in
@@ -15,162 +14,28 @@ import (
 // passes is ⌈log₂ m⌉ and every pass costs a constant number of head
 // reversals. Total head reversals are O(log N).
 //
-// Internal memory: two item buffers (O(n) for item length n — for the
-// paper's SHORT instances this is O(log N), matching the paper's
-// merge-sort bound ST(O(log N), O(log N), 3); the O(1)-memory
-// Chen–Yap refinement is not implemented, see DESIGN.md) plus
+// MergeSort is the legacy-accounting wrapper around the k-way engine
+// (Sorter in sorter.go) pinned to fan-in 2, single-item initial runs
+// and a dedicated counting pre-pass, so accounting-sensitive callers
+// see bitwise-identical resource reports: two item buffers (O(n) for
+// item length n — for the paper's SHORT instances this is O(log N),
+// matching the paper's merge-sort bound ST(O(log N), O(log N), 3); the
+// O(1)-memory Chen–Yap refinement is intentionally out of scope) plus
 // O(log N)-bit run counters, all charged to the machine's meter.
+// Callers that want the r-vs-(s, t) trade-off instead use Sorter
+// directly.
 func MergeSort(m *core.Machine, src, auxA, auxB int) error {
 	if src == auxA || src == auxB || auxA == auxB {
 		return fmt.Errorf("algorithms: MergeSort needs three distinct tapes, got %d, %d, %d", src, auxA, auxB)
 	}
-	ts := m.Tape(src)
-	ta := m.Tape(auxA)
-	tb := m.Tape(auxB)
-	mem := m.Mem()
-
-	if err := ts.Rewind(); err != nil {
-		return err
-	}
-	total, err := CountItems(ts, mem, "sort.count")
-	if err != nil {
-		return err
-	}
-	if total <= 1 {
-		return ts.Rewind()
-	}
-
-	for runLen := 1; runLen < total; runLen *= 2 {
-		if err := chargeCounter(mem, "sort.runlen", uint64(runLen)); err != nil {
-			return err
-		}
-		// Distribute runs of length runLen alternately onto the two
-		// work tapes.
-		if err := ts.Rewind(); err != nil {
-			return err
-		}
-		if err := ta.Rewind(); err != nil {
-			return err
-		}
-		ta.Truncate()
-		if err := tb.Rewind(); err != nil {
-			return err
-		}
-		tb.Truncate()
-		toA := true
-		for !ts.AtEnd() {
-			dst := ta
-			if !toA {
-				dst = tb
-			}
-			if _, err := CopyItems(ts, dst, runLen); err != nil {
-				return err
-			}
-			toA = !toA
-		}
-
-		// Merge pairs of runs back onto src.
-		if err := ts.Rewind(); err != nil {
-			return err
-		}
-		ts.Truncate()
-		if err := ta.Rewind(); err != nil {
-			return err
-		}
-		if err := tb.Rewind(); err != nil {
-			return err
-		}
-		for !ta.AtEnd() || !tb.AtEnd() {
-			if err := mergeRuns(ta, tb, ts, runLen, m); err != nil {
-				return err
-			}
-		}
-	}
-	mem.Free(counterRegion("sort.runlen"))
-	mem.Free(itemRegion("sort.a"))
-	mem.Free(itemRegion("sort.b"))
-	return ts.Rewind()
-}
-
-// mergeRuns merges one run of up to runLen items from each of ta and
-// tb onto dst. Each side buffers at most one item at a time.
-func mergeRuns(ta, tb, dst *tape.Tape, runLen int, m *core.Machine) error {
-	mem := m.Mem()
-	var (
-		bufA, bufB []byte
-		haveA      bool
-		haveB      bool
-		seenA      int
-		seenB      int
-	)
-	loadA := func() error {
-		if haveA || seenA >= runLen || ta.AtEnd() {
-			return nil
-		}
-		item, ok, err := ReadItem(ta, mem, itemRegion("sort.a"))
-		if err != nil {
-			return err
-		}
-		if ok {
-			bufA, haveA = item, true
-			seenA++
-		}
-		return nil
-	}
-	loadB := func() error {
-		if haveB || seenB >= runLen || tb.AtEnd() {
-			return nil
-		}
-		item, ok, err := ReadItem(tb, mem, itemRegion("sort.b"))
-		if err != nil {
-			return err
-		}
-		if ok {
-			bufB, haveB = item, true
-			seenB++
-		}
-		return nil
-	}
-	for {
-		if err := loadA(); err != nil {
-			return err
-		}
-		if err := loadB(); err != nil {
-			return err
-		}
-		switch {
-		case haveA && haveB:
-			if Compare(bufA, bufB) <= 0 {
-				if err := WriteItem(dst, bufA); err != nil {
-					return err
-				}
-				haveA = false
-			} else {
-				if err := WriteItem(dst, bufB); err != nil {
-					return err
-				}
-				haveB = false
-			}
-		case haveA:
-			if err := WriteItem(dst, bufA); err != nil {
-				return err
-			}
-			haveA = false
-		case haveB:
-			if err := WriteItem(dst, bufB); err != nil {
-				return err
-			}
-			haveB = false
-		default:
-			return nil
-		}
-	}
+	return Sorter{FanIn: 2}.sort(m, src, []int{auxA, auxB}, true)
 }
 
 // SortToTape sorts the items of the machine's input tape (tape 0)
 // onto dst ascending: it copies the input to dst in one scan and runs
-// MergeSort on dst. This is the sorting problem of Corollary 10 as a
-// function computation, leaving the input intact.
+// the legacy 2-way MergeSort on dst. This is the sorting problem of
+// Corollary 10 as a function computation, leaving the input intact.
+// Sorter.SortToTape is the configurable fast path.
 func SortToTape(m *core.Machine, dst, auxA, auxB int) error {
 	in := m.Tape(0)
 	td := m.Tape(dst)

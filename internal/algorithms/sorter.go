@@ -1,0 +1,588 @@
+package algorithms
+
+// sorter.go implements the configurable k-way external merge-sort
+// engine behind Corollary 7. The classic 2-way balanced tape merge
+// (MergeSort in sort.go) spends ⌈log₂ m⌉ passes with one buffered item
+// per side; the paper's ST(r, s, t) model is exactly about trading
+// head reversals r against internal memory s and tapes t, and the
+// engine exposes both levers:
+//
+//   - Run formation (the s lever): an internal-memory buffer of
+//     RunMemoryBits, charged to the machine's meter, turns the input
+//     into sorted initial runs of ⌊s/itemBits⌋ items instead of
+//     single-item runs, eliminating the first ~log₂(runLen) merge
+//     passes outright.
+//   - Fan-in (the t lever): every merge pass routes k = FanIn runs at
+//     a time through a tournament (loser) tree over k work tapes, so
+//     ⌈log_k⌉ passes replace ⌈log₂⌉.
+//
+// The counting pre-pass of the legacy sort is folded into the engine's
+// first sweep (formation counts as it buffers; a zero-memory engine
+// counts during its first distribution), and an optional dedup hook
+// drops adjacent duplicates while the final pass is being written, so
+// set-semantics callers need no extra scan + copy-back.
+//
+// All internal-memory state — the run buffer, one buffered item per
+// merge lane, the loser tree's nodes, the pass counter and the dedup
+// predecessor — is charged to the meter, so Resources reports the real
+// (r, s, t) trade-off: measured reversals fall as RunMemoryBits and
+// FanIn grow, and peak memory rises accordingly (experiment E17 tables
+// the frontier; sort_test.go asserts the monotonicity).
+
+import (
+	"fmt"
+	"sort"
+
+	"extmem/internal/core"
+	"extmem/internal/memory"
+	"extmem/internal/tape"
+)
+
+// DefaultRunMemoryBits is the run-formation budget used by the
+// rewired consumers (the equality deciders, relalg's sortDedup, the
+// Las Vegas sorter). It is a constant — independent of the input size
+// N — so every ST(·, O(1), O(1)) classification built on the sort is
+// unchanged; it is merely a bigger constant than the two item buffers
+// of the legacy 2-way merge, bought back as ~log₂(runLen) fewer
+// passes.
+const DefaultRunMemoryBits = 4096
+
+// Sorter is the configurable k-way external merge-sort engine. The
+// zero value behaves like the legacy 2-way merge with single-item
+// initial runs (minus its counting pre-pass, which the engine folds
+// into the first distribution sweep).
+type Sorter struct {
+	// FanIn is the number of runs merged per pass (and the number of
+	// work tapes used); values below 2 mean 2.
+	FanIn int
+
+	// RunMemoryBits is the internal-memory target for initial run
+	// formation, in the meter's units (one unit per buffered tape
+	// symbol). 0 disables formation: initial runs are single items.
+	// The first run is filled greedily up to the target and its item
+	// count fixes the per-run item count for the whole sort, so with
+	// uniform-length items every run fills the budget exactly; with
+	// variable-length items the fixed-count structure is kept and the
+	// actual buffer size is charged honestly.
+	RunMemoryBits int64
+
+	// Dedup drops adjacent duplicate items while the final sorted
+	// output is being written (set semantics), folding the separate
+	// dedup scan + copy-back into the last merge pass.
+	Dedup bool
+}
+
+func (s Sorter) fanIn() int {
+	if s.FanIn < 2 {
+		return 2
+	}
+	return s.FanIn
+}
+
+// WorkTapes returns the machine's tape indices excluding tape 0 (the
+// input) and dst — the merge lanes available to a Sorter when sorting
+// onto dst, giving fan-in t−2.
+func WorkTapes(m *core.Machine, dst int) []int {
+	var work []int
+	for i := 1; i < m.NumTapes(); i++ {
+		if i != dst {
+			work = append(work, i)
+		}
+	}
+	return work
+}
+
+// Sort sorts the '#'-terminated items on tape src in ascending order,
+// in place, merging FanIn runs per pass over the given work tapes (at
+// least FanIn of them; extras are ignored). Total head reversals are
+// O(log_k(m/runLen)) passes × O(k) reversals, with all buffers charged
+// to the machine's meter.
+func (s Sorter) Sort(m *core.Machine, src int, work []int) error {
+	return s.sort(m, src, work, false)
+}
+
+// SortToTape copies the machine's input tape (tape 0) onto dst in one
+// scan and sorts dst with the engine, leaving the input intact — the
+// Corollary 10 sorting problem as a function computation.
+func (s Sorter) SortToTape(m *core.Machine, dst int, work []int) error {
+	if dst == 0 {
+		return fmt.Errorf("algorithms: Sorter cannot sort onto the input tape")
+	}
+	in := m.Tape(0)
+	td := m.Tape(dst)
+	if err := in.Rewind(); err != nil {
+		return err
+	}
+	if err := td.Rewind(); err != nil {
+		return err
+	}
+	td.Truncate()
+	data, err := in.ScanBytes()
+	if err != nil {
+		return err
+	}
+	if err := td.WriteBlock(data); err != nil {
+		return err
+	}
+	return s.Sort(m, dst, work)
+}
+
+// sort runs the engine. countPrepass selects the legacy accounting
+// mode used by the MergeSort wrapper: a dedicated CountItems scan
+// before the first pass, exactly as the historical implementation did,
+// so accounting-sensitive callers see bitwise-identical resources.
+func (s Sorter) sort(m *core.Machine, src int, work []int, countPrepass bool) error {
+	k := s.fanIn()
+	if len(work) < k {
+		return fmt.Errorf("algorithms: Sorter fan-in %d needs %d work tapes, got %d", k, k, len(work))
+	}
+	work = work[:k]
+	seen := map[int]bool{src: true}
+	for _, w := range work {
+		if seen[w] {
+			return fmt.Errorf("algorithms: Sorter needs distinct tapes, got src %d and work %v", src, work)
+		}
+		seen[w] = true
+	}
+
+	st := &sortState{
+		m:     m,
+		mem:   m.Mem(),
+		src:   m.Tape(src),
+		lanes: make([]*tape.Tape, k),
+		laneR: make([]string, k),
+		k:     k,
+	}
+	for i, w := range work {
+		st.lanes[i] = m.Tape(w)
+		st.laneR[i] = itemRegion(fmt.Sprintf("sort.run%d", i))
+	}
+	defer st.freeRegions()
+
+	if err := st.src.Rewind(); err != nil {
+		return err
+	}
+
+	total := -1 // -1: unknown, counted during the first sweep
+	runLen := 1
+	onLanes := false
+
+	switch {
+	case countPrepass:
+		// Legacy mode: dedicated counting scan, single-item runs.
+		n, err := CountItems(st.src, st.mem, "sort.count")
+		if err != nil {
+			return err
+		}
+		if n <= 1 {
+			return st.src.Rewind()
+		}
+		total = n
+	case s.RunMemoryBits > 0:
+		done, n, rl, err := st.formRuns(s.RunMemoryBits, s.Dedup)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		total, runLen, onLanes = n, rl, true
+	}
+
+	// The loser tree's internal nodes (lane indices) are machine
+	// state; a 2-way merge needs none (the comparison is direct), which
+	// keeps the legacy wrapper's accounting unchanged.
+	if k > 2 {
+		if err := st.mem.Set(counterRegion("sort.tree"), int64((k-1)*bitsFor(k))); err != nil {
+			return err
+		}
+	}
+	st.tree = newLoserTree(k)
+
+	for total < 0 || runLen < total {
+		if err := chargeCounter(st.mem, "sort.runlen", uint64(runLen)); err != nil {
+			return err
+		}
+		if !onLanes {
+			n, err := st.distribute(runLen, total)
+			if err != nil {
+				return err
+			}
+			if total < 0 {
+				total = n
+			}
+		}
+		if total == 0 {
+			break
+		}
+		runs := (total + runLen - 1) / runLen
+		final := total <= runLen*k
+		if err := st.merge(runLen, min(k, runs), final && s.Dedup); err != nil {
+			return err
+		}
+		onLanes = false
+		runLen *= k
+	}
+	return st.src.Rewind()
+}
+
+// sortState carries one engine invocation.
+type sortState struct {
+	m     *core.Machine
+	mem   *memory.Meter
+	src   *tape.Tape
+	lanes []*tape.Tape
+	laneR []string // meter region per lane's buffered item
+	k     int
+	tree  *loserTree
+}
+
+func (st *sortState) freeRegions() {
+	mem := st.mem
+	mem.Free(counterRegion("sort.runlen"))
+	mem.Free(counterRegion("sort.tree"))
+	mem.Free(itemRegion("sort.runbuf"))
+	mem.Free(itemRegion("sort.dedupprev"))
+	for _, r := range st.laneR {
+		mem.Free(r)
+	}
+}
+
+// formRuns is the run-formation pass: it reads src once, buffering
+// items in internal memory up to the budget, and writes sorted runs
+// round-robin onto the lanes, counting items as it goes. If the whole
+// input fits in one run, the sorted (and optionally deduplicated) run
+// is written straight back to src and done is true.
+func (st *sortState) formRuns(budget int64, dedup bool) (done bool, total, runLen0 int, err error) {
+	mem := st.mem
+	bufRegion := itemRegion("sort.runbuf")
+	headRegion := itemRegion("sort.form")
+	defer mem.Free(headRegion)
+
+	var run [][]byte
+	var runBits int64
+	runCount := 0
+	prepared := make([]bool, st.k)
+
+	flush := func() error {
+		lane := st.lanes[runCount%st.k]
+		if !prepared[runCount%st.k] {
+			if err := rewindTruncateTape(lane); err != nil {
+				return err
+			}
+			prepared[runCount%st.k] = true
+		}
+		sortItems(run)
+		for _, it := range run {
+			if err := WriteItem(lane, it); err != nil {
+				return err
+			}
+		}
+		runCount++
+		run = run[:0]
+		runBits = 0
+		return mem.Set(bufRegion, 0)
+	}
+
+	for {
+		item, ok, rerr := ReadItem(st.src, mem, headRegion)
+		if rerr != nil {
+			return false, 0, 0, rerr
+		}
+		if !ok {
+			break
+		}
+		total++
+		full := false
+		if runLen0 == 0 {
+			// Still greedy: the first run fills the budget; its item
+			// count becomes the fixed per-run count.
+			full = len(run) > 0 && runBits+int64(len(item)) > budget
+			if full {
+				runLen0 = len(run)
+			}
+		} else {
+			full = len(run) >= runLen0
+		}
+		if full {
+			if err := flush(); err != nil {
+				return false, 0, 0, err
+			}
+		}
+		// The item moves from the read head into the run buffer: hand
+		// the charge over so the peak is the buffer size, not double.
+		if err := mem.Set(headRegion, 0); err != nil {
+			return false, 0, 0, err
+		}
+		if err := mem.Grow(bufRegion, int64(len(item))); err != nil {
+			return false, 0, 0, err
+		}
+		run = append(run, item)
+		runBits += int64(len(item))
+	}
+
+	if runCount == 0 {
+		// Whole input fit in internal memory: one run, written sorted
+		// (and deduplicated, if requested) straight back to src.
+		sortItems(run)
+		if err := rewindTruncateTape(st.src); err != nil {
+			return false, 0, 0, err
+		}
+		var prev []byte
+		for i, it := range run {
+			if dedup && i > 0 && Compare(it, prev) == 0 {
+				continue
+			}
+			if err := WriteItem(st.src, it); err != nil {
+				return false, 0, 0, err
+			}
+			prev = it
+		}
+		mem.Free(itemRegion("sort.runbuf"))
+		return true, total, 0, st.src.Rewind()
+	}
+	if len(run) > 0 {
+		if err := flush(); err != nil {
+			return false, 0, 0, err
+		}
+	}
+	mem.Free(bufRegion)
+	return false, total, runLen0, nil
+}
+
+// distribute copies runs of runLen items from src round-robin onto the
+// lanes. total < 0 means the item count is still unknown: lanes are
+// prepared lazily and the copied items are counted (this folds the
+// legacy counting pre-pass into the first distribution). The returned
+// count is the number of items moved.
+func (st *sortState) distribute(runLen, total int) (int, error) {
+	if err := st.src.Rewind(); err != nil {
+		return 0, err
+	}
+	active := st.k
+	if total >= 0 {
+		runs := (total + runLen - 1) / runLen
+		active = min(st.k, runs)
+		// Only the lanes that will receive runs are touched; idle
+		// lanes cost no head reversals.
+		for i := 0; i < active; i++ {
+			if err := rewindTruncateTape(st.lanes[i]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	prepared := total >= 0
+	var preparedLanes []bool
+	if !prepared {
+		preparedLanes = make([]bool, st.k)
+	}
+	moved := 0
+	lane := 0
+	for !st.src.AtEnd() {
+		dst := st.lanes[lane]
+		if !prepared && !preparedLanes[lane] {
+			if err := rewindTruncateTape(dst); err != nil {
+				return 0, err
+			}
+			preparedLanes[lane] = true
+		}
+		n, err := CopyItems(st.src, dst, runLen)
+		if err != nil {
+			return 0, err
+		}
+		moved += n
+		lane = (lane + 1) % active
+	}
+	return moved, nil
+}
+
+// merge is one merge pass: groups of up to one run per active lane are
+// routed through the loser tree onto src, k·runLen items per output
+// run. When dedup is set (final pass only), adjacent duplicates are
+// dropped as the output is written.
+func (st *sortState) merge(runLen, active int, dedup bool) error {
+	if err := st.src.Rewind(); err != nil {
+		return err
+	}
+	st.src.Truncate()
+	for i := 0; i < active; i++ {
+		if err := st.lanes[i].Rewind(); err != nil {
+			return err
+		}
+	}
+	anyLeft := func() bool {
+		for i := 0; i < active; i++ {
+			if !st.lanes[i].AtEnd() {
+				return true
+			}
+		}
+		return false
+	}
+	for anyLeft() {
+		if err := st.mergeGroup(runLen, active, dedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeGroup merges one run (up to runLen items) from each of the
+// active lanes onto src via the loser tree, preferring the lowest lane
+// index on ties (which for fan-in 2 reproduces the legacy merge's
+// read/write order exactly).
+func (st *sortState) mergeGroup(runLen, active int, dedup bool) error {
+	mem := st.mem
+	items := make([][]byte, active)
+	have := make([]bool, active)
+	seen := make([]int, active)
+
+	load := func(i int) error {
+		if have[i] || seen[i] >= runLen || st.lanes[i].AtEnd() {
+			return nil
+		}
+		item, ok, err := ReadItem(st.lanes[i], mem, st.laneR[i])
+		if err != nil {
+			return err
+		}
+		if ok {
+			items[i], have[i] = item, true
+			seen[i]++
+		}
+		return nil
+	}
+
+	var prev []byte
+	havePrev := false
+	emit := func(i int) error {
+		have[i] = false
+		if dedup {
+			if havePrev && Compare(items[i], prev) == 0 {
+				return nil
+			}
+			prev = append(prev[:0], items[i]...)
+			if err := mem.Set(itemRegion("sort.dedupprev"), int64(len(prev))); err != nil {
+				return err
+			}
+			havePrev = true
+		}
+		return WriteItem(st.src, items[i])
+	}
+
+	// First round: fill every lane buffer in lane order, then build
+	// the tree; afterwards only the winner's lane reloads and replays
+	// its path.
+	for i := 0; i < active; i++ {
+		if err := load(i); err != nil {
+			return err
+		}
+	}
+	less := func(a, b int) bool {
+		switch {
+		case !have[a]:
+			return false
+		case !have[b]:
+			return true
+		}
+		if c := Compare(items[a], items[b]); c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+	st.tree.build(active, less)
+	for {
+		w := st.tree.winner()
+		if !have[w] {
+			return nil // every lane's run exhausted: group done
+		}
+		if err := emit(w); err != nil {
+			return err
+		}
+		if err := load(w); err != nil {
+			return err
+		}
+		st.tree.replay(w, less)
+	}
+}
+
+// sortItems sorts a run buffer in internal memory (free in the ST
+// model: only the buffer's size is charged, via the meter).
+func sortItems(run [][]byte) {
+	sort.Slice(run, func(i, j int) bool { return Compare(run[i], run[j]) < 0 })
+}
+
+func rewindTruncateTape(t *tape.Tape) error {
+	if err := t.Rewind(); err != nil {
+		return err
+	}
+	t.Truncate()
+	return nil
+}
+
+// bitsFor returns the number of bits needed to store a lane index
+// below k.
+func bitsFor(k int) int {
+	b := 1
+	for 1<<b < k {
+		b++
+	}
+	return b
+}
+
+// loserTree is a tournament tree over up to k lanes: node[0] holds the
+// overall winner, the internal nodes hold the losers of their matches.
+// Selecting the next item after a replacement costs ⌈log₂ k⌉ lane
+// comparisons instead of k−1.
+type loserTree struct {
+	size int   // number of competing lanes in this build
+	node []int // 1-based heap layout; node[0] = winner
+}
+
+func newLoserTree(k int) *loserTree {
+	return &loserTree{node: make([]int, k)}
+}
+
+// build plays the full tournament over lanes 0..active-1.
+func (t *loserTree) build(active int, less func(a, b int) bool) {
+	t.size = active
+	if active == 1 {
+		t.node[0] = 0
+		return
+	}
+	for i := range t.node {
+		t.node[i] = -1
+	}
+	for lane := 0; lane < active; lane++ {
+		t.play(lane, less)
+	}
+}
+
+// replay re-runs lane's path to the root after its item was replaced.
+func (t *loserTree) replay(lane int, less func(a, b int) bool) {
+	if t.size <= 1 {
+		return
+	}
+	t.play(lane, less)
+}
+
+func (t *loserTree) winner() int { return t.node[0] }
+
+// play pushes lane from its leaf toward the root, swapping with stored
+// losers it beats; the survivor lands in node[0].
+func (t *loserTree) play(lane int, less func(a, b int) bool) {
+	w := lane
+	for i := (lane + t.size) / 2; i >= 1; i /= 2 {
+		if t.node[i] == -1 {
+			// First visit to this match: park here and stop; the
+			// opponent will pick the duel up when it arrives.
+			t.node[i] = w
+			return
+		}
+		if less(t.node[i], w) {
+			w, t.node[i] = t.node[i], w
+		}
+		if i == 1 {
+			break
+		}
+	}
+	t.node[0] = w
+}

@@ -1,0 +1,438 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/tape"
+)
+
+// randomItems builds count random 0-1 items of length 0..maxLen.
+func randomItems(count, maxLen int, rng *rand.Rand) []string {
+	items := make([]string, count)
+	for i := range items {
+		b := make([]byte, rng.Intn(maxLen+1))
+		for j := range b {
+			b[j] = '0' + byte(rng.Intn(2))
+		}
+		items[i] = string(b)
+	}
+	return items
+}
+
+func uniqSorted(items []string) []string {
+	s := append([]string(nil), items...)
+	sort.Strings(s)
+	out := s[:0]
+	for i, it := range s {
+		if i == 0 || it != s[i-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// The k-way engine must agree with the stdlib sort and with the legacy
+// 2-way merge for every fan-in, run-formation budget and dedup
+// setting, on random item multisets including empty items and
+// duplicates.
+func TestSorterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		count := rng.Intn(200)
+		items := randomItems(count, 8, rng)
+
+		want := append([]string(nil), items...)
+		sort.Strings(want)
+		wantDedup := uniqSorted(items)
+
+		// Legacy cross-check on the same instance.
+		lm := core.NewMachine(3, 1)
+		loadItems(t, lm, 0, items)
+		if err := MergeSort(lm, 0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if got := dumpItems(t, lm, 0); strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("legacy MergeSort = %v, want %v", got, want)
+		}
+
+		for _, k := range []int{2, 3, 4, 8} {
+			for _, mem := range []int64{0, 37, 256, 4096} {
+				for _, dedup := range []bool{false, true} {
+					m := core.NewMachine(k+1, 1)
+					loadItems(t, m, 0, items)
+					s := Sorter{FanIn: k, RunMemoryBits: mem, Dedup: dedup}
+					work := make([]int, k)
+					for i := range work {
+						work[i] = i + 1
+					}
+					if err := s.Sort(m, 0, work); err != nil {
+						t.Fatalf("k=%d mem=%d dedup=%v: %v", k, mem, dedup, err)
+					}
+					got := dumpItems(t, m, 0)
+					ref := want
+					if dedup {
+						ref = wantDedup
+					}
+					if strings.Join(got, ",") != strings.Join(ref, ",") {
+						t.Fatalf("k=%d mem=%d dedup=%v: sorted = %v, want %v (input %v)",
+							k, mem, dedup, got, ref, items)
+					}
+				}
+			}
+		}
+	}
+}
+
+// MergeSort is documented as the bitwise-accounting-compatible wrapper
+// around the engine: its resource report — reversals, steps, reads,
+// writes, peak memory, per tape — must be identical to the historical
+// 2-way implementation, which is preserved verbatim below.
+func TestMergeSortLegacyAccountingUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 40; trial++ {
+		items := randomItems(rng.Intn(120), 6, rng)
+
+		mNew := core.NewMachine(3, 1)
+		loadItems(t, mNew, 0, items)
+		if err := MergeSort(mNew, 0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		mOld := core.NewMachine(3, 1)
+		loadItems(t, mOld, 0, items)
+		if err := legacyMergeSort(mOld, 0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := string(mNew.Tape(0).Contents()), string(mOld.Tape(0).Contents()); got != want {
+			t.Fatalf("output differs: %q vs legacy %q", got, want)
+		}
+		rNew, rOld := mNew.Resources(), mOld.Resources()
+		if !reflect.DeepEqual(rNew, rOld) {
+			t.Fatalf("resource report differs from the legacy implementation:\nnew:    %+v\nlegacy: %+v", rNew, rOld)
+		}
+		if cur := mNew.Mem().Current(); cur != 0 {
+			t.Fatalf("MergeSort left %d bits charged (regions %v)", cur, mNew.Mem().Regions())
+		}
+	}
+}
+
+// Accounting invariant of the engine: the merge-pass count is at most
+// ⌈log_k⌈m/runLen⌉⌉ + 1 and every pass costs O(k) reversals, so total
+// reversals stay below (4k+6)·(passes+1).
+func TestSorterPassCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, count := range []int{5, 32, 200, 1000} {
+		items := make([]string, count)
+		for i := range items {
+			b := make([]byte, 8)
+			for j := range b {
+				b[j] = '0' + byte(rng.Intn(2))
+			}
+			items[i] = string(b)
+		}
+		for _, k := range []int{2, 4, 8} {
+			for _, mem := range []int64{0, 128, 1024} {
+				m := core.NewMachine(k+1, 1)
+				loadItems(t, m, 0, items)
+				work := make([]int, k)
+				for i := range work {
+					work[i] = i + 1
+				}
+				if err := (Sorter{FanIn: k, RunMemoryBits: mem}).Sort(m, 0, work); err != nil {
+					t.Fatal(err)
+				}
+				runLen := 1
+				if mem > 0 {
+					runLen = int(mem) / 8 // items are 8 symbols long
+				}
+				runs := (count + runLen - 1) / runLen
+				passes := 0
+				for r := runs; r > 1; r = (r + k - 1) / k {
+					passes++
+				}
+				wantMax := passes
+				if ideal := int(math.Ceil(math.Log(float64(runs)) / math.Log(float64(k)))); runs > 1 && wantMax > ideal+1 {
+					t.Fatalf("count=%d k=%d mem=%d: %d passes > ⌈log_k runs⌉+1 = %d", count, k, mem, wantMax, ideal+1)
+				}
+				rev := m.Resources().Reversals
+				limit := (4*k + 6) * (passes + 1)
+				if rev > limit {
+					t.Fatalf("count=%d k=%d mem=%d: %d reversals > (4k+6)·(passes+1) = %d (passes=%d)",
+						count, k, mem, rev, limit, passes)
+				}
+			}
+		}
+	}
+}
+
+// The acceptance criterion of the r-vs-t axis: on a fixed input with
+// fixed run-formation memory, the measured reversal count strictly
+// decreases as the fan-in goes 2 → 4 → 8.
+func TestSorterReversalsDecreaseWithFanIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	items := make([]string, 64)
+	for i := range items {
+		b := make([]byte, 16)
+		for j := range b {
+			b[j] = '0' + byte(rng.Intn(2))
+		}
+		items[i] = string(b)
+	}
+	// 16-symbol items and a 128-unit budget give 8-item runs: 8 initial
+	// runs, so fan-in 8 sorts in one merge pass, fan-in 4 in two,
+	// fan-in 2 in three.
+	revs := map[int]int{}
+	for _, k := range []int{2, 4, 8} {
+		m := core.NewMachine(10, 1)
+		loadItems(t, m, 0, items)
+		if err := (Sorter{FanIn: k, RunMemoryBits: 128}).Sort(m, 0, []int{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			t.Fatal(err)
+		}
+		got := dumpItems(t, m, 0)
+		want := append([]string(nil), items...)
+		sort.Strings(want)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("k=%d: not sorted", k)
+		}
+		revs[k] = m.Resources().Reversals
+	}
+	if !(revs[2] > revs[4] && revs[4] > revs[8]) {
+		t.Fatalf("reversals did not strictly decrease with fan-in: k=2: %d, k=4: %d, k=8: %d",
+			revs[2], revs[4], revs[8])
+	}
+}
+
+// Run formation must charge the buffer to the meter: the sorted
+// output is identical, but the reported peak memory reflects the
+// budget actually used, and nothing stays charged afterwards.
+func TestSorterChargesRunBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	items := randomItems(300, 6, rng)
+	totalBits := int64(0)
+	for _, it := range items {
+		totalBits += int64(len(it))
+	}
+	for _, mem := range []int64{0, 256, 2048} {
+		m := core.NewMachine(3, 1)
+		loadItems(t, m, 0, items)
+		if err := (Sorter{FanIn: 2, RunMemoryBits: mem}).Sort(m, 0, []int{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		peak := m.Resources().PeakMemoryBits
+		want := min(mem, totalBits) // the buffer can't outgrow the input
+		if mem > 0 && (peak < want/2 || peak > want+64) {
+			t.Fatalf("mem=%d: peak %d bits not near the charged run buffer (want ≈ %d)", mem, peak, want)
+		}
+		if cur := m.Mem().Current(); cur != 0 {
+			t.Fatalf("mem=%d: %d bits left charged (regions %v)", mem, cur, m.Mem().Regions())
+		}
+	}
+}
+
+// A memory budget below the run-formation target must surface as a
+// budget error (fail closed), never a silent wrong sort.
+func TestSorterRespectsMeterBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	items := randomItems(50, 6, rng)
+	m := core.NewMachine(3, 1)
+	loadItems(t, m, 0, items)
+	m.Mem().SetBudget(16)
+	err := (Sorter{FanIn: 2, RunMemoryBits: 4096}).Sort(m, 0, []int{1, 2})
+	if err == nil {
+		t.Fatal("meter budget exhaustion did not error")
+	}
+}
+
+func TestSorterTapeValidation(t *testing.T) {
+	m := core.NewMachine(4, 1)
+	if err := (Sorter{FanIn: 2}).Sort(m, 0, []int{1}); err == nil {
+		t.Fatal("accepted fewer work tapes than the fan-in")
+	}
+	if err := (Sorter{FanIn: 2}).Sort(m, 0, []int{0, 1}); err == nil {
+		t.Fatal("accepted src as a work tape")
+	}
+	if err := (Sorter{FanIn: 2}).Sort(m, 0, []int{1, 1}); err == nil {
+		t.Fatal("accepted duplicate work tapes")
+	}
+	if err := (Sorter{FanIn: 3}).SortToTape(m, 0, []int{1, 2, 3}); err == nil {
+		t.Fatal("accepted the input tape as the sort destination")
+	}
+}
+
+func TestWorkTapes(t *testing.T) {
+	m := core.NewMachine(6, 1)
+	if got, want := fmt.Sprint(WorkTapes(m, 1)), "[2 3 4 5]"; got != want {
+		t.Fatalf("WorkTapes(m, 1) = %v, want %v", got, want)
+	}
+	if got, want := fmt.Sprint(WorkTapes(m, 3)), "[1 2 4 5]"; got != want {
+		t.Fatalf("WorkTapes(m, 3) = %v, want %v", got, want)
+	}
+}
+
+// Dedup via the engine on an all-duplicates input, and across run
+// boundaries (duplicates that only meet in the final merge pass).
+func TestSorterDedupAcrossRuns(t *testing.T) {
+	items := []string{"01", "01", "01", "01", "01", "01", "01", "01"}
+	m := core.NewMachine(3, 1)
+	loadItems(t, m, 0, items)
+	// A 2-symbol budget forces single-item runs, so every duplicate
+	// pair meets only during merges.
+	if err := (Sorter{FanIn: 2, RunMemoryBits: 2, Dedup: true}).Sort(m, 0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dumpItems(t, m, 0); len(got) != 1 || got[0] != "01" {
+		t.Fatalf("dedup = %v, want [01]", got)
+	}
+}
+
+// legacyMergeSort is the pre-engine 2-way balanced tape merge sort,
+// kept verbatim as the accounting reference for
+// TestMergeSortLegacyAccountingUnchanged.
+func legacyMergeSort(m *core.Machine, src, auxA, auxB int) error {
+	if src == auxA || src == auxB || auxA == auxB {
+		return fmt.Errorf("algorithms: MergeSort needs three distinct tapes, got %d, %d, %d", src, auxA, auxB)
+	}
+	ts := m.Tape(src)
+	ta := m.Tape(auxA)
+	tb := m.Tape(auxB)
+	mem := m.Mem()
+
+	if err := ts.Rewind(); err != nil {
+		return err
+	}
+	total, err := CountItems(ts, mem, "sort.count")
+	if err != nil {
+		return err
+	}
+	if total <= 1 {
+		return ts.Rewind()
+	}
+
+	for runLen := 1; runLen < total; runLen *= 2 {
+		if err := chargeCounter(mem, "sort.runlen", uint64(runLen)); err != nil {
+			return err
+		}
+		if err := ts.Rewind(); err != nil {
+			return err
+		}
+		if err := ta.Rewind(); err != nil {
+			return err
+		}
+		ta.Truncate()
+		if err := tb.Rewind(); err != nil {
+			return err
+		}
+		tb.Truncate()
+		toA := true
+		for !ts.AtEnd() {
+			dst := ta
+			if !toA {
+				dst = tb
+			}
+			if _, err := CopyItems(ts, dst, runLen); err != nil {
+				return err
+			}
+			toA = !toA
+		}
+
+		if err := ts.Rewind(); err != nil {
+			return err
+		}
+		ts.Truncate()
+		if err := ta.Rewind(); err != nil {
+			return err
+		}
+		if err := tb.Rewind(); err != nil {
+			return err
+		}
+		for !ta.AtEnd() || !tb.AtEnd() {
+			if err := legacyMergeRuns(ta, tb, ts, runLen, m); err != nil {
+				return err
+			}
+		}
+	}
+	mem.Free(counterRegion("sort.runlen"))
+	mem.Free(itemRegion("sort.a"))
+	mem.Free(itemRegion("sort.b"))
+	return ts.Rewind()
+}
+
+func legacyMergeRuns(ta, tb, dst *tape.Tape, runLen int, m *core.Machine) error {
+	mem := m.Mem()
+	var (
+		bufA, bufB []byte
+		haveA      bool
+		haveB      bool
+		seenA      int
+		seenB      int
+	)
+	loadA := func() error {
+		if haveA || seenA >= runLen || ta.AtEnd() {
+			return nil
+		}
+		item, ok, err := ReadItem(ta, mem, itemRegion("sort.a"))
+		if err != nil {
+			return err
+		}
+		if ok {
+			bufA, haveA = item, true
+			seenA++
+		}
+		return nil
+	}
+	loadB := func() error {
+		if haveB || seenB >= runLen || tb.AtEnd() {
+			return nil
+		}
+		item, ok, err := ReadItem(tb, mem, itemRegion("sort.b"))
+		if err != nil {
+			return err
+		}
+		if ok {
+			bufB, haveB = item, true
+			seenB++
+		}
+		return nil
+	}
+	for {
+		if err := loadA(); err != nil {
+			return err
+		}
+		if err := loadB(); err != nil {
+			return err
+		}
+		switch {
+		case haveA && haveB:
+			if Compare(bufA, bufB) <= 0 {
+				if err := WriteItem(dst, bufA); err != nil {
+					return err
+				}
+				haveA = false
+			} else {
+				if err := WriteItem(dst, bufB); err != nil {
+					return err
+				}
+				haveB = false
+			}
+		case haveA:
+			if err := WriteItem(dst, bufA); err != nil {
+				return err
+			}
+			haveA = false
+		case haveB:
+			if err := WriteItem(dst, bufB); err != nil {
+				return err
+			}
+			haveB = false
+		default:
+			return nil
+		}
+	}
+}

@@ -51,8 +51,33 @@ func (s Schema) Equal(o Schema) bool {
 // encoding separators '|' and '#'.
 type Tuple []string
 
+// appendKey appends the tuple's canonical set-semantics key (its tape
+// encoding) to dst, allocation-free when dst has capacity; hot paths
+// reuse one buffer across tuples instead of strings.Join per call.
+func (t Tuple) appendKey(dst []byte) []byte {
+	for i, f := range t {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// encodedLen is the length of the tuple's tape encoding.
+func (t Tuple) encodedLen() int {
+	n := 0
+	for _, f := range t {
+		n += len(f) + 1
+	}
+	if n > 0 {
+		n--
+	}
+	return n
+}
+
 // key canonicalizes a tuple for set semantics.
-func (t Tuple) key() string { return strings.Join(t, "|") }
+func (t Tuple) key() string { return string(t.appendKey(nil)) }
 
 // A Relation is a named set of tuples over a schema.
 type Relation struct {
@@ -62,32 +87,55 @@ type Relation struct {
 }
 
 // Sorted returns the tuples sorted by their encoded form (for
-// deterministic comparison).
+// deterministic comparison). Keys are materialized once per tuple
+// instead of twice per comparison.
 func (r *Relation) Sorted() []Tuple {
 	out := append([]Tuple(nil), r.Tuples...)
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].key()
+	}
+	sort.Sort(&tuplesByKey{out, keys})
 	return out
 }
 
+type tuplesByKey struct {
+	tuples []Tuple
+	keys   []string
+}
+
+func (s *tuplesByKey) Len() int           { return len(s.tuples) }
+func (s *tuplesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tuplesByKey) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
 // EqualSet reports whether two relations hold the same set of tuples.
+// Key lookups reuse one buffer (Go's map-from-[]byte optimization
+// keeps them allocation-free); only insertions allocate.
 func (r *Relation) EqualSet(o *Relation) bool {
-	a := map[string]bool{}
+	var buf []byte
+	matched := make(map[string]bool, len(r.Tuples)) // key of r → seen in o yet?
 	for _, t := range r.Tuples {
-		a[t.key()] = true
-	}
-	b := map[string]bool{}
-	for _, t := range o.Tuples {
-		b[t.key()] = true
-	}
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
+		buf = t.appendKey(buf[:0])
+		if _, ok := matched[string(buf)]; !ok {
+			matched[string(buf)] = false
 		}
 	}
-	return true
+	seen := 0
+	for _, t := range o.Tuples {
+		buf = t.appendKey(buf[:0])
+		m, ok := matched[string(buf)]
+		if !ok {
+			return false
+		}
+		if !m {
+			matched[string(buf)] = true
+			seen++
+		}
+	}
+	return seen == len(matched)
 }
 
 // DB maps relation names to relations.
@@ -99,7 +147,7 @@ func (db DB) Size() int {
 	n := 0
 	for _, r := range db {
 		for _, t := range r.Tuples {
-			n += len(t.key()) + 1
+			n += t.encodedLen() + 1
 		}
 	}
 	return n
@@ -399,12 +447,13 @@ func productSchema(e Product, l, r Schema) Schema {
 }
 
 func dedup(r *Relation) *Relation {
-	seen := map[string]bool{}
+	seen := make(map[string]bool, len(r.Tuples))
 	out := &Relation{Name: r.Name, Schema: r.Schema}
+	var buf []byte
 	for _, t := range r.Tuples {
-		k := t.key()
-		if !seen[k] {
-			seen[k] = true
+		buf = t.appendKey(buf[:0])
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
 			out.Tuples = append(out.Tuples, t)
 		}
 	}

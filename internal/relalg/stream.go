@@ -1,8 +1,8 @@
 package relalg
 
 import (
+	"bytes"
 	"fmt"
-	"strings"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
@@ -14,8 +14,9 @@ import (
 // passes over machine tapes, the Theorem 11(a) strategy:
 //
 //   - selection: one scan;
-//   - projection: one scan, then sort + dedup (set semantics);
-//   - union: two scans to concatenate, then sort + dedup;
+//   - projection: one scan, then a k-way sort whose final merge pass
+//     drops adjacent duplicates as it writes (set semantics);
+//   - union: two scans to concatenate, then the same fused sort+dedup;
 //   - difference: sort both sides, one parallel anti-merge scan;
 //   - product: replicate the right side by doubling (O(log) scans),
 //     then one paired scan with a single buffered outer tuple;
@@ -239,56 +240,40 @@ func (c *evalCtx) evalPair(l, r Expr) (int, Schema, int, Schema, error) {
 	return li, ls, ri, rs, nil
 }
 
-// sortDedup sorts the tape's items and removes adjacent duplicates in
-// place (via a pool tape).
-func (c *evalCtx) sortDedup(idx int) error {
-	if err := algorithms.MergeSort(c.m, idx, sortScratchA, sortScratchB); err != nil {
-		return err
-	}
-	tmp, err := c.acquire()
-	if err != nil {
-		return err
-	}
-	defer c.release(tmp)
-	if err := c.dedupScan(idx, tmp); err != nil {
-		return err
-	}
-	return c.copyAll(tmp, idx)
-}
+// sortDedupFanIn is the merge fan-in sortDedup aims for: the two
+// dedicated scratch tapes plus up to two pool tapes when the query
+// leaves them free.
+const sortDedupFanIn = 4
 
-// dedupScan copies src to dst skipping adjacent duplicates.
-func (c *evalCtx) dedupScan(src, dst int) error {
-	ts, td := c.m.Tape(src), c.m.Tape(dst)
-	if err := rewindTruncate(td); err != nil {
-		return err
-	}
-	if err := ts.Rewind(); err != nil {
-		return err
-	}
-	mem := c.m.Mem()
-	var prev []byte
-	have := false
-	for {
-		item, ok, err := algorithms.ReadItem(ts, mem, "item.relalg.dedup")
+// sortDedup sorts the tape's items and removes adjacent duplicates in
+// place. It runs the k-way engine with its dedup-on-output hook, so
+// the deduplication happens while the final merge pass is written —
+// the separate dedup scan + copy-back of the legacy evaluator is
+// gone. The fan-in is the two dedicated scratch tapes plus up to two
+// pool tapes when available (the pool state is a deterministic
+// function of the query, so resource reports stay reproducible).
+func (c *evalCtx) sortDedup(idx int) error {
+	work := []int{sortScratchA, sortScratchB}
+	var extras []int
+	for len(work) < sortDedupFanIn && len(c.free) > 0 {
+		t, err := c.acquire()
 		if err != nil {
-			return err
+			break
 		}
-		if !ok {
-			mem.Free("item.relalg.prev")
-			return nil
-		}
-		if have && string(item) == string(prev) {
-			continue
-		}
-		if err := algorithms.WriteItem(td, item); err != nil {
-			return err
-		}
-		prev = append(prev[:0], item...)
-		if err := mem.Set("item.relalg.prev", int64(len(prev))); err != nil {
-			return err
-		}
-		have = true
+		work = append(work, t)
+		extras = append(extras, t)
 	}
+	defer func() {
+		for i := len(extras) - 1; i >= 0; i-- {
+			c.release(extras[i])
+		}
+	}()
+	s := algorithms.Sorter{
+		FanIn:         len(work),
+		RunMemoryBits: algorithms.DefaultRunMemoryBits,
+		Dedup:         true,
+	}
+	return s.Sort(c.m, idx, work)
 }
 
 // filterScan copies tuples satisfying the predicate.
@@ -309,6 +294,9 @@ func (c *evalCtx) filterScan(src, dst int, schema Schema, pred Predicate) error 
 }
 
 // rewriteScan streams src through fn into dst (one buffered tuple).
+// The tuple's tape encoding is rebuilt in a buffer reused across
+// items, so the per-tuple cost is the field-string allocations of the
+// decode alone.
 func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error {
 	ts, td := c.m.Tape(src), c.m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
@@ -318,6 +306,8 @@ func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error 
 		return err
 	}
 	mem := c.m.Mem()
+	defer mem.Free("item.relalg.rw")
+	var enc []byte
 	for {
 		item, ok, err := algorithms.ReadItem(ts, mem, "item.relalg.rw")
 		if err != nil {
@@ -327,7 +317,8 @@ func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error 
 			return nil
 		}
 		if out, keep := fn(decodeTuple(item)); keep {
-			if err := algorithms.WriteItem(td, encodeTuple(out)); err != nil {
+			enc = out.appendKey(enc[:0])
+			if err := algorithms.WriteItem(td, enc); err != nil {
 				return err
 			}
 		}
@@ -392,6 +383,11 @@ func (c *evalCtx) antiMerge(l, r, dst int) error {
 		return err
 	}
 	mem := c.m.Mem()
+	// l usually exhausts while r still holds a buffered item (and both
+	// stay buffered on error paths); free the regions explicitly so
+	// later operators' peak-memory reports are not inflated.
+	defer mem.Free("item.relalg.l")
+	defer mem.Free("item.relalg.r")
 	var rItem []byte
 	rOK := false
 	advanceR := func() error {
@@ -495,6 +491,11 @@ func (c *evalCtx) product(l, r, dst int) error {
 	if err := trep.Rewind(); err != nil {
 		return err
 	}
+	// The last inner read never reaches the replicated tape's end, so
+	// its region would stay charged after the product without this.
+	defer mem.Free("item.relalg.outer")
+	defer mem.Free("item.relalg.inner")
+	var pair []byte
 	for {
 		outer, ok, err := algorithms.ReadItem(tl, mem, "item.relalg.outer")
 		if err != nil {
@@ -511,7 +512,8 @@ func (c *evalCtx) product(l, r, dst int) error {
 			if !ok {
 				return fmt.Errorf("relalg: replicated tape exhausted early")
 			}
-			pair := append(append([]byte{}, outer...), '|')
+			pair = append(pair[:0], outer...)
+			pair = append(pair, '|')
 			pair = append(pair, inner...)
 			if err := algorithms.WriteItem(td, pair); err != nil {
 				return err
@@ -528,25 +530,39 @@ func rewindTruncate(t *tape.Tape) error {
 	return nil
 }
 
-// encodeTuple renders a tuple as a tape item.
-func encodeTuple(t Tuple) []byte { return []byte(strings.Join(t, "|")) }
+// encodeTuple renders a tuple as a fresh tape item (its appendKey
+// encoding).
+func encodeTuple(t Tuple) []byte { return t.appendKey(nil) }
 
-// decodeTuple parses a tape item.
+// decodeTuple parses a tape item, splitting on '|' directly on the
+// byte slice: one slice allocation plus one string per field, without
+// materializing the whole item as an intermediate string the way
+// strings.Split would.
 func decodeTuple(item []byte) Tuple {
-	if len(item) == 0 {
-		return Tuple{""}
+	t := make(Tuple, 0, bytes.Count(item, tupleSep)+1)
+	start := 0
+	for i := 0; i <= len(item); i++ {
+		if i == len(item) || item[i] == '|' {
+			t = append(t, string(item[start:i]))
+			start = i + 1
+		}
 	}
-	return Tuple(strings.Split(string(item), "|"))
+	return t
 }
 
-// writeRelationTape writes the relation's tuples as items.
+var tupleSep = []byte{'|'}
+
+// writeRelationTape writes the relation's tuples as items, reusing
+// one encode buffer across tuples.
 func writeRelationTape(m *core.Machine, idx int, r *Relation) error {
 	t := m.Tape(idx)
 	if err := rewindTruncate(t); err != nil {
 		return err
 	}
+	var enc []byte
 	for _, tp := range r.Tuples {
-		if err := algorithms.WriteItem(t, encodeTuple(tp)); err != nil {
+		enc = tp.appendKey(enc[:0])
+		if err := algorithms.WriteItem(t, enc); err != nil {
 			return err
 		}
 	}

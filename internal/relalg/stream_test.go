@@ -1,0 +1,121 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+// Every streaming operator must release its internal-memory regions
+// when it finishes: a region that stays charged after one operator
+// inflates the peak-memory report of every later operator in the
+// query (the meter-leak class of bug fixed in this package). After
+// EvalST the meter must be back to zero.
+func TestEvalSTReleasesAllMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []Expr{
+		Scan{Rel: "R1"},
+		Project{Cols: []string{"x"}, In: Scan{Rel: "R1"}},
+		Select{Pred: ConstEq{Col: "x", Const: "01"}, In: Scan{Rel: "R1"}},
+		Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+		Diff{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+		Product{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+		SymmetricDifference("R1", "R2"),
+	}
+	for trial := 0; trial < 6; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(6, 6, rng)
+		} else {
+			in = problems.GenSetNo(6, 6, rng)
+		}
+		db := InstanceDB(in)
+		for _, q := range queries {
+			m := core.NewMachine(NumQueryTapes, 1)
+			if _, err := EvalST(q, db, m); err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			if cur := m.Mem().Current(); cur != 0 {
+				t.Errorf("%v left %d bits charged after EvalST (regions %v)",
+					q, cur, m.Mem().Regions())
+			}
+		}
+	}
+}
+
+// The engine-backed sortDedup must keep every streaming result
+// deduplicated and sorted — the invariant the rest of the evaluator
+// (antiMerge, equality of encoded tapes) depends on.
+func TestSortDedupInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		in := problems.Instance{
+			V: make([]string, 1+rng.Intn(40)),
+			W: make([]string, 1+rng.Intn(40)),
+		}
+		for i := range in.V {
+			in.V[i] = string([]byte{'0' + byte(rng.Intn(2)), '0' + byte(rng.Intn(2))})
+		}
+		for i := range in.W {
+			in.W[i] = string([]byte{'0' + byte(rng.Intn(2)), '0' + byte(rng.Intn(2))})
+		}
+		db := InstanceDB(in)
+		m := core.NewMachine(NumQueryTapes, 1)
+		r, err := EvalST(Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}}, db, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		prev := ""
+		for i, tp := range r.Tuples {
+			k := tp.key()
+			if seen[k] {
+				t.Fatalf("duplicate tuple %q in result", k)
+			}
+			seen[k] = true
+			if i > 0 && k < prev {
+				t.Fatalf("result not sorted: %q after %q", k, prev)
+			}
+			prev = k
+		}
+		want, err := Eval(Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.EqualSet(want) {
+			t.Fatalf("streaming union = %v, reference %v", r.Tuples, want.Tuples)
+		}
+	}
+}
+
+// Tuple encode/decode must round-trip, including empty fields and
+// empty tuples (decodeTuple replaces strings.Split on the hot path).
+func TestTupleCodecRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{""},
+		{"01"},
+		{"01", "10"},
+		{"", "10", ""},
+		{"a", "", "b", "c"},
+	}
+	for _, tp := range cases {
+		enc := encodeTuple(tp)
+		got := decodeTuple(enc)
+		if got.key() != tp.key() || len(got) != len(tp) {
+			t.Fatalf("round trip %v -> %q -> %v", tp, enc, got)
+		}
+	}
+	if got := decodeTuple(nil); len(got) != 1 || got[0] != "" {
+		t.Fatalf("decodeTuple(nil) = %v, want [\"\"]", got)
+	}
+}
+
+func TestTupleEncodedLen(t *testing.T) {
+	for _, tp := range []Tuple{{}, {""}, {"01"}, {"01", "1"}, {"", ""}} {
+		if got, want := tp.encodedLen(), len(encodeTuple(tp)); got != want {
+			t.Fatalf("encodedLen(%v) = %d, want %d", tp, got, want)
+		}
+	}
+}
