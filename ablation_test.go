@@ -1,6 +1,6 @@
 package extmem
 
-// Ablation benchmarks for the design choices called out in DESIGN.md:
+// Ablation benchmarks for the load-bearing design choices:
 // the fingerprint's repetition/error trade-off, the merge sort's
 // logarithmic pass structure, and the NST certificate's tape blowup.
 

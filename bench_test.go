@@ -1,6 +1,6 @@
 package extmem
 
-// One benchmark per experiment of DESIGN.md §4. Each benchmark
+// One benchmark per experiment of the E1–E18 suite. Each benchmark
 // exercises the core operation its experiment measures; the printed
 // tables come from cmd/stbench (same runners, internal/experiments).
 

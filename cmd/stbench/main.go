@@ -1,17 +1,21 @@
 // Command stbench runs the full experiment suite of the reproduction
-// (E1–E17: one per theorem/lemma of the paper, plus the E17 sort
-// r-vs-(s,t) trade-off sweep) and prints every table.
-// Monte-Carlo experiments run their trial fleets on a worker pool with
-// per-trial seeds derived from -seed, so stdout is byte-identical for
-// a fixed seed at any -parallel value.
+// (E1–E18: one per theorem/lemma of the paper, plus the E17 sort
+// r-vs-(s,t) trade-off sweep and the E18 sharded-execution census)
+// and prints every table. Monte-Carlo experiments run their trial
+// fleets on the sharded execution layer (-shards shards, each a
+// -parallel worker pool) with per-trial seeds derived from -seed, so
+// stdout is byte-identical for a fixed seed at any -parallel and any
+// -shards value.
 //
 // Usage:
 //
-//	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-format text|json|csv]
+//	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N] [-format text|json|csv]
 //
 // Formats: text (the human report), json (one JSON object per
-// experiment per line), csv (one record per experiment). Reports
-// stream as each experiment completes; progress goes to stderr.
+// experiment per line), csv (one record per experiment). The json and
+// csv encodings carry a shards column recording the execution shape
+// (provenance only — the tables never depend on it). Reports stream
+// as each experiment completes; progress goes to stderr.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 
 	"extmem/internal/experiments"
 )
@@ -36,12 +41,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "root seed for all experiments (per-trial seeds derive from it)")
 	only := fs.String("only", "", "run a single experiment by id (e.g. E12)")
 	trials := fs.Int("trials", 0, "Monte-Carlo fleet size per experiment side (0 = per-experiment default)")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial-fleet worker goroutines (never changes the output)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial-fleet worker goroutines per shard (never changes the output)")
+	shards := fs.Int("shards", 1, "trial-fleet shards, each with its own worker pool (never changes the output)")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallel: *parallel}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards}
 
 	runners := experiments.Runners()
 	if *only != "" {
@@ -76,12 +82,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		finish = func() error { return nil }
 	case "csv":
 		w := csv.NewWriter(stdout)
-		if err := w.Write([]string{"id", "title", "claim", "notes", "table"}); err != nil {
+		if err := w.Write([]string{"id", "title", "claim", "notes", "shards", "table"}); err != nil {
 			fmt.Fprintln(stderr, "stbench:", err)
 			return 1
 		}
 		emit = func(r experiments.Result) error {
-			return w.Write([]string{r.ID, r.Title, r.Claim, r.Notes, r.Table})
+			return w.Write([]string{r.ID, r.Title, r.Claim, r.Notes, strconv.Itoa(r.Shards), r.Table})
 		}
 		finish = func() error { w.Flush(); return w.Error() }
 	default:
@@ -96,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "stbench: running %s (%d/%d)\n", runner.ID, i+1, len(runners))
 		r := runner.Run(cfg)
+		r.Shards = cfg.ShardCount()
 		if !r.Passed() {
 			failed++
 		}

@@ -83,3 +83,61 @@ func TestFlagErrors(t *testing.T) {
 		t.Fatalf("unknown experiment id: exit %d", code)
 	}
 }
+
+// The PR 4 acceptance criterion: for a fixed -seed, the full text
+// report is byte-identical at every -shards × -parallel combination —
+// sharding is an execution choice, never an observable one.
+func TestOutputShardInvariant(t *testing.T) {
+	runWith := func(shards, parallel string) string {
+		var out, errOut strings.Builder
+		args := []string{"-seed", "5", "-shards", shards, "-parallel", parallel}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("shards=%s parallel=%s: exit %d, stderr:\n%s", shards, parallel, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith("1", "1")
+	for _, shards := range []string{"1", "2", "4"} {
+		for _, parallel := range []string{"1", "8"} {
+			if shards == "1" && parallel == "1" {
+				continue
+			}
+			if got := runWith(shards, parallel); got != ref {
+				t.Fatalf("output differs at -shards %s -parallel %s", shards, parallel)
+			}
+		}
+	}
+}
+
+// JSON and CSV carry the shards column as execution provenance; the
+// rest of the record stays byte-identical across shard counts.
+func TestShardColumnInEncodings(t *testing.T) {
+	runWith := func(format, shards string) string {
+		var out, errOut strings.Builder
+		args := []string{"-only", "E9", "-format", format, "-shards", shards}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+		}
+		return out.String()
+	}
+	var rec struct{ Shards int }
+	if err := json.Unmarshal([]byte(runWith("json", "4")), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Shards != 4 {
+		t.Fatalf("json shards = %d, want 4", rec.Shards)
+	}
+	recs, err := csv.NewReader(strings.NewReader(runWith("csv", "3"))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, name := range recs[0] {
+		if name == "shards" {
+			col = i
+		}
+	}
+	if col < 0 || recs[1][col] != "3" {
+		t.Fatalf("csv shards column missing or wrong: header %v row %v", recs[0], recs[1])
+	}
+}

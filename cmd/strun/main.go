@@ -16,10 +16,12 @@
 //
 // With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
 // fleet of independent fingerprint trials on the same instance across
-// -parallel workers, streams one row per trial in -format (text, json
-// or csv) and reports the acceptance rate with its Wilson 95%
-// interval on stderr. Per-trial coins derive from -seed and the trial
-// index, so the rows are byte-identical at any -parallel value.
+// -shards shards of -parallel workers each (the sharded execution
+// layer of internal/shard), streams one row per trial in -format
+// (text, json or csv) and reports the acceptance rate with its Wilson
+// 95% interval on stderr. Per-trial coins derive from -seed and the
+// global trial index alone, so the rows are byte-identical at any
+// -parallel and any -shards value.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
 
@@ -50,7 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	input := fs.String("input", "", "explicit instance v1#…vm#v'1#…v'm# (overrides -m/-n)")
 	trialsN := fs.Int("trials", 1, "fingerprint only: fleet size of independent trials")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "fleet worker goroutines (never changes the rows)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "fleet worker goroutines per shard (never changes the rows)")
+	shards := fs.Int("shards", 1, "fleet shards, each with its own worker pool (never changes the rows)")
 	format := fs.String("format", "text", "fleet row format: text, json or csv")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *algo != "fingerprint" {
 			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
 		}
-		return runFleet(in, *trialsN, *parallel, *seed, *format, stdout, stderr)
+		return runFleet(in, *trialsN, *shards, *parallel, *seed, *format, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -85,16 +89,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runFleet streams a fingerprint trial fleet on the instance: one
-// machine per trial, coins derived from (seed, trial index).
-func runFleet(in problems.Instance, n, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
+// machine per trial, coins derived from (seed, global trial index),
+// executed as a sharded fleet whose in-order merge stream feeds the
+// row encoder.
+func runFleet(in problems.Instance, n, shards, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
 	enc, err := trials.NewEncoder(format, stdout)
 	if err != nil {
 		return fail(stderr, err)
 	}
 	encoded := in.Encode()
 	var encErr error
-	_, sum, err := trials.Engine{
-		Trials:   n,
+	_, sum, err := shard.Fleet{
+		Plan:     shard.Plan{Shards: shards, Trials: n},
 		Parallel: parallel,
 		Seed:     seed,
 		OnResult: func(r trials.Result) {
@@ -172,7 +178,7 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 		v, err := algorithms.DecideNST(p, m, in)
 		return v, m.Resources(), err
 	case "sort":
-		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 1, 1, seed)
+		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 1, trials.Pool(1), seed)
 		return res.Verdict, res.Resources, err
 	default:
 		return core.Reject, core.Resources{}, fmt.Errorf("unknown algorithm %q", algo)

@@ -47,8 +47,25 @@
 // (surfaced by cmd/stbench -trials/-parallel/-format and the
 // cmd/strun fingerprint fleet mode).
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-vs-measured record, and cmd/stbench for the full experiment
-// suite. The packages live under internal/; the runnable entry points
-// are cmd/ and examples/.
+// Horizontal scale comes from internal/shard, the deterministic
+// sharded execution layer, whose contract is that sharding is an
+// execution choice, never an observable one. Trial fleets shard by
+// disjoint contiguous trial-index ranges: trial i's randomness is a
+// pure function of (root seed, global index i), each shard runs its
+// own trials engine over its range (trials.Engine.Offset), and an
+// in-order merge stream re-interleaves the rows, so results are
+// byte-identical at any (shards, parallel) combination. Sorting
+// shards at run level, never item level: the fixed-count initial runs
+// of the Sorter are partitioned contiguously across shard-local
+// machines (each with its own tape set and meter), sorted locally,
+// and k-way merged through algorithms.MergeTapes — a sorted multiset
+// is canonical, so the output is independent of the shard count,
+// while per-shard (r, s, t) reports plus a max/sum rollup keep the
+// paper's cost measures auditable per shard (experiment E18).
+// cmd/stbench -shards and cmd/strun -shards select the shape.
+//
+// See README.md for the quickstart and experiment index,
+// ARCHITECTURE.md for the layer map, and cmd/stbench for the full
+// experiment suite. The packages live under internal/; the runnable
+// entry points are cmd/ and examples/.
 package extmem

@@ -1,0 +1,139 @@
+package extmem
+
+// Documentation health checks, run by the CI docs job (and by every
+// plain `go test ./...`): markdown files must not carry dangling
+// relative links, and the README's experiment index must cover the
+// full suite. Docs that are tested cannot silently rot.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"extmem/internal/experiments"
+)
+
+// markdownFiles returns every tracked .md file in the repo (skipping
+// hidden directories).
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// Every relative markdown link must point at an existing file or
+// directory.
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			// Skip absolute URLs, intra-page anchors and the external
+			// article identifiers used by SNIPPETS.md/PAPERS.md.
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "@") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dangling link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// The README experiment index must name every experiment the suite
+// actually runs — the index is generated-by-hand but verified here.
+func TestReadmeListsEveryExperiment(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	for _, r := range experiments.Runners() {
+		if !strings.Contains(readme, "| "+r.ID+" |") {
+			t.Errorf("README.md experiment index misses %s", r.ID)
+		}
+	}
+	// And nothing phantom: an index row implies a runner.
+	ids := map[string]bool{}
+	for _, r := range experiments.Runners() {
+		ids[r.ID] = true
+	}
+	for _, m := range regexp.MustCompile(`(?m)^\| (E\d+) \|`).FindAllStringSubmatch(readme, -1) {
+		if !ids[m[1]] {
+			t.Errorf("README.md lists %s but the suite has no such runner", m[1])
+		}
+	}
+}
+
+// The docs the root doc.go points readers at must exist.
+func TestRootDocReferences(t *testing.T) {
+	data, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range regexp.MustCompile(`[A-Z]+\.md`).FindAllString(string(data), -1) {
+		if _, err := os.Stat(ref); err != nil {
+			t.Errorf("doc.go references %s which does not exist", ref)
+		}
+	}
+}
+
+// Every internal package with exported behavior documented in
+// ARCHITECTURE.md's package map must actually exist on disk.
+func TestArchitecturePackageMap(t *testing.T) {
+	data, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range regexp.MustCompile("`(internal/[a-z]+)`").FindAllStringSubmatch(string(data), -1) {
+		if st, err := os.Stat(m[1]); err != nil || !st.IsDir() {
+			t.Errorf("ARCHITECTURE.md names %s which is not a package directory", m[1])
+		}
+	}
+}
+
+// Guard against the docs drifting from the suite size: the index table
+// in the experiments doc.go must mention the last experiment.
+func TestExperimentsDocCurrent(t *testing.T) {
+	data, err := os.ReadFile("internal/experiments/doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := experiments.Runners()[len(experiments.Runners())-1].ID
+	if !strings.Contains(string(data), fmt.Sprintf("%s ", last)) {
+		t.Errorf("internal/experiments/doc.go does not mention %s", last)
+	}
+}

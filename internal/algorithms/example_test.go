@@ -1,0 +1,28 @@
+package algorithms_test
+
+import (
+	"fmt"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+)
+
+// ExampleSorter sorts a small '#'-terminated multiset with the k-way
+// engine and reports the paper's cost measures. Dedup folds set
+// semantics into the final merge pass.
+func ExampleSorter() {
+	m := core.NewMachine(6, 1) // input + output + 4 work tapes
+	m.SetInput([]byte("0110#0001#1011#0001#0100#"))
+
+	s := algorithms.Sorter{FanIn: 4, RunMemoryBits: 64, Dedup: true}
+	if err := s.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
+		panic(err)
+	}
+
+	res := m.Resources()
+	fmt.Printf("sorted: %s\n", m.Tape(1).Contents())
+	fmt.Printf("r=%d scans, t=%d tapes\n", res.Scans(), res.Tapes)
+	// Output:
+	// sorted: 0001#0100#0110#1011#
+	// r=6 scans, t=6 tapes
+}

@@ -62,15 +62,20 @@ func lasVegasAttempt(m *core.Machine, s Sorter, dst int, work []int, scanBudget 
 // the first accepting attempt in attempt order (schedule-independent)
 // together with the fleet summary — the accept count over attempts is
 // the empirical success probability the Corollary 10 repetition
-// argument amplifies. Every attempt sorts onto tape dst with fan-in
+// argument amplifies. The fleet runs on launch — a worker pool
+// (trials.Pool) or a sharded fleet (internal/shard.Launch); nil means
+// a default pool. Every attempt sorts onto tape dst with fan-in
 // tapes−2 (SortLasVegasAuto). If every attempt answers "I don't
 // know", the first attempt's DontKnow result is returned.
-func SortLasVegasRepeated(input []byte, tapes, dst, scanBudget, attempts, parallel int, seed int64) (SortResult, trials.Summary, error) {
+func SortLasVegasRepeated(input []byte, tapes, dst, scanBudget, attempts int, launch trials.Launcher, seed int64) (SortResult, trials.Summary, error) {
 	if attempts <= 0 {
 		return SortResult{Verdict: core.DontKnow}, trials.Summary{}, nil
 	}
+	if launch == nil {
+		launch = trials.Pool(0)
+	}
 	results := make([]SortResult, attempts)
-	_, sum, err := trials.Engine{Trials: attempts, Parallel: parallel, Seed: seed}.Run(
+	_, sum, err := launch(attempts, seed, nil).Run(
 		func(i int, rng *rand.Rand) trials.Result {
 			m := core.NewMachine(tapes, rng.Int63())
 			m.SetInput(input)

@@ -36,14 +36,19 @@ type FingerprintErrorEstimate struct {
 
 // EstimateFingerprintErrors runs 2·nTrials independent fingerprint
 // trials (nTrials yes-instances, nTrials no-instances of shape m×n)
-// across parallel workers and aggregates the Theorem 8(a) error
-// profile. Each trial generates its instance and draws its machine
-// coins from a private rng derived from seed and the trial index, so
-// the estimate is reproducible at any parallelism.
-func EstimateFingerprintErrors(m, n, nTrials, parallel int, seed int64) (FingerprintErrorEstimate, error) {
+// on fleets built by launch — a worker pool (trials.Pool) or a sharded
+// fleet (internal/shard.Launch); nil means a default pool — and
+// aggregates the Theorem 8(a) error profile. Each trial generates its
+// instance and draws its machine coins from a private rng derived from
+// seed and the trial index, so the estimate is reproducible at any
+// parallelism and shard count.
+func EstimateFingerprintErrors(m, n, nTrials int, launch trials.Launcher, seed int64) (FingerprintErrorEstimate, error) {
+	if launch == nil {
+		launch = trials.Pool(0)
+	}
 	est := FingerprintErrorEstimate{M: m, N: n, Trials: nTrials}
 	fleet := func(root int64, yes bool) (trials.Summary, error) {
-		_, sum, err := trials.Engine{Trials: nTrials, Parallel: parallel, Seed: root}.Run(
+		_, sum, err := launch(nTrials, root, nil).Run(
 			func(_ int, rng *rand.Rand) trials.Result {
 				var in problems.Instance
 				if yes {
@@ -91,11 +96,15 @@ func EstimateFingerprintErrors(m, n, nTrials, parallel int, seed int64) (Fingerp
 // 8(a) decider on the same encoded input, each on its own machine
 // whose coins derive from (seed, repetition index) — unlike
 // FingerprintRepeated, whose repetitions draw sequentially from one
-// machine's rng and therefore cannot be parallelized. The verdict is
-// Reject iff any repetition rejects (perfect completeness is
-// preserved; the false-accept probability decays exponentially in s).
-func FingerprintRepeatedFleet(input []byte, s, parallel int, seed int64) (core.Verdict, trials.Summary, error) {
-	_, sum, err := trials.Engine{Trials: s, Parallel: parallel, Seed: seed}.Run(
+// machine's rng and therefore cannot be parallelized. The fleet runs
+// on launch (nil means a default worker pool). The verdict is Reject
+// iff any repetition rejects (perfect completeness is preserved; the
+// false-accept probability decays exponentially in s).
+func FingerprintRepeatedFleet(input []byte, s int, launch trials.Launcher, seed int64) (core.Verdict, trials.Summary, error) {
+	if launch == nil {
+		launch = trials.Pool(0)
+	}
+	_, sum, err := launch(s, seed, nil).Run(
 		func(_ int, rng *rand.Rand) trials.Result {
 			m := core.NewMachine(1, rng.Int63())
 			m.SetInput(input)

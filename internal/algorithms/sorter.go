@@ -31,12 +31,53 @@ package algorithms
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"extmem/internal/core"
 	"extmem/internal/memory"
 	"extmem/internal/tape"
 )
+
+// RunPlanner is the engine's fixed-count initial-run rule as a
+// standalone state machine: the first run is filled greedily until
+// the next item would exceed Budget, and its item count becomes the
+// fixed per-run count for the rest of the input. The Sorter's run
+// formation and the sharded sort's run partitioning
+// (internal/shard.Sort) both step this planner, so the two can never
+// disagree about where run boundaries fall.
+type RunPlanner struct {
+	Budget int64 // run-formation memory budget in meter bits; <= 0 means single-item runs
+	RunLen int   // fixed per-run item count; 0 while the first run still fills
+
+	items int   // items in the current run
+	bits  int64 // meter bits buffered in the current run
+	total int   // items seen overall
+}
+
+// Next reports whether the next item (of the given meter size) starts
+// a new run, and advances the plan. The first item always does.
+func (p *RunPlanner) Next(itemBits int64) bool {
+	if p.Budget <= 0 && p.RunLen == 0 {
+		p.RunLen = 1 // no formation memory: single-item runs
+	}
+	newRun := p.total == 0
+	if p.RunLen == 0 {
+		if p.items > 0 && p.bits+itemBits > p.Budget {
+			p.RunLen = p.items
+			newRun = true
+		}
+	} else if p.items >= p.RunLen {
+		newRun = true
+	}
+	if newRun {
+		p.items, p.bits = 0, 0
+	}
+	p.items++
+	p.bits += itemBits
+	p.total++
+	return newRun
+}
 
 // DefaultRunMemoryBits is the run-formation budget used by the
 // rewired consumers (the equality deciders, relalg's sortDedup, the
@@ -125,6 +166,52 @@ func (s Sorter) SortToTape(m *core.Machine, dst int, work []int) error {
 		return err
 	}
 	return s.Sort(m, dst, work)
+}
+
+// MergeTapes k-way merges the sorted '#'-terminated item sequences on
+// the src tapes onto dst through the loser tree, optionally dropping
+// adjacent duplicates while writing (set semantics). Each src is read
+// in one forward scan and dst is truncated and written in one forward
+// sweep, so the pass costs one scan per tape. The lane buffers (one
+// item per src) and, for more than two lanes, the tree's internal
+// nodes are charged to the meter — the same accounting as a Sorter
+// merge pass. It is the final fan-in stage of the sharded sort
+// (internal/shard): per-shard sorted outputs arrive on dedicated tapes
+// and leave as one globally sorted sequence.
+func MergeTapes(m *core.Machine, dst int, srcs []int, dedup bool) error {
+	if len(srcs) == 0 {
+		return rewindTruncateTape(m.Tape(dst))
+	}
+	seen := map[int]bool{dst: true}
+	for _, s := range srcs {
+		if seen[s] {
+			return fmt.Errorf("algorithms: MergeTapes needs distinct tapes, got dst %d and srcs %v", dst, srcs)
+		}
+		seen[s] = true
+	}
+	k := len(srcs)
+	st := &sortState{
+		m:     m,
+		mem:   m.Mem(),
+		src:   m.Tape(dst),
+		lanes: make([]*tape.Tape, k),
+		laneR: make([]string, k),
+		k:     k,
+	}
+	for i, s := range srcs {
+		st.lanes[i] = m.Tape(s)
+		st.laneR[i] = itemRegion(fmt.Sprintf("sort.run%d", i))
+	}
+	defer st.freeRegions()
+	if k > 2 {
+		if err := st.mem.Set(counterRegion("sort.tree"), int64((k-1)*bitsFor(k))); err != nil {
+			return err
+		}
+	}
+	st.tree = newLoserTree(k)
+	// Each lane holds exactly one (whole-tape) run: a single merge pass
+	// with an unbounded per-lane run length consumes everything.
+	return st.merge(math.MaxInt, k, dedup)
 }
 
 // sort runs the engine. countPrepass selects the legacy accounting
@@ -260,7 +347,7 @@ func (st *sortState) formRuns(budget int64, dedup bool) (done bool, total, runLe
 	defer mem.Free(headRegion)
 
 	var run [][]byte
-	var runBits int64
+	planner := RunPlanner{Budget: budget}
 	runCount := 0
 	prepared := make([]bool, st.k)
 
@@ -280,7 +367,6 @@ func (st *sortState) formRuns(budget int64, dedup bool) (done bool, total, runLe
 		}
 		runCount++
 		run = run[:0]
-		runBits = 0
 		return mem.Set(bufRegion, 0)
 	}
 
@@ -293,18 +379,10 @@ func (st *sortState) formRuns(budget int64, dedup bool) (done bool, total, runLe
 			break
 		}
 		total++
-		full := false
-		if runLen0 == 0 {
-			// Still greedy: the first run fills the budget; its item
-			// count becomes the fixed per-run count.
-			full = len(run) > 0 && runBits+int64(len(item)) > budget
-			if full {
-				runLen0 = len(run)
-			}
-		} else {
-			full = len(run) >= runLen0
-		}
-		if full {
+		// The planner applies the greedy fixed-count rule: the first
+		// run fills the budget, its item count becomes the per-run
+		// count. A new run flushes the buffered one.
+		if planner.Next(int64(len(item))) && len(run) > 0 {
 			if err := flush(); err != nil {
 				return false, 0, 0, err
 			}
@@ -318,8 +396,8 @@ func (st *sortState) formRuns(budget int64, dedup bool) (done bool, total, runLe
 			return false, 0, 0, err
 		}
 		run = append(run, item)
-		runBits += int64(len(item))
 	}
+	runLen0 = planner.RunLen
 
 	if runCount == 0 {
 		// Whole input fit in internal memory: one run, written sorted

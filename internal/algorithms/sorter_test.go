@@ -436,3 +436,108 @@ func legacyMergeRuns(ta, tb, dst *tape.Tape, runLen int, m *core.Machine) error 
 		}
 	}
 }
+
+// MergeTapes — the combine stage of the sharded sort — must produce
+// the globally sorted (optionally deduplicated) sequence from sorted
+// per-tape inputs, for every lane count including one.
+func TestMergeTapesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(5)
+		var all []string
+		parts := make([][]string, k)
+		for i := range parts {
+			part := randomItems(rng.Intn(30), 6, rng)
+			sort.Strings(part)
+			parts[i] = part
+			all = append(all, part...)
+		}
+		want := append([]string(nil), all...)
+		sort.Strings(want)
+		for _, dedup := range []bool{false, true} {
+			m := core.NewMachine(k+1, 1)
+			srcs := make([]int, k)
+			for i := range srcs {
+				srcs[i] = i + 1
+				// Tape handoff as the sharded sort performs it: the
+				// sorted sequence is placed, not written by this machine.
+				var enc []byte
+				for _, it := range parts[i] {
+					enc = append(enc, it...)
+					enc = append(enc, '#')
+				}
+				m.SetTape(i+1, enc)
+			}
+			if err := MergeTapes(m, 0, srcs, dedup); err != nil {
+				t.Fatalf("k=%d dedup=%v: %v", k, dedup, err)
+			}
+			// One forward scan per tape: a merge pass over freshly
+			// placed tapes adds no reversals. (Snapshot before the
+			// dump below rewinds the output tape.)
+			if rev := m.Resources().Reversals; rev != 0 {
+				t.Fatalf("k=%d: merge cost %d reversals, want 0", k, rev)
+			}
+			ref := want
+			if dedup {
+				ref = uniqSorted(all)
+			}
+			if got := dumpItems(t, m, 0); strings.Join(got, ",") != strings.Join(ref, ",") {
+				t.Fatalf("k=%d dedup=%v: merged = %v, want %v", k, dedup, got, ref)
+			}
+		}
+	}
+}
+
+func TestMergeTapesValidation(t *testing.T) {
+	m := core.NewMachine(3, 1)
+	if err := MergeTapes(m, 0, []int{1, 1}, false); err == nil {
+		t.Fatal("duplicate src accepted")
+	}
+	if err := MergeTapes(m, 1, []int{1, 2}, false); err == nil {
+		t.Fatal("dst aliasing a src accepted")
+	}
+	// No lanes: dst is just cleared.
+	loadItems(t, m, 0, []string{"1", "0"})
+	if err := MergeTapes(m, 0, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := dumpItems(t, m, 0); len(got) != 0 {
+		t.Fatalf("empty merge left %v", got)
+	}
+}
+
+// The fixed-count rule in isolation: greedy first fill sets the
+// per-run count, the first item always opens a run, and a zero budget
+// degenerates to single-item runs.
+func TestRunPlannerRule(t *testing.T) {
+	p := RunPlanner{Budget: 10}
+	var boundaries []int
+	for i, bits := range []int64{4, 4, 4, 4, 4, 4, 4} {
+		if p.Next(bits) {
+			boundaries = append(boundaries, i)
+		}
+	}
+	// 4+4 fits, +4 would exceed 10 ⇒ runs of 2: boundaries at 0, 2, 4, 6.
+	if fmt.Sprint(boundaries) != "[0 2 4 6]" || p.RunLen != 2 {
+		t.Fatalf("boundaries %v runLen %d", boundaries, p.RunLen)
+	}
+	// Oversized first item: a run of one, fixed for the rest.
+	p = RunPlanner{Budget: 3}
+	if !p.Next(8) || !p.Next(1) || p.RunLen != 1 {
+		t.Fatalf("oversized first item did not fix single-item runs (runLen %d)", p.RunLen)
+	}
+	// No budget: every item is a run.
+	p = RunPlanner{}
+	for i := 0; i < 3; i++ {
+		if !p.Next(5) {
+			t.Fatalf("budget 0: item %d did not start a run", i)
+		}
+	}
+	// Budget never exceeded: RunLen stays 0 (single run).
+	p = RunPlanner{Budget: 100}
+	p.Next(4)
+	p.Next(4)
+	if p.RunLen != 0 {
+		t.Fatalf("unfilled budget fixed runLen %d", p.RunLen)
+	}
+}

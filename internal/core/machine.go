@@ -77,7 +77,20 @@ func NewMachine(t int, seed int64) *Machine {
 // SetInput replaces the content of the input tape (tape 0) with data
 // and resets nothing else. It must be called before the run starts.
 func (m *Machine) SetInput(data []byte) {
-	m.tapes[0] = tape.FromBytes("t0", data)
+	m.SetTape(0, data)
+}
+
+// SetTape replaces the content of external tape i with data, resetting
+// that tape's counters. Like SetInput it models input placement, not a
+// head operation, and must happen before the run starts: the sharded
+// execution layer (internal/shard) uses it to hand a shard's sorted
+// output tape to the merge machine, the distributed analogue of
+// physically moving a tape between machines.
+func (m *Machine) SetTape(i int, data []byte) {
+	if i < 0 || i >= len(m.tapes) {
+		panic(fmt.Sprintf("%v: %d of %d", ErrTapeIndex, i, len(m.tapes)))
+	}
+	m.tapes[i] = tape.FromBytes(fmt.Sprintf("t%d", i), data)
 }
 
 // Tape returns external tape i (0-based). Tape 0 is the input tape.

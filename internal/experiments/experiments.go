@@ -1,25 +1,16 @@
-// Package experiments implements the per-experiment harness of
-// DESIGN.md §4: every theorem, corollary and load-bearing lemma of
-// the paper has a runner that regenerates its content as a table.
-// The runners are shared by cmd/stbench (human-readable report),
-// bench_test.go (testing.B entry points) and EXPERIMENTS.md.
-//
-// Monte-Carlo experiments (E2, E5, E8, E14, E16) run their trial
-// fleets on internal/trials: per-trial randomness is derived from
-// Config.Seed and the trial index alone, so a Config.Parallel worker
-// pool accelerates the sweeps without changing a single output byte —
-// the tables are identical at Parallel=1 and Parallel=NumCPU.
 package experiments
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
 
@@ -27,7 +18,8 @@ import (
 type Config struct {
 	Seed     int64 // root seed; all randomness (instances and machine coins) derives from it
 	Trials   int   // Monte-Carlo fleet size per experiment side; 0 = per-experiment default
-	Parallel int   // trial workers; <= 0 = GOMAXPROCS. Never affects output bytes.
+	Parallel int   // trial workers per shard; <= 0 = GOMAXPROCS. Never affects output bytes.
+	Shards   int   // trial-fleet shards (internal/shard); <= 0 = 1. Never affects output bytes.
 }
 
 // fleet resolves the fleet size against an experiment's default.
@@ -38,6 +30,38 @@ func (c Config) fleet(def int) int {
 	return def
 }
 
+// ShardCount is the effective trial-fleet shard count.
+func (c Config) ShardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 1
+}
+
+// launch builds the sharded fleet launcher every Monte-Carlo
+// experiment runs on: per-trial results are pure functions of (seed,
+// global trial index), so neither Shards nor Parallel can change a
+// table byte.
+func (c Config) launch() trials.Launcher {
+	return shard.Launch(c.ShardCount(), c.Parallel)
+}
+
+// probeLaunch is the launcher for the E16 collision probes: nil —
+// selecting FindCollisionParallel's early-exiting sequential scan —
+// when the configured shape is a single worker on a single shard,
+// the sharded fleet otherwise. The collision found is identical
+// either way; only the amount of probing work differs.
+func (c Config) probeLaunch() trials.Launcher {
+	workers := c.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardCount() == 1 && workers == 1 {
+		return nil
+	}
+	return c.launch()
+}
+
 // Result is the outcome of one experiment.
 type Result struct {
 	ID    string `json:"id"`
@@ -45,6 +69,13 @@ type Result struct {
 	Claim string `json:"claim"` // the paper claim being reproduced
 	Table string `json:"table"` // formatted rows
 	Notes string `json:"notes"` // observations / pass-fail summary
+
+	// Shards records how many trial-fleet shards executed the run —
+	// execution provenance only. It is reported in machine-readable
+	// encodings (stbench JSON/CSV) but never rendered into Table,
+	// Notes or String(), which stay byte-identical at every shard
+	// count.
+	Shards int `json:"shards"`
 }
 
 // Passed reports whether the experiment reproduced its claim.
@@ -74,7 +105,7 @@ type Runner struct {
 	Run func(Config) Result
 }
 
-// Runners lists the full E1–E17 suite in order.
+// Runners lists the full E1–E18 suite in order.
 func Runners() []Runner {
 	return []Runner{
 		{"E1", E1DeterministicUpperBound},
@@ -94,6 +125,7 @@ func Runners() []Runner {
 		{"E15", E15ShortReduction},
 		{"E16", E16Adversary},
 		{"E17", E17SortTradeoff},
+		{"E18", E18ShardedExecution},
 	}
 }
 
@@ -105,7 +137,9 @@ func All(seed int64) []Result { return AllConfig(Config{Seed: seed}) }
 func AllConfig(cfg Config) []Result {
 	var out []Result
 	for _, r := range Runners() {
-		out = append(out, r.Run(cfg))
+		res := r.Run(cfg)
+		res.Shards = cfg.ShardCount()
+		out = append(out, res)
 	}
 	return out
 }
@@ -161,7 +195,7 @@ func E2Fingerprint(cfg Config) Result {
 	notes := "PASS: 2 scans, O(log N) bits, perfect completeness, false-accept rate ≪ 1/2."
 	for i, mSize := range []int{8, 64, 512} {
 		est, err := algorithms.EstimateFingerprintErrors(
-			mSize, 12, cfg.fleet(60), cfg.Parallel, trials.Seed(cfg.Seed, 200+i))
+			mSize, 12, cfg.fleet(60), cfg.launch(), trials.Seed(cfg.Seed, 200+i))
 		if err != nil {
 			return failure("E2", "T8A-FP", err, core.Reject)
 		}
@@ -268,7 +302,7 @@ func E5Sort(cfg Config) Result {
 		in := problems.GenMultisetYes(mSize, 12, rng)
 		res, sum, err := algorithms.SortLasVegasRepeated(
 			in.Encode(), 6, 1, 1<<30,
-			cfg.fleet(2), cfg.Parallel, trials.Seed(cfg.Seed, 500+i))
+			cfg.fleet(2), cfg.launch(), trials.Seed(cfg.Seed, 500+i))
 		if err != nil {
 			return failure("E5", "C10-SORT", err, res.Verdict)
 		}

@@ -101,8 +101,8 @@ func E7XQuery(cfg Config) Result {
 // and the two-run booster T̃ turns any profile-(1)/(2) filter into a
 // one-sided-error SET-EQUALITY decider.
 // The noisy-filter probability check runs two trial fleets (yes- and
-// no-instances) on the trials engine, so the acceptance counts are
-// reproducible at any cfg.Parallel.
+// no-instances) on the sharded fleet layer, so the acceptance counts
+// are reproducible at any cfg.Parallel and cfg.Shards.
 func E8XPath(cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
@@ -132,24 +132,19 @@ func E8XPath(cfg Config) Result {
 	noisy := xpath.NoisyFilter(xpath.ExactFilter, 0.5)
 	yes := problems.GenSetYes(8, 10, rng)
 	nTrials := cfg.fleet(400)
-	_, yesSum, err := trials.Engine{
-		Trials:   nTrials,
-		Parallel: cfg.Parallel,
-		Seed:     trials.Seed(cfg.Seed, 800),
-	}.Run(func(_ int, trng *rand.Rand) trials.Result {
-		return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, yes, trng)}
-	})
+	launch := cfg.launch()
+	_, yesSum, err := launch(nTrials, trials.Seed(cfg.Seed, 800), nil).Run(
+		func(_ int, trng *rand.Rand) trials.Result {
+			return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, yes, trng)}
+		})
 	if err != nil {
 		return failure("E8", "T13-XPATH", err, core.Reject)
 	}
-	_, noSum, err := trials.Engine{
-		Trials:   nTrials,
-		Parallel: cfg.Parallel,
-		Seed:     trials.Seed(cfg.Seed, 801),
-	}.Run(func(_ int, trng *rand.Rand) trials.Result {
-		no := problems.GenSetNo(8, 10, trng)
-		return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, no, trng)}
-	})
+	_, noSum, err := launch(nTrials, trials.Seed(cfg.Seed, 801), nil).Run(
+		func(_ int, trng *rand.Rand) trials.Result {
+			no := problems.GenSetNo(8, 10, trng)
+			return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, no, trng)}
+		})
 	if err != nil {
 		return failure("E8", "T13-XPATH", err, core.Reject)
 	}
@@ -159,7 +154,7 @@ func E8XPath(cfg Config) Result {
 		notes = "FAIL: booster probability profile violated."
 	}
 	notes += "\nNote: the paper's proof boosts with 2 rounds of T̃, giving only 1−(3/4)² = 7/16;" +
-		"\nwe use 3 rounds for the stated ≥ 1/2 (see EXPERIMENTS.md)."
+		"\nwe use 3 rounds for the stated ≥ 1/2 (see internal/xpath/booster.go)."
 	return Result{
 		ID:    "E8",
 		Title: "XPath filtering and the booster machine T̃",

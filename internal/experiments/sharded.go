@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/problems"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// E18ShardedExecution measures the sharded execution layer against the
+// single-machine baselines it must not disturb. The sort half sweeps
+// the shard count over one fixed instance: every row reports the
+// per-shard (r, s, t) reports next to their max/sum rollup and the
+// critical-path step count (distribute → slowest shard → merge), and
+// verifies the output is byte-identical to the unsharded engine — the
+// run-level partitioning at work. The fleet half runs the same
+// fingerprint fleet at 1, 2 and 4 shards and verifies the per-trial
+// result sequences are identical, the disjoint trial-index-range
+// derivation at work. The table itself sweeps shard counts
+// internally, so it is byte-identical at any cfg.Shards — sharding is
+// an execution choice, never an observable one.
+func E18ShardedExecution(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := problems.GenMultisetYes(512, 16, rng) // 1024 items of 16 bits
+	enc := in.Encode()
+	const (
+		fanIn   = 4
+		runMem  = 1024 // 64 initial runs of 16 items
+		baseFan = fanIn + 2
+	)
+
+	// Single-machine baseline: the plain PR 3 engine on one machine.
+	base := core.NewMachine(baseFan, cfg.Seed)
+	base.SetInput(enc)
+	bs := algorithms.Sorter{FanIn: fanIn, RunMemoryBits: runMem}
+	if err := bs.SortToTape(base, 1, algorithms.WorkTapes(base, 1)); err != nil {
+		return failure("E18", "SHARD-EXEC", err, core.Reject)
+	}
+	baseRes := base.Resources()
+	baseOut := base.Tape(1).Contents()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded sort: %d items × 16 bits, fan-in %d, run memory %d bits; single machine: %d scans, %d bits, %d steps\n",
+		1024, fanIn, runMem, baseRes.Scans(), baseRes.PeakMemoryBits, baseRes.Steps)
+	row(&b, "%7s %6s %18s %6s %6s %11s %11s %9s %8s %10s", "shards", "runs",
+		"per-shard scans", "max r", "sum r", "max s bits", "crit steps", "speedup", "output≡", "merge r")
+	notes := "PASS: outputs byte-identical at every shard count; fleets identical at every shard count;\n" +
+		"sum(scans) ≥ single-machine scans and max(shard memory) ≤ single-machine memory —\n" +
+		"sharding buys critical-path time with total work, never with the answer."
+	for _, shards := range []int{1, 2, 4} {
+		out, rep, err := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem}.Run(enc, cfg.Seed)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
+		agg := rep.Rollup()
+		perShard := make([]int, len(rep.Shards))
+		for i, r := range rep.Shards {
+			perShard[i] = r.Scans()
+		}
+		equal := bytes.Equal(out, baseOut)
+		speedup := float64(baseRes.Steps) / float64(rep.CriticalPathSteps())
+		row(&b, "%7d %6d %18s %6d %6d %11d %11d %8.2fx %8v %10d",
+			shards, rep.Runs, fmt.Sprint(perShard), agg.MaxScans, agg.SumScans, agg.MaxMemoryBits,
+			rep.CriticalPathSteps(), speedup, equal, rep.Merge.Scans())
+		if !equal {
+			notes = "FAIL: sharded sort output differs from the single-machine engine."
+		}
+		if agg.SumScans < baseRes.Scans() {
+			notes = "FAIL: rollup lost scans relative to the single machine."
+		}
+		if agg.MaxMemoryBits > baseRes.PeakMemoryBits {
+			notes = "FAIL: a shard exceeded the single-machine memory peak."
+		}
+	}
+
+	// Fleet half: the same fingerprint fleet at three shard counts must
+	// produce identical per-trial result sequences.
+	fleetN := cfg.fleet(48)
+	fleetSeed := trials.Seed(cfg.Seed, 1800)
+	// Each row also records the trial's random reduction prime p1, so
+	// the equality check compares genuinely per-trial random content,
+	// not just a column of identical verdicts.
+	trial := func(_ int, trng *rand.Rand) trials.Result {
+		fin := problems.GenMultisetNo(4, 12, trng)
+		m := core.NewMachine(1, trng.Int63())
+		m.SetInput(fin.Encode())
+		v, params, err := algorithms.FingerprintMultisetEquality(m)
+		if err != nil {
+			return trials.Result{Err: err.Error()}
+		}
+		return trials.Result{Accept: v == core.Accept, Value: float64(params.P1)}
+	}
+	var ref []trials.Result
+	fmt.Fprintf(&b, "\nSharded fingerprint fleet: %d trials, no-instances m=4 n=12\n", fleetN)
+	row(&b, "%7s %8s %9s %14s %12s", "shards", "trials", "accepts", "Σ p1 (rng)", "rows ≡ 1?")
+	for _, shards := range []int{1, 2, 4} {
+		rs, sum, err := shard.Fleet{
+			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
+			Parallel: cfg.Parallel,
+			Seed:     fleetSeed,
+		}.Run(trial)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
+		if ref == nil {
+			ref = rs
+		}
+		var sumP1 float64
+		for _, r := range rs {
+			sumP1 += r.Value
+		}
+		same := reflect.DeepEqual(rs, ref)
+		row(&b, "%7d %8d %9d %14.0f %12v", shards, sum.Trials, sum.Accepts, sumP1, same)
+		if !same {
+			notes = "FAIL: sharded fleet results differ from the single-shard run."
+		}
+	}
+
+	return Result{
+		ID:    "E18",
+		Title: "sharded deterministic execution (runs + trial ranges)",
+		Claim: "k-machine partitioning of the ST workloads: shard runs and trial-index ranges, byte-identical outputs, per-shard (r, s, t) auditable",
+		Table: b.String(),
+		Notes: notes,
+	}
+}

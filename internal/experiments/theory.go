@@ -232,18 +232,15 @@ func E14PrimeCollision(cfg Config) Result {
 		if err != nil {
 			return failure("E14", "CLAIM1", err, core.Reject)
 		}
-		_, sum, err := trials.Engine{
-			Trials:   cfg.fleet(300),
-			Parallel: cfg.Parallel,
-			Seed:     trials.Seed(cfg.Seed, 1400+i),
-		}.Run(func(_ int, rng *rand.Rand) trials.Result {
-			in := problems.GenMultisetNo(m, n, rng)
-			p, err := numeric.RandomPrimeUpTo(k, rng)
-			if err != nil {
-				return trials.Result{Err: err.Error()}
-			}
-			return trials.Result{Accept: residuesCollide(in, p)}
-		})
+		_, sum, err := cfg.launch()(cfg.fleet(300), trials.Seed(cfg.Seed, 1400+i), nil).Run(
+			func(_ int, rng *rand.Rand) trials.Result {
+				in := problems.GenMultisetNo(m, n, rng)
+				p, err := numeric.RandomPrimeUpTo(k, rng)
+				if err != nil {
+					return trials.Result{Err: err.Error()}
+				}
+				return trials.Result{Accept: residuesCollide(in, p)}
+			})
 		if err != nil {
 			return failure("E14", "CLAIM1", err, core.Reject)
 		}
@@ -335,9 +332,10 @@ func E15ShortReduction(cfg Config) Result {
 // E16Adversary demonstrates Theorem 6's mechanism constructively: the
 // pigeonhole adversary defeats every deterministic bounded-state
 // one-scan machine. Probing the candidate halves — the expensive part
-// of the attack — fans out over cfg.Parallel workers, each feeding a
-// fresh machine from the factory; the collision found is identical to
-// the sequential scan's.
+// of the attack — fans out over the sharded fleet layer (cfg.Shards
+// shards of cfg.Parallel workers), each probe feeding a fresh machine
+// from the factory; the collision found is identical to the
+// sequential scan's.
 func E16Adversary(cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
@@ -354,7 +352,7 @@ func E16Adversary(cfg Config) Result {
 	}
 	for _, mc := range machines {
 		halves := lowerbound.RandomHalves(mc.pro, 4, 8, rng)
-		col, found := lowerbound.FindCollisionParallel(mc.mk, halves, cfg.Parallel)
+		col, found := lowerbound.FindCollisionParallel(mc.mk, halves, cfg.probeLaunch())
 		fooled := false
 		if found {
 			var err error

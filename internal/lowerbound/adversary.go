@@ -3,7 +3,6 @@ package lowerbound
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 
 	"extmem/internal/problems"
 	"extmem/internal/trials"
@@ -116,12 +115,18 @@ func feedHalf(sm StreamMachine, h problems.Instance) string {
 	return sm.StateKey()
 }
 
-// ProbeStateKeys computes, across parallel workers, the state key each
-// candidate half drives a fresh machine into. The keys come back in
-// half order, so the result is independent of the worker count.
-func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, parallel int) []string {
+// ProbeStateKeys computes, on a probe fleet built by launch (a worker
+// pool via trials.Pool, or a sharded fleet via internal/shard.Launch;
+// nil means a default pool), the state key each candidate half drives
+// a fresh machine into. The probes draw no randomness; the keys come
+// back in half order, so the result is independent of the worker and
+// shard counts.
+func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, launch trials.Launcher) []string {
+	if launch == nil {
+		launch = trials.Pool(0)
+	}
 	keys := make([]string, len(halves))
-	trials.Engine{Trials: len(halves), Parallel: parallel, Seed: 0}.Run(
+	launch(len(halves), 0, nil).Run(
 		func(i int, _ *rand.Rand) trials.Result {
 			keys[i] = feedHalf(mk(), halves[i])
 			return trials.Result{}
@@ -130,23 +135,18 @@ func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, parallel int) 
 }
 
 // FindCollisionParallel is FindCollision with the probing fanned out
-// over parallel workers: it returns exactly the collision the
+// over the fleet built by launch: it returns exactly the collision the
 // sequential scan would find (the first duplicate state key in half
 // order, with the same States census), because the pigeonhole search
-// over the probed keys is still performed in order. Fanned-out
-// probing visits every half even when an early collision exists —
-// the price of parallelism — so at an effective worker count of 1
-// (parallel = 1, or parallel <= 0 on a single-CPU machine) it falls
-// back to the early-exiting sequential scan.
-func FindCollisionParallel(mk StreamFactory, halves []problems.Instance, parallel int) (*Collision, bool) {
-	workers := parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
+// over the probed keys is still performed in order. Fanned-out probing
+// visits every half even when an early collision exists — the price of
+// parallelism — so a nil launch selects the early-exiting sequential
+// scan instead of a default pool.
+func FindCollisionParallel(mk StreamFactory, halves []problems.Instance, launch trials.Launcher) (*Collision, bool) {
+	if launch == nil {
 		return FindCollision(mk(), halves)
 	}
-	keys := ProbeStateKeys(mk, halves, parallel)
+	keys := ProbeStateKeys(mk, halves, launch)
 	seen := map[string]int{}
 	for idx, key := range keys {
 		if prev, ok := seen[key]; ok {

@@ -1,10 +1,3 @@
-// Package lowerbound implements the counting machinery behind the
-// paper's main theorem (Theorem 6): the quantitative bounds of
-// Lemmas 30, 31 and 32 on list machines, the parameter requirements
-// of Lemma 21 and Lemma 22, the Ω(log N) tightness frontier they
-// induce, and a pigeonhole ADVERSARY that constructively defeats any
-// deterministic bounded-state one-scan machine on MULTISET-EQUALITY
-// (the information-theoretic mechanism the proof formalizes).
 package lowerbound
 
 import (

@@ -1,0 +1,34 @@
+// Package lowerbound implements the counting machinery behind the
+// paper's main theorem — Theorem 6, the Ω(log N) lower bound for
+// (MULTI)SET-EQUALITY and CHECK-SORT against randomized machines with
+// o(log N) scans and O(N^¼/log N) internal memory — together with an
+// executable adversary demonstrating its mechanism.
+//
+// The counting side follows the proof's list-machine route
+// (internal/listmachine holds the machines themselves, this package
+// the bounds):
+//
+//   - TotalListLengthBound, CellSizeBound, RunLengthBound — the
+//     Lemma 30/31 envelopes on what an (r, t)-bounded nondeterministic
+//     list machine can materialize.
+//   - SkeletonCountBound, SimplifiedSkeletonBound — the Lemma 32
+//     census: at most (2k)^{m²} skeletons, the information bottleneck.
+//   - EqualInputCount, Lemma21Check, PigeonholeGap — Lemma 21's
+//     pigeonhole: once n ≥ 1 + (m²+1)·log(2k), there are more
+//     structured inputs than skeletons, forcing a collision (the gap
+//     E11 tables).
+//   - Frontier, FrontierTable, StateCountBound, MemoryBound — the
+//     Lemma 22 tightness frontier: the largest scan count r at which
+//     the argument applies, growing as Θ(log N) (also tabled by E11).
+//
+// The adversary side (FindCollision, FindCollisionParallel,
+// ProbeStateKeys) is the mechanism made constructive, used by E16:
+// probe candidate first halves into any deterministic bounded-state
+// one-scan StreamMachine, find two halves driving it into the same
+// state (pigeonhole guarantees one within ~state-count probes), and
+// compose the fooling instance the machine must mis-decide. Probing
+// fans out over a trials.Launcher — a worker pool or a sharded fleet
+// (internal/shard) — and returns exactly the collision the sequential
+// scan would find, because the pigeonhole search over the probed keys
+// stays in half order.
+package lowerbound

@@ -8,6 +8,7 @@ import (
 
 	"extmem/internal/listmachine"
 	"extmem/internal/problems"
+	"extmem/internal/trials"
 )
 
 func TestTotalListLengthBoundFormula(t *testing.T) {
@@ -272,14 +273,19 @@ func TestFindCollisionParallelMatchesSequential(t *testing.T) {
 	const m, n = 4, 8
 	halves := RandomHalves(1200, m, n, rng)
 	seq, foundSeq := FindCollision(NewHashStream(10, m), halves)
-	for _, par := range []int{1, 8} {
-		got, found := FindCollisionParallel(func() StreamMachine { return NewHashStream(10, m) }, halves, par)
+	launchers := map[string]trials.Launcher{
+		"nil-sequential": nil,
+		"pool-1":         trials.Pool(1),
+		"pool-8":         trials.Pool(8),
+	}
+	for name, launch := range launchers {
+		got, found := FindCollisionParallel(func() StreamMachine { return NewHashStream(10, m) }, halves, launch)
 		if found != foundSeq {
-			t.Fatalf("parallel=%d: found=%v, sequential found=%v", par, found, foundSeq)
+			t.Fatalf("%s: found=%v, sequential found=%v", name, found, foundSeq)
 		}
 		if got.I != seq.I || got.J != seq.J || got.States != seq.States {
-			t.Fatalf("parallel=%d: collision (%d,%d,%d) != sequential (%d,%d,%d)",
-				par, got.I, got.J, got.States, seq.I, seq.J, seq.States)
+			t.Fatalf("%s: collision (%d,%d,%d) != sequential (%d,%d,%d)",
+				name, got.I, got.J, got.States, seq.I, seq.J, seq.States)
 		}
 	}
 }
@@ -288,7 +294,7 @@ func TestFindCollisionParallelMatchesSequential(t *testing.T) {
 func TestProbeStateKeysOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(86))
 	halves := RandomHalves(64, 3, 6, rng)
-	keys := ProbeStateKeys(func() StreamMachine { return NewCommutativeHashStream(12, 3) }, halves, 8)
+	keys := ProbeStateKeys(func() StreamMachine { return NewCommutativeHashStream(12, 3) }, halves, trials.Pool(8))
 	sm := NewCommutativeHashStream(12, 3)
 	for i, h := range halves {
 		if got := feedHalf(sm, h); got != keys[i] {

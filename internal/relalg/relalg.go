@@ -1,15 +1,3 @@
-// Package relalg implements the relational algebra of Theorem 11: a
-// query AST (selection, projection, union, difference, product,
-// equi-join, rename), a reference in-memory evaluator with set
-// semantics, and a streaming evaluator that runs every operator as
-// scan/sort passes on the instrumented ST machine — realizing
-// Theorem 11(a)'s ST(O(log N), O(1), O(1)) data complexity, where the
-// O(1) internal memory holds a constant number of tuples.
-//
-// The hard query of Theorem 11(b), the symmetric difference
-// Q' = (R1 − R2) ∪ (R2 − R1), is provided by SymmetricDifference; its
-// emptiness decides SET-EQUALITY, which transfers the Theorem 6 lower
-// bound to relational query evaluation.
 package relalg
 
 import (

@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkShardedSort measures the sharded sort end to end across
+// shard counts on a fixed 4096-item instance. On a single-CPU
+// container the win shows up in the model's critical-path steps
+// (tabled by E18), not wall clock; the benchmark exists to keep the
+// layer's overhead visible in the CI smoke pass.
+func BenchmarkShardedSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	input := encodeItems(randomItems(4096, false, rng))
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			s := Sort{Shards: shards, FanIn: 4, RunMemoryBits: 4096}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Run(input, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedFleet measures the fleet layer's overhead on a
+// no-op trial workload (the analogue of the trials engine's floor
+// benchmark, with the in-order merge stream in the path).
+func BenchmarkShardedFleet(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			f := Fleet{Plan: Plan{Shards: shards, Trials: 1024}, Parallel: 2, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.Run(workload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

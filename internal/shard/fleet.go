@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"sync"
+
+	"extmem/internal/trials"
+)
+
+// Plan partitions a fleet of Trials trials across Shards shards.
+// Shards <= 0 means one shard; Shards may exceed Trials, in which case
+// the surplus shards own empty ranges.
+type Plan struct {
+	Shards int // number of shards
+	Trials int // total fleet size across all shards
+}
+
+// ShardCount is the effective shard count (at least 1).
+func (p Plan) ShardCount() int {
+	if p.Shards < 1 {
+		return 1
+	}
+	return p.Shards
+}
+
+// Ranges returns the per-shard trial-index ranges: Split(Trials,
+// ShardCount()).
+func (p Plan) Ranges() []Range {
+	return Split(p.Trials, p.ShardCount())
+}
+
+// Range is the contiguous half-open range [Lo, Hi) of global indices
+// owned by one shard.
+type Range struct {
+	Shard  int // shard index, 0-based
+	Lo, Hi int // half-open global index range
+}
+
+// Len is the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions the index range [0, n) into shards disjoint
+// contiguous near-equal ranges that cover it: every range has
+// ⌊n/shards⌋ or ⌈n/shards⌉ indices, with the longer ranges first. The
+// split is a pure function of (n, shards) — the scheduling-free
+// counterpart of the trial-seed derivation, and the rule the sharded
+// sort reuses to partition initial runs.
+func Split(n, shards int) []Range {
+	if shards < 1 {
+		shards = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Range, shards)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Range{Shard: i, Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// Fleet runs a trial fleet sharded: each shard of the Plan runs its
+// own trials.Engine worker pool over a disjoint contiguous range of
+// global trial indices, and the per-shard result streams are
+// re-interleaved into a single in-order stream. Because a trial's
+// randomness derives from (Seed, global index) alone, the results,
+// summary, error and OnResult sequence are byte-identical to a
+// single trials.Engine run of the whole fleet — at any combination of
+// shard and worker counts.
+type Fleet struct {
+	Plan     Plan
+	Parallel int   // worker goroutines per shard; <= 0 means GOMAXPROCS
+	Seed     int64 // root seed, shared by all shards
+
+	// OnResult, if non-nil, streams results strictly in global trial
+	// order (0, 1, 2, …) as the completed prefix grows, regardless of
+	// which shard or worker produced them. It is invoked under an
+	// internal lock and must not call back into the fleet.
+	OnResult func(trials.Result)
+}
+
+var _ trials.Runner = Fleet{}
+
+// Run executes the fleet across its shards and returns the merged
+// per-trial results in global trial order, their summary, and the
+// first trial error in trial order — the same contract as
+// trials.Engine.Run.
+func (f Fleet) Run(fn trials.Func) ([]trials.Result, trials.Summary, error) {
+	n := f.Plan.Trials
+	if n <= 0 {
+		return nil, trials.Summary{}, nil
+	}
+	ranges := f.Plan.Ranges()
+	results := make([]trials.Result, n)
+
+	// The in-order merge stream: every shard reports completed trials
+	// into the shared done-prefix tracker; whichever shard completes
+	// the global prefix emits it. Shard engines already emit their own
+	// range in order, so tracking a single emitted cursor suffices.
+	var (
+		mu      sync.Mutex
+		done    []bool
+		emitted int
+	)
+	if f.OnResult != nil {
+		done = make([]bool, n)
+	}
+	record := func(r trials.Result) {
+		mu.Lock()
+		done[r.Trial] = true
+		results[r.Trial] = r
+		for emitted < n && done[emitted] {
+			f.OnResult(results[emitted])
+			emitted++
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		if rg.Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(rg Range) {
+			defer wg.Done()
+			eng := trials.Engine{
+				Trials:   rg.Len(),
+				Offset:   rg.Lo,
+				Parallel: f.Parallel,
+				Seed:     f.Seed,
+			}
+			if f.OnResult != nil {
+				eng.OnResult = record
+				eng.Run(fn)
+				return
+			}
+			rs, _, _ := eng.Run(fn)
+			copy(results[rg.Lo:rg.Hi], rs)
+		}(rg)
+	}
+	wg.Wait()
+	return results, trials.Summarize(results), trials.FirstErr(results)
+}
+
+// Launch returns the trials.Launcher that runs every fleet as a
+// sharded Fleet with the given shard and per-shard worker counts —
+// the hook experiments and commands use to shard the fleet entry
+// points of internal/algorithms and internal/lowerbound without
+// changing a single output byte.
+func Launch(shards, parallel int) trials.Launcher {
+	return func(n int, seed int64, onResult func(trials.Result)) trials.Runner {
+		return Fleet{
+			Plan:     Plan{Shards: shards, Trials: n},
+			Parallel: parallel,
+			Seed:     seed,
+			OnResult: onResult,
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/trials"
+)
+
+// Sort is the sharded external sort: the Corollary 10 sorting problem
+// partitioned across shard-local machines in the k-machine style. The
+// input item stream is cut into the same fixed-count initial runs the
+// PR 3 engine would form (the first run's greedy fill under
+// RunMemoryBits fixes the per-run item count), contiguous run ranges
+// go to shard-local tape sets, each shard sorts locally with the
+// loser-tree engine, and a final k-way merge (algorithms.MergeTapes)
+// re-combines the per-shard outputs. Because a sorted multiset is
+// canonical, the output bytes are identical at every shard count.
+type Sort struct {
+	// Shards is the number of shard machines; values below 1 mean 1.
+	Shards int
+
+	// FanIn and RunMemoryBits configure each shard's local
+	// algorithms.Sorter (and the run partitioning); see that type.
+	FanIn         int
+	RunMemoryBits int64
+
+	// Dedup drops duplicate items while the final merge is written
+	// (set semantics) — cross-shard duplicates meet in the merge, so
+	// deduplication belongs to the combine stage, not the shards.
+	Dedup bool
+}
+
+func (s Sort) shardCount() int {
+	if s.Shards < 1 {
+		return 1
+	}
+	return s.Shards
+}
+
+func (s Sort) fanIn() int {
+	if s.FanIn < 2 {
+		return 2
+	}
+	return s.FanIn
+}
+
+// SortReport is the resource census of one sharded sort: every phase
+// keeps the exact (r, s, t) report of its machine, so the paper's cost
+// measures remain auditable per shard.
+type SortReport struct {
+	Items  int // items in the input
+	RunLen int // items per initial run (0: whole input fit one run)
+	Runs   int // initial runs partitioned across the shards
+
+	Distribute core.Resources   // the coordinator's partition scan over the input
+	Shards     []core.Resources // one report per shard-local sort, in shard order
+	Merge      core.Resources   // the final k-way merge machine
+}
+
+// Rollup aggregates the per-shard reports into the max view (the
+// parallel wall-clock analogue: shards run concurrently) and the sum
+// view (total work across the fleet).
+func (r SortReport) Rollup() Agg {
+	a := Agg{Shards: len(r.Shards)}
+	for _, res := range r.Shards {
+		a.SumScans += res.Scans()
+		a.SumMemoryBits += res.PeakMemoryBits
+		a.SumSteps += res.Steps
+		if res.Scans() > a.MaxScans {
+			a.MaxScans = res.Scans()
+		}
+		if res.PeakMemoryBits > a.MaxMemoryBits {
+			a.MaxMemoryBits = res.PeakMemoryBits
+		}
+		if res.Steps > a.MaxSteps {
+			a.MaxSteps = res.Steps
+		}
+	}
+	return a
+}
+
+// CriticalPathSteps is the head-movement count along the critical
+// path: the distribution scan, then the slowest shard (the locals run
+// concurrently), then the merge — the model's stand-in for sharded
+// wall-clock time.
+func (r SortReport) CriticalPathSteps() int64 {
+	return r.Distribute.Steps + r.Rollup().MaxSteps + r.Merge.Steps
+}
+
+// Agg is the max/sum rollup of per-shard resource reports.
+type Agg struct {
+	Shards        int
+	MaxScans      int
+	SumScans      int
+	MaxMemoryBits int64
+	SumMemoryBits int64
+	MaxSteps      int64
+	SumSteps      int64
+}
+
+// String renders the rollup in the (r, s) order of the paper.
+func (a Agg) String() string {
+	return fmt.Sprintf("shards=%d r: max=%d sum=%d, s bits: max=%d sum=%d, steps: max=%d sum=%d",
+		a.Shards, a.MaxScans, a.SumScans, a.MaxMemoryBits, a.SumMemoryBits, a.MaxSteps, a.SumSteps)
+}
+
+// Run sorts the '#'-terminated input across the configured shards and
+// returns the sorted (optionally deduplicated) output bytes with the
+// full resource report. seed only feeds the machines' (unused by the
+// deterministic sort) coin sources, derived per shard so any future
+// randomized shard step stays schedule-independent.
+func (s Sort) Run(input []byte, seed int64) ([]byte, SortReport, error) {
+	shards := s.shardCount()
+	rep := SortReport{}
+
+	// Phase 1 — distribution: the coordinator scans the input once,
+	// cutting the item stream at the same run boundaries the engine's
+	// run formation would produce, and assembles one contiguous payload
+	// per shard. The payload handoff models shipping a tape to the
+	// shard machine; only the scan and the one-item read buffer are
+	// machine state.
+	dist := core.NewMachine(1, seed)
+	dist.SetInput(input)
+	in := dist.Tape(0)
+	if err := in.Rewind(); err != nil {
+		return nil, rep, err
+	}
+	var (
+		payload   []byte
+		runStarts []int
+		// The planner is the engine's own fixed-count rule
+		// (algorithms.Sorter run formation steps the same type), so the
+		// partition boundaries here and the runs a shard-local sort
+		// forms can never disagree.
+		planner = algorithms.RunPlanner{Budget: s.RunMemoryBits}
+	)
+	for {
+		item, ok, err := algorithms.ReadItem(in, dist.Mem(), "item.shard.distribute")
+		if err != nil {
+			return nil, rep, err
+		}
+		if !ok {
+			break
+		}
+		if planner.Next(int64(len(item))) {
+			runStarts = append(runStarts, len(payload))
+		}
+		payload = append(payload, item...)
+		payload = append(payload, '#')
+		rep.Items++
+	}
+	rep.Runs = len(runStarts)
+	rep.RunLen = planner.RunLen
+	rep.Distribute = dist.Resources()
+
+	// Phase 2 — shard-local sorts: contiguous run ranges, one machine
+	// (with its own tape set and meter) per shard, all running
+	// concurrently. Which runs land where is a pure function of
+	// (input, RunMemoryBits, shards), so the phase is deterministic.
+	ranges := Split(rep.Runs, shards)
+	bound := func(runIdx int) int {
+		if runIdx >= rep.Runs {
+			return len(payload)
+		}
+		return runStarts[runIdx]
+	}
+	tapes := s.fanIn() + 2
+	outs := make([][]byte, shards)
+	reps := make([]core.Resources, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(rg Range) {
+			defer wg.Done()
+			m := core.NewMachine(tapes, trials.Seed(seed, rg.Shard+1))
+			m.SetInput(payload[bound(rg.Lo):bound(rg.Hi)])
+			local := algorithms.Sorter{FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits}
+			errs[rg.Shard] = local.SortToTape(m, 1, algorithms.WorkTapes(m, 1))
+			reps[rg.Shard] = m.Resources()
+			outs[rg.Shard] = m.Tape(1).Contents()
+		}(rg)
+	}
+	wg.Wait()
+	rep.Shards = reps
+	for _, err := range errs {
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+
+	// Phase 3 — combine: the shard output tapes are handed to one
+	// merge machine (tape 0 is the output, tape 1+i shard i's sorted
+	// run) and k-way merged through the loser tree; dedup, when
+	// requested, folds into this final write.
+	mm := core.NewMachine(shards+1, seed)
+	srcs := make([]int, shards)
+	for i, out := range outs {
+		mm.SetTape(i+1, out)
+		srcs[i] = i + 1
+	}
+	if err := algorithms.MergeTapes(mm, 0, srcs, s.Dedup); err != nil {
+		return nil, rep, err
+	}
+	rep.Merge = mm.Resources()
+	return mm.Tape(0).Contents(), rep, nil
+}

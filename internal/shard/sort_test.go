@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+)
+
+// encodeItems renders items in the paper's '#'-terminated format.
+func encodeItems(items []string) []byte {
+	var b bytes.Buffer
+	for _, it := range items {
+		b.WriteString(it)
+		b.WriteByte('#')
+	}
+	return b.Bytes()
+}
+
+// randomItems generates count random bit strings (duplicates likely,
+// mixed lengths when varied is set).
+func randomItems(count int, varied bool, rng *rand.Rand) []string {
+	items := make([]string, count)
+	for i := range items {
+		n := 8
+		if varied {
+			n = 1 + rng.Intn(12)
+		}
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte('0' + byte(rng.Intn(2)))
+		}
+		items[i] = sb.String()
+	}
+	return items
+}
+
+// reference sorts (and optionally dedups) in plain Go.
+func reference(items []string, dedup bool) []byte {
+	s := append([]string(nil), items...)
+	sort.Strings(s)
+	if dedup {
+		out := s[:0]
+		for i, it := range s {
+			if i == 0 || it != s[i-1] {
+				out = append(out, it)
+			}
+		}
+		s = out
+	}
+	return encodeItems(s)
+}
+
+// singleMachine runs the unsharded PR 3 engine on the same input.
+func singleMachine(t *testing.T, input []byte, fanIn int, mem int64, dedup bool) ([]byte, core.Resources) {
+	t.Helper()
+	m := core.NewMachine(fanIn+2, 1)
+	m.SetInput(input)
+	s := algorithms.Sorter{FanIn: fanIn, RunMemoryBits: mem, Dedup: dedup}
+	if err := s.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return m.Tape(1).Contents(), m.Resources()
+}
+
+// The tentpole invariant for the sort: the sharded output is
+// byte-identical to both the unsharded engine and the plain-Go
+// reference at every shard count, fan-in, memory budget and dedup
+// setting — including inputs smaller than the shard count.
+func TestShardedSortMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, count := range []int{0, 1, 3, 64, 257} {
+		for _, varied := range []bool{false, true} {
+			items := randomItems(count, varied, rng)
+			input := encodeItems(items)
+			for _, shards := range []int{1, 2, 3, 4, 8} {
+				for _, fanIn := range []int{2, 4} {
+					for _, mem := range []int64{0, 512} {
+						for _, dedup := range []bool{false, true} {
+							out, rep, err := Sort{
+								Shards: shards, FanIn: fanIn,
+								RunMemoryBits: mem, Dedup: dedup,
+							}.Run(input, 1)
+							if err != nil {
+								t.Fatalf("count=%d shards=%d k=%d mem=%d dedup=%v: %v",
+									count, shards, fanIn, mem, dedup, err)
+							}
+							want := reference(items, dedup)
+							if !bytes.Equal(out, want) {
+								t.Fatalf("count=%d varied=%v shards=%d k=%d mem=%d dedup=%v: output differs from reference",
+									count, varied, shards, fanIn, mem, dedup)
+							}
+							single, _ := singleMachine(t, input, fanIn, mem, dedup)
+							if !bytes.Equal(out, single) {
+								t.Fatalf("count=%d shards=%d: output differs from unsharded engine", count, shards)
+							}
+							if rep.Items != count || len(rep.Shards) != shards {
+								t.Fatalf("report shape: items=%d shards=%d, want %d/%d",
+									rep.Items, len(rep.Shards), count, shards)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The ISSUE's rollup invariants: sharding pays with total work, never
+// with per-shard memory — sum(scans) stays at or above the single
+// machine while max(shard memory) stays at or below it.
+func TestShardedSortRollupInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(1024, false, rng)
+	input := encodeItems(items)
+	const fanIn, mem = 4, 1024
+	_, singleRes := singleMachine(t, input, fanIn, mem, false)
+	prevMax := singleRes.Scans() + 1
+	for _, shards := range []int{1, 2, 4, 8} {
+		_, rep, err := Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}.Run(input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := rep.Rollup()
+		if agg.SumScans < singleRes.Scans() {
+			t.Errorf("shards=%d: sum(scans)=%d < single-machine %d", shards, agg.SumScans, singleRes.Scans())
+		}
+		if agg.MaxMemoryBits > singleRes.PeakMemoryBits {
+			t.Errorf("shards=%d: max(memory)=%d > single-machine %d", shards, agg.MaxMemoryBits, singleRes.PeakMemoryBits)
+		}
+		if agg.MaxScans >= prevMax {
+			t.Errorf("shards=%d: max(scans)=%d did not fall (prev %d)", shards, agg.MaxScans, prevMax)
+		}
+		prevMax = agg.MaxScans
+		if agg.Shards != shards || len(rep.Shards) != shards {
+			t.Errorf("shards=%d: rollup census %d/%d", shards, agg.Shards, len(rep.Shards))
+		}
+		if got := rep.CriticalPathSteps(); got != rep.Distribute.Steps+agg.MaxSteps+rep.Merge.Steps {
+			t.Errorf("shards=%d: critical path %d inconsistent", shards, got)
+		}
+		// At one shard the local machine does exactly the single-machine
+		// sort: identical (r, s) report.
+		if shards == 1 {
+			if rep.Shards[0].Scans() != singleRes.Scans() || rep.Shards[0].PeakMemoryBits != singleRes.PeakMemoryBits {
+				t.Errorf("1-shard local report %v != single machine %v", rep.Shards[0], singleRes)
+			}
+		}
+	}
+}
+
+// Run partitioning must follow the engine's fixed-count rule: the
+// greedy first fill under the budget sets the per-run item count.
+func TestShardedSortRunPartitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := randomItems(100, false, rng) // 8-bit items
+	input := encodeItems(items)
+	_, rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 64}.Run(input, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunLen != 8 { // ⌊64/8⌋ items per run
+		t.Fatalf("run length %d, want 8", rep.RunLen)
+	}
+	if rep.Runs != 13 { // ⌈100/8⌉
+		t.Fatalf("runs %d, want 13", rep.Runs)
+	}
+	if rep.Distribute.Scans() != 1 {
+		t.Fatalf("distribution used %d scans, want 1", rep.Distribute.Scans())
+	}
+}

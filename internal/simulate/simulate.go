@@ -10,7 +10,7 @@
 //     of the construction, with head movements mirroring block
 //     crossings.
 //
-// Deviations from the paper's construction (documented in DESIGN.md):
+// Deviations from the paper's construction:
 // the paper bundles an entire block traversal into one list-machine
 // step with choice space C = (C_T)^ℓ and reconstructs tape blocks
 // from cell contents alone, which optimizes the STATE COUNT (needed

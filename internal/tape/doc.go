@@ -1,0 +1,43 @@
+// Package tape implements the external-memory tape device of the ST
+// model of Grohe, Hernich and Schweikardt, "Randomized Computations
+// on Large Data Sets: Tight Lower Bounds" (PODS 2006).
+//
+// A Tape is a one-sided infinite sequence of byte cells with a single
+// read/write head. The two cost measures of the paper's Definition 1
+// are tracked exactly:
+//
+//   - head reversals: every change of the head's direction of movement
+//     increments the reversal counter. Following Definition 1, the
+//     number of sequential scans of a tape is 1 + reversals — the r in
+//     the class ST(r, s, t). Stats.Scans computes it; core.Machine
+//     sums it across all tapes.
+//   - space: the number of cells ever touched (MaxCell, Size). The
+//     internal-memory measure s is tracked separately by
+//     internal/memory; this package only meters the external device.
+//
+// Random access is not offered by the API: a machine may only step the
+// head one cell at a time, exactly as on a Turing machine tape. This
+// restriction is what the paper's lower bounds (Theorem 6 via the
+// list-machine simulation of Lemma 16) exploit, so the device must
+// not leak shortcuts.
+//
+// # Bulk operations and the cost-model invariant
+//
+// In addition to the single-cell primitives (Move, Read, Write), the
+// package offers bulk operations that sweep a whole direction in one
+// call: ReadBlock, WriteBlock, ScanBytes, ScanUntil, AppendBytes,
+// ReadBlockBackward, MoveBackwardN, Rewind and SeekEnd. Bulk ops are
+// performance sugar only — each is defined as, and accounted exactly
+// like, the equivalent sequence of single-cell steps: reversal,
+// step, read and write counters, MaxCell, Size, the head position,
+// budget enforcement and error behavior are all identical to the
+// step-by-step path. The difference is purely mechanical: a sweep of
+// n cells performs one copy/append and one batched counter update
+// instead of n method calls. This invariant is enforced by the
+// differential property tests in diff_test.go.
+//
+// Reversal budgets (SetBudget) realize the r(N) resource bound of the
+// complexity classes: a machine that would exceed its scan budget
+// gets ErrBudget, which the Las Vegas experiments (Corollary 10, E5)
+// use to make budget-starved runs answer "I don't know".
+package tape

@@ -1,33 +1,3 @@
-// Package tape implements the external-memory tape device of the ST
-// model of Grohe, Hernich and Schweikardt (PODS 2006).
-//
-// A Tape is a one-sided infinite sequence of byte cells with a single
-// read/write head. The two cost measures of the model are tracked
-// exactly:
-//
-//   - head reversals: every change of the head's direction of movement
-//     increments the reversal counter. Following the paper's
-//     Definition 1, the number of sequential scans of a tape is
-//     1 + reversals.
-//   - space: the number of cells ever touched.
-//
-// Random access is not offered by the API: a machine may only step the
-// head one cell at a time, exactly as on a Turing machine tape.
-//
-// # Bulk operations and the cost-model invariant
-//
-// In addition to the single-cell primitives (Move, Read, Write), the
-// package offers bulk operations that sweep a whole direction in one
-// call: ReadBlock, WriteBlock, ScanBytes, ScanUntil, AppendBytes,
-// ReadBlockBackward, MoveBackwardN, Rewind and SeekEnd. Bulk ops are
-// performance sugar only — each is defined as, and accounted exactly
-// like, the equivalent sequence of single-cell steps: reversal,
-// step, read and write counters, MaxCell, Size, the head position,
-// budget enforcement and error behavior are all identical to the
-// step-by-step path. The difference is purely mechanical: a sweep of
-// n cells performs one copy/append and one batched counter update
-// instead of n method calls. This invariant is enforced by the
-// differential property tests in diff_test.go.
 package tape
 
 import (

@@ -18,7 +18,7 @@ import (
 func benchFingerprintFleet(b *testing.B, parallel int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		est, err := algorithms.EstimateFingerprintErrors(64, 12, 32, parallel, 1)
+		est, err := algorithms.EstimateFingerprintErrors(64, 12, 32, trials.Pool(parallel), 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,46 @@
+// Package trials is the Monte-Carlo trial engine of the reproduction:
+// it runs fleets of independent randomized trials — the bounded-error
+// computations of Theorem 8(a), the Las Vegas repetitions of
+// Corollary 10, the adversary probes of Theorem 6's mechanism, and
+// the experiment sweeps built on them — across a worker pool of
+// goroutines while keeping every run bit-for-bit reproducible.
+//
+// # The determinism invariant
+//
+// Reproducibility across worker counts rests on one invariant: the
+// randomness of trial i is a pure function of (root seed, i), derived
+// with a splitmix64 mixing step (Seed), never of which goroutine ran
+// the trial or in which order trials finished. The per-trial source
+// itself (RNG) is a splitmix64 rand.Source64 — O(1) to construct and
+// seed, unlike the default Go source's 607-word warm-up, which
+// matters when every trial of a large fleet gets a private stream.
+// Results are reported back in trial order regardless of completion
+// order, so a fleet run at Parallel=1 and at Parallel=NumCPU produces
+// identical Result sequences, identical streaming callbacks and
+// identical summaries.
+//
+// Because trial identity is the global index, the invariant extends
+// to distribution: Engine.Offset runs a contiguous sub-range
+// [Offset, Offset+Trials) of a larger fleet and produces exactly the
+// corresponding result slice. The sharded execution layer
+// (internal/shard.Fleet) builds on this — one engine per shard over
+// disjoint index ranges, re-interleaved in order — without this
+// package knowing anything about shards.
+//
+// # Execution shapes
+//
+// Fleet entry points elsewhere in the repo (fingerprint error
+// estimation, Las Vegas repetition, collision probing) accept a
+// Launcher: a factory for the Runner that will execute a fleet of n
+// trials. Pool returns the single-machine launcher; internal/shard
+// provides the sharded one. Since results are index-derived, the
+// choice of launcher can never change an output byte — only where and
+// how concurrently the work happens.
+//
+// A Summary aggregates acceptance counts into error-rate estimates;
+// Wilson computes the Wilson score confidence interval that the
+// experiment tables report next to raw counts (well-behaved at 0 and
+// n successes — exactly the regime of the one-sided-error algorithms
+// of Theorem 8(a)). Encoder streams Result rows as text, JSON or CSV
+// for cmd/stbench and cmd/strun.
+package trials

@@ -1,0 +1,33 @@
+package trials_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extmem/internal/trials"
+)
+
+// ExampleEngine runs a small Monte-Carlo fleet on a worker pool. The
+// per-trial randomness is a pure function of (Seed, trial index), so
+// the output is identical at Parallel=1 and Parallel=8 — which is why
+// this example can assert exact output while running 8 goroutines.
+func ExampleEngine() {
+	eng := trials.Engine{Trials: 4, Parallel: 8, Seed: 7}
+	results, sum, err := eng.Run(func(i int, rng *rand.Rand) trials.Result {
+		v := rng.Intn(100)
+		return trials.Result{Accept: v < 50, Value: float64(v)}
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("trial %d: accept=%v value=%.0f\n", r.Trial, r.Accept, r.Value)
+	}
+	fmt.Printf("accepts: %d/%d\n", sum.Accepts, sum.Trials)
+	// Output:
+	// trial 0: accept=true value=19
+	// trial 1: accept=false value=81
+	// trial 2: accept=true value=13
+	// trial 3: accept=true value=49
+	// accepts: 3/4
+}

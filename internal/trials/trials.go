@@ -1,19 +1,3 @@
-// Package trials is the Monte-Carlo trial engine of the reproduction:
-// it runs fleets of independent randomized trials (the bounded-error
-// and Las Vegas computations the paper studies) across a worker pool
-// of goroutines while keeping every run bit-for-bit reproducible.
-//
-// Reproducibility across worker counts rests on one invariant: the
-// randomness of trial i is a pure function of (root seed, i), derived
-// with a splitmix64 mixing step (Seed), never of which goroutine ran
-// the trial or in which order trials finished. Results are reported
-// back in trial order regardless of completion order, so a fleet run
-// at Parallel=1 and at Parallel=NumCPU produces identical Result
-// sequences, identical streaming callbacks and identical summaries.
-//
-// A Summary aggregates acceptance counts into error-rate estimates;
-// Wilson computes the Wilson score confidence interval that the
-// experiment tables report next to raw counts.
 package trials
 
 import (
@@ -89,12 +73,49 @@ type Engine struct {
 	Parallel int   // worker goroutines; <= 0 means runtime.GOMAXPROCS(0)
 	Seed     int64 // root seed; trial i uses Seed(Seed, i)
 
+	// Offset shifts the engine's trial indices: the fleet runs the
+	// global trials Offset, …, Offset+Trials−1, and both the seed
+	// derivation and Result.Trial use the global index. Because a
+	// trial's randomness is a pure function of (Seed, global index), an
+	// engine running [Offset, Offset+Trials) produces exactly the slice
+	// the full fleet would — this is how a sharded fleet
+	// (internal/shard) gives each shard a disjoint contiguous range of
+	// one larger fleet. 0 is the whole-fleet default.
+	Offset int
+
 	// OnResult, if non-nil, streams results strictly in trial order
-	// (0, 1, 2, …) as the completed prefix grows — independent of the
-	// order in which workers finish. It is invoked while the engine
-	// holds an internal lock, so it must not call back into the engine.
+	// (Offset, Offset+1, …) as the completed prefix grows — independent
+	// of the order in which workers finish. It is invoked while the
+	// engine holds an internal lock, so it must not call back into the
+	// engine.
 	OnResult func(Result)
 }
+
+// Runner is anything that can run a trial fleet: the Engine itself, or
+// a sharded composition of engines (internal/shard.Fleet). Results
+// come back in trial order with their Summary and the first trial
+// error in trial order, exactly as Engine.Run documents.
+type Runner interface {
+	Run(fn Func) ([]Result, Summary, error)
+}
+
+// Launcher constructs the Runner for a fleet of n trials rooted at
+// seed; onResult, if non-nil, must receive the rows strictly in trial
+// order. Fleet entry points (error estimation, Las Vegas repetition,
+// adversary probing) take a Launcher so the caller chooses the
+// execution shape — a single worker pool (Pool) or a sharded fleet
+// (internal/shard.Launch) — without the results changing by a byte.
+type Launcher func(n int, seed int64, onResult func(Result)) Runner
+
+// Pool returns the single-machine Launcher: each fleet is one Engine
+// with the given worker count (<= 0 means runtime.GOMAXPROCS(0)).
+func Pool(parallel int) Launcher {
+	return func(n int, seed int64, onResult func(Result)) Runner {
+		return Engine{Trials: n, Parallel: parallel, Seed: seed, OnResult: onResult}
+	}
+}
+
+var _ Runner = Engine{}
 
 // Run executes the fleet and returns the per-trial results in trial
 // order together with their Summary. The returned error is the first
@@ -114,8 +135,9 @@ func (e Engine) Run(fn Func) ([]Result, Summary, error) {
 	}
 	results := make([]Result, n)
 	runOne := func(i int) {
-		r := fn(i, RNG(e.Seed, i))
-		r.Trial = i
+		g := e.Offset + i
+		r := fn(g, RNG(e.Seed, g))
+		r.Trial = g
 		results[i] = r
 	}
 	if workers == 1 {
@@ -158,10 +180,14 @@ func (e Engine) Run(fn Func) ([]Result, Summary, error) {
 		wg.Wait()
 	}
 	sum := Summarize(results)
-	return results, sum, firstErr(results)
+	return results, sum, FirstErr(results)
 }
 
-func firstErr(rs []Result) error {
+// FirstErr returns the first trial error in trial order (wrapped with
+// its trial index), or nil if every result is clean. Sharded fleets
+// use it to reconstruct the Engine.Run error contract after merging
+// per-shard result ranges.
+func FirstErr(rs []Result) error {
 	for _, r := range rs {
 		if r.Err != "" {
 			return fmt.Errorf("trials: trial %d: %s", r.Trial, r.Err)

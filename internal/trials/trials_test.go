@@ -225,3 +225,39 @@ func TestFormatSummary(t *testing.T) {
 		}
 	}
 }
+
+// An engine running a contiguous sub-range via Offset must produce
+// exactly the corresponding slice of the full fleet — trial indices,
+// seeds and all. This is the primitive the sharded fleet layer
+// (internal/shard) is built on.
+func TestEngineOffsetMatchesFullFleet(t *testing.T) {
+	fn := func(i int, rng *rand.Rand) Result {
+		return Result{Accept: rng.Intn(2) == 0, Value: rng.Float64()}
+	}
+	full, _, err := Engine{Trials: 20, Parallel: 1, Seed: 13}.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 20}, {0, 7}, {7, 15}, {15, 20}} {
+		lo, hi := r[0], r[1]
+		for _, parallel := range []int{1, 4} {
+			var streamed []Result
+			part, _, err := Engine{
+				Trials:   hi - lo,
+				Offset:   lo,
+				Parallel: parallel,
+				Seed:     13,
+				OnResult: func(res Result) { streamed = append(streamed, res) },
+			}.Run(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(part, full[lo:hi]) {
+				t.Fatalf("[%d,%d) parallel=%d: range results differ from full fleet", lo, hi, parallel)
+			}
+			if !reflect.DeepEqual(streamed, part) {
+				t.Fatalf("[%d,%d) parallel=%d: streamed rows differ", lo, hi, parallel)
+			}
+		}
+	}
+}

@@ -65,7 +65,7 @@ func tildeT(f FilterProc, in problems.Instance, rng *rand.Rand) bool {
 // with probability ≥ 1 − (3/4)^k. The paper's proof says "two
 // independent runs" suffice for ≥ 1/2, but 1 − (3/4)² = 7/16 < 1/2 in
 // the worst case; three rounds give 1 − (3/4)³ = 37/64 ≥ 1/2
-// (recorded as a reproduction note in EXPERIMENTS.md — the slack
+// (recorded as a reproduction note here — the slack
 // changes nothing downstream, boosting is free in the model).
 const BoostRounds = 3
 
