@@ -1,10 +1,14 @@
 package extmem
 
-// One benchmark per experiment of the E1–E18 suite. Each benchmark
+// One benchmark per experiment of the E1–E19 suite. Each benchmark
 // exercises the core operation its experiment measures; the printed
 // tables come from cmd/stbench (same runners, internal/experiments).
+// The E19 workload is covered by BenchmarkE6RelAlgSharded (the
+// sharded query evaluator across shard counts) and its
+// BenchmarkEqualSetSharded companion.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -244,6 +248,67 @@ func BenchmarkE6RelAlg(b *testing.B) {
 			b.Fatal(err, len(r.Tuples))
 		}
 	}
+}
+
+// BenchmarkE6RelAlgSharded measures the sharded query evaluator (E19)
+// on the 64 KiB input size class: the Theorem 11 symmetric-difference
+// query with every operator sort run-partitioned across 1, 2 and 4
+// shard machines (shards=1 is the sharded path's coordinator+fleet
+// overhead floor; compare BenchmarkE6RelAlg for the single-machine
+// engine).
+func BenchmarkE6RelAlgSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := problems.GenSetYes(1024, 31, rng)
+	if len(in.Encode()) != 64<<10 {
+		b.Fatalf("encoded input is %d bytes, want %d", len(in.Encode()), 64<<10)
+	}
+	db := relalg.InstanceDB(in)
+	q := relalg.SymmetricDifference("R1", "R2")
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(64 << 10)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := relalg.Evaluator{Shards: shards}
+				m := core.NewMachine(relalg.NumQueryTapes, 1)
+				r, err := ev.EvalST(q, db, m)
+				if err != nil || len(r.Tuples) != 0 {
+					b.Fatal(err, len(r.Tuples))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEqualSetSharded pairs the two set-equality deciders of the
+// query layer on the 64 KiB size class: the in-memory map-based
+// Relation.EqualSet against the machine-backed sharded
+// Evaluator.EqualSet (sort both sides across 4 shards, lockstep
+// compare).
+func BenchmarkEqualSetSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := problems.GenSetYes(1024, 31, rng)
+	db := relalg.InstanceDB(in)
+	r1, r2 := db["R1"], db["R2"]
+	b.Run("memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !r1.EqualSet(r2) {
+				b.Fatal("halves must be set-equal")
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := relalg.Evaluator{Shards: 4}
+			m := core.NewMachine(relalg.NumQueryTapes, 1)
+			eq, err := ev.EqualSet(m, r1, r2)
+			if err != nil || !eq {
+				b.Fatal(err, eq)
+			}
+		}
+	})
 }
 
 // BenchmarkE7XQuery measures the Theorem 12 query (E7).

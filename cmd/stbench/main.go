@@ -1,11 +1,14 @@
 // Command stbench runs the full experiment suite of the reproduction
-// (E1–E18: one per theorem/lemma of the paper, plus the E17 sort
-// r-vs-(s,t) trade-off sweep and the E18 sharded-execution census)
-// and prints every table. Monte-Carlo experiments run their trial
-// fleets on the sharded execution layer (-shards shards, each a
-// -parallel worker pool) with per-trial seeds derived from -seed, so
-// stdout is byte-identical for a fixed seed at any -parallel and any
-// -shards value.
+// (E1–E19: one per theorem/lemma of the paper, plus the E17 sort
+// r-vs-(s,t) trade-off sweep and the E18/E19 sharded-execution
+// censuses for raw sorts and relational queries) and prints every
+// table. Monte-Carlo experiments run their trial fleets on the
+// sharded execution layer (-shards shards, each a -parallel worker
+// pool) with per-trial seeds derived from -seed, and the query
+// experiments (E6, E19) additionally re-evaluate their relational
+// plans through the sharded relalg.Evaluator at the configured shard
+// count, so stdout is byte-identical for a fixed seed at any
+// -parallel and any -shards value.
 //
 // Usage:
 //

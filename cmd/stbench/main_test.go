@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/csv"
 	"encoding/json"
 	"strings"
@@ -104,6 +105,32 @@ func TestOutputShardInvariant(t *testing.T) {
 			}
 			if got := runWith(shards, parallel); got != ref {
 				t.Fatalf("output differs at -shards %s -parallel %s", shards, parallel)
+			}
+		}
+	}
+}
+
+// The query-layer half of the acceptance criterion: the relational
+// and XML query experiments — including the sharded-query frontier
+// E19 — hash to the same sha256 at every -shards × -parallel corner.
+// (TestOutputShardInvariant covers the full suite; this test pins the
+// query workloads by digest so a sharded-evaluator regression is
+// attributed to the right experiment.)
+func TestQueryExperimentsShardMatrix(t *testing.T) {
+	for _, id := range []string{"E6", "E7", "E8", "E19"} {
+		var ref [sha256.Size]byte
+		for i, shape := range [][2]string{{"1", "1"}, {"2", "8"}, {"4", "1"}, {"4", "8"}} {
+			var out, errOut strings.Builder
+			args := []string{"-only", id, "-seed", "5", "-shards", shape[0], "-parallel", shape[1]}
+			if code := run(args, &out, &errOut); code != 0 {
+				t.Fatalf("%s shards=%s parallel=%s: exit %d, stderr:\n%s",
+					id, shape[0], shape[1], code, errOut.String())
+			}
+			sum := sha256.Sum256([]byte(out.String()))
+			if i == 0 {
+				ref = sum
+			} else if sum != ref {
+				t.Errorf("%s: sha256 differs at -shards %s -parallel %s", id, shape[0], shape[1])
 			}
 		}
 	}

@@ -12,7 +12,17 @@
 //
 // Algorithms: multiset, set, checksort (deterministic, Corollary 7);
 // fingerprint (Theorem 8a); nst-multiset, nst-set, nst-checksort
-// (Theorem 8b); sort (Corollary 10).
+// (Theorem 8b); sort (Corollary 10); relalg (Theorem 11).
+//
+// With -algo relalg, strun evaluates the Theorem 11 symmetric-
+// difference query Q' = (R1 − R2) ∪ (R2 − R1) on the instance's
+// two-relation database through the sharded relational evaluator
+// (internal/relalg.Evaluator over internal/shard): every operator
+// sort runs run-partitioned across -shards shard machines. Q' is
+// empty exactly when the instance halves are set-equal, and a sorted
+// deduplicated stream is canonical, so stdout is byte-identical at
+// any -shards value; the per-shard (r, s, t) rollup census goes to
+// stderr.
 //
 // With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
 // fleet of independent fingerprint trials on the same instance across
@@ -35,6 +45,7 @@ import (
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/relalg"
 	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
@@ -54,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	input := fs.String("input", "", "explicit instance v1#…vm#v'1#…v'm# (overrides -m/-n)")
 	trialsN := fs.Int("trials", 1, "fingerprint only: fleet size of independent trials")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "fleet worker goroutines per shard (never changes the rows)")
-	shards := fs.Int("shards", 1, "fleet shards, each with its own worker pool (never changes the rows)")
+	shards := fs.Int("shards", 1, "fleet shards (fingerprint fleets) or sort shards (relalg); never changes stdout")
 	format := fs.String("format", "text", "fleet row format: text, json or csv")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
 		}
 		return runFleet(in, *trialsN, *shards, *parallel, *seed, *format, stdout, stderr)
+	}
+	if *algo == "relalg" {
+		return runQuery(in, *shards, *seed, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -129,12 +143,49 @@ func runFleet(in problems.Instance, n, shards, parallel int, seed int64, format 
 	return 0
 }
 
+// runQuery evaluates Q' = (R1 − R2) ∪ (R2 − R1) on the instance's
+// database through the sharded relational evaluator. Only the
+// shard-invariant verdict lines go to stdout; the execution census
+// (one SortReport per operator sort, rolled up) goes to stderr.
+// Like fleet mode (shard.Plan.ShardCount), -shards values below 1
+// mean 1 — the evaluator's zero value would select the unsharded
+// engine, which records no census at all.
+func runQuery(in problems.Instance, shards int, seed int64, stdout, stderr io.Writer) int {
+	if shards < 1 {
+		shards = 1
+	}
+	db := relalg.InstanceDB(in)
+	rep := &relalg.QueryReport{}
+	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep}
+	m := core.NewMachine(relalg.NumQueryTapes, seed)
+	r, err := ev.EvalST(relalg.SymmetricDifference("R1", "R2"), db, m)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	verdict := core.Reject
+	if len(r.Tuples) == 0 {
+		verdict = core.Accept
+	}
+	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
+	fmt.Fprintf(stdout, "query:    Q' = (R1 − R2) ∪ (R2 − R1), |Q'| = %d\n", len(r.Tuples))
+	fmt.Fprintf(stdout, "verdict:  %v\n", verdict)
+	want := reference("relalg", in)
+	fmt.Fprintf(stdout, "reference: %v\n", want)
+	agg := rep.Rollup()
+	fmt.Fprintf(stderr, "strun: %d operator sorts: %v; critical path %d steps\n",
+		len(rep.Sorts), agg, rep.CriticalPathSteps())
+	if verdict != want {
+		return fail(stderr, fmt.Errorf("verdict disagrees with the reference decider"))
+	}
+	return 0
+}
+
 func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (problems.Instance, error) {
 	if input != "" {
 		return problems.Decode([]byte(input))
 	}
 	switch algo {
-	case "set", "nst-set":
+	case "set", "nst-set", "relalg":
 		return problems.Gen(problems.SetEqualityProblem, yes, m, n, rng), nil
 	case "checksort", "nst-checksort":
 		return problems.Gen(problems.CheckSortProblem, yes, m, n, rng), nil
@@ -188,7 +239,7 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 func reference(algo string, in problems.Instance) core.Verdict {
 	var ok bool
 	switch algo {
-	case "set", "nst-set":
+	case "set", "nst-set", "relalg":
 		ok = problems.SetEquality(in)
 	case "checksort", "nst-checksort":
 		ok = problems.CheckSort(in)

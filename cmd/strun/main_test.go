@@ -73,6 +73,43 @@ func TestFingerprintFleetFormats(t *testing.T) {
 	}
 }
 
+// The sharded query mode: the symmetric-difference verdict agrees
+// with the reference on yes- and no-instances, and stdout is
+// byte-identical at every -shards value (the census on stderr is the
+// only place the execution shape may show).
+func TestRunRelAlgShardInvariant(t *testing.T) {
+	for _, yes := range []string{"true", "false"} {
+		runWith := func(shards string) (string, string) {
+			var out, errOut strings.Builder
+			args := []string{"-algo", "relalg", "-m", "32", "-n", "10", "-seed", "9",
+				"-yes=" + yes, "-shards", shards}
+			if code := run(args, &out, &errOut); code != 0 {
+				t.Fatalf("yes=%s shards=%s: exit %d, stderr:\n%s", yes, shards, code, errOut.String())
+			}
+			return out.String(), errOut.String()
+		}
+		ref, refErr := runWith("1")
+		want := "verdict:  accept"
+		if yes == "false" {
+			want = "verdict:  reject"
+		}
+		for _, frag := range []string{"instance:", "query:", want, "reference:"} {
+			if !strings.Contains(ref, frag) {
+				t.Fatalf("yes=%s: output misses %q:\n%s", yes, frag, ref)
+			}
+		}
+		if !strings.Contains(refErr, "operator sorts") {
+			t.Fatalf("yes=%s: no census on stderr:\n%s", yes, refErr)
+		}
+		for _, shards := range []string{"2", "4"} {
+			if got, _ := runWith(shards); got != ref {
+				t.Fatalf("yes=%s: stdout differs at -shards %s:\n--- 1 ---\n%s\n--- %s ---\n%s",
+					yes, shards, ref, shards, got)
+			}
+		}
+	}
+}
+
 func TestFleetRejectsOtherAlgos(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {

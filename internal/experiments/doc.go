@@ -25,13 +25,19 @@
 //	E16  Theorem 6        pigeonhole adversary vs bounded-memory streaming
 //	E17  Definition 1     sort-engine r-vs-(s, t) trade-off frontier
 //	E18  (systems)        sharded execution: byte-identical outputs, per-shard (r, s, t)
+//	E19  (systems)        sharded relational query evaluation: shards × fan-in frontier
 //
-// Monte-Carlo experiments (E2, E5, E8, E14, E16, E18) run their trial
-// fleets on the sharded execution layer (internal/shard over
-// internal/trials): per-trial randomness is derived from Config.Seed
-// and the global trial index alone, so Config.Parallel workers and
-// Config.Shards shards accelerate the sweeps without changing a
-// single output byte — the tables are identical at any (Shards,
-// Parallel) combination, which parallel_test.go and the cmd/stbench
-// matrix test enforce.
+// Monte-Carlo experiments (E2, E5, E6, E7, E8, E14, E16, E18) run
+// their trial fleets on the sharded execution layer (internal/shard
+// over internal/trials): per-trial randomness is derived from
+// Config.Seed and the global trial index alone, so Config.Parallel
+// workers and Config.Shards shards accelerate the sweeps without
+// changing a single output byte — the tables are identical at any
+// (Shards, Parallel) combination, which parallel_test.go and the
+// cmd/stbench matrix test enforce. The query experiments additionally
+// honor Config.Shards on the sort side: E6 re-evaluates every
+// instance through the sharded relalg.Evaluator at the configured
+// shard count, and E19 sweeps the sharded query frontier (its table,
+// like E18's, sweeps execution shapes internally and is byte-
+// identical at any configuration).
 package experiments

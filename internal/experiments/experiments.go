@@ -105,7 +105,7 @@ type Runner struct {
 	Run func(Config) Result
 }
 
-// Runners lists the full E1–E18 suite in order.
+// Runners lists the full E1–E19 suite in order.
 func Runners() []Runner {
 	return []Runner{
 		{"E1", E1DeterministicUpperBound},
@@ -126,6 +126,7 @@ func Runners() []Runner {
 		{"E16", E16Adversary},
 		{"E17", E17SortTradeoff},
 		{"E18", E18ShardedExecution},
+		{"E19", E19ShardedQueries},
 	}
 }
 

@@ -23,6 +23,35 @@ func TestExperimentTablesParallelInvariant(t *testing.T) {
 	}
 }
 
+// The sharded-query acceptance criterion at the experiments layer:
+// the query experiments (E6 relational, E7 XQuery, E8 XPath, E19
+// sharded-query frontier) produce identical Results across shards
+// {1, 2, 4} × parallel {1, 8} — the sharded relalg.Evaluator and the
+// sharded trial fleets are execution choices, never observable ones.
+func TestQueryExperimentsShardParallelInvariant(t *testing.T) {
+	runners := map[string]func(Config) Result{
+		"E6": E6RelAlg, "E7": E7XQuery, "E8": E8XPath, "E19": E19ShardedQueries,
+	}
+	for id, run := range runners {
+		ref := run(Config{Seed: 5, Shards: 1, Parallel: 1})
+		if !ref.Passed() {
+			t.Fatalf("%s failed at the reference shape:\n%s", id, ref.Notes)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			for _, parallel := range []int{1, 8} {
+				if shards == 1 && parallel == 1 {
+					continue
+				}
+				got := run(Config{Seed: 5, Shards: shards, Parallel: parallel})
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s differs at shards=%d parallel=%d:\n--- ref ---\n%s\n--- got ---\n%s",
+						id, shards, parallel, ref.String(), got.String())
+				}
+			}
+		}
+	}
+}
+
 // Shrinking the fleet via Config.Trials must keep the Monte-Carlo
 // experiments deterministic and within their fleet budget (a smoke
 // check that the Trials knob is actually plumbed through).

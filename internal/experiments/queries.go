@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 
 	"extmem/internal/core"
@@ -16,12 +17,20 @@ import (
 
 // E6RelAlg reproduces Theorem 11: (a) streaming evaluation of the
 // symmetric-difference query within O(log N) scans; (b) its result
-// decides SET-EQUALITY (the lower-bound reduction).
+// decides SET-EQUALITY (the lower-bound reduction). The experiment
+// honors Config.Shards twice over without a table byte depending on
+// it: every instance is re-evaluated through the sharded
+// relalg.Evaluator at the configured shard count (the shard≡ column
+// asserts tuple-for-tuple equality with the single-machine engine),
+// and a fleet of random instances decided by the sharded evaluator
+// runs on the cfg.launch() trial fleet.
 func E6RelAlg(cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var b strings.Builder
-	row(&b, "%8s %10s %8s %12s %10s %10s", "m", "N", "scans", "scans/log2N", "Q' empty", "X = Y?")
-	notes := "PASS: O(log N) scans; Q' emptiness ≡ set equality on every instance."
+	row(&b, "%8s %10s %8s %12s %10s %10s %8s", "m", "N", "scans", "scans/log2N", "Q' empty", "X = Y?", "shard≡")
+	notes := "PASS: O(log N) scans; Q' emptiness ≡ set equality on every instance;\n" +
+		"sharded evaluation byte-identical on every instance and every fleet trial."
+	q := relalg.SymmetricDifference("R1", "R2")
 	for i, mSize := range []int{8, 32, 128, 512} {
 		var in problems.Instance
 		if i%2 == 0 {
@@ -31,22 +40,60 @@ func E6RelAlg(cfg Config) Result {
 		}
 		db := relalg.InstanceDB(in)
 		m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
-		r, err := relalg.EvalST(relalg.SymmetricDifference("R1", "R2"), db, m)
+		r, err := relalg.EvalST(q, db, m)
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
 		}
+		sharded, err := relalg.Evaluator{Shards: cfg.ShardCount(), Seed: cfg.Seed}.
+			EvalST(q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		if err != nil {
+			return failure("E6", "T11-RELALG", err, core.Reject)
+		}
+		same := reflect.DeepEqual(sharded.Tuples, r.Tuples)
 		res := m.Resources()
 		n := db.Size()
 		empty := len(r.Tuples) == 0
 		want := problems.SetEquality(in)
-		row(&b, "%8d %10d %8d %12.2f %10v %10v",
-			mSize, n, res.Scans(), float64(res.Scans())/math.Log2(float64(n)), empty, want)
+		row(&b, "%8d %10d %8d %12.2f %10v %10v %8v",
+			mSize, n, res.Scans(), float64(res.Scans())/math.Log2(float64(n)), empty, want, same)
 		if empty != want {
 			notes = "FAIL: Q' result disagrees with set equality."
+		}
+		if !same {
+			notes = "FAIL: sharded evaluation differs from the single-machine engine."
 		}
 		if float64(res.Scans()) > 40*math.Log2(float64(n)) {
 			notes = "FAIL: scans not O(log N)."
 		}
+	}
+	// Sharded-query fleet: random instances decided by Q' emptiness on
+	// the sharded evaluator, run as a cfg.launch() trial fleet — every
+	// trial derives from (seed, global index) alone, so the row is
+	// byte-identical at any Shards × Parallel.
+	nTrials := cfg.fleet(24)
+	shards := cfg.ShardCount()
+	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 600), nil).Run(
+		func(i int, trng *rand.Rand) trials.Result {
+			var fin problems.Instance
+			if i%2 == 0 {
+				fin = problems.GenSetYes(8, 10, trng)
+			} else {
+				fin = problems.GenSetNo(8, 10, trng)
+			}
+			fdb := relalg.InstanceDB(fin)
+			fr, err := relalg.Evaluator{Shards: shards, Seed: trng.Int63()}.
+				EvalST(q, fdb, core.NewMachine(relalg.NumQueryTapes, trng.Int63()))
+			if err != nil {
+				return trials.Result{Err: err.Error()}
+			}
+			return trials.Result{Accept: (len(fr.Tuples) == 0) == problems.SetEquality(fin)}
+		})
+	if err != nil {
+		return failure("E6", "T11-RELALG", err, core.Reject)
+	}
+	row(&b, "sharded-query fleet: %d/%d random instances decided correctly", sum.Accepts, sum.Trials)
+	if sum.Accepts != sum.Trials {
+		notes = "FAIL: a sharded fleet trial disagreed with set equality."
 	}
 	return Result{
 		ID:    "E6",
@@ -58,7 +105,12 @@ func E6RelAlg(cfg Config) Result {
 }
 
 // E7XQuery reproduces Theorem 12: the every/some query decides
-// SET-EQUALITY on the Section 4 XML encoding.
+// SET-EQUALITY on the Section 4 XML encoding. Beyond the fixed-size
+// sweep, a fleet of random instances runs on the cfg.launch() trial
+// fleet (Config.Shards shards × Config.Parallel workers), each trial
+// checking the query verdict against the reference decider — the
+// query workload on the sharded execution layer, with rows derived
+// from (seed, global trial index) alone.
 func E7XQuery(cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	q := xquery.TheoremQuery()
@@ -87,6 +139,33 @@ func E7XQuery(cfg Config) Result {
 		if got != want {
 			notes = "FAIL: query disagrees with set equality."
 		}
+	}
+	// Random-instance agreement fleet on the sharded execution layer.
+	nTrials := cfg.fleet(32)
+	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 700), nil).Run(
+		func(i int, trng *rand.Rand) trials.Result {
+			var fin problems.Instance
+			if i%2 == 0 {
+				fin = problems.GenSetYes(8, 10, trng)
+			} else {
+				fin = problems.GenSetNo(8, 10, trng)
+			}
+			doc, err := xmlstream.Parse(xmlstream.EncodeInstance(fin))
+			if err != nil {
+				return trials.Result{Err: err.Error()}
+			}
+			result, err := q.Eval(doc)
+			if err != nil {
+				return trials.Result{Err: err.Error()}
+			}
+			return trials.Result{Accept: xquery.ResultIsTrue(result) == problems.SetEquality(fin)}
+		})
+	if err != nil {
+		return failure("E7", "T12-XQUERY", err, core.Reject)
+	}
+	row(&b, "query fleet: %d/%d random instances decided correctly", sum.Accepts, sum.Trials)
+	if sum.Accepts != sum.Trials {
+		notes = "FAIL: a fleet trial disagreed with set equality."
 	}
 	return Result{
 		ID:    "E7",

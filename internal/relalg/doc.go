@@ -27,4 +27,28 @@
 // charged to the machine's meter, and every operator frees its
 // regions on exit (the test suite asserts meter == 0 after each one),
 // so the reported peak is the true O(1)-tuples bound of the theorem.
+//
+// # Sharded query evaluation
+//
+// Evaluator puts the same pipeline on the sharded execution layer:
+// with Shards >= 1 every operator sort runs on the run-partitioned
+// path of internal/shard — the coordinator cuts the tape's item
+// stream at the engine's own fixed-count run boundaries, contiguous
+// run ranges go to shard-local machines (each with its own tape set
+// and meter), and algorithms.MergeTapes k-way merges the shard
+// outputs back onto the query machine's tape, folding the
+// set-semantics dedup into that final write. A sorted, deduplicated
+// stream is canonical, so the relation each operator leaves behind —
+// and therefore the query answer — is byte-identical at every shard
+// count; the per-shard (r, s, t) census of every operator sort is
+// collected in QueryReport with max/sum rollups and a critical-path
+// view. The execution shape is injected in the trials.Launcher style
+// (algorithms.SortLauncher; the Launch field accepts any
+// implementation, nil plus Shards == 0 is the historical
+// single-machine engine, bit for bit), and Evaluator.Sorted and
+// Evaluator.EqualSet expose the machine-backed counterparts of
+// Relation.Sorted and Relation.EqualSet on the same path. Experiment
+// E19 tables the resulting shards × fan-in frontier; native fuzz
+// targets (fuzz_test.go) drive arbitrary tuple sets and execution
+// shapes against a stdlib-sort reference.
 package relalg

@@ -1,0 +1,224 @@
+package relalg
+
+// Native Go fuzz targets for the sharded relalg sort path: arbitrary
+// tuple sets and (shards, fan-in, run memory, dedup) execution shapes
+// are checked against a plain stdlib-sort reference, and every run
+// must leave the query machine's meter at zero — the two contracts
+// (byte-identical output, leak-free operators) the streaming
+// evaluator is built on. The CI fuzz-smoke step runs each target for
+// 10 seconds; under plain `go test` the seed corpus below runs as
+// regression cases.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"extmem/internal/core"
+)
+
+// fuzzTuples decodes raw fuzz bytes into a tuple set: bytes map to a
+// 16-letter field alphabet (never the '|'/'#' separators), with two
+// reserved values cutting fields and tuples. The decoder is total, so
+// every fuzz input is a valid relation.
+func fuzzTuples(data []byte) []Tuple {
+	var (
+		tuples []Tuple
+		cur    Tuple
+		field  []byte
+	)
+	flushField := func() {
+		cur = append(cur, string(field))
+		field = field[:0]
+	}
+	flushTuple := func() {
+		flushField()
+		tuples = append(tuples, cur)
+		cur = nil
+	}
+	for _, b := range data {
+		switch {
+		case b%19 == 0:
+			flushTuple()
+		case b%19 == 1:
+			flushField()
+		default:
+			field = append(field, 'a'+b%16)
+		}
+	}
+	if len(field) > 0 || len(cur) > 0 {
+		flushTuple()
+	}
+	return tuples
+}
+
+// fuzzValues decodes raw fuzz bytes into single-field tuples over a
+// 4-letter alphabet — small enough that duplicates and collisions
+// between two independently decoded halves are common.
+func fuzzValues(data []byte) []Tuple {
+	var (
+		tuples []Tuple
+		field  []byte
+	)
+	for _, b := range data {
+		if b%9 == 0 {
+			tuples = append(tuples, Tuple{string(field)})
+			field = field[:0]
+			continue
+		}
+		field = append(field, 'a'+b%4)
+	}
+	if len(field) > 0 {
+		tuples = append(tuples, Tuple{string(field)})
+	}
+	return tuples
+}
+
+// fuzzEvaluator maps the raw fuzz config onto a sharded evaluator:
+// 1–5 shards, fan-in target 2–8, run-formation memory 0–65535 bits
+// (0 selects the package default).
+func fuzzEvaluator(shards, fanIn uint8, mem uint16) Evaluator {
+	return Evaluator{
+		Shards:        1 + int(shards%5),
+		FanIn:         2 + int(fanIn%7),
+		RunMemoryBits: int64(mem),
+		Report:        &QueryReport{},
+	}
+}
+
+// refKeys is the stdlib reference: the tuples' canonical keys sorted,
+// with adjacent duplicates dropped under dedup.
+func refKeys(tuples []Tuple, dedup bool) []string {
+	keys := make([]string, len(tuples))
+	for i, tp := range tuples {
+		keys[i] = tp.key()
+	}
+	sort.Strings(keys)
+	if !dedup {
+		return keys
+	}
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func tupleKeys(tuples []Tuple) []string {
+	keys := make([]string, len(tuples))
+	for i, tp := range tuples {
+		keys[i] = tp.key()
+	}
+	return keys
+}
+
+// FuzzShardedSortDedup drives the operator sort itself: a Scan query
+// (the sortDedup path, dedup on) or Evaluator.Sorted (dedup off) on
+// an arbitrary tuple set under an arbitrary sharded execution shape,
+// against the stdlib-sort reference.
+func FuzzShardedSortDedup(f *testing.F) {
+	f.Add([]byte(nil), uint8(0), uint8(0), uint16(0), true)                                        // empty input
+	f.Add([]byte{5}, uint8(1), uint8(2), uint16(64), false)                                        // tiny: one 1-letter tuple
+	f.Add([]byte{5, 0, 5, 0, 5, 0, 7, 0, 7, 0, 5}, uint8(3), uint8(1), uint16(32), true)           // duplicate-heavy
+	f.Add([]byte{5, 6, 7, 8, 1, 5, 0, 9, 1, 1, 4, 0, 2, 3}, uint8(2), uint8(4), uint16(96), false) // variable-length tuples
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(4), uint8(6), uint16(512), true)
+	f.Fuzz(func(t *testing.T, data []byte, shards, fanIn uint8, mem uint16, dedup bool) {
+		if len(data) > 1<<12 {
+			t.Skip("cap the sorted set so the shard fleet stays fast")
+		}
+		tuples := fuzzTuples(data)
+		rel := &Relation{Name: "R", Schema: Schema{"x"}, Tuples: tuples}
+		ev := fuzzEvaluator(shards, fanIn, mem)
+		m := core.NewMachine(NumQueryTapes, 1)
+		var got []Tuple
+		var err error
+		if dedup {
+			var r *Relation
+			r, err = ev.EvalST(Scan{Rel: "R"}, DB{"R": rel}, m)
+			if r != nil {
+				got = r.Tuples
+			}
+		} else {
+			got, err = ev.Sorted(m, rel)
+		}
+		if err != nil {
+			t.Fatalf("shards=%d fanIn=%d mem=%d dedup=%v: %v",
+				ev.Shards, ev.FanIn, ev.RunMemoryBits, dedup, err)
+		}
+		want := refKeys(tuples, dedup)
+		if gotKeys := tupleKeys(got); !reflect.DeepEqual(gotKeys, want) {
+			t.Fatalf("shards=%d fanIn=%d mem=%d dedup=%v: sorted keys differ\n got %q\nwant %q",
+				ev.Shards, ev.FanIn, ev.RunMemoryBits, dedup, gotKeys, want)
+		}
+		if cur := m.Mem().Current(); cur != 0 {
+			t.Fatalf("%d bits still charged after the operator (regions %v)", cur, m.Mem().Regions())
+		}
+		if len(tuples) > 0 && len(ev.Report.Sorts) == 0 {
+			t.Fatal("no sort report recorded on the sharded path")
+		}
+	})
+}
+
+// FuzzShardedSymmetricDifference drives the whole Theorem 11 query
+// pipeline: two arbitrary relations through Q' = (R1 − R2) ∪
+// (R2 − R1) under an arbitrary sharded shape, checked against the
+// single-machine engine, the legacy in-memory evaluator and the
+// machine-backed EqualSet — with the meter back at zero after every
+// evaluation.
+func FuzzShardedSymmetricDifference(f *testing.F) {
+	f.Add([]byte(nil), []byte(nil), uint8(0), uint8(0), uint16(0))                // both empty
+	f.Add([]byte{1}, []byte(nil), uint8(1), uint8(1), uint16(16))                 // one tiny side
+	f.Add([]byte{1, 0, 1, 0, 1}, []byte{1, 0, 1}, uint8(3), uint8(2), uint16(64)) // duplicate-heavy equal sets
+	f.Add([]byte{1, 2, 3, 0, 2, 4}, []byte{4, 2, 0, 3, 2, 1}, uint8(2), uint8(5), uint16(128))
+	f.Fuzz(func(t *testing.T, d1, d2 []byte, shards, fanIn uint8, mem uint16) {
+		if len(d1)+len(d2) > 1<<12 {
+			t.Skip("cap the relation sizes so the shard fleet stays fast")
+		}
+		db := DB{
+			"R1": {Name: "R1", Schema: Schema{"x"}, Tuples: fuzzValues(d1)},
+			"R2": {Name: "R2", Schema: Schema{"x"}, Tuples: fuzzValues(d2)},
+		}
+		q := SymmetricDifference("R1", "R2")
+		ref, err := EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Eval(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := fuzzEvaluator(shards, fanIn, mem)
+		m := core.NewMachine(NumQueryTapes, 1)
+		got, err := ev.EvalST(q, db, m)
+		if err != nil {
+			t.Fatalf("shards=%d fanIn=%d mem=%d: %v", ev.Shards, ev.FanIn, ev.RunMemoryBits, err)
+		}
+		if !reflect.DeepEqual(tupleKeys(got.Tuples), tupleKeys(ref.Tuples)) {
+			t.Fatalf("shards=%d: sharded Q' differs from the single-machine engine", ev.Shards)
+		}
+		if !got.EqualSet(legacy) {
+			t.Fatalf("shards=%d: sharded Q' differs from the legacy evaluator", ev.Shards)
+		}
+		if cur := m.Mem().Current(); cur != 0 {
+			t.Fatalf("%d bits still charged after EvalST (regions %v)", cur, m.Mem().Regions())
+		}
+		// The machine-backed set-equality decision must agree with the
+		// in-memory one — and with Q' emptiness.
+		me := core.NewMachine(NumQueryTapes, 1)
+		eq, err := ev.EqualSet(me, db["R1"], db["R2"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := db["R1"].EqualSet(db["R2"]); eq != want {
+			t.Fatalf("shards=%d: EqualSet=%v, want %v", ev.Shards, eq, want)
+		}
+		if eq != (len(got.Tuples) == 0) {
+			t.Fatalf("shards=%d: EqualSet=%v but |Q'|=%d", ev.Shards, eq, len(got.Tuples))
+		}
+		if cur := me.Mem().Current(); cur != 0 {
+			t.Fatalf("%d bits still charged after EqualSet", cur)
+		}
+	})
+}

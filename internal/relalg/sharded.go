@@ -1,0 +1,249 @@
+package relalg
+
+// sharded.go puts the streaming evaluator on the sharded execution
+// layer: every operator that reaches sortDedup (Scan, Project, Union,
+// Product — and through them EvalST's whole set-semantics discipline)
+// can run its sort on the run-partitioned sharded path of
+// internal/shard instead of the single-machine k-way engine. The
+// execution shape is injected exactly like trials.Launcher on the
+// fleet side: an Evaluator with a nil launcher and zero Shards is the
+// historical single-machine EvalST, bit for bit, while Shards >= 1
+// ships each sort's initial runs to shard-local machines and k-way
+// merges the results back. A sorted, deduplicated item sequence is
+// canonical, so the relation an operator leaves on its tape — and
+// therefore the query result — is byte-identical at every shard
+// count; only the resource census moves, and it is preserved
+// per-shard in QueryReport rather than blurred into the coordinator.
+
+import (
+	"fmt"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/shard"
+)
+
+// Evaluator is the streaming query evaluator with an injectable sort
+// execution shape. The zero value is exactly the single-machine
+// EvalST: every operator sort runs the k-way engine on the query
+// machine with bitwise-identical accounting.
+type Evaluator struct {
+	// Shards >= 1 routes every operator sort through the sharded
+	// run-partitioned path (shard.Sort) with that many shard-local
+	// machines; 0 (the zero value) keeps the single-machine engine.
+	Shards int
+
+	// FanIn is the merge fan-in target for operator sorts; 0 means the
+	// historical default (the two scratch tapes plus up to two pool
+	// tapes, fan-in 4). Values below 2 mean 2. On the sharded path the
+	// resolved fan-in also configures the shard-local engines, so the
+	// run partitioning matches what the single machine would form.
+	FanIn int
+
+	// RunMemoryBits is the run-formation budget of operator sorts; 0
+	// means algorithms.DefaultRunMemoryBits.
+	RunMemoryBits int64
+
+	// Seed feeds the shard machines' coin sources (unused by the
+	// deterministic sort; kept schedule-independent for any future
+	// randomized shard step).
+	Seed int64
+
+	// Launch, when non-nil, overrides the sort execution entirely —
+	// the trials.Launcher pattern on the sort side. Shards is then
+	// ignored; nil together with Shards == 0 selects the
+	// single-machine engine.
+	Launch algorithms.SortLauncher
+
+	// Report, when non-nil, collects one shard.SortReport per operator
+	// sort executed on the built-in sharded path, in operator order.
+	// (A custom Launch reports through its own closure instead.)
+	Report *QueryReport
+}
+
+// EvalST evaluates the expression over the database on the given
+// machine (which must have NumQueryTapes tapes) under the evaluator's
+// execution shape, returning the result relation. The result is
+// byte-identical at every shard count; with the zero Evaluator the
+// machine's resource report is also bitwise-identical to the
+// historical single-machine evaluator.
+func (ev Evaluator) EvalST(e Expr, db DB, m *core.Machine) (*Relation, error) {
+	ctx, err := ev.newCtx(m)
+	if err != nil {
+		return nil, err
+	}
+	ctx.db = db
+	idx, schema, err := ctx.eval(e)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.release(idx)
+	return readRelationTape(m, idx, schema)
+}
+
+// Sorted returns the relation's tuples sorted by their encoded form
+// (duplicates kept), computed on the machine through the evaluator's
+// sort path — the ST-model counterpart of Relation.Sorted.
+func (ev Evaluator) Sorted(m *core.Machine, r *Relation) ([]Tuple, error) {
+	ctx, err := ev.newCtx(m)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := ctx.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.release(idx)
+	if err := writeRelationTape(m, idx, r); err != nil {
+		return nil, err
+	}
+	if err := ctx.engineSort(idx, false); err != nil {
+		return nil, err
+	}
+	out, err := readRelationTape(m, idx, r.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return out.Tuples, nil
+}
+
+// EqualSet reports whether two relations hold the same set of tuples,
+// decided on the machine through the evaluator's sort path: both
+// sides are sorted and deduplicated (sharded when the evaluator is),
+// then compared in one lockstep scan — the ST-model counterpart of
+// Relation.EqualSet.
+func (ev Evaluator) EqualSet(m *core.Machine, a, b *Relation) (bool, error) {
+	ctx, err := ev.newCtx(m)
+	if err != nil {
+		return false, err
+	}
+	ia, err := ctx.acquire()
+	if err != nil {
+		return false, err
+	}
+	defer ctx.release(ia)
+	ib, err := ctx.acquire()
+	if err != nil {
+		return false, err
+	}
+	defer ctx.release(ib)
+	for _, p := range []struct {
+		idx int
+		rel *Relation
+	}{{ia, a}, {ib, b}} {
+		if err := writeRelationTape(m, p.idx, p.rel); err != nil {
+			return false, err
+		}
+		if err := ctx.engineSort(p.idx, true); err != nil {
+			return false, err
+		}
+	}
+	ta, tb := m.Tape(ia), m.Tape(ib)
+	mem := m.Mem()
+	defer mem.Free("item.relalg.eqA")
+	defer mem.Free("item.relalg.eqB")
+	for {
+		itemA, okA, err := algorithms.ReadItem(ta, mem, "item.relalg.eqA")
+		if err != nil {
+			return false, err
+		}
+		itemB, okB, err := algorithms.ReadItem(tb, mem, "item.relalg.eqB")
+		if err != nil {
+			return false, err
+		}
+		if okA != okB {
+			return false, nil
+		}
+		if !okA {
+			return true, nil
+		}
+		if algorithms.Compare(itemA, itemB) != 0 {
+			return false, nil
+		}
+	}
+}
+
+// newCtx builds the evaluation context: the tape free-list plus the
+// resolved sort launcher.
+func (ev Evaluator) newCtx(m *core.Machine) (*evalCtx, error) {
+	if m.NumTapes() < NumQueryTapes {
+		return nil, fmt.Errorf("relalg: machine has %d tapes, need %d", m.NumTapes(), NumQueryTapes)
+	}
+	ctx := &evalCtx{m: m, ev: ev, launch: ev.launcher()}
+	for i := m.NumTapes() - 1; i >= firstPool; i-- {
+		ctx.free = append(ctx.free, i)
+	}
+	return ctx, nil
+}
+
+// launcher resolves the evaluator's sort execution shape: an explicit
+// Launch wins, Shards >= 1 selects the sharded path, and the zero
+// shape is nil — the single-machine engine.
+func (ev Evaluator) launcher() algorithms.SortLauncher {
+	if ev.Launch != nil {
+		return ev.Launch
+	}
+	if ev.Shards >= 1 {
+		var onReport func(shard.SortReport)
+		if ev.Report != nil {
+			onReport = ev.Report.record
+		}
+		return shard.LaunchSort(ev.Shards, ev.Seed, onReport)
+	}
+	return nil
+}
+
+// fanInTarget resolves the operator-sort fan-in target.
+func (ev Evaluator) fanInTarget() int {
+	switch {
+	case ev.FanIn == 0:
+		return sortDedupFanIn
+	case ev.FanIn < 2:
+		return 2
+	}
+	return ev.FanIn
+}
+
+// runMemoryBits resolves the operator-sort run-formation budget.
+func (ev Evaluator) runMemoryBits() int64 {
+	if ev.RunMemoryBits == 0 {
+		return algorithms.DefaultRunMemoryBits
+	}
+	return ev.RunMemoryBits
+}
+
+// QueryReport is the resource census of one sharded query evaluation:
+// one shard.SortReport per operator sort, in the order the evaluator
+// ran them, each carrying the distribution scan, the per-shard (r, s,
+// t) reports and the combining merge of that sort.
+type QueryReport struct {
+	Sorts []shard.SortReport
+}
+
+// record appends one operator sort's report. EvalST runs operators
+// sequentially, so no locking is needed.
+func (q *QueryReport) record(rep shard.SortReport) { q.Sorts = append(q.Sorts, rep) }
+
+// Rollup aggregates across every operator sort of the query by
+// folding the per-sort rollups through shard.Agg.Merge: the Max
+// fields are the largest per-shard maxima any sort saw (the parallel
+// wall-clock view of the widest operator), the Sum fields total the
+// work of the whole fleet across all sorts.
+func (q *QueryReport) Rollup() shard.Agg {
+	var a shard.Agg
+	for _, rep := range q.Sorts {
+		a = a.Merge(rep.Rollup())
+	}
+	return a
+}
+
+// CriticalPathSteps sums the per-sort critical paths (distribute →
+// slowest shard → merge): operator sorts run one after another, so the
+// query's sharded wall-clock stand-in is their sequence.
+func (q *QueryReport) CriticalPathSteps() int64 {
+	var steps int64
+	for _, rep := range q.Sorts {
+		steps += rep.CriticalPathSteps()
+	}
+	return steps
+}

@@ -1,0 +1,283 @@
+package relalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/problems"
+	"extmem/internal/shard"
+)
+
+// queryPlans are the relational plans the query experiments exercise:
+// the Theorem 11 symmetric difference (E6, and the relational face of
+// the E7/E8 set-equality reductions) plus one plan per operator kind
+// that reaches sortDedup.
+func queryPlans() []Expr {
+	return []Expr{
+		SymmetricDifference("R1", "R2"),
+		Scan{Rel: "R1"},
+		Project{Cols: []string{"x"}, In: Scan{Rel: "R1"}},
+		Select{Pred: ConstEq{Col: "x", Const: "01"}, In: Scan{Rel: "R2"}},
+		Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+		Diff{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+		Product{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}},
+	}
+}
+
+// The tentpole invariant: for every query plan, the sharded evaluator
+// produces tuple-for-tuple the result of the single-machine engine
+// and of the legacy in-memory evaluator, at every shard count, and
+// releases all internal memory.
+func TestShardedEvalSTMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(6+trial*9, 8, rng)
+		} else {
+			in = problems.GenSetNo(6+trial*9, 8, rng)
+		}
+		db := InstanceDB(in)
+		for _, q := range queryPlans() {
+			m := core.NewMachine(NumQueryTapes, 1)
+			ref, err := EvalST(q, db, m)
+			if err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			legacy, err := Eval(q, db)
+			if err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				rep := &QueryReport{}
+				ev := Evaluator{Shards: shards, Report: rep}
+				sm := core.NewMachine(NumQueryTapes, 1)
+				got, err := ev.EvalST(q, db, sm)
+				if err != nil {
+					t.Fatalf("%v shards=%d: %v", q, shards, err)
+				}
+				if !reflect.DeepEqual(got.Tuples, ref.Tuples) {
+					t.Fatalf("%v shards=%d: sharded result differs from the engine", q, shards)
+				}
+				if !got.EqualSet(legacy) {
+					t.Fatalf("%v shards=%d: sharded result differs from the legacy evaluator", q, shards)
+				}
+				if cur := sm.Mem().Current(); cur != 0 {
+					t.Errorf("%v shards=%d: %d bits still charged (regions %v)",
+						q, shards, cur, sm.Mem().Regions())
+				}
+				if len(rep.Sorts) == 0 {
+					t.Errorf("%v shards=%d: no operator sort reported", q, shards)
+				}
+				for _, sr := range rep.Sorts {
+					if len(sr.Shards) != shards {
+						t.Errorf("%v: sort report has %d shards, want %d", q, len(sr.Shards), shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The rollup invariants of the sharded query path, mirroring the
+// internal/shard sort suite: across shard counts the number of
+// operator sorts is fixed, sum(scans) never drops below the 1-shard
+// fleet, no shard exceeds the single-machine memory peak, and the
+// widest shard's scan count strictly falls.
+func TestShardedQueryRollupInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	in := problems.GenSetNo(256, 16, rng)
+	db := InstanceDB(in)
+	q := SymmetricDifference("R1", "R2")
+	const runMem = 256 // 16-item runs: the scan sorts form 16 runs each
+
+	single := core.NewMachine(NumQueryTapes, 1)
+	if _, err := (Evaluator{RunMemoryBits: runMem}).EvalST(q, db, single); err != nil {
+		t.Fatal(err)
+	}
+	singlePeak := single.Resources().PeakMemoryBits
+
+	var oneShard *QueryReport
+	prevMax := int(^uint(0) >> 1)
+	for _, shards := range []int{1, 2, 4} {
+		rep := &QueryReport{}
+		m := core.NewMachine(NumQueryTapes, 1)
+		if _, err := (Evaluator{Shards: shards, RunMemoryBits: runMem, Report: rep}).EvalST(q, db, m); err != nil {
+			t.Fatal(err)
+		}
+		if oneShard == nil {
+			oneShard = rep
+		}
+		if len(rep.Sorts) != len(oneShard.Sorts) {
+			t.Fatalf("shards=%d: %d operator sorts, want %d", shards, len(rep.Sorts), len(oneShard.Sorts))
+		}
+		agg := rep.Rollup()
+		if agg.Shards != shards {
+			t.Errorf("shards=%d: rollup census %d", shards, agg.Shards)
+		}
+		if agg.SumScans < oneShard.Rollup().SumScans {
+			t.Errorf("shards=%d: sum(scans)=%d < 1-shard fleet %d",
+				shards, agg.SumScans, oneShard.Rollup().SumScans)
+		}
+		if agg.MaxMemoryBits > singlePeak {
+			t.Errorf("shards=%d: max(memory)=%d > single machine %d", shards, agg.MaxMemoryBits, singlePeak)
+		}
+		if agg.MaxScans >= prevMax {
+			t.Errorf("shards=%d: max(scans)=%d did not fall (prev %d)", shards, agg.MaxScans, prevMax)
+		}
+		prevMax = agg.MaxScans
+		var critSum int64
+		for _, sr := range rep.Sorts {
+			critSum += sr.CriticalPathSteps()
+		}
+		if got := rep.CriticalPathSteps(); got != critSum {
+			t.Errorf("shards=%d: critical path %d, want %d", shards, got, critSum)
+		}
+	}
+}
+
+// Evaluator.Sorted is the machine-backed Relation.Sorted: same order,
+// duplicates kept, at every shard count.
+func TestEvaluatorSortedMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 8; trial++ {
+		rel := &Relation{Name: "R", Schema: Schema{"x", "y"}}
+		for i := 0; i < rng.Intn(50); i++ {
+			rel.Tuples = append(rel.Tuples, Tuple{
+				string([]byte{'0' + byte(rng.Intn(2))}),
+				string([]byte{'0' + byte(rng.Intn(2)), '0' + byte(rng.Intn(2))}),
+			})
+		}
+		want := rel.Sorted()
+		for _, shards := range []int{0, 1, 3} {
+			m := core.NewMachine(NumQueryTapes, 1)
+			got, err := Evaluator{Shards: shards}.Sorted(m, rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d: %d tuples, want %d (duplicates must be kept)", shards, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].key() != want[i].key() {
+					t.Fatalf("shards=%d: tuple %d = %v, want %v", shards, i, got[i], want[i])
+				}
+			}
+			if cur := m.Mem().Current(); cur != 0 {
+				t.Errorf("shards=%d: %d bits still charged after Sorted", shards, cur)
+			}
+		}
+	}
+}
+
+// Evaluator.EqualSet is the machine-backed Relation.EqualSet: same
+// verdict on equal and unequal pairs, at every shard count.
+func TestEvaluatorEqualSetMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 10; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(12, 8, rng)
+		} else {
+			in = problems.GenSetNo(12, 8, rng)
+		}
+		db := InstanceDB(in)
+		want := db["R1"].EqualSet(db["R2"])
+		for _, shards := range []int{0, 2, 4} {
+			m := core.NewMachine(NumQueryTapes, 1)
+			got, err := Evaluator{Shards: shards}.EqualSet(m, db["R1"], db["R2"])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("shards=%d: EqualSet=%v, want %v", shards, got, want)
+			}
+			if cur := m.Mem().Current(); cur != 0 {
+				t.Errorf("shards=%d: %d bits still charged after EqualSet", shards, cur)
+			}
+		}
+	}
+}
+
+// An injected Launch overrides the execution entirely (the
+// trials.Launcher pattern): it must see every operator sort and its
+// resolved engine configuration, and a launcher that delegates to the
+// sharded path must reproduce the engine's bytes.
+func TestSortLauncherInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	in := problems.GenSetNo(24, 8, rng)
+	db := InstanceDB(in)
+	q := SymmetricDifference("R1", "R2")
+
+	ref, err := EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	var reps []shard.SortReport
+	launch := func(s algorithms.Sorter, m *core.Machine, src int, work []int) error {
+		calls++
+		if !s.Dedup {
+			t.Errorf("operator sort %d arrived without the dedup hook", calls)
+		}
+		if s.FanIn != len(work) {
+			t.Errorf("operator sort %d: fan-in %d but %d work tapes", calls, s.FanIn, len(work))
+		}
+		rep, err := shard.Sort{
+			Shards: 3, FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits, Dedup: s.Dedup,
+		}.SortTape(m, src, 1)
+		if err == nil {
+			reps = append(reps, rep)
+		}
+		return err
+	}
+	// Shards is ignored when Launch is set: the injected shape wins.
+	got, err := Evaluator{Shards: 99, Launch: launch}.EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("injected launcher never invoked")
+	}
+	if !reflect.DeepEqual(got.Tuples, ref.Tuples) {
+		t.Fatal("launcher-backed result differs from the engine")
+	}
+	for i, rep := range reps {
+		if len(rep.Shards) != 3 {
+			t.Errorf("sort %d ran on %d shards, want 3", i, len(rep.Shards))
+		}
+	}
+}
+
+// The zero Evaluator is the historical single-machine EvalST, bit for
+// bit: identical result and identical resource report.
+func TestZeroEvaluatorBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 4; trial++ {
+		in := problems.GenSetNo(20, 8, rng)
+		db := InstanceDB(in)
+		for _, q := range queryPlans() {
+			m1 := core.NewMachine(NumQueryTapes, 1)
+			r1, err := EvalST(q, db, m1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := core.NewMachine(NumQueryTapes, 1)
+			r2, err := Evaluator{}.EvalST(q, db, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Tuples, r2.Tuples) {
+				t.Fatalf("%v: zero-Evaluator result differs", q)
+			}
+			if !reflect.DeepEqual(m1.Resources(), m2.Resources()) {
+				t.Fatalf("%v: zero-Evaluator resources differ:\n%v\nvs\n%v",
+					q, m1.Resources(), m2.Resources())
+			}
+		}
+	}
+}

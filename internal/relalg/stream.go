@@ -38,11 +38,14 @@ const (
 	firstPool    = 2
 )
 
-// evalCtx carries the machine and the tape free-list.
+// evalCtx carries the machine, the tape free-list and the execution
+// shape (the Evaluator that built it).
 type evalCtx struct {
-	m    *core.Machine
-	db   DB
-	free []int
+	m      *core.Machine
+	db     DB
+	free   []int
+	ev     Evaluator
+	launch algorithms.SortLauncher // resolved sort launcher; nil = single-machine engine
 }
 
 func (c *evalCtx) acquire() (int, error) {
@@ -58,21 +61,12 @@ func (c *evalCtx) release(idx int) { c.free = append(c.free, idx) }
 
 // EvalST evaluates the expression over the database on the given
 // machine (which must have NumQueryTapes tapes), returning the result
-// relation; all tape traffic is charged to the machine's counters.
+// relation; all tape traffic is charged to the machine's counters. It
+// is the zero Evaluator: the single-machine engine. Use an Evaluator
+// with Shards >= 1 (or an injected Launch) to run the operator sorts
+// on the sharded execution layer instead.
 func EvalST(e Expr, db DB, m *core.Machine) (*Relation, error) {
-	if m.NumTapes() < NumQueryTapes {
-		return nil, fmt.Errorf("relalg: machine has %d tapes, need %d", m.NumTapes(), NumQueryTapes)
-	}
-	ctx := &evalCtx{m: m, db: db}
-	for i := m.NumTapes() - 1; i >= firstPool; i-- {
-		ctx.free = append(ctx.free, i)
-	}
-	idx, schema, err := ctx.eval(e)
-	if err != nil {
-		return nil, err
-	}
-	defer ctx.release(idx)
-	return readRelationTape(m, idx, schema)
+	return Evaluator{}.EvalST(e, db, m)
 }
 
 // eval returns the tape index holding the (deduplicated) result and
@@ -246,16 +240,26 @@ func (c *evalCtx) evalPair(l, r Expr) (int, Schema, int, Schema, error) {
 const sortDedupFanIn = 4
 
 // sortDedup sorts the tape's items and removes adjacent duplicates in
-// place. It runs the k-way engine with its dedup-on-output hook, so
-// the deduplication happens while the final merge pass is written —
-// the separate dedup scan + copy-back of the legacy evaluator is
-// gone. The fan-in is the two dedicated scratch tapes plus up to two
-// pool tapes when available (the pool state is a deterministic
-// function of the query, so resource reports stay reproducible).
-func (c *evalCtx) sortDedup(idx int) error {
+// place — the set-semantics step of every operator that rebuilds an
+// item stream.
+func (c *evalCtx) sortDedup(idx int) error { return c.engineSort(idx, true) }
+
+// engineSort sorts the tape's items in place on the evaluator's
+// execution shape. On the single-machine shape (nil launcher) it runs
+// the k-way engine with its dedup-on-output hook, so deduplication
+// happens while the final merge pass is written — the separate dedup
+// scan + copy-back of the legacy evaluator is gone. The fan-in is the
+// two dedicated scratch tapes plus pool tapes up to the evaluator's
+// target when available (the pool state is a deterministic function
+// of the query, so resource reports stay reproducible). An injected
+// launcher receives the same resolved Sorter — fan-in fixes the run
+// partitioning — and must leave identical bytes on the tape; the
+// sharded path does its sorting on shard-local machines and hands the
+// merged tape back.
+func (c *evalCtx) engineSort(idx int, dedup bool) error {
 	work := []int{sortScratchA, sortScratchB}
 	var extras []int
-	for len(work) < sortDedupFanIn && len(c.free) > 0 {
+	for len(work) < c.ev.fanInTarget() && len(c.free) > 0 {
 		t, err := c.acquire()
 		if err != nil {
 			break
@@ -270,8 +274,11 @@ func (c *evalCtx) sortDedup(idx int) error {
 	}()
 	s := algorithms.Sorter{
 		FanIn:         len(work),
-		RunMemoryBits: algorithms.DefaultRunMemoryBits,
-		Dedup:         true,
+		RunMemoryBits: c.ev.runMemoryBits(),
+		Dedup:         dedup,
+	}
+	if c.launch != nil {
+		return c.launch(s, c.m, idx, work)
 	}
 	return s.Sort(c.m, idx, work)
 }

@@ -101,10 +101,73 @@ type Agg struct {
 	SumSteps      int64
 }
 
+// Merge combines two rollups into the rollup of the union of their
+// fleets' work: Max fields take the larger value, Sum fields add, and
+// the shard census keeps the wider fleet. It is the one place the
+// cross-rollup aggregation rule lives — relalg.QueryReport folds the
+// per-operator-sort rollups of a query through it.
+func (a Agg) Merge(b Agg) Agg {
+	out := Agg{
+		SumScans:      a.SumScans + b.SumScans,
+		SumMemoryBits: a.SumMemoryBits + b.SumMemoryBits,
+		SumSteps:      a.SumSteps + b.SumSteps,
+	}
+	out.Shards = max(a.Shards, b.Shards)
+	out.MaxScans = max(a.MaxScans, b.MaxScans)
+	out.MaxMemoryBits = max(a.MaxMemoryBits, b.MaxMemoryBits)
+	out.MaxSteps = max(a.MaxSteps, b.MaxSteps)
+	return out
+}
+
 // String renders the rollup in the (r, s) order of the paper.
 func (a Agg) String() string {
 	return fmt.Sprintf("shards=%d r: max=%d sum=%d, s bits: max=%d sum=%d, steps: max=%d sum=%d",
 		a.Shards, a.MaxScans, a.SumScans, a.MaxMemoryBits, a.SumMemoryBits, a.MaxSteps, a.SumSteps)
+}
+
+// SortTape runs the sharded sort on the items of tape src of m and
+// installs the sorted (optionally deduplicated) output back on src
+// with the head at the start — the tape-handoff analogue of Run for a
+// sort embedded in a larger machine program, and the primitive behind
+// LaunchSort. The coordinator's distribution scan, the shard-local
+// sorts and the final combining merge all run on their own machines
+// and are accounted in the returned SortReport; m is charged nothing
+// for the sort itself, but its pre-handoff traffic on the tape stays
+// on the books (core.Machine.SwapTape keeps the slot's counters while
+// the fleet's sorted tape replaces the content).
+func (s Sort) SortTape(m *core.Machine, src int, seed int64) (SortReport, error) {
+	out, rep, err := s.Run(m.Tape(src).Contents(), seed)
+	if err != nil {
+		return rep, err
+	}
+	m.SwapTape(src, out)
+	return rep, nil
+}
+
+// LaunchSort returns the algorithms.SortLauncher that runs every sort
+// through the sharded run-partitioned path — the sort-side counterpart
+// of Launch. The engine configuration (fan-in, run-formation memory,
+// dedup) is taken from the caller's Sorter, so the run partitioning is
+// exactly the one the single-machine engine would form; seed feeds the
+// shard machines' (unused by the deterministic sort) coin sources; and
+// onReport, if non-nil, receives each successful sort's SortReport in
+// call order.
+func LaunchSort(shards int, seed int64, onReport func(SortReport)) algorithms.SortLauncher {
+	return func(sorter algorithms.Sorter, m *core.Machine, src int, _ []int) error {
+		rep, err := Sort{
+			Shards:        shards,
+			FanIn:         sorter.FanIn,
+			RunMemoryBits: sorter.RunMemoryBits,
+			Dedup:         sorter.Dedup,
+		}.SortTape(m, src, seed)
+		if err != nil {
+			return err
+		}
+		if onReport != nil {
+			onReport(rep)
+		}
+		return nil
+	}
 }
 
 // Run sorts the '#'-terminated input across the configured shards and

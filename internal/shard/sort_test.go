@@ -152,6 +152,44 @@ func TestShardedSortRollupInvariants(t *testing.T) {
 	}
 }
 
+// SortTape is the mid-run tape handoff: the sorted fleet output
+// replaces the tape's content with the head rewound, while the
+// machine's own pre-handoff traffic on that slot stays on the books
+// (SwapTape keeps the counters; only the sort itself is accounted
+// off-machine, in the report).
+func TestSortTapeKeepsCoordinatorCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := randomItems(40, true, rng)
+	m := core.NewMachine(2, 1)
+	tp := m.Tape(1)
+	for _, it := range items {
+		if err := algorithms.WriteItem(tp, []byte(it)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tp.Stats()
+	if before.Writes == 0 || before.Steps == 0 {
+		t.Fatalf("test setup produced no traffic: %+v", before)
+	}
+	rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true}.SortTape(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tp.Stats()
+	if after.Writes != before.Writes || after.Steps != before.Steps || after.Reversals != before.Reversals {
+		t.Errorf("handoff changed the coordinator's counters: before %+v, after %+v", before, after)
+	}
+	if rep.Items != 40 {
+		t.Errorf("report saw %d items, want 40", rep.Items)
+	}
+	if got, want := tp.Contents(), reference(items, true); !bytes.Equal(got, want) {
+		t.Errorf("handed-back tape is not the sorted dedup'd sequence")
+	}
+	if tp.Pos() != 0 {
+		t.Errorf("handed-back tape head at %d, want 0", tp.Pos())
+	}
+}
+
 // Run partitioning must follow the engine's fixed-count rule: the
 // greedy first fill under the budget sets the per-run item count.
 func TestShardedSortRunPartitioning(t *testing.T) {

@@ -84,6 +84,19 @@ func FromBytes(name string, data []byte) *Tape {
 // FromString is FromBytes for a string input.
 func FromString(name, data string) *Tape { return FromBytes(name, []byte(data)) }
 
+// Replace swaps the tape's content for a copy of data, placing the
+// head on cell 0 moving forward while KEEPING every accumulated
+// counter (reversals, steps, reads, writes, MaxCell). It models a
+// mid-run tape handoff — the machine receives a physically different,
+// rewound tape in this slot, but its own head history up to the swap
+// stays on the books. No head movement is charged: the exchange is
+// input placement, like FromBytes, not a rewind.
+func (t *Tape) Replace(data []byte) {
+	t.cells = append(t.cells[:0], data...)
+	t.pos = 0
+	t.dir = Forward
+}
+
 // Name returns the diagnostic name of the tape.
 func (t *Tape) Name() string { return t.name }
 
