@@ -271,7 +271,7 @@ func BenchmarkE6RelAlgSharded(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ev := relalg.Evaluator{Shards: shards}
 				m := core.NewMachine(relalg.NumQueryTapes, 1)
-				r, err := ev.EvalST(q, db, m)
+				r, err := ev.EvalST(nil, q, db, m)
 				if err != nil || len(r.Tuples) != 0 {
 					b.Fatal(err, len(r.Tuples))
 				}
@@ -303,7 +303,7 @@ func BenchmarkEqualSetSharded(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ev := relalg.Evaluator{Shards: 4}
 			m := core.NewMachine(relalg.NumQueryTapes, 1)
-			eq, err := ev.EqualSet(m, r1, r2)
+			eq, err := ev.EqualSet(nil, m, r1, r2)
 			if err != nil || !eq {
 				b.Fatal(err, eq)
 			}

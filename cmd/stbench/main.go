@@ -1,44 +1,83 @@
 // Command stbench runs the full experiment suite of the reproduction
-// (E1–E19: one per theorem/lemma of the paper, plus the E17 sort
-// r-vs-(s,t) trade-off sweep and the E18/E19 sharded-execution
-// censuses for raw sorts and relational queries) and prints every
-// table. Monte-Carlo experiments run their trial fleets on the
-// sharded execution layer (-shards shards, each a -parallel worker
-// pool) with per-trial seeds derived from -seed, and the query
-// experiments (E6, E19) additionally re-evaluate their relational
-// plans through the sharded relalg.Evaluator at the configured shard
-// count, so stdout is byte-identical for a fixed seed at any
-// -parallel and any -shards value.
+// (E1–E20: one per theorem/lemma of the paper, plus the E17 sort
+// r-vs-(s,t) trade-off sweep, the E18/E19 sharded-execution censuses
+// for raw sorts and relational queries, and the E20 chaos determinism
+// matrix) and prints every table. Monte-Carlo experiments run their
+// trial fleets on the sharded execution layer (-shards shards, each a
+// -parallel worker pool) with per-trial seeds derived from -seed, and
+// the query experiments (E6, E19) additionally re-evaluate their
+// relational plans through the sharded relalg.Evaluator at the
+// configured shard count, so stdout is byte-identical for a fixed
+// seed at any -parallel and any -shards value — and, because
+// recoverable faults are just another execution shape, under any
+// recoverable -chaos plan.
 //
 // Usage:
 //
-//	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N] [-format text|json|csv]
+//	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N]
+//	        [-chaos flaky|delay] [-chaos-rate F] [-format text|json|csv]
 //
 // Formats: text (the human report), json (one JSON object per
 // experiment per line), csv (one record per experiment). The json and
 // csv encodings carry a shards column recording the execution shape
 // (provenance only — the tables never depend on it). Reports stream
-// as each experiment completes; progress goes to stderr.
+// as each experiment completes; progress goes to stderr. SIGINT or
+// SIGTERM cancels the run context: in-flight fleets drain, the
+// encoder is flushed with a partial-results footer, and stbench exits
+// 130.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
+	"time"
 
 	"extmem/internal/experiments"
+	"extmem/internal/faults"
+	"extmem/internal/shard"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// chaosPlan builds the fault plan and retry policy of a -chaos mode.
+// Both recoverable modes pin trial/shard site 0 so every fleet and
+// every sharded sort provably exercises recovery, plus a seed-keyed
+// rate so larger fleets see faults spread across their range:
+//
+//   - flaky: each struck site panics on its first attempt and heals
+//     (faults.Plan.Flaky), so the retry layer re-executes the range
+//     and the output bytes cannot move;
+//   - delay: struck sites stall briefly — the straggler plan; nothing
+//     fails, nothing retries, bytes cannot move either.
+func chaosPlan(mode string, seed int64, rate float64) (faults.Plan, shard.RetryPolicy, error) {
+	switch mode {
+	case "":
+		return faults.Plan{}, shard.RetryPolicy{}, nil
+	case "flaky":
+		return faults.Plan{Seed: seed, Mode: faults.Panic, Rate: rate, Sites: []int{0}, Flaky: 1},
+			shard.RetryPolicy{MaxAttempts: 64, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+			nil
+	case "delay":
+		return faults.Plan{Seed: seed, Mode: faults.Delay, Rate: rate, Sites: []int{0}, Delay: 200 * time.Microsecond},
+			shard.RetryPolicy{}, nil
+	}
+	return faults.Plan{}, shard.RetryPolicy{}, fmt.Errorf("unknown -chaos mode %q (want flaky or delay)", mode)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("stbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 1, "root seed for all experiments (per-trial seeds derive from it)")
@@ -47,10 +86,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial-fleet worker goroutines per shard (never changes the output)")
 	shards := fs.Int("shards", 1, "trial-fleet shards, each with its own worker pool (never changes the output)")
 	format := fs.String("format", "text", "output format: text, json or csv")
+	chaos := fs.String("chaos", "", "inject a recoverable fault plan: flaky (first-attempt panics) or delay (stragglers); never changes the output")
+	chaosRate := fs.Float64("chaos-rate", 0.02, "fraction of fault sites struck by the -chaos plan (site 0 always strikes)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards}
+	if *trials < 0 {
+		fmt.Fprintf(stderr, "stbench: -trials must be >= 0 (got %d)\n", *trials)
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "stbench: -parallel must be >= 1 (got %d)\n", *parallel)
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintf(stderr, "stbench: -shards must be >= 1 (got %d)\n", *shards)
+		return 2
+	}
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fmt.Fprintf(stderr, "stbench: -chaos-rate must be in [0, 1] (got %g)\n", *chaosRate)
+		return 2
+	}
+	plan, retry, err := chaosPlan(*chaos, *seed, *chaosRate)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbench:", err)
+		return 2
+	}
+	cfg := experiments.Config{
+		Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards,
+		Ctx: ctx, Faults: plan, Retry: retry,
+	}
 
 	runners := experiments.Runners()
 	if *only != "" {
@@ -68,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var emit func(experiments.Result) error
+	var footer func(done, total int) error
 	var finish func() error
 	switch *format {
 	case "text":
@@ -78,10 +144,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			_, err := fmt.Fprintf(stdout, "%s\n\n", r.String())
 			return err
 		}
+		footer = func(done, total int) error {
+			_, err := fmt.Fprintf(stdout, "interrupted — partial results: %d/%d experiments completed\n", done, total)
+			return err
+		}
 		finish = func() error { return nil }
 	case "json":
 		enc := json.NewEncoder(stdout)
 		emit = func(r experiments.Result) error { return enc.Encode(r) }
+		footer = func(done, total int) error {
+			return enc.Encode(struct {
+				Interrupted bool `json:"interrupted"`
+				Completed   int  `json:"completed"`
+				Total       int  `json:"total"`
+			}{true, done, total})
+		}
 		finish = func() error { return nil }
 	case "csv":
 		w := csv.NewWriter(stdout)
@@ -92,20 +169,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		emit = func(r experiments.Result) error {
 			return w.Write([]string{r.ID, r.Title, r.Claim, r.Notes, strconv.Itoa(r.Shards), r.Table})
 		}
+		footer = func(done, total int) error {
+			return w.Write([]string{"interrupted", "", "",
+				fmt.Sprintf("partial results: %d/%d experiments completed", done, total), "", ""})
+		}
 		finish = func() error { w.Flush(); return w.Error() }
 	default:
 		fmt.Fprintf(stderr, "stbench: unknown format %q (want text, json or csv)\n", *format)
 		return 2
 	}
 
-	failed := 0
+	total := 0
+	for _, r := range runners {
+		if *only == "" || r.ID == *only {
+			total++
+		}
+	}
+	failed, done := 0, 0
+	interrupted := false
 	for i, runner := range runners {
 		if *only != "" && runner.ID != *only {
 			continue
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		fmt.Fprintf(stderr, "stbench: running %s (%d/%d)\n", runner.ID, i+1, len(runners))
 		r := runner.Run(cfg)
+		if ctx.Err() != nil {
+			// The cancellation unwound the experiment mid-flight; its
+			// result is an artifact of the interrupt, not a finding.
+			interrupted = true
+			break
+		}
 		r.Shards = cfg.ShardCount()
+		done++
 		if !r.Passed() {
 			failed++
 		}
@@ -114,9 +213,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if interrupted {
+		if err := footer(done, total); err != nil {
+			fmt.Fprintln(stderr, "stbench:", err)
+			return 1
+		}
+	}
 	if err := finish(); err != nil {
 		fmt.Fprintln(stderr, "stbench:", err)
 		return 1
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "stbench: interrupted — partial results: %d/%d experiments completed\n", done, total)
+		return 130
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)

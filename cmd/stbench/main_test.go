@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/csv"
 	"encoding/json"
@@ -44,7 +45,7 @@ func TestFormats(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.format, func(t *testing.T) {
 			var out, errOut strings.Builder
-			if code := run([]string{"-only", "E9", "-format", c.format}, &out, &errOut); code != 0 {
+			if code := run(context.Background(), []string{"-only", "E9", "-format", c.format}, &out, &errOut); code != 0 {
 				t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 			}
 			if !strings.Contains(errOut.String(), "running E9") {
@@ -62,7 +63,7 @@ func TestOutputParallelInvariant(t *testing.T) {
 	runWith := func(parallel string) string {
 		var out, errOut strings.Builder
 		args := []string{"-only", "E2", "-seed", "7", "-trials", "12", "-parallel", parallel}
-		if code := run(args, &out, &errOut); code != 0 {
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
 			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 		}
 		return out.String()
@@ -73,15 +74,30 @@ func TestOutputParallelInvariant(t *testing.T) {
 }
 
 func TestFlagErrors(t *testing.T) {
-	var out, errOut strings.Builder
-	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
-		t.Fatalf("bad flag: exit %d", code)
+	cases := []struct {
+		name string
+		args []string
+		frag string // required stderr fragment; "" skips the check
+	}{
+		{"bad flag", []string{"-nonsense"}, ""},
+		{"bad format", []string{"-format", "xml"}, `unknown format "xml"`},
+		{"unknown experiment id", []string{"-only", "E99"}, "no experiment matches"},
+		{"negative trials", []string{"-trials", "-1"}, "-trials must be >= 0"},
+		{"zero parallel", []string{"-parallel", "0"}, "-parallel must be >= 1"},
+		{"zero shards", []string{"-shards", "0"}, "-shards must be >= 1"},
+		{"bad chaos mode", []string{"-chaos", "meteor"}, `unknown -chaos mode "meteor"`},
+		{"bad chaos rate", []string{"-chaos-rate", "1.5"}, "-chaos-rate must be in [0, 1]"},
 	}
-	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
-		t.Fatalf("bad format: exit %d", code)
-	}
-	if code := run([]string{"-only", "E99"}, &out, &errOut); code != 2 {
-		t.Fatalf("unknown experiment id: exit %d", code)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run(context.Background(), c.args, &out, &errOut); code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, errOut.String())
+			}
+			if c.frag != "" && !strings.Contains(errOut.String(), c.frag) {
+				t.Fatalf("stderr misses %q:\n%s", c.frag, errOut.String())
+			}
+		})
 	}
 }
 
@@ -92,7 +108,7 @@ func TestOutputShardInvariant(t *testing.T) {
 	runWith := func(shards, parallel string) string {
 		var out, errOut strings.Builder
 		args := []string{"-seed", "5", "-shards", shards, "-parallel", parallel}
-		if code := run(args, &out, &errOut); code != 0 {
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
 			t.Fatalf("shards=%s parallel=%s: exit %d, stderr:\n%s", shards, parallel, code, errOut.String())
 		}
 		return out.String()
@@ -122,7 +138,7 @@ func TestQueryExperimentsShardMatrix(t *testing.T) {
 		for i, shape := range [][2]string{{"1", "1"}, {"2", "8"}, {"4", "1"}, {"4", "8"}} {
 			var out, errOut strings.Builder
 			args := []string{"-only", id, "-seed", "5", "-shards", shape[0], "-parallel", shape[1]}
-			if code := run(args, &out, &errOut); code != 0 {
+			if code := run(context.Background(), args, &out, &errOut); code != 0 {
 				t.Fatalf("%s shards=%s parallel=%s: exit %d, stderr:\n%s",
 					id, shape[0], shape[1], code, errOut.String())
 			}
@@ -142,7 +158,7 @@ func TestShardColumnInEncodings(t *testing.T) {
 	runWith := func(format, shards string) string {
 		var out, errOut strings.Builder
 		args := []string{"-only", "E9", "-format", format, "-shards", shards}
-		if code := run(args, &out, &errOut); code != 0 {
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
 			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 		}
 		return out.String()
@@ -166,5 +182,103 @@ func TestShardColumnInEncodings(t *testing.T) {
 	}
 	if col < 0 || recs[1][col] != "3" {
 		t.Fatalf("csv shards column missing or wrong: header %v row %v", recs[0], recs[1])
+	}
+}
+
+// The PR 6 acceptance criterion: recoverable chaos is an execution
+// shape like sharding — for a fixed -seed the full text report is
+// byte-identical across -shards × -parallel × {fault-free, flaky
+// panics, delays}. (The flaky plan pins site 0, so every experiment's
+// fleet provably exercises panic recovery, and the report still
+// cannot move.)
+func TestChaosOutputInvariant(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-seed", "5"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith()
+	for _, chaos := range []string{"flaky", "delay"} {
+		for _, shape := range [][2]string{{"1", "1"}, {"2", "8"}, {"4", "1"}, {"4", "8"}} {
+			got := runWith("-chaos", chaos, "-shards", shape[0], "-parallel", shape[1])
+			if got != ref {
+				t.Errorf("output differs under -chaos %s -shards %s -parallel %s",
+					chaos, shape[0], shape[1])
+			}
+		}
+	}
+}
+
+// The query experiments stay digest-identical under injected flaky
+// shard faults: the sharded relational evaluator retries struck
+// shards and the report cannot tell.
+func TestQueryExperimentsChaosMatrix(t *testing.T) {
+	for _, id := range []string{"E6", "E19"} {
+		var ref [sha256.Size]byte
+		first := true
+		for _, chaos := range []string{"", "flaky"} {
+			for _, shards := range []string{"1", "4"} {
+				var out, errOut strings.Builder
+				args := []string{"-only", id, "-seed", "5", "-shards", shards}
+				if chaos != "" {
+					args = append(args, "-chaos", chaos)
+				}
+				if code := run(context.Background(), args, &out, &errOut); code != 0 {
+					t.Fatalf("%s chaos=%q shards=%s: exit %d, stderr:\n%s",
+						id, chaos, shards, code, errOut.String())
+				}
+				sum := sha256.Sum256([]byte(out.String()))
+				if first {
+					ref, first = sum, false
+				} else if sum != ref {
+					t.Errorf("%s: sha256 differs at -chaos %q -shards %s", id, chaos, shards)
+				}
+			}
+		}
+	}
+}
+
+// A cancelled run context (the SIGINT/SIGTERM path) stops before the
+// next experiment, flushes the encoder with a partial-results footer
+// and exits 130.
+func TestInterruptPartialFooter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, []string{"-only", "E9"}, &out, &errOut); code != 130 {
+		t.Fatalf("exit %d, want 130; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "interrupted — partial results: 0/1 experiments completed") {
+		t.Fatalf("no partial-results footer on stdout:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run(ctx, []string{"-only", "E9", "-format", "json"}, &out, &errOut); code != 130 {
+		t.Fatalf("json: exit %d, want 130", code)
+	}
+	var foot struct {
+		Interrupted bool `json:"interrupted"`
+		Completed   int  `json:"completed"`
+		Total       int  `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &foot); err != nil {
+		t.Fatalf("json footer: %v\n%s", err, out.String())
+	}
+	if !foot.Interrupted || foot.Completed != 0 || foot.Total != 1 {
+		t.Fatalf("bad json footer %+v", foot)
+	}
+	out.Reset()
+	if code := run(ctx, []string{"-only", "E9", "-format", "csv"}, &out, &errOut); code != 130 {
+		t.Fatalf("csv: exit %d, want 130", code)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last[0] != "interrupted" || !strings.Contains(last[3], "partial results: 0/1") {
+		t.Fatalf("bad csv footer %v", last)
 	}
 }

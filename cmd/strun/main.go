@@ -35,12 +35,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
@@ -51,10 +55,51 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// knownAlgos lists every -algo value strun accepts.
+var knownAlgos = []string{
+	"multiset", "set", "checksort",
+	"fingerprint",
+	"nst-multiset", "nst-set", "nst-checksort",
+	"sort", "relalg",
+}
+
+// validate rejects malformed flag combinations with a one-line error
+// before any machine runs, so misuse exits 2 instead of panicking (or
+// failing obscurely) downstream.
+func validate(algo, format string, trialsN, parallel, shards int) error {
+	ok := false
+	for _, a := range knownAlgos {
+		if algo == a {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown -algo %q (want one of %v)", algo, knownAlgos)
+	}
+	switch format {
+	case "text", "json", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or csv)", format)
+	}
+	if trialsN < 1 {
+		return fmt.Errorf("-trials must be >= 1 (got %d)", trialsN)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", parallel)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("strun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	algo := fs.String("algo", "multiset", "algorithm to run")
@@ -70,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := validate(*algo, *format, *trialsN, *parallel, *shards); err != nil {
+		fmt.Fprintln(stderr, "strun:", err)
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	in, err := buildInstance(*algo, *input, *mFlag, *nFlag, *yes, rng)
@@ -81,10 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *algo != "fingerprint" {
 			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
 		}
-		return runFleet(in, *trialsN, *shards, *parallel, *seed, *format, stdout, stderr)
+		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, stdout, stderr)
 	}
 	if *algo == "relalg" {
-		return runQuery(in, *shards, *seed, stdout, stderr)
+		return runQuery(ctx, in, *shards, *seed, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -105,24 +154,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runFleet streams a fingerprint trial fleet on the instance: one
 // machine per trial, coins derived from (seed, global trial index),
 // executed as a sharded fleet whose in-order merge stream feeds the
-// row encoder.
-func runFleet(in problems.Instance, n, shards, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
+// row encoder. A mid-stream encoder error cancels the fleet (workers
+// drain, exit 1); SIGINT/SIGTERM cancels it too, flushing the encoder
+// and a partial-results footer before exiting 130.
+func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
 	enc, err := trials.NewEncoder(format, stdout)
 	if err != nil {
 		return fail(stderr, err)
 	}
+	fleetCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	encoded := in.Encode()
-	var encErr error
+	var (
+		encErr error
+		rows   int
+	)
 	_, sum, err := shard.Fleet{
 		Plan:     shard.Plan{Shards: shards, Trials: n},
 		Parallel: parallel,
 		Seed:     seed,
 		OnResult: func(r trials.Result) {
-			if encErr == nil {
-				encErr = enc.Row(r)
+			if encErr != nil {
+				return
 			}
+			if encErr = enc.Row(r); encErr != nil {
+				cancel() // abort the fleet: nothing downstream can consume rows
+				return
+			}
+			rows++
 		},
-	}.Run(func(_ int, rng *rand.Rand) trials.Result {
+	}.Run(fleetCtx, func(_ int, rng *rand.Rand) trials.Result {
 		m := core.NewMachine(1, rng.Int63())
 		m.SetInput(encoded)
 		v, _, err := algorithms.FingerprintMultisetEquality(m)
@@ -131,6 +192,13 @@ func runFleet(in problems.Instance, n, shards, parallel int, seed int64, format 
 		}
 		return trials.Result{Accept: v == core.Accept}
 	})
+	if ctx.Err() != nil {
+		// Interrupted: flush what was emitted and account the partial
+		// prefix honestly.
+		enc.Close()
+		fmt.Fprintf(stderr, "strun: interrupted — partial results: %d/%d rows emitted\n", rows, n)
+		return 130
+	}
 	if encErr == nil {
 		encErr = enc.Close()
 	}
@@ -150,7 +218,7 @@ func runFleet(in problems.Instance, n, shards, parallel int, seed int64, format 
 // Like fleet mode (shard.Plan.ShardCount), -shards values below 1
 // mean 1 — the evaluator's zero value would select the unsharded
 // engine, which records no census at all.
-func runQuery(in problems.Instance, shards int, seed int64, stdout, stderr io.Writer) int {
+func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, stdout, stderr io.Writer) int {
 	if shards < 1 {
 		shards = 1
 	}
@@ -158,8 +226,12 @@ func runQuery(in problems.Instance, shards int, seed int64, stdout, stderr io.Wr
 	rep := &relalg.QueryReport{}
 	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep}
 	m := core.NewMachine(relalg.NumQueryTapes, seed)
-	r, err := ev.EvalST(relalg.SymmetricDifference("R1", "R2"), db, m)
+	r, err := ev.EvalST(ctx, relalg.SymmetricDifference("R1", "R2"), db, m)
 	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			fmt.Fprintln(stderr, "strun: interrupted — query evaluation cancelled")
+			return 130
+		}
 		return fail(stderr, err)
 	}
 	verdict := core.Reject
@@ -186,6 +258,11 @@ func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (prob
 	}
 	switch algo {
 	case "set", "nst-set", "relalg":
+		// problems.GenSetYes panics when it cannot draw m distinct
+		// n-bit strings; surface that as a flag error instead.
+		if n < 63 && m > 1<<uint(n) {
+			return problems.Instance{}, fmt.Errorf("-m %d needs more than 2^%d distinct values; raise -n or lower -m", m, n)
+		}
 		return problems.Gen(problems.SetEqualityProblem, yes, m, n, rng), nil
 	case "checksort", "nst-checksort":
 		return problems.Gen(problems.CheckSortProblem, yes, m, n, rng), nil
@@ -229,7 +306,7 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 		v, err := algorithms.DecideNST(p, m, in)
 		return v, m.Resources(), err
 	case "sort":
-		res, _, err := algorithms.SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 1, trials.Pool(1), seed)
+		res, _, err := algorithms.SortLasVegasRepeated(nil, in.Encode(), 6, 1, 1<<30, 1, trials.Pool(1), seed)
 		return res.Verdict, res.Resources, err
 	default:
 		return core.Reject, core.Resources{}, fmt.Errorf("unknown algorithm %q", algo)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -11,7 +13,7 @@ import (
 // reference.
 func TestRunMultiset(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-algo", "multiset", "-m", "8", "-n", "6"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-algo", "multiset", "-m", "8", "-n", "6"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 	}
 	for _, frag := range []string{"instance:", "verdict:  accept", "reference: accept", "resources:"} {
@@ -23,7 +25,7 @@ func TestRunMultiset(t *testing.T) {
 
 func TestRunExplicitInput(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-algo", "multiset", "-input", "01#10#10#01#"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-algo", "multiset", "-input", "01#10#10#01#"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "m=2") {
@@ -38,7 +40,7 @@ func TestFingerprintFleetFormats(t *testing.T) {
 		var out, errOut strings.Builder
 		args := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
 			"-trials", "16", "-parallel", parallel, "-format", format, "-seed", "5"}
-		if code := run(args, &out, &errOut); code != 0 {
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
 			t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 		}
 		return out.String(), errOut.String()
@@ -83,7 +85,7 @@ func TestRunRelAlgShardInvariant(t *testing.T) {
 			var out, errOut strings.Builder
 			args := []string{"-algo", "relalg", "-m", "32", "-n", "10", "-seed", "9",
 				"-yes=" + yes, "-shards", shards}
-			if code := run(args, &out, &errOut); code != 0 {
+			if code := run(context.Background(), args, &out, &errOut); code != 0 {
 				t.Fatalf("yes=%s shards=%s: exit %d, stderr:\n%s", yes, shards, code, errOut.String())
 			}
 			return out.String(), errOut.String()
@@ -112,20 +114,88 @@ func TestRunRelAlgShardInvariant(t *testing.T) {
 
 func TestFleetRejectsOtherAlgos(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {
+	if code := run(context.Background(), []string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {
 		t.Fatalf("fleet on sort: exit %d", code)
 	}
 }
 
+// Malformed flags are rejected up front with a one-line error and
+// exit 2; only errors past validation (bad instance data) exit 1.
 func TestFlagAndAlgoErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		frag string // required stderr fragment; "" skips the check
+	}{
+		{"bad flag", []string{"-nonsense"}, 2, ""},
+		{"unknown algo", []string{"-algo", "bogus"}, 2, `unknown -algo "bogus"`},
+		{"unknown format", []string{"-format", "xml"}, 2, `unknown -format "xml"`},
+		{"zero trials", []string{"-trials", "0"}, 2, "-trials must be >= 1"},
+		{"negative parallel", []string{"-parallel", "-3"}, 2, "-parallel must be >= 1"},
+		{"zero shards", []string{"-shards", "0"}, 2, "-shards must be >= 1"},
+		{"infeasible set params", []string{"-algo", "set", "-m", "2048", "-n", "8"}, 1, "raise -n or lower -m"},
+		{"bad input", []string{"-input", "not-an-instance"}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run(context.Background(), c.args, &out, &errOut); code != c.code {
+				t.Fatalf("exit %d, want %d; stderr:\n%s", code, c.code, errOut.String())
+			}
+			if c.frag != "" && !strings.Contains(errOut.String(), c.frag) {
+				t.Fatalf("stderr misses %q:\n%s", c.frag, errOut.String())
+			}
+		})
+	}
+}
+
+// errAfter fails every write past a byte budget — the stand-in for a
+// consumer that dies mid-stream.
+type errAfter struct {
+	n int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *errAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// A mid-stream encoder error aborts the fleet: strun exits 1 with the
+// sink's error instead of hanging or emitting further rows.
+func TestFleetEncoderErrorAborts(t *testing.T) {
+	var errOut strings.Builder
+	out := &errAfter{n: 40} // a few rows, then the sink dies
+	args := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
+		"-trials", "64", "-parallel", "4", "-shards", "2", "-seed", "5"}
+	if code := run(context.Background(), args, out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "sink failed") {
+		t.Fatalf("encoder error not surfaced:\n%s", errOut.String())
+	}
+}
+
+// A cancelled run context (the SIGINT/SIGTERM path) drains the fleet,
+// flushes the partial prefix and exits 130 with an honest footer.
+func TestFleetInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	var out, errOut strings.Builder
-	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
-		t.Fatalf("bad flag: exit %d", code)
+	args := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
+		"-trials", "32", "-seed", "5"}
+	if code := run(ctx, args, &out, &errOut); code != 130 {
+		t.Fatalf("exit %d, want 130; stderr:\n%s", code, errOut.String())
 	}
-	if code := run([]string{"-algo", "bogus"}, &out, &errOut); code != 1 {
-		t.Fatalf("unknown algo: exit %d", code)
+	if !strings.Contains(errOut.String(), "interrupted — partial results:") {
+		t.Fatalf("no partial-results footer on stderr:\n%s", errOut.String())
 	}
-	if code := run([]string{"-input", "not-an-instance"}, &out, &errOut); code != 1 {
-		t.Fatalf("bad input: exit %d", code)
+	if code := run(ctx, []string{"-algo", "relalg", "-m", "16", "-n", "10"}, &out, &errOut); code != 130 {
+		t.Fatalf("relalg under cancelled ctx: exit %d, want 130; stderr:\n%s", code, errOut.String())
 	}
 }

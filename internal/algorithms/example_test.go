@@ -16,7 +16,8 @@ func ExampleSorter() {
 
 	s := algorithms.Sorter{FanIn: 4, RunMemoryBits: 64, Dedup: true}
 	if err := s.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 
 	res := m.Resources()

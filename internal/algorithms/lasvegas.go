@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math/rand"
 
 	"extmem/internal/core"
@@ -66,8 +67,9 @@ func lasVegasAttempt(m *core.Machine, s Sorter, dst int, work []int, scanBudget 
 // (trials.Pool) or a sharded fleet (internal/shard.Launch); nil means
 // a default pool. Every attempt sorts onto tape dst with fan-in
 // tapes−2 (SortLasVegasAuto). If every attempt answers "I don't
-// know", the first attempt's DontKnow result is returned.
-func SortLasVegasRepeated(input []byte, tapes, dst, scanBudget, attempts int, launch trials.Launcher, seed int64) (SortResult, trials.Summary, error) {
+// know", the first attempt's DontKnow result is returned. ctx bounds
+// the fleet (nil means no bound).
+func SortLasVegasRepeated(ctx context.Context, input []byte, tapes, dst, scanBudget, attempts int, launch trials.Launcher, seed int64) (SortResult, trials.Summary, error) {
 	if attempts <= 0 {
 		return SortResult{Verdict: core.DontKnow}, trials.Summary{}, nil
 	}
@@ -75,7 +77,7 @@ func SortLasVegasRepeated(input []byte, tapes, dst, scanBudget, attempts int, la
 		launch = trials.Pool(0)
 	}
 	results := make([]SortResult, attempts)
-	_, sum, err := launch(attempts, seed, nil).Run(
+	_, sum, err := launch(attempts, seed, nil).Run(ctx,
 		func(i int, rng *rand.Rand) trials.Result {
 			m := core.NewMachine(tapes, rng.Int63())
 			m.SetInput(input)

@@ -1,6 +1,10 @@
 package algorithms
 
-import "extmem/internal/core"
+import (
+	"context"
+
+	"extmem/internal/core"
+)
 
 // SortLauncher is the sort-side counterpart of trials.Launcher: one
 // engine sort invocation as an injectable execution shape. A launcher
@@ -14,9 +18,12 @@ import "extmem/internal/core"
 // single-machine engine, so the zero execution shape is always the
 // bitwise-accounted local Sorter.
 //
-// The work tapes are the lanes the single-machine engine would merge
+// The context bounds the invocation: a distributed launcher stops its
+// shard machines when ctx is cancelled and returns the context error
+// (the single-machine engine, which never blocks, may ignore it). The
+// work tapes are the lanes the single-machine engine would merge
 // over; distributed implementations typically ignore them (their
 // machines bring their own tape sets) but receive them so the fan-in
 // the caller resolved — which also fixes the run partitioning — is
 // visible as s.FanIn.
-type SortLauncher func(s Sorter, m *core.Machine, src int, work []int) error
+type SortLauncher func(ctx context.Context, s Sorter, m *core.Machine, src int, work []int) error

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"math/rand"
 
 	"extmem/internal/core"
@@ -41,14 +42,15 @@ type FingerprintErrorEstimate struct {
 // aggregates the Theorem 8(a) error profile. Each trial generates its
 // instance and draws its machine coins from a private rng derived from
 // seed and the trial index, so the estimate is reproducible at any
-// parallelism and shard count.
-func EstimateFingerprintErrors(m, n, nTrials int, launch trials.Launcher, seed int64) (FingerprintErrorEstimate, error) {
+// parallelism and shard count. ctx bounds both fleets (nil means no
+// bound).
+func EstimateFingerprintErrors(ctx context.Context, m, n, nTrials int, launch trials.Launcher, seed int64) (FingerprintErrorEstimate, error) {
 	if launch == nil {
 		launch = trials.Pool(0)
 	}
 	est := FingerprintErrorEstimate{M: m, N: n, Trials: nTrials}
 	fleet := func(root int64, yes bool) (trials.Summary, error) {
-		_, sum, err := launch(nTrials, root, nil).Run(
+		_, sum, err := launch(nTrials, root, nil).Run(ctx,
 			func(_ int, rng *rand.Rand) trials.Result {
 				var in problems.Instance
 				if yes {
@@ -99,12 +101,13 @@ func EstimateFingerprintErrors(m, n, nTrials int, launch trials.Launcher, seed i
 // machine's rng and therefore cannot be parallelized. The fleet runs
 // on launch (nil means a default worker pool). The verdict is Reject
 // iff any repetition rejects (perfect completeness is preserved; the
-// false-accept probability decays exponentially in s).
-func FingerprintRepeatedFleet(input []byte, s int, launch trials.Launcher, seed int64) (core.Verdict, trials.Summary, error) {
+// false-accept probability decays exponentially in s). ctx bounds the
+// fleet (nil means no bound).
+func FingerprintRepeatedFleet(ctx context.Context, input []byte, s int, launch trials.Launcher, seed int64) (core.Verdict, trials.Summary, error) {
 	if launch == nil {
 		launch = trials.Pool(0)
 	}
-	_, sum, err := launch(s, seed, nil).Run(
+	_, sum, err := launch(s, seed, nil).Run(ctx,
 		func(_ int, rng *rand.Rand) trials.Result {
 			m := core.NewMachine(1, rng.Int63())
 			m.SetInput(input)

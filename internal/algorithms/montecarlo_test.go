@@ -14,11 +14,11 @@ import (
 // at 1 worker and at 8, for several root seeds.
 func TestEstimateFingerprintErrorsParallelInvariant(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
-		seq, err := EstimateFingerprintErrors(16, 10, 24, trials.Pool(1), seed)
+		seq, err := EstimateFingerprintErrors(nil, 16, 10, 24, trials.Pool(1), seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := EstimateFingerprintErrors(16, 10, 24, trials.Pool(8), seed)
+		par, err := EstimateFingerprintErrors(nil, 16, 10, 24, trials.Pool(8), seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,7 +32,7 @@ func TestEstimateFingerprintErrorsParallelInvariant(t *testing.T) {
 // completeness, exactly 2 scans, false-accept rate ≤ 1/2 with a CI
 // that contains the point estimate.
 func TestEstimateFingerprintErrorsProfile(t *testing.T) {
-	est, err := EstimateFingerprintErrors(32, 12, 40, trials.Pool(4), 99)
+	est, err := EstimateFingerprintErrors(nil, 32, 12, 40, trials.Pool(4), 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestFingerprintRepeatedFleetCompleteness(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	in := problems.GenMultisetYes(12, 10, rng)
 	for _, par := range []int{1, 8} {
-		v, sum, err := FingerprintRepeatedFleet(in.Encode(), 10, trials.Pool(par), 5)
+		v, sum, err := FingerprintRepeatedFleet(nil, in.Encode(), 10, trials.Pool(par), 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,11 +70,11 @@ func TestFingerprintRepeatedFleetCompleteness(t *testing.T) {
 func TestFingerprintRepeatedFleetSoundness(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	in := problems.GenMultisetNo(12, 10, rng)
-	v1, s1, err := FingerprintRepeatedFleet(in.Encode(), 8, trials.Pool(1), 6)
+	v1, s1, err := FingerprintRepeatedFleet(nil, in.Encode(), 8, trials.Pool(1), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v8, s8, err := FingerprintRepeatedFleet(in.Encode(), 8, trials.Pool(8), 6)
+	v8, s8, err := FingerprintRepeatedFleet(nil, in.Encode(), 8, trials.Pool(8), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFingerprintRepeatedFleetSoundness(t *testing.T) {
 func TestSortLasVegasRepeated(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	in := problems.GenMultisetYes(32, 8, rng)
-	res, sum, err := SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 3, trials.Pool(4), 11)
+	res, sum, err := SortLasVegasRepeated(nil, in.Encode(), 6, 1, 1<<30, 3, trials.Pool(4), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestSortLasVegasRepeated(t *testing.T) {
 	}
 	// A scan budget of 2 is below the Θ(log N) requirement: every
 	// attempt must answer "I don't know", never a wrong output.
-	res, sum, err = SortLasVegasRepeated(in.Encode(), 6, 1, 2, 3, trials.Pool(4), 11)
+	res, sum, err = SortLasVegasRepeated(nil, in.Encode(), 6, 1, 2, 3, trials.Pool(4), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestSortLasVegasRepeated(t *testing.T) {
 		t.Fatalf("tight budget: %v, %+v", res.Verdict, sum)
 	}
 	// Degenerate fleets fail closed.
-	res, _, err = SortLasVegasRepeated(in.Encode(), 6, 1, 1<<30, 0, trials.Pool(4), 11)
+	res, _, err = SortLasVegasRepeated(nil, in.Encode(), 6, 1, 1<<30, 0, trials.Pool(4), 11)
 	if err != nil || res.Verdict != core.DontKnow {
 		t.Fatalf("zero attempts: %v, %v", res.Verdict, err)
 	}

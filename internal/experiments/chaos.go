@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"time"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/faults"
+	"extmem/internal/problems"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// E20FaultTolerance tables the chaos determinism matrix: seed-derived
+// fault plans (internal/faults) injected into the trial fleet and the
+// sharded sort, swept over shard counts and retry policies, with the
+// output bytes compared against the fault-free run throughout. The
+// claim under test is the execution-layer converse of the repo's
+// standing invariant: because every trial row and every sorted range
+// is a pure function of (seed, index), recovery — panic capture,
+// shard retry, coordinator fallback — can only change the attempt
+// census, never a byte of output. Recoverable plans (flaky panics,
+// delays) reproduce the fault-free bytes exactly; a permanent panic
+// plan degrades to a deterministic per-trial error row at exactly the
+// struck site. Attempt/retry tallies that depend on scheduling (how
+// many strikes one engine attempt consumes varies with the worker
+// interleaving) are deliberately kept out of the table, which must be
+// byte-identical at any cfg.Shards × cfg.Parallel.
+func E20FaultTolerance(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var b strings.Builder
+	notes := "PASS: recoverable chaos (flaky panics, delays) never moved a byte at any shard count;\n" +
+		"a permanent panic degraded to a deterministic error row at exactly the struck site;\n" +
+		"sort-side faults recovered with byte-identical output and fault-free resource census."
+
+	// ---- Fleet half: fault plans over the fingerprint trial fleet.
+	n := cfg.fleet(32)
+	fleetSeed := trials.Seed(cfg.Seed, 2000)
+	trial := func(_ int, trng *rand.Rand) trials.Result {
+		fin := problems.GenMultisetNo(4, 12, trng)
+		m := core.NewMachine(1, trng.Int63())
+		m.SetInput(fin.Encode())
+		v, params, err := algorithms.FingerprintMultisetEquality(m)
+		if err != nil {
+			return trials.Result{Err: err.Error()}
+		}
+		return trials.Result{Accept: v == core.Accept, Value: float64(params.P1)}
+	}
+
+	flaky := faults.Plan{Seed: cfg.Seed, Mode: faults.Panic, Rate: 0.1, Flaky: 1}
+	delayed := faults.Plan{Seed: cfg.Seed, Mode: faults.Delay, Rate: 0.25, Delay: 100 * time.Microsecond}
+	perm := faults.Plan{Mode: faults.Panic, Sites: []int{3}}
+	// Every retry of a flaky shard consumes at least one of its sites'
+	// single strikes, so a budget beyond the struck-site count can
+	// never exhaust — the no-fallback guarantee the row asserts.
+	flakyBudget := shard.RetryPolicy{MaxAttempts: len(flaky.StruckSites(n)) + 2}
+	permBudget := shard.RetryPolicy{MaxAttempts: 2}
+
+	baseline, _, err := shard.Fleet{
+		Plan: shard.Plan{Shards: 1, Trials: n}, Parallel: cfg.Parallel, Seed: fleetSeed,
+	}.Run(cfg.ctx(), trial)
+	if err != nil {
+		return failure("E20", "CHAOS-DET", err, core.Reject)
+	}
+
+	fmt.Fprintf(&b, "Chaos fleet: %d fingerprint trials, plan seed %d\n", n, cfg.Seed)
+	row(&b, "%14s %7s %8s %7s %6s %6s %5s %10s", "plan", "shards",
+		"struck", "rec>0", "retry?", "falls", "errs", "rows")
+	fleetPlans := []struct {
+		name   string
+		plan   faults.Plan
+		retry  shard.RetryPolicy
+		degIdx int // site expected to degrade to an error row; -1 = none
+	}{
+		{"none", faults.Plan{}, shard.RetryPolicy{}, -1},
+		{"flaky-panic", flaky, flakyBudget, -1},
+		{"delay", delayed, shard.RetryPolicy{}, -1},
+		{"perm-panic@3", perm, permBudget, 3},
+	}
+	for _, fp := range fleetPlans {
+		struck := fp.plan.StruckSites(n)
+		for _, shards := range []int{1, 2, 4} {
+			launch := fp.plan.Trials(shard.LaunchRetry(shards, cfg.Parallel, fp.retry))
+			rs, sum, err := launch(n, fleetSeed, nil).Run(cfg.ctx(), trial)
+			// A nil result slice is a hard failure (unrecovered panic,
+			// cancellation); a non-nil err alongside rows is the standing
+			// FirstErr contract — exactly what the degraded perm-panic
+			// plan is expected to produce.
+			if rs == nil {
+				return failure("E20", "CHAOS-DET", err, core.Reject)
+			}
+			// What the rows should be: the fault-free baseline, except a
+			// permanently struck site degrades to its deterministic
+			// recovered-panic error row.
+			rowsOK := true
+			for i, r := range rs {
+				if i == fp.degIdx {
+					rowsOK = rowsOK && strings.HasPrefix(r.Err, "recovered panic:")
+				} else {
+					rowsOK = rowsOK && reflect.DeepEqual(r, baseline[i])
+				}
+			}
+			rowsCol := "≡"
+			if fp.degIdx >= 0 {
+				rowsCol = fmt.Sprintf("deg@%d", fp.degIdx)
+			}
+			if !rowsOK {
+				rowsCol = "DIFF"
+				notes = fmt.Sprintf("FAIL: plan %s at %d shards changed rows beyond its strike schedule.", fp.name, shards)
+			}
+			// Scheduling-independent recovery facts only: whether any
+			// panic was recovered, whether any retry happened, fallback
+			// and error-row counts. (Exact retry tallies depend on how
+			// many strikes one engine attempt consumed — bounded, but
+			// not schedule-free.)
+			wantRec := fp.plan.Mode == faults.Panic && len(struck) > 0
+			if (sum.Recovered > 0) != wantRec {
+				notes = fmt.Sprintf("FAIL: plan %s at %d shards: recovered>0 = %v, want %v.",
+					fp.name, shards, sum.Recovered > 0, wantRec)
+			}
+			wantFalls := 0
+			if fp.degIdx >= 0 {
+				wantFalls = 1
+			}
+			if sum.Fallbacks != wantFalls {
+				notes = fmt.Sprintf("FAIL: plan %s at %d shards: %d fallbacks, want %d.",
+					fp.name, shards, sum.Fallbacks, wantFalls)
+			}
+			row(&b, "%14s %7d %8d %7v %6v %6d %5d %10s", fp.name, shards,
+				len(struck), sum.Recovered > 0, sum.Retries > 0 || sum.Recovered > sum.Fallbacks,
+				sum.Fallbacks, sum.Errors, rowsCol)
+		}
+	}
+
+	// ---- Sort half: shard-targeted fault plans over the sharded sort.
+	in := problems.GenMultisetYes(256, 16, rng) // 512 items of 16 bits
+	enc := in.Encode()
+	const (
+		fanIn  = 4
+		runMem = 1024
+	)
+	cleanOut, cleanRep, err := shard.Sort{Shards: 2, FanIn: fanIn, RunMemoryBits: runMem}.
+		Run(cfg.ctx(), enc, cfg.Seed)
+	if err != nil {
+		return failure("E20", "CHAOS-DET", err, core.Reject)
+	}
+	_ = cleanRep
+
+	fmt.Fprintf(&b, "\nChaos sort: %d items × 16 bits, fan-in %d, run memory %d bits; faults target shard 0\n",
+		512, fanIn, runMem)
+	row(&b, "%14s %7s %7s %9s %5s %6s %8s %8s", "plan", "shards", "budget",
+		"attempts", "rec", "falls", "output≡", "census≡")
+	sortPlans := []struct {
+		name             string
+		plan             faults.Plan
+		budget           int
+		extra, rec, fall int // expected deltas over the fault-free run
+	}{
+		{"none", faults.Plan{}, 1, 0, 0, 0},
+		{"flaky-panic@0", faults.Plan{Mode: faults.Panic, Sites: []int{0}, Flaky: 1}, 2, 1, 1, 0},
+		{"perm-panic@0", faults.Plan{Mode: faults.Panic, Sites: []int{0}}, 2, 2, 2, 1},
+		{"perm-error@0", faults.Plan{Mode: faults.Error, Sites: []int{0}}, 1, 1, 0, 1},
+	}
+	for _, sp := range sortPlans {
+		for _, shards := range []int{2, 4} {
+			clean, cleanR, err := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem}.
+				Run(cfg.ctx(), enc, cfg.Seed)
+			if err != nil {
+				return failure("E20", "CHAOS-DET", err, core.Reject)
+			}
+			out, rep, err := shard.Sort{
+				Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
+				Retry:  shard.RetryPolicy{MaxAttempts: sp.budget},
+				Inject: sp.plan.ShardInject(),
+			}.Run(cfg.ctx(), enc, cfg.Seed)
+			if err != nil {
+				return failure("E20", "CHAOS-DET", err, core.Reject)
+			}
+			outEq := bytes.Equal(out, cleanOut) && bytes.Equal(out, clean)
+			censusEq := reflect.DeepEqual(rep.Shards, cleanR.Shards) &&
+				reflect.DeepEqual(rep.Merge, cleanR.Merge)
+			row(&b, "%14s %7d %7d %9d %5d %6d %8v %8v", sp.name, shards, sp.budget,
+				rep.Attempts, rep.Recovered, rep.Fallbacks, outEq, censusEq)
+			if !outEq {
+				notes = fmt.Sprintf("FAIL: sort plan %s at %d shards changed the output bytes.", sp.name, shards)
+			}
+			if !censusEq {
+				notes = fmt.Sprintf("FAIL: sort plan %s at %d shards changed the successful-attempt census.", sp.name, shards)
+			}
+			if rep.Attempts != shards+sp.extra || rep.Recovered != sp.rec || rep.Fallbacks != sp.fall {
+				notes = fmt.Sprintf("FAIL: sort plan %s at %d shards: census (a=%d r=%d f=%d), want (a=%d r=%d f=%d).",
+					sp.name, shards, rep.Attempts, rep.Recovered, rep.Fallbacks,
+					shards+sp.extra, sp.rec, sp.fall)
+			}
+		}
+	}
+
+	return Result{
+		ID:    "E20",
+		Title: "fault-tolerant execution (chaos determinism matrix)",
+		Claim: "index-pure randomness makes recovery semantics-free: injected faults under retry/fallback move the attempt census, never the output bytes",
+		Table: b.String(),
+		Notes: notes,
+	}
+}

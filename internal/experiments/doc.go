@@ -26,6 +26,7 @@
 //	E17  Definition 1     sort-engine r-vs-(s, t) trade-off frontier
 //	E18  (systems)        sharded execution: byte-identical outputs, per-shard (r, s, t)
 //	E19  (systems)        sharded relational query evaluation: shards × fan-in frontier
+//	E20  (systems)        fault-tolerant execution: chaos determinism matrix
 //
 // Monte-Carlo experiments (E2, E5, E6, E7, E8, E14, E16, E18) run
 // their trial fleets on the sharded execution layer (internal/shard
@@ -40,4 +41,12 @@
 // shard count, and E19 sweeps the sharded query frontier (its table,
 // like E18's, sweeps execution shapes internally and is byte-
 // identical at any configuration).
+//
+// Fault injection is one more execution shape: Config.Faults (an
+// internal/faults.Plan) wraps every fleet's launcher and the sharded
+// evaluators' chaos hooks, and Config.Retry sets the per-shard retry
+// budget. Recoverable plans — flaky panics under a sufficient budget,
+// delays — cannot move a byte of any table; E20 sweeps fault plans
+// against retry policies and verifies exactly that, alongside the
+// degraded-fallback semantics of permanent failures.
 package experiments

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
+	"extmem/internal/faults"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
 	"extmem/internal/trials"
@@ -20,6 +22,29 @@ type Config struct {
 	Trials   int   // Monte-Carlo fleet size per experiment side; 0 = per-experiment default
 	Parallel int   // trial workers per shard; <= 0 = GOMAXPROCS. Never affects output bytes.
 	Shards   int   // trial-fleet shards (internal/shard); <= 0 = 1. Never affects output bytes.
+
+	// Ctx bounds every trial fleet and sharded sort of the run; nil
+	// means no bound.
+	Ctx context.Context
+
+	// Faults is the chaos plan injected into every trial fleet (trial
+	// indices as fault sites) and every sharded operator sort (shard
+	// indices as fault sites) of the run. The zero plan is fault-free;
+	// a recoverable plan (flaky panics, delays) under a sufficient
+	// Retry budget never changes an output byte.
+	Faults faults.Plan
+
+	// Retry is the per-shard retry budget trial fleets and sharded
+	// sorts run under; the zero policy attempts each shard once.
+	Retry shard.RetryPolicy
+}
+
+// ctx is the run's bounding context (Background when unset).
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // fleet resolves the fleet size against an experiment's default.
@@ -40,10 +65,11 @@ func (c Config) ShardCount() int {
 
 // launch builds the sharded fleet launcher every Monte-Carlo
 // experiment runs on: per-trial results are pure functions of (seed,
-// global trial index), so neither Shards nor Parallel can change a
-// table byte.
+// global trial index), so neither Shards nor Parallel — nor a
+// recoverable fault plan under the retry budget — can change a table
+// byte.
 func (c Config) launch() trials.Launcher {
-	return shard.Launch(c.ShardCount(), c.Parallel)
+	return c.Faults.Trials(shard.LaunchRetry(c.ShardCount(), c.Parallel, c.Retry))
 }
 
 // probeLaunch is the launcher for the E16 collision probes: nil —
@@ -105,7 +131,7 @@ type Runner struct {
 	Run func(Config) Result
 }
 
-// Runners lists the full E1–E19 suite in order.
+// Runners lists the full E1–E20 suite in order.
 func Runners() []Runner {
 	return []Runner{
 		{"E1", E1DeterministicUpperBound},
@@ -127,6 +153,7 @@ func Runners() []Runner {
 		{"E17", E17SortTradeoff},
 		{"E18", E18ShardedExecution},
 		{"E19", E19ShardedQueries},
+		{"E20", E20FaultTolerance},
 	}
 }
 
@@ -195,7 +222,7 @@ func E2Fingerprint(cfg Config) Result {
 	row(&b, "%8s %10s %7s %10s %12s %16s %20s", "m", "N", "scans", "mem bits", "yes-errors", "false-accepts", "false-acc 95% CI")
 	notes := "PASS: 2 scans, O(log N) bits, perfect completeness, false-accept rate ≪ 1/2."
 	for i, mSize := range []int{8, 64, 512} {
-		est, err := algorithms.EstimateFingerprintErrors(
+		est, err := algorithms.EstimateFingerprintErrors(cfg.ctx(),
 			mSize, 12, cfg.fleet(60), cfg.launch(), trials.Seed(cfg.Seed, 200+i))
 		if err != nil {
 			return failure("E2", "T8A-FP", err, core.Reject)
@@ -301,7 +328,7 @@ func E5Sort(cfg Config) Result {
 	notes := "PASS: the success threshold tracks Θ(log N) — below it the sorter answers \"don't know\"."
 	for i, mSize := range []int{8, 64, 512, 4096} {
 		in := problems.GenMultisetYes(mSize, 12, rng)
-		res, sum, err := algorithms.SortLasVegasRepeated(
+		res, sum, err := algorithms.SortLasVegasRepeated(cfg.ctx(),
 			in.Encode(), 6, 1, 1<<30,
 			cfg.fleet(2), cfg.launch(), trials.Seed(cfg.Seed, 500+i))
 		if err != nil {

@@ -44,8 +44,10 @@ func E6RelAlg(cfg Config) Result {
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
 		}
-		sharded, err := relalg.Evaluator{Shards: cfg.ShardCount(), Seed: cfg.Seed}.
-			EvalST(q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		sharded, err := relalg.Evaluator{
+			Shards: cfg.ShardCount(), Seed: cfg.Seed,
+			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+		}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
 		}
@@ -72,7 +74,7 @@ func E6RelAlg(cfg Config) Result {
 	// byte-identical at any Shards × Parallel.
 	nTrials := cfg.fleet(24)
 	shards := cfg.ShardCount()
-	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 600), nil).Run(
+	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 600), nil).Run(cfg.ctx(),
 		func(i int, trng *rand.Rand) trials.Result {
 			var fin problems.Instance
 			if i%2 == 0 {
@@ -82,7 +84,7 @@ func E6RelAlg(cfg Config) Result {
 			}
 			fdb := relalg.InstanceDB(fin)
 			fr, err := relalg.Evaluator{Shards: shards, Seed: trng.Int63()}.
-				EvalST(q, fdb, core.NewMachine(relalg.NumQueryTapes, trng.Int63()))
+				EvalST(nil, q, fdb, core.NewMachine(relalg.NumQueryTapes, trng.Int63()))
 			if err != nil {
 				return trials.Result{Err: err.Error()}
 			}
@@ -142,7 +144,7 @@ func E7XQuery(cfg Config) Result {
 	}
 	// Random-instance agreement fleet on the sharded execution layer.
 	nTrials := cfg.fleet(32)
-	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 700), nil).Run(
+	_, sum, err := cfg.launch()(nTrials, trials.Seed(cfg.Seed, 700), nil).Run(cfg.ctx(),
 		func(i int, trng *rand.Rand) trials.Result {
 			var fin problems.Instance
 			if i%2 == 0 {
@@ -212,14 +214,14 @@ func E8XPath(cfg Config) Result {
 	yes := problems.GenSetYes(8, 10, rng)
 	nTrials := cfg.fleet(400)
 	launch := cfg.launch()
-	_, yesSum, err := launch(nTrials, trials.Seed(cfg.Seed, 800), nil).Run(
+	_, yesSum, err := launch(nTrials, trials.Seed(cfg.Seed, 800), nil).Run(cfg.ctx(),
 		func(_ int, trng *rand.Rand) trials.Result {
 			return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, yes, trng)}
 		})
 	if err != nil {
 		return failure("E8", "T13-XPATH", err, core.Reject)
 	}
-	_, noSum, err := launch(nTrials, trials.Seed(cfg.Seed, 801), nil).Run(
+	_, noSum, err := launch(nTrials, trials.Seed(cfg.Seed, 801), nil).Run(cfg.ctx(),
 		func(_ int, trng *rand.Rand) trials.Result {
 			no := problems.GenSetNo(8, 10, trng)
 			return trials.Result{Accept: xpath.SetEqualityViaFilter(noisy, no, trng)}

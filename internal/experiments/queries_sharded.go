@@ -37,7 +37,7 @@ func E19ShardedQueries(cfg Config) Result {
 	// Single-machine baseline: the same engine configuration on the
 	// query machine alone (the Theorem 11 evaluator).
 	base := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
-	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem}.EvalST(q, db, base)
+	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem}.EvalST(cfg.ctx(), q, db, base)
 	if err != nil {
 		return failure("E19", "SHARD-QUERY", err, core.Reject)
 	}
@@ -60,9 +60,10 @@ func E19ShardedQueries(cfg Config) Result {
 			ev := relalg.Evaluator{
 				Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 				Seed: cfg.Seed, Report: rep,
+				Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
 			}
 			m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
-			r, err := ev.EvalST(q, db, m)
+			r, err := ev.EvalST(cfg.ctx(), q, db, m)
 			if err != nil {
 				return failure("E19", "SHARD-QUERY", err, core.Reject)
 			}
@@ -117,7 +118,8 @@ func E19ShardedQueries(cfg Config) Result {
 	// evaluation at cfg.Shards shards must reproduce the same bytes.
 	cfgRel, err := relalg.Evaluator{
 		Shards: cfg.ShardCount(), RunMemoryBits: runMem, Seed: cfg.Seed,
-	}.EvalST(q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+	}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
 	if err != nil {
 		return failure("E19", "SHARD-QUERY", err, core.Reject)
 	}

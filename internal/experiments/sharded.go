@@ -55,7 +55,10 @@ func E18ShardedExecution(cfg Config) Result {
 		"sum(scans) ≥ single-machine scans and max(shard memory) ≤ single-machine memory —\n" +
 		"sharding buys critical-path time with total work, never with the answer."
 	for _, shards := range []int{1, 2, 4} {
-		out, rep, err := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem}.Run(enc, cfg.Seed)
+		out, rep, err := shard.Sort{
+			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
+			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
 		}
@@ -105,7 +108,8 @@ func E18ShardedExecution(cfg Config) Result {
 			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
 			Parallel: cfg.Parallel,
 			Seed:     fleetSeed,
-		}.Run(trial)
+			Retry:    cfg.Retry,
+		}.Run(cfg.ctx(), trial)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
 		}

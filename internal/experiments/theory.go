@@ -232,7 +232,7 @@ func E14PrimeCollision(cfg Config) Result {
 		if err != nil {
 			return failure("E14", "CLAIM1", err, core.Reject)
 		}
-		_, sum, err := cfg.launch()(cfg.fleet(300), trials.Seed(cfg.Seed, 1400+i), nil).Run(
+		_, sum, err := cfg.launch()(cfg.fleet(300), trials.Seed(cfg.Seed, 1400+i), nil).Run(cfg.ctx(),
 			func(_ int, rng *rand.Rand) trials.Result {
 				in := problems.GenMultisetNo(m, n, rng)
 				p, err := numeric.RandomPrimeUpTo(k, rng)
@@ -352,7 +352,7 @@ func E16Adversary(cfg Config) Result {
 	}
 	for _, mc := range machines {
 		halves := lowerbound.RandomHalves(mc.pro, 4, 8, rng)
-		col, found := lowerbound.FindCollisionParallel(mc.mk, halves, cfg.probeLaunch())
+		col, found := lowerbound.FindCollisionParallel(cfg.ctx(), mc.mk, halves, cfg.probeLaunch())
 		fooled := false
 		if found {
 			var err error

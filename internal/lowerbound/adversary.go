@@ -1,6 +1,7 @@
 package lowerbound
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -120,13 +121,13 @@ func feedHalf(sm StreamMachine, h problems.Instance) string {
 // nil means a default pool), the state key each candidate half drives
 // a fresh machine into. The probes draw no randomness; the keys come
 // back in half order, so the result is independent of the worker and
-// shard counts.
-func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, launch trials.Launcher) []string {
+// shard counts. ctx bounds the probe fleet (nil means no bound).
+func ProbeStateKeys(ctx context.Context, mk StreamFactory, halves []problems.Instance, launch trials.Launcher) []string {
 	if launch == nil {
 		launch = trials.Pool(0)
 	}
 	keys := make([]string, len(halves))
-	launch(len(halves), 0, nil).Run(
+	launch(len(halves), 0, nil).Run(ctx,
 		func(i int, _ *rand.Rand) trials.Result {
 			keys[i] = feedHalf(mk(), halves[i])
 			return trials.Result{}
@@ -141,12 +142,12 @@ func ProbeStateKeys(mk StreamFactory, halves []problems.Instance, launch trials.
 // over the probed keys is still performed in order. Fanned-out probing
 // visits every half even when an early collision exists — the price of
 // parallelism — so a nil launch selects the early-exiting sequential
-// scan instead of a default pool.
-func FindCollisionParallel(mk StreamFactory, halves []problems.Instance, launch trials.Launcher) (*Collision, bool) {
+// scan instead of a default pool. ctx bounds the probe fleet.
+func FindCollisionParallel(ctx context.Context, mk StreamFactory, halves []problems.Instance, launch trials.Launcher) (*Collision, bool) {
 	if launch == nil {
 		return FindCollision(mk(), halves)
 	}
-	keys := ProbeStateKeys(mk, halves, launch)
+	keys := ProbeStateKeys(ctx, mk, halves, launch)
 	seen := map[string]int{}
 	for idx, key := range keys {
 		if prev, ok := seen[key]; ok {

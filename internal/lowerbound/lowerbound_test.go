@@ -279,7 +279,7 @@ func TestFindCollisionParallelMatchesSequential(t *testing.T) {
 		"pool-8":         trials.Pool(8),
 	}
 	for name, launch := range launchers {
-		got, found := FindCollisionParallel(func() StreamMachine { return NewHashStream(10, m) }, halves, launch)
+		got, found := FindCollisionParallel(nil, func() StreamMachine { return NewHashStream(10, m) }, halves, launch)
 		if found != foundSeq {
 			t.Fatalf("%s: found=%v, sequential found=%v", name, found, foundSeq)
 		}
@@ -294,7 +294,7 @@ func TestFindCollisionParallelMatchesSequential(t *testing.T) {
 func TestProbeStateKeysOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(86))
 	halves := RandomHalves(64, 3, 6, rng)
-	keys := ProbeStateKeys(func() StreamMachine { return NewCommutativeHashStream(12, 3) }, halves, trials.Pool(8))
+	keys := ProbeStateKeys(nil, func() StreamMachine { return NewCommutativeHashStream(12, 3) }, halves, trials.Pool(8))
 	sm := NewCommutativeHashStream(12, 3)
 	for i, h := range halves {
 		if got := feedHalf(sm, h); got != keys[i] {

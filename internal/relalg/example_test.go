@@ -20,9 +20,10 @@ func ExampleEvaluator() {
 	rep := &relalg.QueryReport{}
 	ev := relalg.Evaluator{Shards: 2, Report: rep}
 	m := core.NewMachine(relalg.NumQueryTapes, 1)
-	r, err := ev.EvalST(relalg.SymmetricDifference("R1", "R2"), db, m)
+	r, err := ev.EvalST(nil, relalg.SymmetricDifference("R1", "R2"), db, m)
 	if err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 	fmt.Printf("Q' = %v\n", r.Tuples)
 	fmt.Printf("operator sorts: %d\n", len(rep.Sorts))

@@ -136,12 +136,12 @@ func FuzzShardedSortDedup(f *testing.F) {
 		var err error
 		if dedup {
 			var r *Relation
-			r, err = ev.EvalST(Scan{Rel: "R"}, DB{"R": rel}, m)
+			r, err = ev.EvalST(nil, Scan{Rel: "R"}, DB{"R": rel}, m)
 			if r != nil {
 				got = r.Tuples
 			}
 		} else {
-			got, err = ev.Sorted(m, rel)
+			got, err = ev.Sorted(nil, m, rel)
 		}
 		if err != nil {
 			t.Fatalf("shards=%d fanIn=%d mem=%d dedup=%v: %v",
@@ -191,7 +191,7 @@ func FuzzShardedSymmetricDifference(f *testing.F) {
 		}
 		ev := fuzzEvaluator(shards, fanIn, mem)
 		m := core.NewMachine(NumQueryTapes, 1)
-		got, err := ev.EvalST(q, db, m)
+		got, err := ev.EvalST(nil, q, db, m)
 		if err != nil {
 			t.Fatalf("shards=%d fanIn=%d mem=%d: %v", ev.Shards, ev.FanIn, ev.RunMemoryBits, err)
 		}
@@ -207,7 +207,7 @@ func FuzzShardedSymmetricDifference(f *testing.F) {
 		// The machine-backed set-equality decision must agree with the
 		// in-memory one — and with Q' emptiness.
 		me := core.NewMachine(NumQueryTapes, 1)
-		eq, err := ev.EqualSet(me, db["R1"], db["R2"])
+		eq, err := ev.EqualSet(nil, me, db["R1"], db["R2"])
 		if err != nil {
 			t.Fatal(err)
 		}

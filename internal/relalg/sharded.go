@@ -16,6 +16,7 @@ package relalg
 // per-shard in QueryReport rather than blurred into the coordinator.
 
 import (
+	"context"
 	"fmt"
 
 	"extmem/internal/algorithms"
@@ -49,6 +50,18 @@ type Evaluator struct {
 	// randomized shard step).
 	Seed int64
 
+	// Retry is the per-shard retry policy of operator sorts on the
+	// sharded path: a shard attempt that fails (an injected fault, a
+	// recovered panic) is re-attempted up to the budget, then the
+	// coordinator re-runs the range itself — the query result is
+	// byte-identical throughout. The zero policy attempts once.
+	Retry shard.RetryPolicy
+
+	// Inject, when non-nil, is the chaos hook of the sharded path (see
+	// shard.Sort.Inject): consulted before every shard-local sort
+	// attempt, never by the coordinator's fallback.
+	Inject shard.InjectFunc
+
 	// Launch, when non-nil, overrides the sort execution entirely —
 	// the trials.Launcher pattern on the sort side. Shards is then
 	// ignored; nil together with Shards == 0 selects the
@@ -66,38 +79,40 @@ type Evaluator struct {
 // execution shape, returning the result relation. The result is
 // byte-identical at every shard count; with the zero Evaluator the
 // machine's resource report is also bitwise-identical to the
-// historical single-machine evaluator.
-func (ev Evaluator) EvalST(e Expr, db DB, m *core.Machine) (*Relation, error) {
-	ctx, err := ev.newCtx(m)
+// historical single-machine evaluator. ctx bounds the evaluation's
+// sharded sorts (nil means no bound; the single-machine engine, which
+// never blocks, ignores it).
+func (ev Evaluator) EvalST(ctx context.Context, e Expr, db DB, m *core.Machine) (*Relation, error) {
+	ec, err := ev.newCtx(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	ctx.db = db
-	idx, schema, err := ctx.eval(e)
+	ec.db = db
+	idx, schema, err := ec.eval(e)
 	if err != nil {
 		return nil, err
 	}
-	defer ctx.release(idx)
+	defer ec.release(idx)
 	return readRelationTape(m, idx, schema)
 }
 
 // Sorted returns the relation's tuples sorted by their encoded form
 // (duplicates kept), computed on the machine through the evaluator's
 // sort path — the ST-model counterpart of Relation.Sorted.
-func (ev Evaluator) Sorted(m *core.Machine, r *Relation) ([]Tuple, error) {
-	ctx, err := ev.newCtx(m)
+func (ev Evaluator) Sorted(ctx context.Context, m *core.Machine, r *Relation) ([]Tuple, error) {
+	ec, err := ev.newCtx(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := ctx.acquire()
+	idx, err := ec.acquire()
 	if err != nil {
 		return nil, err
 	}
-	defer ctx.release(idx)
+	defer ec.release(idx)
 	if err := writeRelationTape(m, idx, r); err != nil {
 		return nil, err
 	}
-	if err := ctx.engineSort(idx, false); err != nil {
+	if err := ec.engineSort(idx, false); err != nil {
 		return nil, err
 	}
 	out, err := readRelationTape(m, idx, r.Schema)
@@ -112,21 +127,21 @@ func (ev Evaluator) Sorted(m *core.Machine, r *Relation) ([]Tuple, error) {
 // sides are sorted and deduplicated (sharded when the evaluator is),
 // then compared in one lockstep scan — the ST-model counterpart of
 // Relation.EqualSet.
-func (ev Evaluator) EqualSet(m *core.Machine, a, b *Relation) (bool, error) {
-	ctx, err := ev.newCtx(m)
+func (ev Evaluator) EqualSet(ctx context.Context, m *core.Machine, a, b *Relation) (bool, error) {
+	ec, err := ev.newCtx(ctx, m)
 	if err != nil {
 		return false, err
 	}
-	ia, err := ctx.acquire()
+	ia, err := ec.acquire()
 	if err != nil {
 		return false, err
 	}
-	defer ctx.release(ia)
-	ib, err := ctx.acquire()
+	defer ec.release(ia)
+	ib, err := ec.acquire()
 	if err != nil {
 		return false, err
 	}
-	defer ctx.release(ib)
+	defer ec.release(ib)
 	for _, p := range []struct {
 		idx int
 		rel *Relation
@@ -134,7 +149,7 @@ func (ev Evaluator) EqualSet(m *core.Machine, a, b *Relation) (bool, error) {
 		if err := writeRelationTape(m, p.idx, p.rel); err != nil {
 			return false, err
 		}
-		if err := ctx.engineSort(p.idx, true); err != nil {
+		if err := ec.engineSort(p.idx, true); err != nil {
 			return false, err
 		}
 	}
@@ -163,22 +178,26 @@ func (ev Evaluator) EqualSet(m *core.Machine, a, b *Relation) (bool, error) {
 	}
 }
 
-// newCtx builds the evaluation context: the tape free-list plus the
-// resolved sort launcher.
-func (ev Evaluator) newCtx(m *core.Machine) (*evalCtx, error) {
+// newCtx builds the evaluation context: the bounding context, the
+// tape free-list and the resolved sort launcher.
+func (ev Evaluator) newCtx(ctx context.Context, m *core.Machine) (*evalCtx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if m.NumTapes() < NumQueryTapes {
 		return nil, fmt.Errorf("relalg: machine has %d tapes, need %d", m.NumTapes(), NumQueryTapes)
 	}
-	ctx := &evalCtx{m: m, ev: ev, launch: ev.launcher()}
+	ec := &evalCtx{ctx: ctx, m: m, ev: ev, launch: ev.launcher()}
 	for i := m.NumTapes() - 1; i >= firstPool; i-- {
-		ctx.free = append(ctx.free, i)
+		ec.free = append(ec.free, i)
 	}
-	return ctx, nil
+	return ec, nil
 }
 
 // launcher resolves the evaluator's sort execution shape: an explicit
-// Launch wins, Shards >= 1 selects the sharded path, and the zero
-// shape is nil — the single-machine engine.
+// Launch wins, Shards >= 1 selects the sharded path (with the
+// evaluator's retry policy and chaos hook), and the zero shape is nil
+// — the single-machine engine.
 func (ev Evaluator) launcher() algorithms.SortLauncher {
 	if ev.Launch != nil {
 		return ev.Launch
@@ -188,7 +207,11 @@ func (ev Evaluator) launcher() algorithms.SortLauncher {
 		if ev.Report != nil {
 			onReport = ev.Report.record
 		}
-		return shard.LaunchSort(ev.Shards, ev.Seed, onReport)
+		return shard.Sort{
+			Shards: ev.Shards,
+			Retry:  ev.Retry,
+			Inject: ev.Inject,
+		}.Launcher(ev.Seed, onReport)
 	}
 	return nil
 }

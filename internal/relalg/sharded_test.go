@@ -1,6 +1,7 @@
 package relalg
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -55,7 +56,7 @@ func TestShardedEvalSTMatchesEngine(t *testing.T) {
 				rep := &QueryReport{}
 				ev := Evaluator{Shards: shards, Report: rep}
 				sm := core.NewMachine(NumQueryTapes, 1)
-				got, err := ev.EvalST(q, db, sm)
+				got, err := ev.EvalST(nil, q, db, sm)
 				if err != nil {
 					t.Fatalf("%v shards=%d: %v", q, shards, err)
 				}
@@ -95,7 +96,7 @@ func TestShardedQueryRollupInvariants(t *testing.T) {
 	const runMem = 256 // 16-item runs: the scan sorts form 16 runs each
 
 	single := core.NewMachine(NumQueryTapes, 1)
-	if _, err := (Evaluator{RunMemoryBits: runMem}).EvalST(q, db, single); err != nil {
+	if _, err := (Evaluator{RunMemoryBits: runMem}).EvalST(nil, q, db, single); err != nil {
 		t.Fatal(err)
 	}
 	singlePeak := single.Resources().PeakMemoryBits
@@ -105,7 +106,7 @@ func TestShardedQueryRollupInvariants(t *testing.T) {
 	for _, shards := range []int{1, 2, 4} {
 		rep := &QueryReport{}
 		m := core.NewMachine(NumQueryTapes, 1)
-		if _, err := (Evaluator{Shards: shards, RunMemoryBits: runMem, Report: rep}).EvalST(q, db, m); err != nil {
+		if _, err := (Evaluator{Shards: shards, RunMemoryBits: runMem, Report: rep}).EvalST(nil, q, db, m); err != nil {
 			t.Fatal(err)
 		}
 		if oneShard == nil {
@@ -154,7 +155,7 @@ func TestEvaluatorSortedMatchesInMemory(t *testing.T) {
 		want := rel.Sorted()
 		for _, shards := range []int{0, 1, 3} {
 			m := core.NewMachine(NumQueryTapes, 1)
-			got, err := Evaluator{Shards: shards}.Sorted(m, rel)
+			got, err := Evaluator{Shards: shards}.Sorted(nil, m, rel)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -188,7 +189,7 @@ func TestEvaluatorEqualSetMatchesInMemory(t *testing.T) {
 		want := db["R1"].EqualSet(db["R2"])
 		for _, shards := range []int{0, 2, 4} {
 			m := core.NewMachine(NumQueryTapes, 1)
-			got, err := Evaluator{Shards: shards}.EqualSet(m, db["R1"], db["R2"])
+			got, err := Evaluator{Shards: shards}.EqualSet(nil, m, db["R1"], db["R2"])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -219,7 +220,7 @@ func TestSortLauncherInjection(t *testing.T) {
 
 	calls := 0
 	var reps []shard.SortReport
-	launch := func(s algorithms.Sorter, m *core.Machine, src int, work []int) error {
+	launch := func(_ context.Context, s algorithms.Sorter, m *core.Machine, src int, work []int) error {
 		calls++
 		if !s.Dedup {
 			t.Errorf("operator sort %d arrived without the dedup hook", calls)
@@ -229,14 +230,14 @@ func TestSortLauncherInjection(t *testing.T) {
 		}
 		rep, err := shard.Sort{
 			Shards: 3, FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits, Dedup: s.Dedup,
-		}.SortTape(m, src, 1)
+		}.SortTape(nil, m, src, 1)
 		if err == nil {
 			reps = append(reps, rep)
 		}
 		return err
 	}
 	// Shards is ignored when Launch is set: the injected shape wins.
-	got, err := Evaluator{Shards: 99, Launch: launch}.EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+	got, err := Evaluator{Shards: 99, Launch: launch}.EvalST(nil, q, db, core.NewMachine(NumQueryTapes, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestZeroEvaluatorBitwiseIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			m2 := core.NewMachine(NumQueryTapes, 1)
-			r2, err := Evaluator{}.EvalST(q, db, m2)
+			r2, err := Evaluator{}.EvalST(nil, q, db, m2)
 			if err != nil {
 				t.Fatal(err)
 			}

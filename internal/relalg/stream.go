@@ -2,6 +2,7 @@ package relalg
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"extmem/internal/algorithms"
@@ -41,6 +42,7 @@ const (
 // evalCtx carries the machine, the tape free-list and the execution
 // shape (the Evaluator that built it).
 type evalCtx struct {
+	ctx    context.Context // bounds the evaluation; cancellation stops sharded sorts
 	m      *core.Machine
 	db     DB
 	free   []int
@@ -66,7 +68,7 @@ func (c *evalCtx) release(idx int) { c.free = append(c.free, idx) }
 // with Shards >= 1 (or an injected Launch) to run the operator sorts
 // on the sharded execution layer instead.
 func EvalST(e Expr, db DB, m *core.Machine) (*Relation, error) {
-	return Evaluator{}.EvalST(e, db, m)
+	return Evaluator{}.EvalST(context.Background(), e, db, m)
 }
 
 // eval returns the tape index holding the (deduplicated) result and
@@ -278,7 +280,7 @@ func (c *evalCtx) engineSort(idx int, dedup bool) error {
 		Dedup:         dedup,
 	}
 	if c.launch != nil {
-		return c.launch(s, c.m, idx, work)
+		return c.launch(c.ctx, s, c.m, idx, work)
 	}
 	return s.Sort(c.m, idx, work)
 }

@@ -19,7 +19,7 @@ func BenchmarkShardedSort(b *testing.B) {
 			b.ReportAllocs()
 			s := Sort{Shards: shards, FanIn: 4, RunMemoryBits: 4096}
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.Run(input, 1); err != nil {
+				if _, _, err := s.Run(nil, input, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -36,7 +36,7 @@ func BenchmarkShardedFleet(b *testing.B) {
 			b.ReportAllocs()
 			f := Fleet{Plan: Plan{Shards: shards, Trials: 1024}, Parallel: 2, Seed: 1}
 			for i := 0; i < b.N; i++ {
-				if _, _, err := f.Run(workload); err != nil {
+				if _, _, err := f.Run(nil, workload); err != nil {
 					b.Fatal(err)
 				}
 			}

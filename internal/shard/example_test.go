@@ -17,17 +17,19 @@ func ExampleFleet() {
 	fn := func(i int, rng *rand.Rand) trials.Result {
 		return trials.Result{Value: float64(rng.Intn(1000))}
 	}
-	single, _, err := trials.Engine{Trials: 6, Parallel: 1, Seed: 42}.Run(fn)
+	single, _, err := trials.Engine{Trials: 6, Parallel: 1, Seed: 42}.Run(nil, fn)
 	if err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 	sharded, _, err := shard.Fleet{
 		Plan:     shard.Plan{Shards: 3, Trials: 6},
 		Parallel: 2,
 		Seed:     42,
-	}.Run(fn)
+	}.Run(nil, fn)
 	if err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 	fmt.Println("identical to single engine:", reflect.DeepEqual(single, sharded))
 	for _, r := range (shard.Plan{Shards: 3, Trials: 6}).Ranges() {
@@ -46,9 +48,10 @@ func ExampleFleet() {
 // canonical — while the reports show where the work happened.
 func ExampleSort() {
 	input := []byte("0110#0001#1011#0001#0100#1000#")
-	out, rep, err := shard.Sort{Shards: 2, FanIn: 2, RunMemoryBits: 8}.Run(input, 1)
+	out, rep, err := shard.Sort{Shards: 2, FanIn: 2, RunMemoryBits: 8}.Run(nil, input, 1)
 	if err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 	agg := rep.Rollup()
 	fmt.Printf("sorted: %s\n", out)

@@ -1,7 +1,12 @@
 package shard
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"extmem/internal/trials"
 )
@@ -78,10 +83,20 @@ type Fleet struct {
 	Parallel int   // worker goroutines per shard; <= 0 means GOMAXPROCS
 	Seed     int64 // root seed, shared by all shards
 
+	// Retry bounds how often a shard whose engine run hard-fails (a
+	// recovered trial panic) is re-executed before the fleet degrades
+	// that range to a sequential single-machine run with per-trial
+	// recovery. Because trial results are pure functions of (Seed,
+	// global index), every re-execution reproduces the failed
+	// attempt's rows exactly; the zero policy runs each shard once.
+	Retry RetryPolicy
+
 	// OnResult, if non-nil, streams results strictly in global trial
 	// order (0, 1, 2, …) as the completed prefix grows, regardless of
 	// which shard or worker produced them. It is invoked under an
-	// internal lock and must not call back into the fleet.
+	// internal lock and must not call back into the fleet. Retried
+	// shards re-record rows already streamed; the in-order merge is
+	// idempotent, so the stream never repeats or reorders.
 	OnResult func(trials.Result)
 }
 
@@ -90,8 +105,17 @@ var _ trials.Runner = Fleet{}
 // Run executes the fleet across its shards and returns the merged
 // per-trial results in global trial order, their summary, and the
 // first trial error in trial order — the same contract as
-// trials.Engine.Run.
-func (f Fleet) Run(fn trials.Func) ([]trials.Result, trials.Summary, error) {
+// trials.Engine.Run. Worker panics inside a shard are recovered
+// (trials.TrialPanicError), the shard's range is retried under the
+// Retry policy, and a shard that exhausts its budget falls back to a
+// degraded sequential run in which a still-panicking trial becomes a
+// deterministic error row instead of a process crash; the Summary's
+// recovery census records retries, fallbacks and recovered panics.
+// Cancelling ctx stops every shard and returns the context error.
+func (f Fleet) Run(ctx context.Context, fn trials.Func) ([]trials.Result, trials.Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := f.Plan.Trials
 	if n <= 0 {
 		return nil, trials.Summary{}, nil
@@ -122,6 +146,27 @@ func (f Fleet) Run(fn trials.Func) ([]trials.Result, trials.Summary, error) {
 		mu.Unlock()
 	}
 
+	// The recovery census plus the fleet's hard-failure latch: the
+	// first unrecoverable error (in practice: cancellation) cancels
+	// the sibling shards so their workers drain promptly.
+	var (
+		retries   atomic.Int64
+		fallbacks atomic.Int64
+		recovered atomic.Int64
+		failMu    sync.Mutex
+		failErr   error
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+		cancel()
+	}
+
 	var wg sync.WaitGroup
 	for _, rg := range ranges {
 		if rg.Len() == 0 {
@@ -130,23 +175,99 @@ func (f Fleet) Run(fn trials.Func) ([]trials.Result, trials.Summary, error) {
 		wg.Add(1)
 		go func(rg Range) {
 			defer wg.Done()
-			eng := trials.Engine{
-				Trials:   rg.Len(),
-				Offset:   rg.Lo,
-				Parallel: f.Parallel,
-				Seed:     f.Seed,
-			}
-			if f.OnResult != nil {
-				eng.OnResult = record
-				eng.Run(fn)
-				return
-			}
-			rs, _, _ := eng.Run(fn)
-			copy(results[rg.Lo:rg.Hi], rs)
+			f.runShard(runCtx, rg, fn, record, results, fail,
+				&retries, &fallbacks, &recovered)
 		}(rg)
 	}
 	wg.Wait()
-	return results, trials.Summarize(results), trials.FirstErr(results)
+	if failErr != nil {
+		return nil, trials.Summary{}, failErr
+	}
+	sum := trials.Summarize(results)
+	sum.Retries = int(retries.Load())
+	sum.Fallbacks = int(fallbacks.Load())
+	sum.Recovered = int(recovered.Load())
+	return results, sum, trials.FirstErr(results)
+}
+
+// runShard executes one shard's contiguous range under the retry
+// policy. A completed engine run (soft per-trial errors included)
+// ends the shard; a recovered panic burns one attempt and the range
+// re-executes after a capped exponential backoff; an exhausted budget
+// degrades to runDegraded. Anything else — cancellation, engine
+// misuse — is not a shard fault and fails the fleet.
+func (f Fleet) runShard(ctx context.Context, rg Range, fn trials.Func,
+	record func(trials.Result), results []trials.Result, fail func(error),
+	retries, fallbacks, recovered *atomic.Int64) {
+	for attempt := 1; ; attempt++ {
+		eng := trials.Engine{
+			Trials:   rg.Len(),
+			Offset:   rg.Lo,
+			Parallel: f.Parallel,
+			Seed:     f.Seed,
+		}
+		if f.OnResult != nil {
+			eng.OnResult = record
+		}
+		rs, _, err := eng.Run(ctx, fn)
+		if rs != nil {
+			// The range completed; err, if any, is the first soft
+			// trial error, which FirstErr reconstructs after the merge.
+			if f.OnResult == nil {
+				copy(results[rg.Lo:rg.Hi], rs)
+			}
+			return
+		}
+		var pe *trials.TrialPanicError
+		if !errors.As(err, &pe) {
+			fail(err)
+			return
+		}
+		recovered.Add(1)
+		if attempt < f.Retry.maxAttempts() {
+			retries.Add(1)
+			if serr := sleep(ctx, f.Retry.Backoff(attempt)); serr != nil {
+				fail(serr)
+				return
+			}
+			continue
+		}
+		fallbacks.Add(1)
+		f.runDegraded(ctx, rg, fn, record, results, fail, recovered)
+		return
+	}
+}
+
+// runDegraded is the single-machine fallback of a shard that
+// exhausted its retry budget: the range runs sequentially with
+// per-trial recovery, so a trial that still panics yields a
+// deterministic error row (the panic decision of an injected fault
+// plan is a pure function of the trial index) and the fleet completes
+// instead of crashing.
+func (f Fleet) runDegraded(ctx context.Context, rg Range, fn trials.Func,
+	record func(trials.Result), results []trials.Result, fail func(error),
+	recovered *atomic.Int64) {
+	safe := func(i int, rng *rand.Rand) (r trials.Result) {
+		defer func() {
+			if p := recover(); p != nil {
+				recovered.Add(1)
+				r = trials.Result{Trial: i, Err: fmt.Sprintf("recovered panic: %v", p)}
+			}
+		}()
+		return fn(i, rng)
+	}
+	eng := trials.Engine{Trials: rg.Len(), Offset: rg.Lo, Parallel: 1, Seed: f.Seed}
+	if f.OnResult != nil {
+		eng.OnResult = record
+	}
+	rs, _, err := eng.Run(ctx, safe)
+	if rs == nil {
+		fail(err)
+		return
+	}
+	if f.OnResult == nil {
+		copy(results[rg.Lo:rg.Hi], rs)
+	}
 }
 
 // Launch returns the trials.Launcher that runs every fleet as a
@@ -155,11 +276,20 @@ func (f Fleet) Run(fn trials.Func) ([]trials.Result, trials.Summary, error) {
 // points of internal/algorithms and internal/lowerbound without
 // changing a single output byte.
 func Launch(shards, parallel int) trials.Launcher {
+	return LaunchRetry(shards, parallel, RetryPolicy{})
+}
+
+// LaunchRetry is Launch with a per-shard retry budget: the fleets it
+// builds survive worker panics by re-executing the failed shard range
+// (byte-identically — trial rows are index-pure) up to the policy's
+// attempt budget with capped exponential backoff.
+func LaunchRetry(shards, parallel int, retry RetryPolicy) trials.Launcher {
 	return func(n int, seed int64, onResult func(trials.Result)) trials.Runner {
 		return Fleet{
 			Plan:     Plan{Shards: shards, Trials: n},
 			Parallel: parallel,
 			Seed:     seed,
+			Retry:    retry,
 			OnResult: onResult,
 		}
 	}

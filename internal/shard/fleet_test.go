@@ -62,14 +62,14 @@ func TestSplitProperties(t *testing.T) {
 func TestFleetMatchesEngine(t *testing.T) {
 	const n = 31
 	const seed = 77
-	want, wantSum, wantErr := trials.Engine{Trials: n, Parallel: 1, Seed: seed}.Run(workload)
+	want, wantSum, wantErr := trials.Engine{Trials: n, Parallel: 1, Seed: seed}.Run(nil, workload)
 	if wantErr != nil {
 		t.Fatal(wantErr)
 	}
 	for _, shards := range []int{1, 2, 3, 5, 31, 40} {
 		for _, parallel := range []int{1, 4} {
 			f := Fleet{Plan: Plan{Shards: shards, Trials: n}, Parallel: parallel, Seed: seed}
-			got, gotSum, gotErr := f.Run(workload)
+			got, gotSum, gotErr := f.Run(nil, workload)
 			if gotErr != nil {
 				t.Fatalf("shards=%d parallel=%d: %v", shards, parallel, gotErr)
 			}
@@ -95,7 +95,7 @@ func TestFleetStreamOrder(t *testing.T) {
 			Seed:     5,
 			OnResult: func(r trials.Result) { streamed = append(streamed, r) },
 		}
-		got, _, err := f.Run(workload)
+		got, _, err := f.Run(nil, workload)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,12 +127,12 @@ func TestFleetErrorPropagation(t *testing.T) {
 		}
 	}
 	fn := failAt(19, 6)
-	_, _, wantErr := trials.Engine{Trials: 24, Parallel: 1, Seed: 9}.Run(fn)
+	_, _, wantErr := trials.Engine{Trials: 24, Parallel: 1, Seed: 9}.Run(nil, fn)
 	if wantErr == nil {
 		t.Fatal("engine run did not error")
 	}
 	for _, shards := range []int{1, 3, 8} {
-		_, _, gotErr := Fleet{Plan: Plan{Shards: shards, Trials: 24}, Parallel: 2, Seed: 9}.Run(fn)
+		_, _, gotErr := Fleet{Plan: Plan{Shards: shards, Trials: 24}, Parallel: 2, Seed: 9}.Run(nil, fn)
 		if gotErr == nil || gotErr.Error() != wantErr.Error() {
 			t.Fatalf("shards=%d: error %v, want %v", shards, gotErr, wantErr)
 		}
@@ -140,7 +140,7 @@ func TestFleetErrorPropagation(t *testing.T) {
 }
 
 func TestFleetEmpty(t *testing.T) {
-	rs, sum, err := Fleet{Plan: Plan{Shards: 4}}.Run(workload)
+	rs, sum, err := Fleet{Plan: Plan{Shards: 4}}.Run(nil, workload)
 	if rs != nil || sum.Trials != 0 || err != nil {
 		t.Fatalf("empty fleet: %v %+v %v", rs, sum, err)
 	}
@@ -153,8 +153,8 @@ func TestLaunchMatchesPool(t *testing.T) {
 	collect := func(dst *[]trials.Result) func(trials.Result) {
 		return func(r trials.Result) { *dst = append(*dst, r) }
 	}
-	p, pSum, _ := trials.Pool(4)(20, 3, collect(&poolRows)).Run(workload)
-	s, sSum, _ := Launch(4, 2)(20, 3, collect(&fleetRows)).Run(workload)
+	p, pSum, _ := trials.Pool(4)(20, 3, collect(&poolRows)).Run(nil, workload)
+	s, sSum, _ := Launch(4, 2)(20, 3, collect(&fleetRows)).Run(nil, workload)
 	if !reflect.DeepEqual(p, s) || !reflect.DeepEqual(pSum, sSum) {
 		t.Fatal("Launch runner differs from Pool runner")
 	}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy bounds how often a failed shard is re-executed before
+// the coordinator gives up on the shard machine and degrades to the
+// single-machine path. Retrying is semantics-free on this execution
+// layer: every shard's work is a pure function of its inputs — trial
+// results of (seed, global index), sorted run ranges of (input,
+// RunMemoryBits) — so a re-execution provably reproduces the bytes
+// the failed attempt would have produced.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per shard; < 1 means 1 (no retry)
+	BaseDelay   time.Duration // backoff before the second attempt; 0 retries immediately
+	MaxDelay    time.Duration // cap on the backoff growth; 0 means uncapped
+}
+
+// maxAttempts is the effective attempt budget (at least 1).
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the delay before the retry following the given
+// 1-based failed attempt: BaseDelay doubled per failure, capped at
+// MaxDelay.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is cancelled, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// InjectFunc is the chaos hook of the sharded sort: when non-nil it
+// runs before each shard-local attempt (attempt is 1-based) and may
+// sleep, return an error, or panic — all three are treated as that
+// attempt of that shard failing. internal/faults derives deterministic
+// hooks from seed-keyed fault plans; the fallback path never consults
+// the hook, because it models the coordinator doing the work itself
+// rather than the faulty shard machine.
+type InjectFunc func(shard, attempt int) error

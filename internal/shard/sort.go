@@ -1,8 +1,11 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
@@ -31,6 +34,20 @@ type Sort struct {
 	// (set semantics) — cross-shard duplicates meet in the merge, so
 	// deduplication belongs to the combine stage, not the shards.
 	Dedup bool
+
+	// Retry bounds how often a failed shard-local sort (an injected
+	// fault, a recovered panic) is re-attempted before the coordinator
+	// re-runs that shard's range itself. Retrying is semantics-free:
+	// a shard's sorted output is a pure function of its run range, so
+	// the output bytes cannot depend on which attempt succeeded. The
+	// zero policy attempts each shard once.
+	Retry RetryPolicy
+
+	// Inject, when non-nil, is the chaos hook consulted before every
+	// shard-local attempt (never by the coordinator's fallback); see
+	// InjectFunc. It exists so internal/faults can make shard failure
+	// an injectable execution shape exactly like the shard count.
+	Inject InjectFunc
 }
 
 func (s Sort) shardCount() int {
@@ -58,6 +75,13 @@ type SortReport struct {
 	Distribute core.Resources   // the coordinator's partition scan over the input
 	Shards     []core.Resources // one report per shard-local sort, in shard order
 	Merge      core.Resources   // the final k-way merge machine
+
+	// The recovery census: how hard the fleet had to work to produce
+	// the (byte-identical regardless) output. All zero except Attempts
+	// (== shard count) on a fault-free run.
+	Attempts  int // shard-local sort attempts across all shards, fallbacks included
+	Fallbacks int // shards whose range the coordinator re-ran after retry exhaustion
+	Recovered int // shard attempt panics recovered across the sort
 }
 
 // Rollup aggregates the per-shard reports into the max view (the
@@ -125,6 +149,28 @@ func (a Agg) String() string {
 		a.Shards, a.MaxScans, a.SumScans, a.MaxMemoryBits, a.SumMemoryBits, a.MaxSteps, a.SumSteps)
 }
 
+// SortPanicError is a panic recovered from a shard-local sort attempt:
+// the shard goroutine converts the panic into this typed error, the
+// attempt counts as failed, and the retry/fallback machinery takes
+// over instead of the process dying.
+type SortPanicError struct {
+	Shard int    // index of the shard whose attempt panicked
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *SortPanicError) Error() string {
+	return fmt.Sprintf("shard: shard %d sort panicked: %v", e.Shard, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *SortPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // SortTape runs the sharded sort on the items of tape src of m and
 // installs the sorted (optionally deduplicated) output back on src
 // with the head at the start — the tape-handoff analogue of Run for a
@@ -135,8 +181,8 @@ func (a Agg) String() string {
 // for the sort itself, but its pre-handoff traffic on the tape stays
 // on the books (core.Machine.SwapTape keeps the slot's counters while
 // the fleet's sorted tape replaces the content).
-func (s Sort) SortTape(m *core.Machine, src int, seed int64) (SortReport, error) {
-	out, rep, err := s.Run(m.Tape(src).Contents(), seed)
+func (s Sort) SortTape(ctx context.Context, m *core.Machine, src int, seed int64) (SortReport, error) {
+	out, rep, err := s.Run(ctx, m.Tape(src).Contents(), seed)
 	if err != nil {
 		return rep, err
 	}
@@ -144,22 +190,22 @@ func (s Sort) SortTape(m *core.Machine, src int, seed int64) (SortReport, error)
 	return rep, nil
 }
 
-// LaunchSort returns the algorithms.SortLauncher that runs every sort
-// through the sharded run-partitioned path — the sort-side counterpart
-// of Launch. The engine configuration (fan-in, run-formation memory,
+// Launcher returns the algorithms.SortLauncher that runs every sort
+// through this sharded configuration — the sort-side counterpart of
+// LaunchRetry. The engine configuration (fan-in, run-formation memory,
 // dedup) is taken from the caller's Sorter, so the run partitioning is
-// exactly the one the single-machine engine would form; seed feeds the
-// shard machines' (unused by the deterministic sort) coin sources; and
-// onReport, if non-nil, receives each successful sort's SortReport in
-// call order.
-func LaunchSort(shards int, seed int64, onReport func(SortReport)) algorithms.SortLauncher {
-	return func(sorter algorithms.Sorter, m *core.Machine, src int, _ []int) error {
-		rep, err := Sort{
-			Shards:        shards,
-			FanIn:         sorter.FanIn,
-			RunMemoryBits: sorter.RunMemoryBits,
-			Dedup:         sorter.Dedup,
-		}.SortTape(m, src, seed)
+// exactly the one the single-machine engine would form; the receiver
+// contributes the execution shape (shard count, retry policy, chaos
+// hook); seed feeds the shard machines' (unused by the deterministic
+// sort) coin sources; and onReport, if non-nil, receives each
+// successful sort's SortReport in call order.
+func (s Sort) Launcher(seed int64, onReport func(SortReport)) algorithms.SortLauncher {
+	return func(ctx context.Context, sorter algorithms.Sorter, m *core.Machine, src int, _ []int) error {
+		cfg := s
+		cfg.FanIn = sorter.FanIn
+		cfg.RunMemoryBits = sorter.RunMemoryBits
+		cfg.Dedup = sorter.Dedup
+		rep, err := cfg.SortTape(ctx, m, src, seed)
 		if err != nil {
 			return err
 		}
@@ -170,12 +216,29 @@ func LaunchSort(shards int, seed int64, onReport func(SortReport)) algorithms.So
 	}
 }
 
+// LaunchSort returns the algorithms.SortLauncher that runs every sort
+// through the sharded run-partitioned path — the sort-side counterpart
+// of Launch, with no retries and no chaos.
+func LaunchSort(shards int, seed int64, onReport func(SortReport)) algorithms.SortLauncher {
+	return Sort{Shards: shards}.Launcher(seed, onReport)
+}
+
 // Run sorts the '#'-terminated input across the configured shards and
 // returns the sorted (optionally deduplicated) output bytes with the
 // full resource report. seed only feeds the machines' (unused by the
 // deterministic sort) coin sources, derived per shard so any future
 // randomized shard step stays schedule-independent.
-func (s Sort) Run(input []byte, seed int64) ([]byte, SortReport, error) {
+//
+// Shard attempts that fail — an Inject strike, a recovered panic —
+// are retried under the Retry policy; a shard that exhausts its
+// budget has its range re-run by the coordinator itself (chaos-free),
+// so the output bytes and the successful attempt's resource report
+// are identical to the fault-free run no matter what the fault plan
+// did. Cancelling ctx stops every shard and returns the context error.
+func (s Sort) Run(ctx context.Context, input []byte, seed int64) ([]byte, SortReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	shards := s.shardCount()
 	rep := SortReport{}
 
@@ -222,7 +285,9 @@ func (s Sort) Run(input []byte, seed int64) ([]byte, SortReport, error) {
 	// Phase 2 — shard-local sorts: contiguous run ranges, one machine
 	// (with its own tape set and meter) per shard, all running
 	// concurrently. Which runs land where is a pure function of
-	// (input, RunMemoryBits, shards), so the phase is deterministic.
+	// (input, RunMemoryBits, shards), so the phase is deterministic —
+	// which is also why a failed attempt can be retried or re-run by
+	// the coordinator without moving a single output byte.
 	ranges := Split(rep.Runs, shards)
 	bound := func(runIdx int) int {
 		if runIdx >= rep.Runs {
@@ -234,21 +299,32 @@ func (s Sort) Run(input []byte, seed int64) ([]byte, SortReport, error) {
 	outs := make([][]byte, shards)
 	reps := make([]core.Resources, shards)
 	errs := make([]error, shards)
+	var (
+		attempts  atomic.Int64
+		fallbacks atomic.Int64
+		recovered atomic.Int64
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	for _, rg := range ranges {
 		wg.Add(1)
 		go func(rg Range) {
 			defer wg.Done()
-			m := core.NewMachine(tapes, trials.Seed(seed, rg.Shard+1))
-			m.SetInput(payload[bound(rg.Lo):bound(rg.Hi)])
-			local := algorithms.Sorter{FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits}
-			errs[rg.Shard] = local.SortToTape(m, 1, algorithms.WorkTapes(m, 1))
-			reps[rg.Shard] = m.Resources()
-			outs[rg.Shard] = m.Tape(1).Contents()
+			out, res, err := s.sortShard(runCtx, rg, payload[bound(rg.Lo):bound(rg.Hi)],
+				tapes, seed, &attempts, &fallbacks, &recovered)
+			outs[rg.Shard], reps[rg.Shard], errs[rg.Shard] = out, res, err
+			if err != nil {
+				// The first unrecoverable shard stops its siblings.
+				cancel()
+			}
 		}(rg)
 	}
 	wg.Wait()
 	rep.Shards = reps
+	rep.Attempts = int(attempts.Load())
+	rep.Fallbacks = int(fallbacks.Load())
+	rep.Recovered = int(recovered.Load())
 	for _, err := range errs {
 		if err != nil {
 			return nil, rep, err
@@ -270,4 +346,59 @@ func (s Sort) Run(input []byte, seed int64) ([]byte, SortReport, error) {
 	}
 	rep.Merge = mm.Resources()
 	return mm.Tape(0).Contents(), rep, nil
+}
+
+// sortShard runs one shard's local sort under the retry policy. Each
+// attempt consults the Inject hook first (a strike — error or panic —
+// fails the attempt), recovers any panic into a *SortPanicError, and
+// counts toward the attempt census. When the budget is exhausted the
+// coordinator re-runs the range itself with the hook bypassed: the
+// degradation models the coordinator absorbing a dead shard machine's
+// work, and because the range's sorted output is input-pure, the
+// bytes and the successful machine's resource report are exactly what
+// the shard would have produced.
+func (s Sort) sortShard(ctx context.Context, rg Range, payload []byte, tapes int, seed int64,
+	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
+	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				recovered.Add(1)
+				err = &SortPanicError{Shard: rg.Shard, Value: p, Stack: debug.Stack()}
+			}
+		}()
+		if inject && s.Inject != nil {
+			if ierr := s.Inject(rg.Shard, attempt); ierr != nil {
+				return nil, core.Resources{}, ierr
+			}
+		}
+		m := core.NewMachine(tapes, trials.Seed(seed, rg.Shard+1))
+		m.SetInput(payload)
+		local := algorithms.Sorter{FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits}
+		if serr := local.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); serr != nil {
+			return nil, core.Resources{}, serr
+		}
+		return m.Tape(1).Contents(), m.Resources(), nil
+	}
+	budget := s.Retry.maxAttempts()
+	for attempt := 1; attempt <= budget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Resources{}, err
+		}
+		attempts.Add(1)
+		out, res, err := attemptOnce(attempt, true)
+		if err == nil {
+			return out, res, nil
+		}
+		if attempt < budget {
+			if serr := sleep(ctx, s.Retry.Backoff(attempt)); serr != nil {
+				return nil, core.Resources{}, serr
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Resources{}, err
+	}
+	fallbacks.Add(1)
+	attempts.Add(1)
+	return attemptOnce(budget+1, false)
 }

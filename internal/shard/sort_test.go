@@ -84,7 +84,7 @@ func TestShardedSortMatchesEngine(t *testing.T) {
 							out, rep, err := Sort{
 								Shards: shards, FanIn: fanIn,
 								RunMemoryBits: mem, Dedup: dedup,
-							}.Run(input, 1)
+							}.Run(nil, input, 1)
 							if err != nil {
 								t.Fatalf("count=%d shards=%d k=%d mem=%d dedup=%v: %v",
 									count, shards, fanIn, mem, dedup, err)
@@ -121,7 +121,7 @@ func TestShardedSortRollupInvariants(t *testing.T) {
 	_, singleRes := singleMachine(t, input, fanIn, mem, false)
 	prevMax := singleRes.Scans() + 1
 	for _, shards := range []int{1, 2, 4, 8} {
-		_, rep, err := Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}.Run(input, 1)
+		_, rep, err := Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}.Run(nil, input, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestSortTapeKeepsCoordinatorCounters(t *testing.T) {
 	if before.Writes == 0 || before.Steps == 0 {
 		t.Fatalf("test setup produced no traffic: %+v", before)
 	}
-	rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true}.SortTape(m, 1, 1)
+	rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true}.SortTape(nil, m, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestShardedSortRunPartitioning(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	items := randomItems(100, false, rng) // 8-bit items
 	input := encodeItems(items)
-	_, rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 64}.Run(input, 1)
+	_, rep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 64}.Run(nil, input, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

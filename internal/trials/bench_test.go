@@ -18,7 +18,7 @@ import (
 func benchFingerprintFleet(b *testing.B, parallel int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		est, err := algorithms.EstimateFingerprintErrors(64, 12, 32, trials.Pool(parallel), 1)
+		est, err := algorithms.EstimateFingerprintErrors(nil, 64, 12, 32, trials.Pool(parallel), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +37,7 @@ func BenchmarkTrialsParallel(b *testing.B) { benchFingerprintFleet(b, runtime.GO
 func BenchmarkTrialsEngineOverhead(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, sum, err := trials.Engine{Trials: 1024, Parallel: runtime.GOMAXPROCS(0), Seed: 1}.Run(
+		_, sum, err := trials.Engine{Trials: 1024, Parallel: runtime.GOMAXPROCS(0), Seed: 1}.Run(nil,
 			func(int, *rand.Rand) trials.Result { return trials.Result{Accept: true} })
 		if err != nil || sum.Accepts != 1024 {
 			b.Fatal(err, sum)

@@ -99,5 +99,11 @@ func FormatSummary(s Summary) string {
 	if s.Errors > 0 {
 		out += fmt.Sprintf(", %d errors", s.Errors)
 	}
+	// The recovery census appears only when the fleet actually had to
+	// recover, so fault-free output never moves.
+	if s.Retries > 0 || s.Fallbacks > 0 || s.Recovered > 0 {
+		out += fmt.Sprintf(" — recovery: %d panics recovered, %d retries, %d fallbacks",
+			s.Recovered, s.Retries, s.Fallbacks)
+	}
 	return out
 }

@@ -13,12 +13,13 @@ import (
 // this example can assert exact output while running 8 goroutines.
 func ExampleEngine() {
 	eng := trials.Engine{Trials: 4, Parallel: 8, Seed: 7}
-	results, sum, err := eng.Run(func(i int, rng *rand.Rand) trials.Result {
+	results, sum, err := eng.Run(nil, func(i int, rng *rand.Rand) trials.Result {
 		v := rng.Intn(100)
 		return trials.Result{Accept: v < 50, Value: float64(v)}
 	})
 	if err != nil {
-		panic(err)
+		fmt.Println("error:", err)
+		return
 	}
 	for _, r := range results {
 		fmt.Printf("trial %d: accept=%v value=%.0f\n", r.Trial, r.Accept, r.Value)

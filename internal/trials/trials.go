@@ -1,10 +1,12 @@
 package trials
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -94,9 +96,48 @@ type Engine struct {
 // Runner is anything that can run a trial fleet: the Engine itself, or
 // a sharded composition of engines (internal/shard.Fleet). Results
 // come back in trial order with their Summary and the first trial
-// error in trial order, exactly as Engine.Run documents.
+// error in trial order, exactly as Engine.Run documents. The context
+// bounds the whole fleet: cancellation or a deadline stops workers
+// promptly and Run returns the context's error with nil results.
 type Runner interface {
-	Run(fn Func) ([]Result, Summary, error)
+	Run(ctx context.Context, fn Func) ([]Result, Summary, error)
+}
+
+// TrialPanicError is a panic recovered from a trial function: the
+// worker converts the panic into this typed error instead of killing
+// the process, records the trial index and the goroutine stack at the
+// panic site, and the engine cancels its sibling workers. Because
+// trial randomness is a pure function of (seed, index), a fleet that
+// sees this error can re-execute the failed range with provably
+// identical results — internal/shard.Fleet's retry path does exactly
+// that.
+type TrialPanicError struct {
+	Trial int    // global index of the panicking trial
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *TrialPanicError) Error() string {
+	return fmt.Sprintf("trials: trial %d panicked: %v", e.Trial, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (errors.As
+// reaches an injected faults.Injected through here).
+func (e *TrialPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// protect runs one trial, converting a panic into a *TrialPanicError.
+func protect(fn Func, g int, rng *rand.Rand) (r Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &TrialPanicError{Trial: g, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(g, rng), nil
 }
 
 // Launcher constructs the Runner for a fleet of n trials rooted at
@@ -121,10 +162,25 @@ var _ Runner = Engine{}
 // order together with their Summary. The returned error is the first
 // trial error in trial order (all trials still run to completion);
 // engine misuse aside, a nil error means every trial was clean.
-func (e Engine) Run(fn Func) ([]Result, Summary, error) {
+//
+// Hard failures — a recovered trial panic (*TrialPanicError) or a
+// cancelled context — are different: the first one stops the sibling
+// workers from claiming further trials, every worker drains (no
+// goroutine outlives Run), and Run returns nil results with that
+// error. OnResult may already have streamed a prefix of the range by
+// then; because rows are pure functions of (Seed, index), a caller
+// that re-runs the range re-emits exactly the same prefix, which is
+// how the sharded fleet's retry keeps the merged stream intact.
+func (e Engine) Run(ctx context.Context, fn Func) ([]Result, Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := e.Trials
 	if n <= 0 {
 		return nil, Summary{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Summary{}, err
 	}
 	workers := e.Parallel
 	if workers <= 0 {
@@ -134,15 +190,24 @@ func (e Engine) Run(fn Func) ([]Result, Summary, error) {
 		workers = n
 	}
 	results := make([]Result, n)
-	runOne := func(i int) {
+	runOne := func(i int) error {
 		g := e.Offset + i
-		r := fn(g, RNG(e.Seed, g))
+		r, err := protect(fn, g, RNG(e.Seed, g))
+		if err != nil {
+			return err
+		}
 		r.Trial = g
 		results[i] = r
+		return nil
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			runOne(i)
+			if err := ctx.Err(); err != nil {
+				return nil, Summary{}, err
+			}
+			if err := runOne(i); err != nil {
+				return nil, Summary{}, err
+			}
 			if e.OnResult != nil {
 				e.OnResult(results[i])
 			}
@@ -150,21 +215,41 @@ func (e Engine) Run(fn Func) ([]Result, Summary, error) {
 	} else {
 		var (
 			next    int64
+			stop    atomic.Bool
 			wg      sync.WaitGroup
 			mu      sync.Mutex
+			hardErr error
 			done    = make([]bool, n)
 			emitted int
 		)
+		fail := func(err error) {
+			mu.Lock()
+			if hardErr == nil {
+				hardErr = err
+			}
+			mu.Unlock()
+			stop.Store(true)
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for {
+					if stop.Load() {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
 					i := int(atomic.AddInt64(&next, 1)) - 1
 					if i >= n {
 						return
 					}
-					runOne(i)
+					if err := runOne(i); err != nil {
+						fail(err)
+						return
+					}
 					mu.Lock()
 					done[i] = true
 					for emitted < n && done[emitted] {
@@ -178,6 +263,9 @@ func (e Engine) Run(fn Func) ([]Result, Summary, error) {
 			}()
 		}
 		wg.Wait()
+		if hardErr != nil {
+			return nil, Summary{}, hardErr
+		}
 	}
 	sum := Summarize(results)
 	return results, sum, FirstErr(results)
@@ -202,12 +290,20 @@ type Count struct {
 	Accepts int `json:"accepts"`
 }
 
-// Summary aggregates a fleet's results.
+// Summary aggregates a fleet's results. The recovery census fields
+// are filled by fault-tolerant runners (internal/shard.Fleet), not by
+// Summarize: they record execution provenance — how hard the fleet
+// had to work to produce the rows — and are all zero on a fault-free
+// run, so encodings stay byte-identical when nothing went wrong.
 type Summary struct {
 	Trials  int              `json:"trials"`
 	Accepts int              `json:"accepts"`
 	Errors  int              `json:"errors,omitempty"`
 	ByClass map[string]Count `json:"by_class,omitempty"` // only when classes were labeled
+
+	Retries   int `json:"retries,omitempty"`   // shard ranges re-executed after a hard failure
+	Fallbacks int `json:"fallbacks,omitempty"` // shards that exhausted retries and ran degraded
+	Recovered int `json:"recovered,omitempty"` // worker panics recovered across all attempts
 }
 
 // Summarize tallies a result slice.

@@ -62,7 +62,7 @@ func TestEngineDeterministicAcrossParallelism(t *testing.T) {
 				Parallel: par,
 				Seed:     root,
 				OnResult: func(r Result) { order = append(order, r.Trial) },
-			}.Run(noisyTrial)
+			}.Run(nil, noisyTrial)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +86,7 @@ func TestEngineStreamsInTrialOrder(t *testing.T) {
 		Parallel: 16,
 		Seed:     7,
 		OnResult: func(r Result) { order = append(order, r.Trial) },
-	}.Run(func(i int, rng *rand.Rand) Result {
+	}.Run(nil, func(i int, rng *rand.Rand) Result {
 		// Skew work so late trials tend to finish first.
 		for j := 0; j < (200-i)*50; j++ {
 			rng.Int63()
@@ -109,7 +109,7 @@ func TestEngineStreamsInTrialOrder(t *testing.T) {
 // Errors: all trials still run, the summary counts them, and Run
 // returns the first error in trial order (not completion order).
 func TestEngineErrorPropagation(t *testing.T) {
-	rs, sum, err := Engine{Trials: 20, Parallel: 4, Seed: 1}.Run(func(i int, rng *rand.Rand) Result {
+	rs, sum, err := Engine{Trials: 20, Parallel: 4, Seed: 1}.Run(nil, func(i int, rng *rand.Rand) Result {
 		if i == 7 || i == 13 {
 			return Result{Err: "boom"}
 		}
@@ -124,7 +124,7 @@ func TestEngineErrorPropagation(t *testing.T) {
 }
 
 func TestEngineEmptyFleet(t *testing.T) {
-	rs, sum, err := Engine{Trials: 0}.Run(func(int, *rand.Rand) Result { return Result{} })
+	rs, sum, err := Engine{Trials: 0}.Run(nil, func(int, *rand.Rand) Result { return Result{} })
 	if rs != nil || sum.Trials != 0 || err != nil {
 		t.Fatalf("empty fleet: %v %+v %v", rs, sum, err)
 	}
@@ -234,7 +234,7 @@ func TestEngineOffsetMatchesFullFleet(t *testing.T) {
 	fn := func(i int, rng *rand.Rand) Result {
 		return Result{Accept: rng.Intn(2) == 0, Value: rng.Float64()}
 	}
-	full, _, err := Engine{Trials: 20, Parallel: 1, Seed: 13}.Run(fn)
+	full, _, err := Engine{Trials: 20, Parallel: 1, Seed: 13}.Run(nil, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestEngineOffsetMatchesFullFleet(t *testing.T) {
 				Parallel: parallel,
 				Seed:     13,
 				OnResult: func(res Result) { streamed = append(streamed, res) },
-			}.Run(fn)
+			}.Run(nil, fn)
 			if err != nil {
 				t.Fatal(err)
 			}
