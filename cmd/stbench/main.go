@@ -15,7 +15,19 @@
 // Usage:
 //
 //	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N]
-//	        [-chaos flaky|delay] [-chaos-rate F] [-format text|json|csv]
+//	        [-transport inproc|proc] [-chaos flaky|delay] [-chaos-rate F]
+//	        [-format text|json|csv]
+//
+// -transport proc runs shard attempts in worker processes: stbench
+// re-executes itself under the hidden stworker subcommand, ships each
+// trial-range or sort assignment over the worker's stdin as
+// length-prefixed gob frames, and streams the rows back over stdout
+// (internal/transport). Trial rows and sorted ranges are pure
+// functions of (seed, index), so stdout is byte-identical to
+// -transport inproc; a dead worker takes the same retry → fallback
+// path as an injected panic. Fleets whose trial bodies have no wire
+// form (and chaos-wrapped fleets, whose strikes live in the
+// coordinator's injector) keep running in-process.
 //
 // Formats: text (the human report), json (one JSON object per
 // experiment per line), csv (one record per experiment). The json and
@@ -24,7 +36,9 @@
 // as each experiment completes; progress goes to stderr. SIGINT or
 // SIGTERM cancels the run context: in-flight fleets drain, the
 // encoder is flushed with a partial-results footer, and stbench exits
-// 130.
+// 130. Workers live in their own process group, so a terminal
+// interrupt reaches only the coordinator — which then tears the
+// workers down through their job contexts.
 package main
 
 import (
@@ -44,9 +58,17 @@ import (
 	"extmem/internal/experiments"
 	"extmem/internal/faults"
 	"extmem/internal/shard"
+	"extmem/internal/transport"
 )
 
 func main() {
+	if transport.IsWorker(os.Args) {
+		// A shard worker: no flags, no signal handling. Workers run in
+		// their own process group, so terminal signals reach only the
+		// coordinator — which owns the partial-results footer and tears
+		// workers down through their job contexts.
+		os.Exit(transport.Main(os.Stdin, os.Stdout, os.Stderr))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
@@ -86,6 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "trial-fleet worker goroutines per shard (never changes the output)")
 	shards := fs.Int("shards", 1, "trial-fleet shards, each with its own worker pool (never changes the output)")
 	format := fs.String("format", "text", "output format: text, json or csv")
+	transportMode := fs.String("transport", "inproc", "shard transport: inproc (shard goroutines) or proc (worker processes); never changes the output")
 	chaos := fs.String("chaos", "", "inject a recoverable fault plan: flaky (first-attempt panics) or delay (stragglers); never changes the output")
 	chaosRate := fs.Float64("chaos-rate", 0.02, "fraction of fault sites struck by the -chaos plan (site 0 always strikes)")
 	if err := fs.Parse(args); err != nil {
@@ -103,9 +126,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "stbench: -shards must be >= 1 (got %d)\n", *shards)
 		return 2
 	}
-	if *chaosRate < 0 || *chaosRate > 1 {
+	switch *transportMode {
+	case "inproc", "proc":
+	default:
+		fmt.Fprintf(stderr, "stbench: unknown -transport %q (want inproc or proc)\n", *transportMode)
+		return 2
+	}
+	// The negated form catches NaN too, which fails every ordered
+	// comparison and would sail through `rate < 0 || rate > 1`.
+	if !(*chaosRate >= 0 && *chaosRate <= 1) {
 		fmt.Fprintf(stderr, "stbench: -chaos-rate must be in [0, 1] (got %g)\n", *chaosRate)
 		return 2
+	}
+	if *chaos == "" {
+		rateSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "chaos-rate" {
+				rateSet = true
+			}
+		})
+		if rateSet {
+			fmt.Fprintln(stderr, "stbench: -chaos-rate requires -chaos")
+			return 2
+		}
 	}
 	plan, retry, err := chaosPlan(*chaos, *seed, *chaosRate)
 	if err != nil {
@@ -115,6 +158,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards,
 		Ctx: ctx, Faults: plan, Retry: retry,
+	}
+	if *transportMode == "proc" {
+		cfg.Proc = &transport.Proc{Stderr: stderr}
 	}
 
 	runners := experiments.Runners()

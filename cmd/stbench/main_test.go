@@ -86,7 +86,10 @@ func TestFlagErrors(t *testing.T) {
 		{"zero parallel", []string{"-parallel", "0"}, "-parallel must be >= 1"},
 		{"zero shards", []string{"-shards", "0"}, "-shards must be >= 1"},
 		{"bad chaos mode", []string{"-chaos", "meteor"}, `unknown -chaos mode "meteor"`},
-		{"bad chaos rate", []string{"-chaos-rate", "1.5"}, "-chaos-rate must be in [0, 1]"},
+		{"bad chaos rate", []string{"-chaos", "flaky", "-chaos-rate", "1.5"}, "-chaos-rate must be in [0, 1]"},
+		{"NaN chaos rate", []string{"-chaos", "flaky", "-chaos-rate", "NaN"}, "-chaos-rate must be in [0, 1]"},
+		{"chaos rate without chaos", []string{"-chaos-rate", "0.5"}, "-chaos-rate requires -chaos"},
+		{"bad transport", []string{"-transport", "carrier-pigeon"}, `unknown -transport "carrier-pigeon"`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -182,6 +185,56 @@ func TestShardColumnInEncodings(t *testing.T) {
 	}
 	if col < 0 || recs[1][col] != "3" {
 		t.Fatalf("csv shards column missing or wrong: header %v row %v", recs[0], recs[1])
+	}
+}
+
+// The PR 7 acceptance criterion: the process transport is an
+// execution shape like sharding — for a fixed -seed the full text
+// report is byte-identical between -transport inproc and -transport
+// proc, at every -shards × -parallel corner. Every shard attempt under
+// proc crosses a real process boundary (this test binary re-executed
+// in worker mode by TestMain's dispatch).
+func TestOutputTransportInvariant(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-seed", "5"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith("-transport", "inproc")
+	if got := runWith("-transport", "proc", "-shards", "2", "-parallel", "8"); got != ref {
+		t.Fatal("full report differs between -transport inproc and proc")
+	}
+	// Sweep the remaining matrix corners on the Monte-Carlo E2 fleet,
+	// where every trial row crosses the boundary.
+	eref := runWith("-only", "E2", "-trials", "12")
+	for _, shards := range []string{"1", "2", "4"} {
+		for _, parallel := range []string{"1", "8"} {
+			got := runWith("-only", "E2", "-trials", "12",
+				"-transport", "proc", "-shards", shards, "-parallel", parallel)
+			if got != eref {
+				t.Errorf("E2 differs at -transport proc -shards %s -parallel %s", shards, parallel)
+			}
+		}
+	}
+}
+
+// Chaos and the process transport compose: the strikes live in the
+// coordinator's injector, so the report still cannot move.
+func TestChaosTransportInvariant(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-only", "E18", "-seed", "5"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith()
+	if got := runWith("-chaos", "flaky", "-transport", "proc", "-shards", "2"); got != ref {
+		t.Fatal("E18 differs under -chaos flaky -transport proc")
 	}
 }
 

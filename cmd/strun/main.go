@@ -32,6 +32,16 @@
 // 95% interval on stderr. Per-trial coins derive from -seed and the
 // global trial index alone, so the rows are byte-identical at any
 // -parallel and any -shards value.
+//
+// -transport proc ships each shard's work to a worker process — strun
+// re-executed under the hidden stworker subcommand — over
+// length-prefixed gob frames (internal/transport): fleet shards carry
+// the fingerprint workload by wire form, relalg operator sorts carry
+// self-contained sort jobs. stdout is byte-identical to the in-process
+// transport, and a dead worker retries and falls back exactly like an
+// injected panic. It applies to fleet mode and -algo relalg; a
+// single-machine run has no shards to ship, so -transport proc there
+// is a flag error rather than a silent no-op.
 package main
 
 import (
@@ -51,10 +61,18 @@ import (
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
 	"extmem/internal/shard"
+	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
 
 func main() {
+	if transport.IsWorker(os.Args) {
+		// A shard worker: no flags, no signal handling. Workers run in
+		// their own process group, so terminal signals reach only the
+		// coordinator — which owns the partial-results footer and tears
+		// workers down through their job contexts.
+		os.Exit(transport.Main(os.Stdin, os.Stdout, os.Stderr))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
@@ -71,7 +89,7 @@ var knownAlgos = []string{
 // validate rejects malformed flag combinations with a one-line error
 // before any machine runs, so misuse exits 2 instead of panicking (or
 // failing obscurely) downstream.
-func validate(algo, format string, trialsN, parallel, shards int) error {
+func validate(algo, format, transportMode string, trialsN, parallel, shards int) error {
 	ok := false
 	for _, a := range knownAlgos {
 		if algo == a {
@@ -87,6 +105,11 @@ func validate(algo, format string, trialsN, parallel, shards int) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want text, json or csv)", format)
 	}
+	switch transportMode {
+	case "inproc", "proc":
+	default:
+		return fmt.Errorf("unknown -transport %q (want inproc or proc)", transportMode)
+	}
 	if trialsN < 1 {
 		return fmt.Errorf("-trials must be >= 1 (got %d)", trialsN)
 	}
@@ -95,6 +118,11 @@ func validate(algo, format string, trialsN, parallel, shards int) error {
 	}
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
+	}
+	// A single-machine run has no shards to ship; degrading silently to
+	// the in-process engine would make the flag a lie.
+	if transportMode == "proc" && trialsN == 1 && algo != "relalg" {
+		return fmt.Errorf("-transport proc applies to fleet mode (-trials > 1) or -algo relalg")
 	}
 	return nil
 }
@@ -112,12 +140,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "fleet worker goroutines per shard (never changes the rows)")
 	shards := fs.Int("shards", 1, "fleet shards (fingerprint fleets) or sort shards (relalg); never changes stdout")
 	format := fs.String("format", "text", "fleet row format: text, json or csv")
+	transportMode := fs.String("transport", "inproc", "shard transport: inproc (shard goroutines) or proc (worker processes); never changes stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := validate(*algo, *format, *trialsN, *parallel, *shards); err != nil {
+	if err := validate(*algo, *format, *transportMode, *trialsN, *parallel, *shards); err != nil {
 		fmt.Fprintln(stderr, "strun:", err)
 		return 2
+	}
+	var proc *transport.Proc
+	if *transportMode == "proc" {
+		proc = &transport.Proc{Stderr: stderr}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -130,10 +163,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *algo != "fingerprint" {
 			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
 		}
-		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, stdout, stderr)
+		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, proc, stdout, stderr)
 	}
 	if *algo == "relalg" {
-		return runQuery(ctx, in, *shards, *seed, stdout, stderr)
+		return runQuery(ctx, in, *shards, *seed, proc, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -154,22 +187,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // runFleet streams a fingerprint trial fleet on the instance: one
 // machine per trial, coins derived from (seed, global trial index),
 // executed as a sharded fleet whose in-order merge stream feeds the
-// row encoder. A mid-stream encoder error cancels the fleet (workers
-// drain, exit 1); SIGINT/SIGTERM cancels it too, flushing the encoder
-// and a partial-results footer before exiting 130.
-func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int, seed int64, format string, stdout, stderr io.Writer) int {
+// row encoder. Under -transport proc every shard range ships to a
+// worker process — the trial body travels as its registered workload
+// wire form and the rows come back identical. A mid-stream encoder
+// error cancels the fleet (workers drain, exit 1); SIGINT/SIGTERM
+// cancels it too, flushing the encoder and a partial-results footer
+// before exiting 130.
+func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int, seed int64, format string, proc *transport.Proc, stdout, stderr io.Writer) int {
 	enc, err := trials.NewEncoder(format, stdout)
 	if err != nil {
 		return fail(stderr, err)
 	}
 	fleetCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	encoded := in.Encode()
+	w, trial := algorithms.FingerprintInputWorkload(in.Encode())
 	var (
 		encErr error
 		rows   int
 	)
-	_, sum, err := shard.Fleet{
+	fleet := shard.Fleet{
 		Plan:     shard.Plan{Shards: shards, Trials: n},
 		Parallel: parallel,
 		Seed:     seed,
@@ -183,19 +219,19 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 			}
 			rows++
 		},
-	}.Run(fleetCtx, func(_ int, rng *rand.Rand) trials.Result {
-		m := core.NewMachine(1, rng.Int63())
-		m.SetInput(encoded)
-		v, _, err := algorithms.FingerprintMultisetEquality(m)
-		if err != nil {
-			return trials.Result{Err: err.Error()}
-		}
-		return trials.Result{Accept: v == core.Accept}
-	})
+	}
+	if proc != nil {
+		fleet.Attempt = proc.Attempt()
+	}
+	_, sum, err := fleet.Run(trials.WithWorkload(fleetCtx, w), trial)
 	if ctx.Err() != nil {
 		// Interrupted: flush what was emitted and account the partial
-		// prefix honestly.
-		enc.Close()
+		// prefix honestly. A failing flush is reported too — silently
+		// dropping it would claim rows that never reached the sink —
+		// but cannot mask the interrupt status.
+		if cerr := enc.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "strun:", cerr)
+		}
 		fmt.Fprintf(stderr, "strun: interrupted — partial results: %d/%d rows emitted\n", rows, n)
 		return 130
 	}
@@ -218,13 +254,16 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 // Like fleet mode (shard.Plan.ShardCount), -shards values below 1
 // mean 1 — the evaluator's zero value would select the unsharded
 // engine, which records no census at all.
-func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, stdout, stderr io.Writer) int {
+func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, proc *transport.Proc, stdout, stderr io.Writer) int {
 	if shards < 1 {
 		shards = 1
 	}
 	db := relalg.InstanceDB(in)
 	rep := &relalg.QueryReport{}
 	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep}
+	if proc != nil {
+		ev.Exec = proc.Exec()
+	}
 	m := core.NewMachine(relalg.NumQueryTapes, seed)
 	r, err := ev.EvalST(ctx, relalg.SymmetricDifference("R1", "R2"), db, m)
 	if err != nil {

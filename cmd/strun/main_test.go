@@ -112,6 +112,35 @@ func TestRunRelAlgShardInvariant(t *testing.T) {
 	}
 }
 
+// The process transport reproduces the in-process fleet rows and the
+// sharded query output byte for byte — -transport proc is an execution
+// choice, never an observable one.
+func TestTransportProcInvariant(t *testing.T) {
+	runWith := func(args ...string) (string, string) {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", args, code, errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	fleet := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
+		"-trials", "16", "-seed", "5", "-shards", "2"}
+	ref, _ := runWith(fleet...)
+	got, _ := runWith(append(fleet, "-transport", "proc")...)
+	if got != ref {
+		t.Fatalf("fleet rows differ under -transport proc:\n--- inproc ---\n%s\n--- proc ---\n%s", ref, got)
+	}
+	query := []string{"-algo", "relalg", "-m", "32", "-n", "10", "-seed", "9", "-shards", "2"}
+	qref, qrefErr := runWith(query...)
+	qgot, qgotErr := runWith(append(query, "-transport", "proc")...)
+	if qgot != qref {
+		t.Fatalf("relalg stdout differs under -transport proc:\n--- inproc ---\n%s\n--- proc ---\n%s", qref, qgot)
+	}
+	if qgotErr != qrefErr {
+		t.Fatalf("relalg census differs under -transport proc:\n--- inproc ---\n%s\n--- proc ---\n%s", qrefErr, qgotErr)
+	}
+}
+
 func TestFleetRejectsOtherAlgos(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {
@@ -134,6 +163,8 @@ func TestFlagAndAlgoErrors(t *testing.T) {
 		{"zero trials", []string{"-trials", "0"}, 2, "-trials must be >= 1"},
 		{"negative parallel", []string{"-parallel", "-3"}, 2, "-parallel must be >= 1"},
 		{"zero shards", []string{"-shards", "0"}, 2, "-shards must be >= 1"},
+		{"bad transport", []string{"-transport", "smoke-signals"}, 2, `unknown -transport "smoke-signals"`},
+		{"proc in single-run mode", []string{"-algo", "multiset", "-transport", "proc"}, 2, "-transport proc applies to fleet mode"},
 		{"infeasible set params", []string{"-algo", "set", "-m", "2048", "-n", "8"}, 1, "raise -n or lower -m"},
 		{"bad input", []string{"-input", "not-an-instance"}, 1, ""},
 	}

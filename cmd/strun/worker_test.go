@@ -1,0 +1,16 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"extmem/internal/transport"
+)
+
+// TestMain routes worker-mode re-executions of this test binary into
+// the shard worker loop — the same dispatch main() performs, so tests
+// can run fleets and queries under -transport proc.
+func TestMain(m *testing.M) {
+	transport.MaybeWorker()
+	os.Exit(m.Run())
+}

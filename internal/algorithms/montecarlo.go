@@ -2,7 +2,6 @@ package algorithms
 
 import (
 	"context"
-	"math/rand"
 
 	"extmem/internal/core"
 	"extmem/internal/problems"
@@ -48,24 +47,16 @@ func EstimateFingerprintErrors(ctx context.Context, m, n, nTrials int, launch tr
 	if launch == nil {
 		launch = trials.Pool(0)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	est := FingerprintErrorEstimate{M: m, N: n, Trials: nTrials}
 	fleet := func(root int64, yes bool) (trials.Summary, error) {
-		_, sum, err := launch(nTrials, root, nil).Run(ctx,
-			func(_ int, rng *rand.Rand) trials.Result {
-				var in problems.Instance
-				if yes {
-					in = problems.GenMultisetYes(m, n, rng)
-				} else {
-					in = problems.GenMultisetNo(m, n, rng)
-				}
-				mach := core.NewMachine(1, rng.Int63())
-				mach.SetInput(in.Encode())
-				v, _, err := FingerprintMultisetEquality(mach)
-				if err != nil {
-					return trials.Result{Err: err.Error()}
-				}
-				return trials.Result{Accept: v == core.Accept}
-			})
+		// The trial body and its wire form come from the same
+		// constructor: an execution shape that ships the fleet to a
+		// worker process rebuilds exactly this function.
+		w, fn := FingerprintGenWorkload(m, n, yes)
+		_, sum, err := launch(nTrials, root, nil).Run(trials.WithWorkload(ctx, w), fn)
 		return sum, err
 	}
 	yesSum, err := fleet(trials.Seed(seed, 0), true)
@@ -107,16 +98,11 @@ func FingerprintRepeatedFleet(ctx context.Context, input []byte, s int, launch t
 	if launch == nil {
 		launch = trials.Pool(0)
 	}
-	_, sum, err := launch(s, seed, nil).Run(ctx,
-		func(_ int, rng *rand.Rand) trials.Result {
-			m := core.NewMachine(1, rng.Int63())
-			m.SetInput(input)
-			v, _, err := FingerprintMultisetEquality(m)
-			if err != nil {
-				return trials.Result{Err: err.Error()}
-			}
-			return trials.Result{Accept: v == core.Accept}
-		})
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w, fn := FingerprintInputWorkload(input)
+	_, sum, err := launch(s, seed, nil).Run(trials.WithWorkload(ctx, w), fn)
 	if err != nil {
 		return core.Reject, sum, err
 	}

@@ -13,6 +13,7 @@ import (
 	"extmem/internal/faults"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
+	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
 
@@ -36,21 +37,16 @@ func E20FaultTolerance(cfg Config) Result {
 	var b strings.Builder
 	notes := "PASS: recoverable chaos (flaky panics, delays) never moved a byte at any shard count;\n" +
 		"a permanent panic degraded to a deterministic error row at exactly the struck site;\n" +
-		"sort-side faults recovered with byte-identical output and fault-free resource census."
+		"sort-side faults recovered with byte-identical output and fault-free resource census;\n" +
+		"real worker deaths (exit, SIGKILL, garbage frames) recovered identically across the process boundary."
 
 	// ---- Fleet half: fault plans over the fingerprint trial fleet.
+	// The trial body is the registered fingerprint-value workload, so
+	// the transport half below can ship the very same fleet to worker
+	// processes and compare rows against the same baseline.
 	n := cfg.fleet(32)
 	fleetSeed := trials.Seed(cfg.Seed, 2000)
-	trial := func(_ int, trng *rand.Rand) trials.Result {
-		fin := problems.GenMultisetNo(4, 12, trng)
-		m := core.NewMachine(1, trng.Int63())
-		m.SetInput(fin.Encode())
-		v, params, err := algorithms.FingerprintMultisetEquality(m)
-		if err != nil {
-			return trials.Result{Err: err.Error()}
-		}
-		return trials.Result{Accept: v == core.Accept, Value: float64(params.P1)}
-	}
+	w, trial := algorithms.FingerprintValueWorkload(4, 12)
 
 	flaky := faults.Plan{Seed: cfg.Seed, Mode: faults.Panic, Rate: 0.1, Flaky: 1}
 	delayed := faults.Plan{Seed: cfg.Seed, Mode: faults.Delay, Rate: 0.25, Delay: 100 * time.Microsecond}
@@ -149,7 +145,6 @@ func E20FaultTolerance(cfg Config) Result {
 	if err != nil {
 		return failure("E20", "CHAOS-DET", err, core.Reject)
 	}
-	_ = cleanRep
 
 	fmt.Fprintf(&b, "\nChaos sort: %d items × 16 bits, fan-in %d, run memory %d bits; faults target shard 0\n",
 		512, fanIn, runMem)
@@ -197,6 +192,127 @@ func E20FaultTolerance(cfg Config) Result {
 					sp.name, shards, rep.Attempts, rep.Recovered, rep.Fallbacks,
 					shards+sp.extra, sp.rec, sp.fall)
 			}
+		}
+	}
+
+	// ---- Transport half: real worker faults across the process
+	// boundary. The same fingerprint fleet runs with every shard range
+	// shipped to a worker process, and the WorkerFault orders make the
+	// worker actually die — exit(1) mid-stream, self-SIGKILL, a garbage
+	// frame — not simulate it. Faults key on (shard, attempt), so the
+	// census is exact and deterministic, and the recovered rows must be
+	// the baseline bytes: process death is just another recoverable
+	// shard fault.
+	fmt.Fprintf(&b, "\nChaos transport: real worker faults, %d-trial fleet on 2 shards, retry budget 2\n", n)
+	row(&b, "%14s %8s %6s %5s %5s %6s", "fault", "retries", "falls", "rec", "errs", "rows")
+	procPlans := []struct {
+		name                string
+		fault               func(sh, attempt int) *transport.WorkerFault
+		retries, falls, rec int
+	}{
+		{"none", nil, 0, 0, 0},
+		// Shard 0's first worker exits(1) after streaming one row; the
+		// retry's worker completes the range.
+		{"exit@s0a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 && attempt == 1 {
+				return &transport.WorkerFault{Exit: true, ExitAfter: 1}
+			}
+			return nil
+		}, 1, 0, 1},
+		// Shard 1's first worker streams a garbage length prefix: a
+		// malformed frame is worker death too.
+		{"corrupt@s1a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 1 && attempt == 1 {
+				return &transport.WorkerFault{Corrupt: true}
+			}
+			return nil
+		}, 1, 0, 1},
+		// Every worker shard 0 ever gets is SIGKILLed mid-stream: the
+		// budget exhausts and the coordinator absorbs the range itself.
+		{"kill@s0", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 {
+				return &transport.WorkerFault{Exit: true, ExitAfter: 1, Kill: true}
+			}
+			return nil
+		}, 1, 1, 2},
+	}
+	for _, pp := range procPlans {
+		tp := &transport.Proc{Fault: pp.fault}
+		rs, sum, err := shard.Fleet{
+			Plan:     shard.Plan{Shards: 2, Trials: n},
+			Parallel: cfg.Parallel,
+			Seed:     fleetSeed,
+			Retry:    shard.RetryPolicy{MaxAttempts: 2},
+			Attempt:  tp.Attempt(),
+		}.Run(trials.WithWorkload(cfg.ctx(), w), trial)
+		if rs == nil {
+			return failure("E20", "CHAOS-DET", err, core.Reject)
+		}
+		rowsCol := "≡"
+		if !reflect.DeepEqual(rs, baseline) {
+			rowsCol = "DIFF"
+			notes = fmt.Sprintf("FAIL: transport fault %s changed the recovered rows.", pp.name)
+		}
+		if sum.Retries != pp.retries || sum.Fallbacks != pp.falls ||
+			sum.Recovered != pp.rec || sum.Errors != 0 {
+			notes = fmt.Sprintf("FAIL: transport fault %s: census (retry=%d fall=%d rec=%d err=%d), want (%d %d %d 0).",
+				pp.name, sum.Retries, sum.Fallbacks, sum.Recovered, sum.Errors,
+				pp.retries, pp.falls, pp.rec)
+		}
+		row(&b, "%14s %8d %6d %5d %5d %6s", pp.name,
+			sum.Retries, sum.Fallbacks, sum.Recovered, sum.Errors, rowsCol)
+	}
+
+	// The sort side of the same story: worker-process shard sorts under
+	// real faults. A dead worker is an error, never a panic, so the
+	// Recovered column of the census stays zero while Attempts and
+	// Fallbacks move — and the output bytes and the successful attempts'
+	// (r, s, t) reports match the fault-free 2-shard run exactly.
+	fmt.Fprintf(&b, "\nChaos transport sort: worker-process shard sorts at 2 shards, retry budget 2\n")
+	row(&b, "%14s %9s %5s %6s %8s %8s", "fault", "attempts", "rec", "falls", "output≡", "census≡")
+	sortProcPlans := []struct {
+		name        string
+		fault       func(sh, attempt int) *transport.WorkerFault
+		extra, fall int // expected deltas over the fault-free run
+	}{
+		{"none", nil, 0, 0},
+		{"exit@s0a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 && attempt == 1 {
+				return &transport.WorkerFault{Exit: true}
+			}
+			return nil
+		}, 1, 0},
+		{"kill@s0", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 {
+				return &transport.WorkerFault{Exit: true, Kill: true}
+			}
+			return nil
+		}, 2, 1},
+	}
+	for _, sp := range sortProcPlans {
+		tp := &transport.Proc{Fault: sp.fault}
+		out, rep, err := shard.Sort{
+			Shards: 2, FanIn: fanIn, RunMemoryBits: runMem,
+			Retry: shard.RetryPolicy{MaxAttempts: 2},
+			Exec:  tp.Exec(),
+		}.Run(cfg.ctx(), enc, cfg.Seed)
+		if err != nil {
+			return failure("E20", "CHAOS-DET", err, core.Reject)
+		}
+		outEq := bytes.Equal(out, cleanOut)
+		censusEq := reflect.DeepEqual(rep.Shards, cleanRep.Shards) &&
+			reflect.DeepEqual(rep.Merge, cleanRep.Merge)
+		row(&b, "%14s %9d %5d %6d %8v %8v", sp.name,
+			rep.Attempts, rep.Recovered, rep.Fallbacks, outEq, censusEq)
+		if !outEq {
+			notes = fmt.Sprintf("FAIL: transport sort fault %s changed the output bytes.", sp.name)
+		}
+		if !censusEq {
+			notes = fmt.Sprintf("FAIL: transport sort fault %s changed the successful-attempt census.", sp.name)
+		}
+		if rep.Attempts != 2+sp.extra || rep.Recovered != 0 || rep.Fallbacks != sp.fall {
+			notes = fmt.Sprintf("FAIL: transport sort fault %s: census (a=%d r=%d f=%d), want (a=%d r=0 f=%d).",
+				sp.name, rep.Attempts, rep.Recovered, rep.Fallbacks, 2+sp.extra, sp.fall)
 		}
 	}
 

@@ -13,6 +13,7 @@ import (
 	"extmem/internal/faults"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
+	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
 
@@ -37,6 +38,14 @@ type Config struct {
 	// Retry is the per-shard retry budget trial fleets and sharded
 	// sorts run under; the zero policy attempts each shard once.
 	Retry shard.RetryPolicy
+
+	// Proc, when non-nil, is the process-boundary transport
+	// (internal/transport): trial fleets whose workloads carry a wire
+	// form and every sharded operator sort run their shard attempts in
+	// worker processes. Fleets with no wire form — closures over live
+	// state, chaos-wrapped fleets — keep running in-process. Like Shards
+	// and Parallel, it never affects output bytes.
+	Proc *transport.Proc
 }
 
 // ctx is the run's bounding context (Background when unset).
@@ -69,7 +78,32 @@ func (c Config) ShardCount() int {
 // recoverable fault plan under the retry budget — can change a table
 // byte.
 func (c Config) launch() trials.Launcher {
-	return c.Faults.Trials(shard.LaunchRetry(c.ShardCount(), c.Parallel, c.Retry))
+	inner := shard.LaunchRetry(c.ShardCount(), c.Parallel, c.Retry)
+	if c.Proc != nil {
+		inner = c.Proc.Launch(c.ShardCount(), c.Parallel, c.Retry)
+	}
+	return c.Faults.Trials(inner)
+}
+
+// exec resolves how sharded operator sorts execute their shard-local
+// attempts: in worker processes under the Proc transport, in-process
+// otherwise (nil selects shard.SortJob.Execute on the coordinator).
+func (c Config) exec() shard.ExecFunc {
+	if c.Proc == nil {
+		return nil
+	}
+	return c.Proc.Exec()
+}
+
+// proc is the transport the E18/E19/E20 internal sweeps run their
+// process-boundary rows on: the configured one when set, a default
+// self-exec transport otherwise — the rows exist in every run, so the
+// tables stay byte-identical whether or not -transport proc is on.
+func (c Config) proc() *transport.Proc {
+	if c.Proc != nil {
+		return c.Proc
+	}
+	return &transport.Proc{}
 }
 
 // probeLaunch is the launcher for the E16 collision probes: nil —

@@ -47,6 +47,7 @@ func E6RelAlg(cfg Config) Result {
 		sharded, err := relalg.Evaluator{
 			Shards: cfg.ShardCount(), Seed: cfg.Seed,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+			Exec: cfg.exec(),
 		}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)

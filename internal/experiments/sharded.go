@@ -49,15 +49,27 @@ func E18ShardedExecution(cfg Config) Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded sort: %d items × 16 bits, fan-in %d, run memory %d bits; single machine: %d scans, %d bits, %d steps\n",
 		1024, fanIn, runMem, baseRes.Scans(), baseRes.PeakMemoryBits, baseRes.Steps)
-	row(&b, "%7s %6s %18s %6s %6s %11s %11s %9s %8s %10s", "shards", "runs",
-		"per-shard scans", "max r", "sum r", "max s bits", "crit steps", "speedup", "output≡", "merge r")
-	notes := "PASS: outputs byte-identical at every shard count; fleets identical at every shard count;\n" +
-		"sum(scans) ≥ single-machine scans and max(shard memory) ≤ single-machine memory —\n" +
-		"sharding buys critical-path time with total work, never with the answer."
+	row(&b, "%7s %6s %18s %6s %6s %11s %11s %9s %8s %10s %6s", "shards", "runs",
+		"per-shard scans", "max r", "sum r", "max s bits", "crit steps", "speedup", "output≡", "merge r", "proc≡")
+	notes := "PASS: outputs byte-identical at every shard count and across the process transport;\n" +
+		"fleets identical at every shard count; sum(scans) ≥ single-machine scans and\n" +
+		"max(shard memory) ≤ single-machine memory — sharding buys critical-path time\n" +
+		"with total work, never with the answer."
+	pr := cfg.proc()
 	for _, shards := range []int{1, 2, 4} {
 		out, rep, err := shard.Sort{
 			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+		}.Run(cfg.ctx(), enc, cfg.Seed)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
+		// The same execution with every shard-local sort in a worker
+		// process: the sorted bytes and the whole report — per-shard
+		// (r, s, t) census included — must cross the pipes intact.
+		pout, prep, err := shard.Sort{
+			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
+			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(), Exec: pr.Exec(),
 		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
@@ -68,12 +80,16 @@ func E18ShardedExecution(cfg Config) Result {
 			perShard[i] = r.Scans()
 		}
 		equal := bytes.Equal(out, baseOut)
+		procEq := bytes.Equal(pout, out) && reflect.DeepEqual(prep, rep)
 		speedup := float64(baseRes.Steps) / float64(rep.CriticalPathSteps())
-		row(&b, "%7d %6d %18s %6d %6d %11d %11d %8.2fx %8v %10d",
+		row(&b, "%7d %6d %18s %6d %6d %11d %11d %8.2fx %8v %10d %6v",
 			shards, rep.Runs, fmt.Sprint(perShard), agg.MaxScans, agg.SumScans, agg.MaxMemoryBits,
-			rep.CriticalPathSteps(), speedup, equal, rep.Merge.Scans())
+			rep.CriticalPathSteps(), speedup, equal, rep.Merge.Scans(), procEq)
 		if !equal {
 			notes = "FAIL: sharded sort output differs from the single-machine engine."
+		}
+		if !procEq {
+			notes = "FAIL: the process-transport sort differs from the in-process run."
 		}
 		if agg.SumScans < baseRes.Scans() {
 			notes = "FAIL: rollup lost scans relative to the single machine."
@@ -84,25 +100,19 @@ func E18ShardedExecution(cfg Config) Result {
 	}
 
 	// Fleet half: the same fingerprint fleet at three shard counts must
-	// produce identical per-trial result sequences.
+	// produce identical per-trial result sequences — in-process and
+	// with every shard range shipped to a worker process.
 	fleetN := cfg.fleet(48)
 	fleetSeed := trials.Seed(cfg.Seed, 1800)
-	// Each row also records the trial's random reduction prime p1, so
-	// the equality check compares genuinely per-trial random content,
-	// not just a column of identical verdicts.
-	trial := func(_ int, trng *rand.Rand) trials.Result {
-		fin := problems.GenMultisetNo(4, 12, trng)
-		m := core.NewMachine(1, trng.Int63())
-		m.SetInput(fin.Encode())
-		v, params, err := algorithms.FingerprintMultisetEquality(m)
-		if err != nil {
-			return trials.Result{Err: err.Error()}
-		}
-		return trials.Result{Accept: v == core.Accept, Value: float64(params.P1)}
-	}
+	// The trial body is the registered fingerprint-value workload (each
+	// row records the trial's random reduction prime p1, so the equality
+	// check compares genuinely per-trial random content, not just a
+	// column of identical verdicts) — registered so it has a wire form
+	// the process transport can ship.
+	w, trial := algorithms.FingerprintValueWorkload(4, 12)
 	var ref []trials.Result
 	fmt.Fprintf(&b, "\nSharded fingerprint fleet: %d trials, no-instances m=4 n=12\n", fleetN)
-	row(&b, "%7s %8s %9s %14s %12s", "shards", "trials", "accepts", "Σ p1 (rng)", "rows ≡ 1?")
+	row(&b, "%7s %8s %9s %14s %12s %6s", "shards", "trials", "accepts", "Σ p1 (rng)", "rows ≡ 1?", "proc≡")
 	for _, shards := range []int{1, 2, 4} {
 		rs, sum, err := shard.Fleet{
 			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
@@ -110,6 +120,19 @@ func E18ShardedExecution(cfg Config) Result {
 			Seed:     fleetSeed,
 			Retry:    cfg.Retry,
 		}.Run(cfg.ctx(), trial)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
+		// The same fleet with every shard attempt in a worker process:
+		// the workload ships by name and spec, the rows come back in
+		// trial order, and nothing above the launcher seam can tell.
+		prs, psum, err := shard.Fleet{
+			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
+			Parallel: cfg.Parallel,
+			Seed:     fleetSeed,
+			Retry:    cfg.Retry,
+			Attempt:  pr.Attempt(),
+		}.Run(trials.WithWorkload(cfg.ctx(), w), trial)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
 		}
@@ -121,9 +144,13 @@ func E18ShardedExecution(cfg Config) Result {
 			sumP1 += r.Value
 		}
 		same := reflect.DeepEqual(rs, ref)
-		row(&b, "%7d %8d %9d %14.0f %12v", shards, sum.Trials, sum.Accepts, sumP1, same)
+		procEq := reflect.DeepEqual(prs, rs) && reflect.DeepEqual(psum, sum)
+		row(&b, "%7d %8d %9d %14.0f %12v %6v", shards, sum.Trials, sum.Accepts, sumP1, same, procEq)
 		if !same {
 			notes = "FAIL: sharded fleet results differ from the single-shard run."
+		}
+		if !procEq {
+			notes = "FAIL: the process-transport fleet differs from the in-process run."
 		}
 	}
 

@@ -224,6 +224,16 @@ type chaosRunner struct {
 }
 
 func (c chaosRunner) Run(ctx context.Context, fn trials.Func) ([]trials.Result, trials.Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Trial-level faults strike inside the wrapped function and count
+	// attempts in this process's injector, so the fleet must execute
+	// the wrapper — stripping the workload annotation pins every shard
+	// attempt to the in-process engine instead of a worker process.
+	// (Shard-granular sort chaos is unaffected: ShardInject strikes on
+	// the coordinator before the attempt is dispatched anywhere.)
+	ctx = trials.WithoutWorkload(ctx)
 	return c.inner.Run(ctx, func(i int, rng *rand.Rand) trials.Result {
 		if err := c.inj.Strike(i); err != nil {
 			return trials.Result{Trial: i, Err: err.Error()}

@@ -62,6 +62,14 @@ type Evaluator struct {
 	// attempt, never by the coordinator's fallback.
 	Inject shard.InjectFunc
 
+	// Exec, when non-nil, overrides how shard-local sort attempts of
+	// the sharded path execute (see shard.Sort.Exec) — the seam
+	// internal/transport uses to run every operator sort's shard
+	// machines in worker processes. It only applies on the sharded path
+	// (Shards >= 1, no custom Launch); the query result is
+	// byte-identical with or without it.
+	Exec shard.ExecFunc
+
 	// Launch, when non-nil, overrides the sort execution entirely —
 	// the trials.Launcher pattern on the sort side. Shards is then
 	// ignored; nil together with Shards == 0 selects the
@@ -211,6 +219,7 @@ func (ev Evaluator) launcher() algorithms.SortLauncher {
 			Shards: ev.Shards,
 			Retry:  ev.Retry,
 			Inject: ev.Inject,
+			Exec:   ev.Exec,
 		}.Launcher(ev.Seed, onReport)
 	}
 	return nil

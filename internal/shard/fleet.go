@@ -98,6 +98,38 @@ type Fleet struct {
 	// shards re-record rows already streamed; the in-order merge is
 	// idempotent, so the stream never repeats or reorders.
 	OnResult func(trials.Result)
+
+	// Attempt, when non-nil, overrides how one shard attempt executes —
+	// the transport seam. The default attempt is eng.Run(ctx, fn) on
+	// the in-process engine; internal/transport substitutes an attempt
+	// that ships the range to a worker process and streams the rows
+	// back. An attempt must either complete the range (returning the
+	// non-nil result slice, soft per-trial errors included, having fed
+	// every row to eng.OnResult in order when it is set) or return an
+	// error; errors carrying the Fault marker burn one attempt of the
+	// retry budget, anything else fails the fleet. The degraded
+	// fallback after retry exhaustion never consults Attempt — the
+	// coordinator absorbs the range itself, exactly as it absorbs a
+	// dead shard machine's sort range.
+	Attempt AttemptFunc
+}
+
+// AttemptFunc executes one attempt of one shard's contiguous trial
+// range: shard and attempt (1-based) identify the execution for
+// logging and fault injection, eng carries the range (Trials, Offset),
+// root seed, per-shard worker count and the in-order OnResult sink,
+// and fn is the in-process trial function — the fallback a transport
+// uses when the fleet's context carries no trials.Workload annotation.
+type AttemptFunc func(ctx context.Context, shard, attempt int, eng trials.Engine, fn trials.Func) ([]trials.Result, error)
+
+// Fault marks an error as a failed shard attempt — recoverable by the
+// retry → degraded-fallback path because shard work is input-pure. Two
+// families carry it: recovered panics (*trials.TrialPanicError,
+// *SortPanicError) and dead worker processes on the transport layer
+// (transport.WorkerError) — process death and an injected panic are
+// deliberately indistinguishable to the retry machinery.
+type Fault interface {
+	ShardFault()
 }
 
 var _ trials.Runner = Fleet{}
@@ -209,7 +241,13 @@ func (f Fleet) runShard(ctx context.Context, rg Range, fn trials.Func,
 		if f.OnResult != nil {
 			eng.OnResult = record
 		}
-		rs, _, err := eng.Run(ctx, fn)
+		var rs []trials.Result
+		var err error
+		if f.Attempt != nil {
+			rs, err = f.Attempt(ctx, rg.Shard, attempt, eng, fn)
+		} else {
+			rs, _, err = eng.Run(ctx, fn)
+		}
 		if rs != nil {
 			// The range completed; err, if any, is the first soft
 			// trial error, which FirstErr reconstructs after the merge.
@@ -218,8 +256,12 @@ func (f Fleet) runShard(ctx context.Context, rg Range, fn trials.Func,
 			}
 			return
 		}
-		var pe *trials.TrialPanicError
-		if !errors.As(err, &pe) {
+		if err == nil {
+			fail(fmt.Errorf("shard: shard %d attempt %d returned neither results nor an error", rg.Shard, attempt))
+			return
+		}
+		var fault Fault
+		if !errors.As(err, &fault) {
 			fail(err)
 			return
 		}

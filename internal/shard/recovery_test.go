@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -30,6 +31,36 @@ func TestRetryPolicyBackoff(t *testing.T) {
 	}
 	if got := (shard.RetryPolicy{}).Backoff(3); got != 0 {
 		t.Errorf("zero policy backoff = %v, want 0", got)
+	}
+}
+
+// An uncapped policy (MaxDelay == 0) must clamp the doubling instead of
+// overflowing: time.Duration is an int64 of nanoseconds, and a wrapped
+// negative backoff reads as "no backoff at all" to the retry sleep —
+// exactly the attempts that most need spacing out.
+func TestRetryPolicyBackoffOverflow(t *testing.T) {
+	uncapped := shard.RetryPolicy{MaxAttempts: 200, BaseDelay: time.Second}
+	cases := []struct {
+		name    string
+		p       shard.RetryPolicy
+		attempt int
+		want    time.Duration
+	}{
+		{"uncapped clamps instead of wrapping", uncapped, 100, time.Second << 33},
+		{"the clamp is a fixed point", uncapped, 101, time.Second << 33},
+		{"tiny base survives any attempt", shard.RetryPolicy{BaseDelay: 1}, 1000, 1 << 62},
+		{"base beyond half range never doubles", shard.RetryPolicy{BaseDelay: time.Duration(math.MaxInt64/2 + 1)}, 10, time.Duration(math.MaxInt64/2 + 1)},
+		{"maximal base is unchanged", shard.RetryPolicy{BaseDelay: time.Duration(math.MaxInt64)}, 7, time.Duration(math.MaxInt64)},
+		{"capped schedules are unaffected", shard.RetryPolicy{BaseDelay: time.Second, MaxDelay: 4 * time.Second}, 50, 4 * time.Second},
+	}
+	for _, c := range cases {
+		got := c.p.Backoff(c.attempt)
+		if got < 0 {
+			t.Errorf("%s: Backoff(%d) = %v, overflowed negative", c.name, c.attempt, got)
+		}
+		if got != c.want {
+			t.Errorf("%s: Backoff(%d) = %v, want %v", c.name, c.attempt, got, c.want)
+		}
 	}
 }
 

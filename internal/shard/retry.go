@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"math"
 	"time"
 )
 
@@ -28,17 +29,23 @@ func (p RetryPolicy) maxAttempts() int {
 
 // Backoff returns the delay before the retry following the given
 // 1-based failed attempt: BaseDelay doubled per failure, capped at
-// MaxDelay.
+// MaxDelay. With MaxDelay == 0 (uncapped) the doubling still clamps at
+// the last representable value: time.Duration is an int64 of
+// nanoseconds, and letting the product wrap negative would turn the
+// longest waits into no wait at all (sleep treats d <= 0 as "don't").
 func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	d := p.BaseDelay
 	if d <= 0 {
 		return 0
 	}
 	for i := 1; i < attempt; i++ {
-		d *= 2
 		if p.MaxDelay > 0 && d >= p.MaxDelay {
 			return p.MaxDelay
 		}
+		if d > math.MaxInt64/2 {
+			break
+		}
+		d *= 2
 	}
 	if p.MaxDelay > 0 && d > p.MaxDelay {
 		d = p.MaxDelay

@@ -48,6 +48,52 @@ type Sort struct {
 	// InjectFunc. It exists so internal/faults can make shard failure
 	// an injectable execution shape exactly like the shard count.
 	Inject InjectFunc
+
+	// Exec, when non-nil, overrides how a shard-local attempt executes
+	// its SortJob — the transport seam, the sort-side twin of
+	// Fleet.Attempt. The default is job.Execute() in-process;
+	// internal/transport substitutes an Exec that ships the job to a
+	// worker process and reads the sorted bytes and the shard machine's
+	// core.Resources report back. A failed Exec (a dead worker, a
+	// malformed reply) burns one attempt of the Retry budget like any
+	// other attempt failure; the coordinator's fallback after retry
+	// exhaustion always runs job.Execute() locally and never consults
+	// Exec — nor Inject.
+	Exec ExecFunc
+}
+
+// ExecFunc executes one attempt of one shard-local sort. shard and
+// attempt (1-based) identify the execution; the job is self-contained,
+// so an implementation may run it in this process, another process, or
+// another host — the sorted output is a pure function of the job.
+type ExecFunc func(ctx context.Context, shard, attempt int, job SortJob) ([]byte, core.Resources, error)
+
+// SortJob is the self-contained description of one shard-local sort:
+// the shard's contiguous run-range payload plus the exact engine
+// configuration and the pre-derived machine seed. Every field is
+// exported and value-typed, so the job gob-encodes — it is the unit of
+// work the process transport ships to a shard worker.
+type SortJob struct {
+	Payload       []byte // the shard's '#'-terminated run-range items
+	FanIn         int    // local sort engine fan-in (raw; the engine normalizes)
+	RunMemoryBits int64  // run-formation budget, as the coordinator partitioned with
+	Tapes         int    // tape count of the shard machine
+	Seed          int64  // the shard machine's coin seed, already derived per shard
+}
+
+// Execute runs the job on a fresh in-process shard machine and returns
+// the sorted payload with the machine's exact resource report — the
+// one attempt body every execution shape (local attempt, coordinator
+// fallback, worker process) runs, which is why the bytes and the
+// (r, s, t) census cannot depend on where an attempt ran.
+func (j SortJob) Execute() ([]byte, core.Resources, error) {
+	m := core.NewMachine(j.Tapes, j.Seed)
+	m.SetInput(j.Payload)
+	local := algorithms.Sorter{FanIn: j.FanIn, RunMemoryBits: j.RunMemoryBits}
+	if err := local.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
+		return nil, core.Resources{}, err
+	}
+	return m.Tape(1).Contents(), m.Resources(), nil
 }
 
 func (s Sort) shardCount() int {
@@ -170,6 +216,11 @@ func (e *SortPanicError) Unwrap() error {
 	}
 	return nil
 }
+
+// ShardFault marks the recovered sort panic as a failed shard attempt
+// (see Fault); the sort retry loop treats every attempt error as
+// recoverable anyway, so the marker is for callers that triage.
+func (e *SortPanicError) ShardFault() {}
 
 // SortTape runs the sharded sort on the items of tape src of m and
 // installs the sorted (optionally deduplicated) output back on src
@@ -359,6 +410,13 @@ func (s Sort) Run(ctx context.Context, input []byte, seed int64) ([]byte, SortRe
 // the shard would have produced.
 func (s Sort) sortShard(ctx context.Context, rg Range, payload []byte, tapes int, seed int64,
 	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
+	job := SortJob{
+		Payload:       payload,
+		FanIn:         s.FanIn,
+		RunMemoryBits: s.RunMemoryBits,
+		Tapes:         tapes,
+		Seed:          trials.Seed(seed, rg.Shard+1),
+	}
 	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -371,13 +429,10 @@ func (s Sort) sortShard(ctx context.Context, rg Range, payload []byte, tapes int
 				return nil, core.Resources{}, ierr
 			}
 		}
-		m := core.NewMachine(tapes, trials.Seed(seed, rg.Shard+1))
-		m.SetInput(payload)
-		local := algorithms.Sorter{FanIn: s.FanIn, RunMemoryBits: s.RunMemoryBits}
-		if serr := local.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); serr != nil {
-			return nil, core.Resources{}, serr
+		if inject && s.Exec != nil {
+			return s.Exec(ctx, rg.Shard, attempt, job)
 		}
-		return m.Tape(1).Contents(), m.Resources(), nil
+		return job.Execute()
 	}
 	budget := s.Retry.maxAttempts()
 	for attempt := 1; attempt <= budget; attempt++ {

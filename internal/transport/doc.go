@@ -1,0 +1,48 @@
+// Package transport executes shard attempts in worker processes — the
+// process-boundary rung of the shard execution ladder, behind the same
+// two seams everything else uses: trials.Launcher for trial fleets and
+// algorithms.SortLauncher for sharded sorts.
+//
+// # Shape
+//
+// The coordinator (Proc) spawns one worker process per shard attempt —
+// by default the running executable re-executed with the hidden
+// "stworker" subcommand and the EXTMEM_STWORKER environment marker —
+// and speaks length-prefixed gob frames over the worker's pipes: a
+// 4-byte big-endian payload length, then the gob payload, each frame
+// an independent gob stream. Exactly one Job frame goes down stdin
+// (a trial-index range with its workload wire form, or a
+// shard.SortJob); Reply frames come back up stdout — per-trial
+// trials.Result rows strictly in trial order, then a terminal Done
+// frame carrying, for sorts, the sorted bytes and the shard machine's
+// exact core.Resources report.
+//
+// Trial functions are closures and cannot cross a process boundary;
+// trials.Workload is their wire form. Fleet entry points whose trial
+// bodies are pure functions of a few bytes of configuration annotate
+// their context with a registered workload (internal/algorithms), and
+// the transport's shard attempt ships it; a fleet with no annotation —
+// a closure over live state, or a chaos-wrapped fleet whose strikes
+// live in the coordinator's injector — transparently runs in-process.
+// Randomness never travels either way: a worker re-derives every
+// trial's rng from (seed, global index), which is why a shipped shard
+// and a local shard produce the same rows byte for byte.
+//
+// # Failure is the point
+//
+// Worker death in any costume — nonzero exit, SIGKILL, early EOF, a
+// malformed or out-of-order frame, a blown Deadline — surfaces as a
+// WorkerError carrying the shard.Fault marker, which puts it on
+// exactly the path an injected in-process panic takes: burn one
+// attempt of the shard.RetryPolicy budget, back off, retry, and after
+// exhaustion let the coordinator absorb the range itself (the degraded
+// fallback never consults the transport). Shard work is input-pure, so
+// recovery moves the attempt census — Retries, Fallbacks, Recovered;
+// Attempts for sorts — and never a byte of output. WorkerFault orders
+// shipped inside job frames make workers actually stall, stream
+// garbage, or kill themselves mid-stream, so the recovery contract is
+// tested against real process death, not simulations of it.
+//
+// The residue of this rung is the transport after it: the same frames
+// over TCP to workers on other hosts (ROADMAP item 1).
+package transport

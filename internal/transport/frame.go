@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"extmem/internal/core"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// MaxFrame bounds a single frame's payload. The largest legitimate
+// frame is a sort job or its reply — a shard's run-range payload —
+// so the cap is generous for those and still small enough that a
+// corrupted length prefix cannot make the decoder allocate the moon.
+const MaxFrame = 1 << 26 // 64 MiB
+
+// writeFrame encodes v as one length-prefixed gob frame: a 4-byte
+// big-endian payload length followed by the payload. Every frame is an
+// independent gob stream, so a reader can decode any frame without the
+// state of the ones before it — which is what lets the coordinator
+// treat a truncated or garbled frame as the death of that worker
+// rather than of the whole transport.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if buf.Len() > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", buf.Len(), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame decodes the next frame into v. A clean end of stream at a
+// frame boundary returns io.EOF; a stream that dies inside a frame
+// returns io.ErrUnexpectedEOF; a length prefix past MaxFrame is
+// rejected before any allocation. Arbitrary input bytes yield an
+// error, never a panic — the FuzzTransportFrame target enforces this.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("transport: frame length %d exceeds the %d-byte limit", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// Job is the single coordinator→worker frame: exactly one of Trial or
+// Sort describes the shard assignment, and Fault, when non-nil, is a
+// self-applied chaos order (the worker is told to die — real process
+// death, not a simulated panic).
+type Job struct {
+	Trial *TrialJob
+	Sort  *shard.SortJob
+	Fault *WorkerFault
+}
+
+// TrialJob assigns a contiguous global trial-index range: the worker
+// rebuilds the trial function from the workload's registered builder
+// and runs a shard-local trials.Engine over [Offset, Offset+Trials).
+// Randomness never travels — the worker re-derives every trial's rng
+// from (Seed, global index) exactly as an in-process shard would.
+type TrialJob struct {
+	Workload trials.Workload
+	Trials   int   // range length
+	Offset   int   // first global trial index of the range
+	Parallel int   // worker goroutines inside the worker process
+	Seed     int64 // the fleet's root seed
+}
+
+// Reply is one worker→coordinator frame: a streamed per-trial row or
+// the terminal Done report. Rows arrive strictly in trial order; the
+// Done frame is last.
+type Reply struct {
+	Row  *trials.Result
+	Done *Done
+}
+
+// Done terminates a worker's reply stream. A non-empty Err means the
+// job failed worker-side (the coordinator maps it onto the same
+// retry → fallback path as process death); Sort carries a sort job's
+// output and the shard machine's exact (r, s, t) report.
+type Done struct {
+	Err  string
+	Sort *SortDone
+}
+
+// SortDone is the result of a sort job: the sorted run-range bytes and
+// the shard-local machine's resource census, crossing the process
+// boundary intact.
+type SortDone struct {
+	Out       []byte
+	Resources core.Resources
+}
+
+// WorkerFault is a deterministic self-destruct order shipped inside a
+// job frame — the chaos plan of the transport layer. Unlike
+// faults.Plan, which simulates failure inside a live process, a
+// WorkerFault makes the process itself misbehave: stall, stream
+// garbage, or die mid-stream, so the coordinator's failure handling is
+// exercised against the real thing. The zero value is no fault.
+type WorkerFault struct {
+	// Stall sleeps before the job executes — the straggler fault; pair
+	// it with Proc.Deadline to exercise the deadline → retry path.
+	Stall time.Duration
+
+	// Exit terminates the worker after it has streamed ExitAfter row
+	// frames (for sort jobs: before the Done frame regardless), without
+	// a Done frame: the coordinator sees the stream end mid-job.
+	Exit      bool
+	ExitAfter int
+
+	// Kill upgrades Exit to self-delivered SIGKILL — uncatchable, no
+	// deferred cleanup, the closest a worker can get to a machine
+	// failure.
+	Kill bool
+
+	// Corrupt streams a malformed frame (an oversized length prefix)
+	// instead of the first reply.
+	Corrupt bool
+}

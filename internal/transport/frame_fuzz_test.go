@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"extmem/internal/trials"
+)
+
+// FuzzTransportFrame feeds arbitrary bytes to the frame decoder: it
+// must reject garbage with an error — oversized lengths, truncated
+// payloads, non-gob bodies — and never panic. The coordinator reads
+// these frames from worker processes it does not trust to die cleanly,
+// so the decoder is a hard boundary.
+func FuzzTransportFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	var valid bytes.Buffer
+	if err := writeFrame(&valid, Reply{Row: &trials.Result{Trial: 1}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(append(valid.Bytes(), valid.Bytes()[:3]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			var rep Reply
+			if err := readFrame(r, &rep); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// The decoder refuses a length prefix beyond MaxFrame outright,
+// without attempting the allocation.
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var b bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	b.Write(hdr[:])
+	var rep Reply
+	if err := readFrame(&b, &rep); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// writeFrame and readFrame round-trip every frame type on the wire.
+func TestFrameRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	in := Reply{Row: &trials.Result{Trial: 2, Accept: true}}
+	if err := writeFrame(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Reply
+	if err := readFrame(&b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Row == nil || *out.Row != *in.Row {
+		t.Fatalf("round-trip Reply row = %+v, want %+v", out.Row, in.Row)
+	}
+}

@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// Proc is the process-boundary shard transport: every shard attempt it
+// executes spawns one worker process (by default this executable
+// re-run in worker mode), ships the assignment as a job frame over
+// stdin, and streams the replies back over stdout. The zero value is
+// ready to use. A Proc carries no per-run state — one value can serve
+// any number of concurrent fleets and sorts.
+type Proc struct {
+	// Command, when non-nil, builds the worker command (the test seam;
+	// also the hook a future multi-host rung would use to put ssh or a
+	// container runtime here). nil self-executes os.Executable() with
+	// the hidden stworker subcommand and the EnvWorker marker set. The
+	// command's stdin/stdout are owned by the transport; the context
+	// must bound the process (exec.CommandContext).
+	Command func(ctx context.Context) (*exec.Cmd, error)
+
+	// Deadline bounds one attempt's wall clock, job write to Done
+	// frame; 0 means unbounded. A worker that outlives it is killed and
+	// the attempt fails like any other worker death — onto the retry →
+	// fallback path.
+	Deadline time.Duration
+
+	// Fault, when non-nil, is consulted per (shard, attempt) and ships
+	// the returned order inside the job frame — deterministic real-
+	// process chaos, the transport twin of shard.Sort.Inject. nil
+	// orders leave the worker healthy.
+	Fault func(shard, attempt int) *WorkerFault
+
+	// Stderr receives the workers' stderr; nil means os.Stderr.
+	Stderr io.Writer
+}
+
+// WorkerError is a failed worker attempt: the process died (exit,
+// signal, deadline), its stream ended early, or it sent a malformed or
+// out-of-order frame. It carries the shard.Fault marker, so the fleet
+// and sort retry machinery treats a dead process exactly like a
+// recovered in-process panic: burn an attempt, back off, retry, and
+// degrade to the coordinator's own execution when the budget runs out.
+type WorkerError struct {
+	Shard   int   // the shard whose attempt failed
+	Attempt int   // 1-based attempt number
+	Err     error // what went wrong
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("transport: shard %d worker (attempt %d): %v", e.Shard, e.Attempt, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// ShardFault marks the dead worker as a recoverable shard attempt
+// failure (see shard.Fault).
+func (e *WorkerError) ShardFault() {}
+
+func (p *Proc) stderr() io.Writer {
+	if p.Stderr != nil {
+		return p.Stderr
+	}
+	return os.Stderr
+}
+
+func (p *Proc) command(ctx context.Context) (*exec.Cmd, error) {
+	if p.Command != nil {
+		return p.Command(ctx)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, exe, WorkerArg)
+	// Race-built workers (go test -race spawning its own test binary)
+	// would otherwise sleep the detector's default atexit_sleep_ms=1s
+	// on every exit — a 50× wall-clock tax on short-lived shard
+	// workers. Races in worker code are still caught while it runs,
+	// and every proc path has an in-process twin under default
+	// settings. A non-race binary ignores GORACE entirely.
+	gorace := os.Getenv("GORACE")
+	if gorace != "" {
+		gorace += ","
+	}
+	cmd.Env = append(os.Environ(), EnvWorker+"=1", "GORACE="+gorace+"atexit_sleep_ms=0")
+	return cmd, nil
+}
+
+// runJob spawns one worker for one job, feeds each streamed row to
+// onRow (trial jobs), and returns the worker's Done report after a
+// clean exit. Any other outcome — spawn failure, dead process, early
+// EOF, malformed frame, nonzero exit, deadline — is returned as a
+// plain error for the caller to wrap in a WorkerError.
+func (p *Proc) runJob(ctx context.Context, job Job, onRow func(trials.Result) error) (*Done, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if p.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	cmd, err := p.command(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("building worker command: %w", err)
+	}
+	cmd.Stderr = p.stderr()
+	// A killed worker must never wedge the coordinator in Wait.
+	cmd.WaitDelay = 5 * time.Second
+	isolateWorker(cmd)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawning worker: %w", err)
+	}
+	// fail reaps the worker on every error path: cancel kills a process
+	// that is still alive (CommandContext), Wait collects it.
+	fail := func(cause error) (*Done, error) {
+		cancel()
+		stdin.Close()
+		cmd.Wait()
+		return nil, cause
+	}
+	if err := writeFrame(stdin, job); err != nil {
+		return fail(fmt.Errorf("sending job: %w", err))
+	}
+	if err := stdin.Close(); err != nil {
+		return fail(fmt.Errorf("closing job stream: %w", err))
+	}
+	br := bufio.NewReader(stdout)
+	for {
+		var rep Reply
+		if err := readFrame(br, &rep); err != nil {
+			return fail(fmt.Errorf("reading reply: %w", err))
+		}
+		switch {
+		case rep.Row != nil:
+			if onRow == nil {
+				return fail(errors.New("unexpected row frame"))
+			}
+			if err := onRow(*rep.Row); err != nil {
+				return fail(err)
+			}
+		case rep.Done != nil:
+			if rep.Done.Err != "" {
+				return fail(fmt.Errorf("worker reported: %s", rep.Done.Err))
+			}
+			if err := cmd.Wait(); err != nil {
+				return nil, fmt.Errorf("worker exit after done: %w", err)
+			}
+			return rep.Done, nil
+		default:
+			return fail(errors.New("empty reply frame"))
+		}
+	}
+}
+
+// Attempt returns the shard.AttemptFunc that executes trial-range
+// attempts in worker processes. A fleet whose context carries a
+// trials.Workload annotation ships it — workload name and spec out,
+// rows back, validated strictly in trial order; the worker re-derives
+// all randomness from (seed, global index), so the rows are the ones
+// the in-process engine would produce, byte for byte. A fleet with no
+// annotation (a closure with no wire form, or a chaos-wrapped fleet)
+// transparently runs in-process. Worker death fails the attempt with a
+// WorkerError, which the fleet retries and then absorbs via its
+// degraded fallback — output identical either way, only the attempt
+// census moves.
+func (p *Proc) Attempt() shard.AttemptFunc {
+	return func(ctx context.Context, sh, attempt int, eng trials.Engine, fn trials.Func) ([]trials.Result, error) {
+		w, ok := trials.WorkloadFrom(ctx)
+		if !ok {
+			rs, _, err := eng.Run(ctx, fn)
+			return rs, err
+		}
+		var fault *WorkerFault
+		if p.Fault != nil {
+			fault = p.Fault(sh, attempt)
+		}
+		job := Job{
+			Trial: &TrialJob{
+				Workload: w,
+				Trials:   eng.Trials,
+				Offset:   eng.Offset,
+				Parallel: eng.Parallel,
+				Seed:     eng.Seed,
+			},
+			Fault: fault,
+		}
+		rs := make([]trials.Result, 0, eng.Trials)
+		onRow := func(r trials.Result) error {
+			if want := eng.Offset + len(rs); r.Trial != want {
+				return fmt.Errorf("row for trial %d, want %d", r.Trial, want)
+			}
+			if len(rs) == eng.Trials {
+				return fmt.Errorf("row beyond the %d-trial range", eng.Trials)
+			}
+			rs = append(rs, r)
+			if eng.OnResult != nil {
+				eng.OnResult(r)
+			}
+			return nil
+		}
+		if _, err := p.runJob(ctx, job, onRow); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancellation killed the worker; report the
+				// cancellation, not a retryable fault.
+				return nil, cerr
+			}
+			return nil, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
+		}
+		if len(rs) != eng.Trials {
+			return nil, &WorkerError{Shard: sh, Attempt: attempt,
+				Err: fmt.Errorf("worker streamed %d of %d rows", len(rs), eng.Trials)}
+		}
+		return rs, nil
+	}
+}
+
+// Exec returns the shard.ExecFunc that executes shard-local sort
+// attempts in worker processes: the self-contained shard.SortJob goes
+// out, the sorted bytes and the shard machine's exact core.Resources
+// report come back. Worker death fails the attempt with a WorkerError
+// and the sort's retry → coordinator-fallback path takes over.
+func (p *Proc) Exec() shard.ExecFunc {
+	return func(ctx context.Context, sh, attempt int, job shard.SortJob) ([]byte, core.Resources, error) {
+		var fault *WorkerFault
+		if p.Fault != nil {
+			fault = p.Fault(sh, attempt)
+		}
+		done, err := p.runJob(ctx, Job{Sort: &job, Fault: fault}, nil)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, core.Resources{}, cerr
+			}
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
+		}
+		if done.Sort == nil {
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt,
+				Err: errors.New("done frame carries no sort result")}
+		}
+		return done.Sort.Out, done.Sort.Resources, nil
+	}
+}
+
+// Launch returns the trials.Launcher whose fleets run every shard
+// attempt through this transport — shard.LaunchRetry with worker
+// processes for shard machines. Nothing above the launcher seam
+// changes: results, summary and OnResult order are byte-identical to
+// the in-process fleet at any shard and worker count.
+func (p *Proc) Launch(shards, parallel int, retry shard.RetryPolicy) trials.Launcher {
+	return func(n int, seed int64, onResult func(trials.Result)) trials.Runner {
+		return shard.Fleet{
+			Plan:     shard.Plan{Shards: shards, Trials: n},
+			Parallel: parallel,
+			Seed:     seed,
+			Retry:    retry,
+			OnResult: onResult,
+			Attempt:  p.Attempt(),
+		}
+	}
+}
+
+// LaunchSort returns the algorithms.SortLauncher that runs every sort
+// through the sharded run-partitioned path with shard-local sorts in
+// worker processes — shard.Sort's launcher with this transport's Exec.
+func (p *Proc) LaunchSort(shards int, seed int64, retry shard.RetryPolicy, onReport func(shard.SortReport)) algorithms.SortLauncher {
+	return shard.Sort{Shards: shards, Retry: retry, Exec: p.Exec()}.Launcher(seed, onReport)
+}
+
+// Launch is the package-level convenience: a default transport with no
+// deadline, no chaos and no retry budget — the process-boundary twin
+// of shard.Launch.
+func Launch(shards, parallel int) trials.Launcher {
+	return (&Proc{}).Launch(shards, parallel, shard.RetryPolicy{})
+}
+
+// LaunchSort is the package-level convenience — the process-boundary
+// twin of shard.LaunchSort.
+func LaunchSort(shards int, seed int64, onReport func(shard.SortReport)) algorithms.SortLauncher {
+	return (&Proc{}).LaunchSort(shards, seed, shard.RetryPolicy{}, onReport)
+}

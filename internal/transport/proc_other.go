@@ -1,0 +1,9 @@
+//go:build !unix
+
+package transport
+
+import "os/exec"
+
+// isolateWorker is a no-op where process groups do not exist; workers
+// are still bounded by the coordinator's context.
+func isolateWorker(cmd *exec.Cmd) {}

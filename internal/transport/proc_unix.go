@@ -1,0 +1,17 @@
+//go:build unix
+
+package transport
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// isolateWorker puts the worker in its own process group, so a
+// terminal-delivered SIGINT/SIGTERM reaches only the coordinator: the
+// coordinator — never a half-dead worker — owns the partial-results
+// footer and the 130 exit. Workers are then torn down explicitly by
+// the coordinator's context (exec.CommandContext kills on cancel).
+func isolateWorker(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}

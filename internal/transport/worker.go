@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// EnvWorker is the environment variable that marks a process as a
+// shard worker. The coordinator sets it on every worker it spawns; the
+// hosting binary (stbench, strun, or a test binary's TestMain hook)
+// checks it before doing anything else and hands the process to Main.
+const EnvWorker = "EXTMEM_STWORKER"
+
+// WorkerArg is the hidden subcommand name under which the CLIs expose
+// the worker ("stbench stworker", "strun stworker"). It exists so the
+// worker is visible in process listings; the environment variable is
+// what actually routes execution, which keeps test binaries — whose
+// argument vector belongs to the testing package — spawnable as
+// workers too.
+const WorkerArg = "stworker"
+
+// IsWorker reports whether this process was launched as a shard
+// worker: the environment marker is set, or the first argument is the
+// hidden subcommand.
+func IsWorker(args []string) bool {
+	if os.Getenv(EnvWorker) == "1" {
+		return true
+	}
+	return len(args) > 1 && args[1] == WorkerArg
+}
+
+// MaybeWorker hijacks the process if it was spawned as a shard worker
+// and never returns in that case. Test binaries that execute
+// transport-backed fleets install it first thing in TestMain, so the
+// self-exec default of Proc works under `go test` exactly as it does
+// under the real CLIs.
+func MaybeWorker() {
+	if os.Getenv(EnvWorker) == "1" {
+		os.Exit(Main(os.Stdin, os.Stdout, os.Stderr))
+	}
+}
+
+// Main is the shard worker: it reads the single job frame from stdin,
+// executes the assignment on a shard-local engine or machine, streams
+// reply frames to stdout (per-trial rows in trial order, then the Done
+// report), and returns the process exit code. All errors worth
+// reporting travel in frames or the exit code; stderr is for human
+// diagnostics only.
+func Main(stdin io.Reader, stdout, stderr io.Writer) int {
+	in := bufio.NewReader(stdin)
+	out := bufio.NewWriter(stdout)
+	var job Job
+	if err := readFrame(in, &job); err != nil {
+		fmt.Fprintln(stderr, "stworker: reading job:", err)
+		return 1
+	}
+	if f := job.Fault; f != nil && f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f := job.Fault; f != nil && f.Corrupt {
+		// A length prefix past every limit: the coordinator must treat
+		// it as a malformed frame, never as an allocation order.
+		out.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		out.Flush()
+		return 1
+	}
+	send := func(rep Reply) error {
+		if err := writeFrame(out, rep); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+	switch {
+	case job.Trial != nil:
+		return runTrialJob(job.Trial, job.Fault, send, stderr)
+	case job.Sort != nil:
+		return runSortJob(job.Sort, job.Fault, send, stderr)
+	}
+	fmt.Fprintln(stderr, "stworker: job frame assigns no work")
+	return 1
+}
+
+// die executes a WorkerFault's termination order: self-SIGKILL when
+// Kill is set (uncatchable; the brief sleep yields until the signal
+// lands), a plain nonzero exit otherwise. Either way the reply stream
+// ends without a Done frame — mid-job death, as the coordinator sees a
+// crashed shard machine.
+func die(f *WorkerFault) {
+	if f.Kill {
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+			time.Sleep(time.Second)
+		}
+	}
+	os.Exit(1)
+}
+
+func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, stderr io.Writer) int {
+	fn, err := j.Workload.Build()
+	if err != nil {
+		// No builder, undecodable spec: report and die. The coordinator
+		// retries and then absorbs the range itself, so even a workload
+		// that cannot cross the boundary converges to correct rows.
+		send(Reply{Done: &Done{Err: err.Error()}})
+		fmt.Fprintln(stderr, "stworker:", err)
+		return 1
+	}
+	rows := 0
+	var sendErr error
+	eng := trials.Engine{
+		Trials:   j.Trials,
+		Offset:   j.Offset,
+		Parallel: j.Parallel,
+		Seed:     j.Seed,
+		OnResult: func(r trials.Result) {
+			if sendErr != nil {
+				return
+			}
+			if fault != nil && fault.Exit && rows >= fault.ExitAfter {
+				die(fault)
+			}
+			if sendErr = send(Reply{Row: &r}); sendErr == nil {
+				rows++
+			}
+		},
+	}
+	rs, _, runErr := eng.Run(context.Background(), fn)
+	if sendErr != nil {
+		fmt.Fprintln(stderr, "stworker: streaming rows:", sendErr)
+		return 1
+	}
+	if rs == nil && runErr != nil {
+		// A hard engine failure (a trial panic the engine recovered):
+		// surface it in the Done frame so the coordinator's retry takes
+		// over, exactly as it would for an in-process attempt.
+		send(Reply{Done: &Done{Err: runErr.Error()}})
+		return 1
+	}
+	if fault != nil && fault.Exit && rows <= fault.ExitAfter {
+		// An empty or short range never reached the ordered row: die
+		// before the Done frame so the fault stays a fault.
+		die(fault)
+	}
+	if err := send(Reply{Done: &Done{}}); err != nil {
+		fmt.Fprintln(stderr, "stworker: sending done:", err)
+		return 1
+	}
+	return 0
+}
+
+func runSortJob(j *shard.SortJob, fault *WorkerFault, send func(Reply) error, stderr io.Writer) int {
+	if fault != nil && fault.Exit {
+		// Sort jobs stream no rows; any Exit order means dying before
+		// the Done frame.
+		die(fault)
+	}
+	out, res, err := j.Execute()
+	if err != nil {
+		send(Reply{Done: &Done{Err: err.Error()}})
+		fmt.Fprintln(stderr, "stworker:", err)
+		return 1
+	}
+	if err := send(Reply{Done: &Done{Sort: &SortDone{Out: out, Resources: res}}}); err != nil {
+		fmt.Fprintln(stderr, "stworker: sending done:", err)
+		return 1
+	}
+	return 0
+}

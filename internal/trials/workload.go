@@ -1,0 +1,88 @@
+package trials
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// A Workload is the wire form of a trial function: a registered
+// builder name plus an opaque, self-contained spec (the few bytes of
+// data — an instance shape, an encoded input — the builder needs to
+// reconstruct the exact Func). Closures cannot cross a process
+// boundary; a Workload can, which is what lets a shard worker process
+// (internal/transport) re-create the coordinator's trial function and
+// produce byte-identical rows. Trial randomness never travels: it is
+// re-derived worker-side from (Seed, global index) exactly as
+// in-process, so a shipped fleet and a local fleet are the same fleet.
+type Workload struct {
+	Name string // registered builder name
+	Spec []byte // builder input, typically a small gob blob
+}
+
+// Builder reconstructs a trial function from a workload spec. It must
+// be deterministic: the same spec must always yield a Func that maps
+// (trial index, rng) to the same Result, or process-boundary execution
+// would break the byte-identity contract.
+type Builder func(spec []byte) (Func, error)
+
+var (
+	workloadMu sync.RWMutex
+	workloads  = map[string]Builder{}
+)
+
+// RegisterWorkload installs the builder for a workload name, typically
+// from an init function of the package that owns the trial function
+// (internal/algorithms). Registering the same name twice panics: both
+// coordinator and worker run the same binary, so a collision is a
+// programming error, never a runtime condition.
+func RegisterWorkload(name string, build Builder) {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if _, dup := workloads[name]; dup {
+		panic(fmt.Sprintf("trials: workload %q registered twice", name))
+	}
+	workloads[name] = build
+}
+
+// Build reconstructs the workload's trial function through its
+// registered builder.
+func (w Workload) Build() (Func, error) {
+	workloadMu.RLock()
+	build, ok := workloads[w.Name]
+	workloadMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("trials: no workload builder registered for %q", w.Name)
+	}
+	return build(w.Spec)
+}
+
+type workloadKey struct{}
+
+// WithWorkload annotates the context with the fleet's wire form.
+// Fleet entry points whose trial functions have a registered builder
+// annotate the context they pass to Runner.Run; execution shapes that
+// can use the annotation (the process transport's shard attempt) ship
+// the workload instead of calling the in-process Func, and shapes that
+// cannot simply ignore it — the annotation never changes a row.
+func WithWorkload(ctx context.Context, w Workload) context.Context {
+	return context.WithValue(ctx, workloadKey{}, w)
+}
+
+// WithoutWorkload strips any workload annotation, pinning downstream
+// execution to the in-process Func. The chaos wrapper of
+// internal/faults uses it: injected trial faults live inside the
+// wrapped function and its coordinator-side attempt counters, so a
+// chaos-wrapped fleet must never ship its trials to a worker process.
+func WithoutWorkload(ctx context.Context) context.Context {
+	return context.WithValue(ctx, workloadKey{}, Workload{})
+}
+
+// WorkloadFrom returns the context's workload annotation, if any.
+func WorkloadFrom(ctx context.Context) (Workload, bool) {
+	w, ok := ctx.Value(workloadKey{}).(Workload)
+	if !ok || w.Name == "" {
+		return Workload{}, false
+	}
+	return w, true
+}

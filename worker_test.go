@@ -1,0 +1,17 @@
+package extmem
+
+import (
+	"os"
+	"testing"
+
+	"extmem/internal/transport"
+)
+
+// TestMain routes worker-mode re-executions of this test binary into
+// the shard worker loop: experiments E18–E20 sweep the process
+// transport, which self-execs os.Executable() — under `go test`, this
+// binary.
+func TestMain(m *testing.M) {
+	transport.MaybeWorker()
+	os.Exit(m.Run())
+}
