@@ -5,7 +5,10 @@ package extmem
 // tables come from cmd/stbench (same runners, internal/experiments).
 // The E19 workload is covered by BenchmarkE6RelAlgSharded (the
 // sharded query evaluator across shard counts) and its
-// BenchmarkEqualSetSharded companion.
+// BenchmarkE6AntiMergeProduct and BenchmarkEqualSetSharded
+// companions; the E21 planner sweep is BenchmarkE6Planned (the same
+// workload under widening envelopes, against the fixed shapes of
+// BenchmarkE6RelAlgSharded).
 
 import (
 	"fmt"
@@ -19,6 +22,7 @@ import (
 	"extmem/internal/lowerbound"
 	"extmem/internal/numeric"
 	"extmem/internal/perm"
+	"extmem/internal/plan"
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
 	"extmem/internal/simulate"
@@ -270,6 +274,74 @@ func BenchmarkE6RelAlgSharded(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ev := relalg.Evaluator{Shards: shards}
+				m := core.NewMachine(relalg.NumQueryTapes, 1)
+				r, err := ev.EvalST(nil, q, db, m)
+				if err != nil || len(r.Tuples) != 0 {
+					b.Fatal(err, len(r.Tuples))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6AntiMergeProduct pairs the two sharded operator scans —
+// the difference's anti-merge and the product's paired range scan —
+// on the 64 KiB size class, with allocation counts reported: the scan
+// hot loops reuse their item buffers (ReadItemInto, ScanUntilAppend),
+// so per-item allocation churn is a regression this pair pins.
+func BenchmarkE6AntiMergeProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := problems.GenSetYes(1024, 31, rng)
+	db := relalg.InstanceDB(in)
+	small := relalg.InstanceDB(problems.GenSetYes(48, 12, rng))
+	cases := []struct {
+		name string
+		db   relalg.DB
+		q    relalg.Expr
+		want int
+	}{
+		{"antiMerge", db, relalg.Diff{L: relalg.Scan{Rel: "R1"}, R: relalg.Scan{Rel: "R2"}}, 0},
+		{"product", small, relalg.Product{L: relalg.Scan{Rel: "R1"}, R: relalg.Scan{Rel: "R2"}}, 48 * 48},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := relalg.Evaluator{Shards: 4}
+				m := core.NewMachine(relalg.NumQueryTapes, 1)
+				r, err := ev.EvalST(nil, c.q, c.db, m)
+				if err != nil || len(r.Tuples) != c.want {
+					b.Fatal(err, len(r.Tuples))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Planned measures the cost-based planner's end-to-end
+// evaluation (E21) on the same 64 KiB workload as
+// BenchmarkE6RelAlgSharded, across envelope widths — the planner
+// picks each stage's shape and pipelines the handoff, so this is the
+// planned counterpart of the fixed-shape benchmark above it.
+func BenchmarkE6Planned(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := problems.GenSetYes(1024, 31, rng)
+	db := relalg.InstanceDB(in)
+	q := relalg.SymmetricDifference("R1", "R2")
+	envelopes := []struct {
+		name string
+		bud  plan.Budget
+	}{
+		{"starved", plan.Budget{MemoryBits: 128, Tapes: 4, MaxShards: 1}},
+		{"grid", plan.Budget{MemoryBits: 256, Tapes: 6, MaxShards: 4}},
+		{"generous", plan.Budget{MemoryBits: 1 << 14, Tapes: 12, MaxShards: 8}},
+	}
+	for _, e := range envelopes {
+		b.Run(e.name, func(b *testing.B) {
+			b.SetBytes(64 << 10)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := relalg.Evaluator{Plan: plan.Auto(e.bud)}
 				m := core.NewMachine(relalg.NumQueryTapes, 1)
 				r, err := ev.EvalST(nil, q, db, m)
 				if err != nil || len(r.Tuples) != 0 {

@@ -16,7 +16,16 @@
 //
 //	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N]
 //	        [-transport inproc|proc] [-chaos flaky|delay] [-chaos-rate F]
+//	        [-budget BITS] [-budget-tapes N] [-budget-shards N]
 //	        [-format text|json|csv]
+//
+// -budget hands the experiments a cost-based planner envelope
+// (internal/plan): BITS of run-formation memory, -budget-tapes tapes
+// and up to -budget-shards shard machines per operator stage. The
+// planner picks each stage's execution shape inside that envelope —
+// another execution choice, so stdout stays byte-identical with or
+// without it; E21 verifies the configured envelope's evaluation
+// reproduces the single-machine bytes.
 //
 // -transport proc runs shard attempts in worker processes: stbench
 // re-executes itself under the hidden stworker subcommand, ships each
@@ -48,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -57,9 +67,29 @@ import (
 
 	"extmem/internal/experiments"
 	"extmem/internal/faults"
+	"extmem/internal/plan"
 	"extmem/internal/shard"
 	"extmem/internal/transport"
 )
+
+// budgetEnvelope validates the -budget flag family and builds the
+// planner envelope, or nil when -budget is absent. The memory bound
+// arrives as a float so NaN can be rejected by name: the negated form
+// catches it (NaN fails every ordered comparison and would sail
+// through `bits <= 0`), alongside zero, negatives and infinities.
+func budgetEnvelope(set bool, bits float64, tapes, shards int) (*plan.Budget, error) {
+	if !set {
+		return nil, nil
+	}
+	if !(bits > 0) || math.IsInf(bits, 0) {
+		return nil, fmt.Errorf("-budget must be a positive finite bit count (got %g)", bits)
+	}
+	b := plan.Budget{MemoryBits: int64(bits), Tapes: tapes, MaxShards: shards}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
 
 func main() {
 	if transport.IsWorker(os.Args) {
@@ -111,6 +141,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	transportMode := fs.String("transport", "inproc", "shard transport: inproc (shard goroutines) or proc (worker processes); never changes the output")
 	chaos := fs.String("chaos", "", "inject a recoverable fault plan: flaky (first-attempt panics) or delay (stragglers); never changes the output")
 	chaosRate := fs.Float64("chaos-rate", 0.02, "fraction of fault sites struck by the -chaos plan (site 0 always strikes)")
+	budget := fs.Float64("budget", 0, "cost-based planner envelope: run-formation memory in bits (never changes the output)")
+	budgetTapes := fs.Int("budget-tapes", 6, "planner envelope: tapes per shard machine (requires -budget)")
+	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -138,26 +171,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "stbench: -chaos-rate must be in [0, 1] (got %g)\n", *chaosRate)
 		return 2
 	}
-	if *chaos == "" {
-		rateSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "chaos-rate" {
-				rateSet = true
-			}
-		})
-		if rateSet {
-			fmt.Fprintln(stderr, "stbench: -chaos-rate requires -chaos")
-			return 2
-		}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["chaos"] && set["chaos-rate"] {
+		fmt.Fprintln(stderr, "stbench: -chaos-rate requires -chaos")
+		return 2
 	}
-	plan, retry, err := chaosPlan(*chaos, *seed, *chaosRate)
+	if !set["budget"] && (set["budget-tapes"] || set["budget-shards"]) {
+		fmt.Fprintln(stderr, "stbench: -budget-tapes and -budget-shards require -budget")
+		return 2
+	}
+	envelope, err := budgetEnvelope(set["budget"], *budget, *budgetTapes, *budgetShards)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbench:", err)
+		return 2
+	}
+	faultPlan, retry, err := chaosPlan(*chaos, *seed, *chaosRate)
 	if err != nil {
 		fmt.Fprintln(stderr, "stbench:", err)
 		return 2
 	}
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards,
-		Ctx: ctx, Faults: plan, Retry: retry,
+		Ctx: ctx, Faults: faultPlan, Retry: retry, Budget: envelope,
 	}
 	if *transportMode == "proc" {
 		cfg.Proc = &transport.Proc{Stderr: stderr}

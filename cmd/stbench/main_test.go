@@ -90,6 +90,13 @@ func TestFlagErrors(t *testing.T) {
 		{"NaN chaos rate", []string{"-chaos", "flaky", "-chaos-rate", "NaN"}, "-chaos-rate must be in [0, 1]"},
 		{"chaos rate without chaos", []string{"-chaos-rate", "0.5"}, "-chaos-rate requires -chaos"},
 		{"bad transport", []string{"-transport", "carrier-pigeon"}, `unknown -transport "carrier-pigeon"`},
+		{"zero budget", []string{"-budget", "0"}, "-budget must be a positive finite bit count"},
+		{"negative budget", []string{"-budget", "-1"}, "-budget must be a positive finite bit count"},
+		{"NaN budget", []string{"-budget", "NaN"}, "-budget must be a positive finite bit count"},
+		{"infinite budget", []string{"-budget", "+Inf"}, "-budget must be a positive finite bit count"},
+		{"budget shards without budget", []string{"-budget-shards", "2"}, "require -budget"},
+		{"too few budget tapes", []string{"-budget", "256", "-budget-tapes", "3"}, "cannot hold a sort"},
+		{"zero budget shards", []string{"-budget", "256", "-budget-shards", "0"}, "shard ceiling"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -152,6 +159,39 @@ func TestQueryExperimentsShardMatrix(t *testing.T) {
 				t.Errorf("%s: sha256 differs at -shards %s -parallel %s", id, shape[0], shape[1])
 			}
 		}
+	}
+}
+
+// The planner envelope is an execution choice like sharding: the
+// query experiments hash to the same sha256 with and without -budget,
+// at every envelope × -shards × -parallel × -transport corner, and
+// the full text report cannot move either.
+func TestOutputBudgetInvariant(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-seed", "5"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	for _, id := range []string{"E6", "E19", "E21"} {
+		ref := sha256.Sum256([]byte(runWith("-only", id)))
+		for _, extra := range [][]string{
+			{"-budget", "256"},
+			{"-budget", "16384", "-budget-tapes", "12", "-budget-shards", "8"},
+			{"-budget", "256", "-shards", "2", "-parallel", "8"},
+			{"-budget", "256", "-shards", "4", "-parallel", "1"},
+			{"-budget", "256", "-shards", "2", "-transport", "proc"},
+		} {
+			args := append([]string{"-only", id}, extra...)
+			if got := sha256.Sum256([]byte(runWith(args...))); got != ref {
+				t.Errorf("%s: sha256 differs under %v", id, extra)
+			}
+		}
+	}
+	if runWith("-budget", "512") != runWith() {
+		t.Error("full text report differs under -budget 512")
 	}
 }
 

@@ -24,6 +24,14 @@
 // any -shards value; the per-shard (r, s, t) rollup census goes to
 // stderr.
 //
+// -budget BITS (with -budget-tapes and -budget-shards) replaces the
+// fixed -shards shape with the cost-based planner (internal/plan):
+// each operator stage runs at the shape minimizing its predicted
+// critical path inside the envelope, with the merge-free pipelined
+// handoff between stages. The planner moves only the execution
+// shape, so stdout is byte-identical to any fixed shape. It applies
+// to -algo relalg alone.
+//
 // With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
 // fleet of independent fingerprint trials on the same instance across
 // -shards shards of -parallel workers each (the sharded execution
@@ -50,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -58,6 +67,7 @@ import (
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
+	"extmem/internal/plan"
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
 	"extmem/internal/shard"
@@ -127,6 +137,25 @@ func validate(algo, format, transportMode string, trialsN, parallel, shards int)
 	return nil
 }
 
+// budgetEnvelope validates the -budget flag family and builds the
+// planner envelope, or nil when -budget is absent. The memory bound
+// arrives as a float so NaN can be rejected by name: the negated form
+// catches it (NaN fails every ordered comparison and would sail
+// through `bits <= 0`), alongside zero, negatives and infinities.
+func budgetEnvelope(set bool, bits float64, tapes, shards int) (*plan.Budget, error) {
+	if !set {
+		return nil, nil
+	}
+	if !(bits > 0) || math.IsInf(bits, 0) {
+		return nil, fmt.Errorf("-budget must be a positive finite bit count (got %g)", bits)
+	}
+	b := plan.Budget{MemoryBits: int64(bits), Tapes: tapes, MaxShards: shards}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("strun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -141,10 +170,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 1, "fleet shards (fingerprint fleets) or sort shards (relalg); never changes stdout")
 	format := fs.String("format", "text", "fleet row format: text, json or csv")
 	transportMode := fs.String("transport", "inproc", "shard transport: inproc (shard goroutines) or proc (worker processes); never changes stdout")
+	budget := fs.Float64("budget", 0, "relalg only: cost-based planner envelope, run-formation memory in bits (never changes stdout)")
+	budgetTapes := fs.Int("budget-tapes", 6, "planner envelope: tapes per shard machine (requires -budget)")
+	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if err := validate(*algo, *format, *transportMode, *trialsN, *parallel, *shards); err != nil {
+		fmt.Fprintln(stderr, "strun:", err)
+		return 2
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["budget"] && (set["budget-tapes"] || set["budget-shards"]) {
+		fmt.Fprintln(stderr, "strun: -budget-tapes and -budget-shards require -budget")
+		return 2
+	}
+	if set["budget"] && *algo != "relalg" {
+		fmt.Fprintf(stderr, "strun: -budget applies to -algo relalg (got %q)\n", *algo)
+		return 2
+	}
+	envelope, err := budgetEnvelope(set["budget"], *budget, *budgetTapes, *budgetShards)
+	if err != nil {
 		fmt.Fprintln(stderr, "strun:", err)
 		return 2
 	}
@@ -166,7 +213,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, proc, stdout, stderr)
 	}
 	if *algo == "relalg" {
-		return runQuery(ctx, in, *shards, *seed, proc, stdout, stderr)
+		return runQuery(ctx, in, *shards, *seed, envelope, proc, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -253,14 +300,19 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 // (one SortReport per operator sort, rolled up) goes to stderr.
 // Like fleet mode (shard.Plan.ShardCount), -shards values below 1
 // mean 1 — the evaluator's zero value would select the unsharded
-// engine, which records no census at all.
-func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, proc *transport.Proc, stdout, stderr io.Writer) int {
+// engine, which records no census at all. A -budget envelope hands
+// shape selection to the cost-based planner instead of the fixed
+// -shards count; stdout cannot tell the difference.
+func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, envelope *plan.Budget, proc *transport.Proc, stdout, stderr io.Writer) int {
 	if shards < 1 {
 		shards = 1
 	}
 	db := relalg.InstanceDB(in)
 	rep := &relalg.QueryReport{}
 	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep}
+	if envelope != nil {
+		ev.Plan = plan.Auto(*envelope)
+	}
 	if proc != nil {
 		ev.Exec = proc.Exec()
 	}

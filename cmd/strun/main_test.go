@@ -141,6 +141,30 @@ func TestTransportProcInvariant(t *testing.T) {
 	}
 }
 
+// The planned query: -budget hands shape selection to the cost-based
+// planner, and stdout still cannot move — byte-identical to every
+// fixed -shards value, under both transports.
+func TestRunRelAlgBudgetInvariant(t *testing.T) {
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-algo", "relalg", "-m", "32", "-n", "10", "-seed", "9"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith("-shards", "2")
+	for _, extra := range [][]string{
+		{"-budget", "256"},
+		{"-budget", "16384", "-budget-tapes", "12", "-budget-shards", "8"},
+		{"-budget", "256", "-transport", "proc"},
+	} {
+		if got := runWith(extra...); got != ref {
+			t.Fatalf("stdout differs under %v:\n--- fixed ---\n%s\n--- planned ---\n%s", extra, ref, got)
+		}
+	}
+}
+
 func TestFleetRejectsOtherAlgos(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-algo", "sort", "-trials", "5"}, &out, &errOut); code != 1 {
@@ -165,6 +189,14 @@ func TestFlagAndAlgoErrors(t *testing.T) {
 		{"zero shards", []string{"-shards", "0"}, 2, "-shards must be >= 1"},
 		{"bad transport", []string{"-transport", "smoke-signals"}, 2, `unknown -transport "smoke-signals"`},
 		{"proc in single-run mode", []string{"-algo", "multiset", "-transport", "proc"}, 2, "-transport proc applies to fleet mode"},
+		{"zero budget", []string{"-algo", "relalg", "-budget", "0"}, 2, "-budget must be a positive finite bit count"},
+		{"negative budget", []string{"-algo", "relalg", "-budget", "-256"}, 2, "-budget must be a positive finite bit count"},
+		{"NaN budget", []string{"-algo", "relalg", "-budget", "NaN"}, 2, "-budget must be a positive finite bit count"},
+		{"infinite budget", []string{"-algo", "relalg", "-budget", "+Inf"}, 2, "-budget must be a positive finite bit count"},
+		{"budget on wrong algo", []string{"-algo", "multiset", "-budget", "256"}, 2, "-budget applies to -algo relalg"},
+		{"budget tapes without budget", []string{"-algo", "relalg", "-budget-tapes", "8"}, 2, "require -budget"},
+		{"too few budget tapes", []string{"-algo", "relalg", "-budget", "256", "-budget-tapes", "3"}, 2, "cannot hold a sort"},
+		{"zero budget shards", []string{"-algo", "relalg", "-budget", "256", "-budget-shards", "0"}, 2, "shard ceiling"},
 		{"infeasible set params", []string{"-algo", "set", "-m", "2048", "-n", "8"}, 1, "raise -n or lower -m"},
 		{"bad input", []string{"-input", "not-an-instance"}, 1, ""},
 	}

@@ -60,6 +60,35 @@ func ReadItem(tp *tape.Tape, mem *memory.Meter, region string) (item []byte, ok 
 	return item, true, nil
 }
 
+// ReadItemInto is ReadItem with a caller-supplied buffer: the item is
+// read into buf[:0] (growing it only when an item exceeds the buffer's
+// capacity) so hot loops reuse one allocation per stream instead of one
+// per item. Tape and meter accounting are identical to ReadItem; the
+// returned slice aliases the buffer and is valid until the next call
+// that reuses it.
+func ReadItemInto(tp *tape.Tape, mem *memory.Meter, region string, buf []byte) (item []byte, ok bool, err error) {
+	if tp.AtEnd() {
+		mem.Free(region)
+		return buf[:0], false, nil
+	}
+	if err := mem.Set(region, 0); err != nil {
+		return buf[:0], false, err
+	}
+	data, found, err := tp.ScanUntilAppend(problems.Separator, buf)
+	if err != nil {
+		return data, false, err
+	}
+	if !found {
+		return data, false, fmt.Errorf("algorithms: item on tape %q not terminated by %q", tp.Name(), problems.Separator)
+	}
+	item = data[:len(data)-1]
+	// The buffer grew one symbol at a time; its peak is its final size.
+	if err := mem.Grow(region, int64(len(item))); err != nil {
+		return item, false, err
+	}
+	return item, true, nil
+}
+
 // WriteItem writes item followed by the separator at the head of tp,
 // moving forward.
 func WriteItem(tp *tape.Tape, item []byte) error {

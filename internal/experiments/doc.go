@@ -27,6 +27,7 @@
 //	E18  (systems)        sharded execution: byte-identical outputs, per-shard (r, s, t)
 //	E19  (systems)        sharded relational query evaluation: shards × fan-in frontier
 //	E20  (systems)        fault-tolerant execution: chaos determinism matrix
+//	E21  (systems)        cost-based query planning: planner vs fixed shapes, pipelined handoff
 //
 // Monte-Carlo experiments (E2, E5, E6, E7, E8, E14, E16, E18) run
 // their trial fleets on the sharded execution layer (internal/shard
@@ -49,4 +50,16 @@
 // delays — cannot move a byte of any table; E20 sweeps fault plans
 // against retry policies and verifies exactly that, alongside the
 // degraded-fallback semantics of permanent failures.
+//
+// Planning is the last execution shape: Config.Budget (an
+// internal/plan.Budget, the -budget flag) hands the query evaluators
+// a cost-based planner that picks each operator stage's
+// {Shards, FanIn, RunMemoryBits} by minimizing the analytic sorter
+// model's predicted critical path, with the merge-free pipelined
+// stage handoff always on. E21 tables the planner against the fixed
+// shapes of the E19 grid (sweeping envelopes internally — the table
+// never renders a Budget-derived number, so stdout is byte-identical
+// at any configured budget) and verifies the prediction error bound,
+// the pipelining cut, and that the configured envelope's evaluation
+// reproduces the single-machine bytes.
 package experiments

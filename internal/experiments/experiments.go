@@ -11,6 +11,7 @@ import (
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/faults"
+	"extmem/internal/plan"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
 	"extmem/internal/transport"
@@ -38,6 +39,15 @@ type Config struct {
 	// Retry is the per-shard retry budget trial fleets and sharded
 	// sorts run under; the zero policy attempts each shard once.
 	Retry shard.RetryPolicy
+
+	// Budget, when non-nil, is the resource envelope the cost-based
+	// planner (internal/plan) runs the configured-budget verification
+	// rows of E21 under: every operator stage's execution shape is
+	// chosen per stage by predicted critical path. Like Shards and
+	// Parallel it never affects output bytes — the planner may move the
+	// shape, never a byte — and the tables never render its values, so
+	// reports stay byte-identical at any -budget.
+	Budget *plan.Budget
 
 	// Proc, when non-nil, is the process-boundary transport
 	// (internal/transport): trial fleets whose workloads carry a wire
@@ -165,7 +175,7 @@ type Runner struct {
 	Run func(Config) Result
 }
 
-// Runners lists the full E1–E20 suite in order.
+// Runners lists the full E1–E21 suite in order.
 func Runners() []Runner {
 	return []Runner{
 		{"E1", E1DeterministicUpperBound},
@@ -188,6 +198,7 @@ func Runners() []Runner {
 		{"E18", E18ShardedExecution},
 		{"E19", E19ShardedQueries},
 		{"E20", E20FaultTolerance},
+		{"E21", E21CostPlanner},
 	}
 }
 

@@ -9,8 +9,8 @@ import (
 // this is the repository's end-to-end reproduction check.
 func TestAllExperimentsPass(t *testing.T) {
 	results := All(1)
-	if len(results) != 20 {
-		t.Fatalf("got %d experiments, want 20", len(results))
+	if len(results) != 21 {
+		t.Fatalf("got %d experiments, want 21", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {

@@ -1,0 +1,30 @@
+// Package plan is the cost-based query planner of the sharded
+// execution layer: given a resource budget — internal memory bits,
+// tapes per shard machine, a shard-count ceiling — it picks the
+// execution shape {Shards, FanIn, RunMemoryBits} of each operator
+// stage so the stage's predicted critical-path step count is minimal.
+//
+// The cost model is the measured PR 3 sorter, written down: an input
+// of I items and N payload bytes under a run-formation budget of s
+// bits forms runs of runLen = ⌊s/L⌋ items (L the mean item length),
+// hence R = ⌈I/runLen⌉ initial runs; a shard holding r of those runs
+// with P payload bytes sorts them in p = ⌈log_k r⌉ loser-tree merge
+// passes, each pass a fixed number of full-payload sweeps and lane
+// rewinds. The per-phase step counts in PredictSort mirror the
+// engine's pass structure sweep for sweep, so the prediction is
+// calibrated against the meter itself — the planner optimizes the
+// exact quantity shard.SortReport.CriticalPathSteps measures, and the
+// regression suite asserts the prediction stays within tolerance of
+// measured reports across the E19 grid.
+//
+// Operator stages run sequentially on the evaluator, so minimizing
+// each stage's predicted critical path independently minimizes their
+// sum — the per-stage argmin is globally optimal for the quantity the
+// planner targets.
+//
+// The planner moves only the execution shape. Every shape produces
+// byte-identical output (a sorted, deduplicated stream is canonical),
+// so planning is purely a performance decision: the differential
+// suite holds the planner to the same bit-for-bit standard as every
+// other execution knob.
+package plan

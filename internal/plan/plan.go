@@ -1,0 +1,222 @@
+package plan
+
+import "fmt"
+
+// Budget is the resource envelope the planner may spend per operator
+// stage: the run-formation memory of a shard machine, its tape count,
+// and the width of the shard fleet.
+type Budget struct {
+	// MemoryBits bounds RunMemoryBits, the internal-memory target of
+	// initial run formation on each shard machine.
+	MemoryBits int64
+
+	// Tapes bounds the tape count of a shard machine. A shard sorting
+	// with fan-in k uses k+2 tapes (input, output, k merge lanes), so
+	// the merge fan-in is bounded by Tapes−2.
+	Tapes int
+
+	// MaxShards bounds the shard fleet's width.
+	MaxShards int
+}
+
+// Validate rejects budgets no shape can satisfy.
+func (b Budget) Validate() error {
+	if b.MemoryBits < 0 {
+		return fmt.Errorf("plan: negative memory budget %d bits", b.MemoryBits)
+	}
+	if b.Tapes < 4 {
+		return fmt.Errorf("plan: %d tapes cannot hold a sort (input, output and two merge lanes need 4)", b.Tapes)
+	}
+	if b.MaxShards < 1 {
+		return fmt.Errorf("plan: shard ceiling %d below 1", b.MaxShards)
+	}
+	return nil
+}
+
+// Shape is one operator stage's execution shape: the knobs the
+// planner chooses and the sharded path consumes.
+type Shape struct {
+	Shards        int
+	FanIn         int
+	RunMemoryBits int64
+}
+
+// Cost is the predicted step census of one sharded sort stage,
+// mirroring shard.SortReport's critical path: the coordinator's
+// distribution scan, the slowest shard-local sort (shards run
+// concurrently), and the final combining merge.
+type Cost struct {
+	Distribute int64 // coordinator partition scan steps
+	MaxShard   int64 // slowest shard-local sort steps
+	Merge      int64 // final k-way merge steps
+}
+
+// CriticalPath is distribute → slowest shard → merge, the quantity
+// shard.SortReport.CriticalPathSteps measures.
+func (c Cost) CriticalPath() int64 { return c.Distribute + c.MaxShard + c.Merge }
+
+// PredictSort predicts the step census of one sharded sort of I items
+// in N payload bytes ('#' separators included) under the given shape.
+// The arithmetic follows the engine pass for pass:
+//
+//   - distribution: the coordinator reads the payload once — N steps;
+//   - a shard holding one initial run sorts in internal memory: copy
+//     in (2·P), rewind, read, rewind, write back, rewind — 7·P;
+//   - a shard holding r ≥ 2 runs pays the copy-in and run formation
+//     (5·P), then p = ⌈log_k r⌉ merge passes — the first 4·P (lanes
+//     are already loaded), each further pass 8·P (re-distribute and
+//     re-merge), plus the final rewind — 10·P + 8·P·(p−1);
+//   - the combine reads every shard's output and writes the merged
+//     tape — 2·N.
+//
+// Dedup shrinks the written output below N; the model ignores it
+// (duplicates are input-dependent), which is part of the tolerance
+// the calibration suite budgets for.
+func PredictSort(items int, bytes int64, s Shape) Cost {
+	if items <= 0 || bytes <= 0 {
+		return Cost{}
+	}
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fanIn := s.FanIn
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	_, runs := runPartition(items, bytes, s.RunMemoryBits)
+
+	cost := Cost{Distribute: bytes, Merge: 2 * bytes}
+	// Split assigns ⌈runs/shards⌉ runs to the widest shard; its payload
+	// share follows its run share.
+	if shards > runs {
+		shards = runs
+	}
+	maxRuns := (runs + shards - 1) / shards
+	maxPayload := bytes * int64(maxRuns) / int64(runs)
+	cost.MaxShard = shardSortSteps(maxPayload, maxRuns, fanIn)
+	return cost
+}
+
+// runPartition is the engine's greedy fixed-count run rule in closed
+// form: the first run fills the budget, its item count becomes the
+// per-run count. L is the mean item length (the meter charge per
+// buffered item, separators excluded).
+func runPartition(items int, bytes, memoryBits int64) (runLen, runs int) {
+	if memoryBits <= 0 {
+		return 1, items
+	}
+	l := (bytes - int64(items)) / int64(items)
+	if l < 1 {
+		l = 1
+	}
+	runLen = int(memoryBits / l)
+	if runLen < 1 {
+		runLen = 1
+	}
+	if runLen > items {
+		runLen = items
+	}
+	runs = (items + runLen - 1) / runLen
+	return runLen, runs
+}
+
+// shardSortSteps is the shard-local sort's step count for a payload of
+// p bytes holding r initial runs at merge fan-in k.
+func shardSortSteps(p int64, r, k int) int64 {
+	switch {
+	case r <= 0 || p <= 0:
+		return 0
+	case r == 1:
+		return 7 * p
+	}
+	passes := int64(ceilLog(r, k))
+	return 10*p + 8*p*(passes-1)
+}
+
+// ceilLog is ⌈log_k r⌉ for r ≥ 2, k ≥ 2.
+func ceilLog(r, k int) int {
+	passes, reach := 0, 1
+	for reach < r {
+		reach *= k
+		passes++
+	}
+	return passes
+}
+
+// Planner chooses execution shapes under a fixed budget. Build one
+// with Auto; the zero value is not ready for use.
+type Planner struct {
+	Budget Budget
+}
+
+// Auto returns the planner for the given budget. The budget is taken
+// as-is; Validate rejects envelopes no shape satisfies (callers
+// surface that as a configuration error).
+func Auto(b Budget) *Planner { return &Planner{Budget: b} }
+
+// Choose picks the shape minimizing the predicted critical path of a
+// sort of I items in N payload bytes, over every shard count up to
+// the ceiling, every fan-in the tape budget admits, and a geometric
+// ladder of run-formation budgets up to the memory budget. Ties break
+// toward fewer shards (shards are machines), then toward the LARGER
+// fan-in (tapes inside the budget are free, and at an equal pass
+// count the wider merge spreads each pass over shorter lanes, so its
+// rewinds only shrink), then toward less memory — deterministic, and
+// never spending a resource that buys no predicted steps.
+func (p *Planner) Choose(items int, bytes int64) Shape {
+	best := Shape{Shards: 1, FanIn: 2, RunMemoryBits: 0}
+	if items <= 0 || bytes <= 0 {
+		return best
+	}
+	maxFanIn := p.Budget.Tapes - 2
+	if maxFanIn < 2 {
+		maxFanIn = 2
+	}
+	bestCost := int64(-1)
+	for shards := 1; shards <= p.Budget.MaxShards; shards++ {
+		for fanIn := maxFanIn; fanIn >= 2; fanIn-- {
+			for _, mem := range p.memoryLadder() {
+				s := Shape{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}
+				c := PredictSort(items, bytes, s).CriticalPath()
+				if bestCost < 0 || c < bestCost {
+					best, bestCost = s, c
+				}
+			}
+		}
+	}
+	return best
+}
+
+// ChooseScan picks the shape of a sharded operator scan (the
+// difference's anti-merge, the product's paired scan): the left input
+// partitions into runs under the run-formation budget and the shards
+// stream ranges concurrently, so the critical path only shrinks with
+// width — the scan uses the full fleet and the full formation budget,
+// clamped to the available runs.
+func (p *Planner) ChooseScan(items int, bytes int64) Shape {
+	mem := p.Budget.MemoryBits
+	shards := p.Budget.MaxShards
+	if items > 0 && bytes > 0 {
+		if _, runs := runPartition(items, bytes, mem); shards > runs {
+			shards = runs
+		}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return Shape{Shards: shards, FanIn: 2, RunMemoryBits: mem}
+}
+
+// memoryLadder is the run-formation budgets Choose considers: powers
+// of two from 256 bits up to the budget, plus the budget itself.
+func (p *Planner) memoryLadder() []int64 {
+	if p.Budget.MemoryBits <= 0 {
+		return []int64{0}
+	}
+	var ladder []int64
+	for m := int64(256); m < p.Budget.MemoryBits; m *= 2 {
+		ladder = append(ladder, m)
+	}
+	return append(ladder, p.Budget.MemoryBits)
+}

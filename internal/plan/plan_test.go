@@ -1,0 +1,55 @@
+package plan_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"extmem/internal/plan"
+	"extmem/internal/problems"
+	"extmem/internal/shard"
+)
+
+// predictionError is |predicted − measured| / measured.
+func predictionError(predicted, measured int64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(predicted-measured)) / float64(measured)
+}
+
+// The cost model against the meter: for sorts across the E19-style
+// grid of shapes, the predicted critical path stays within 25% of the
+// measured shard.SortReport — the calibration bound the planner's
+// decisions rest on.
+func TestPredictSortCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	inputs := [][]byte{
+		problems.GenSetNo(512, 16, rng).Encode(),
+		problems.GenSetYes(256, 8, rng).Encode(),
+		problems.GenSetNo(64, 16, rng).Encode(),
+	}
+	for _, input := range inputs {
+		for _, shards := range []int{1, 2, 4} {
+			for _, fanIn := range []int{2, 4} {
+				for _, mem := range []int64{0, 256, 1024} {
+					s := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}
+					_, rep, err := s.Run(nil, input, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					shape := plan.Shape{Shards: shards, FanIn: fanIn, RunMemoryBits: mem}
+					c := plan.PredictSort(rep.Items, rep.Bytes, shape)
+					got, want := c.CriticalPath(), rep.CriticalPathSteps()
+					if e := predictionError(got, want); e > 0.25 {
+						t.Errorf("N=%d shards=%d fanIn=%d mem=%d: predicted %d, measured %d (error %.1f%%)",
+							len(input), shards, fanIn, mem, got, want, e*100)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package relalg
+
+// pipeline.go is the merge-free stage handoff: when an operator's
+// consumer immediately re-sorts its output (the children of a Union —
+// whatever the evaluator leaves on their tapes is concatenated and
+// re-sorted on the spot), the producer's final k-way merge is pure
+// waste: the consumer's sort would happily start from the producer's
+// per-shard sorted runs. With Evaluator.Pipeline set, such producers
+// run their sort in KeepRuns mode (shard.Sort.RunKeepRuns) and hand
+// the per-shard run payloads directly to the consuming stage's merge
+// (shard.Sort.MergeRuns), eliminating one full write+read of every
+// intermediate relation: the producer's combine, the coordinator's
+// concatenation sweep, and the consumer's distribution scan all
+// disappear. Nested unions collapse entirely — their runs forward to
+// the outermost consuming merge, which is where deduplication (a
+// combine-stage concern) finally happens.
+//
+// A sorted, deduplicated item sequence is canonical, so the pipelined
+// result is byte-identical to the staged one; only the census moves.
+// The handoff is opt-in (Pipeline, or a planner via Plan) and only
+// active on the sharded path, so the zero evaluator and the PR 5
+// sharded path keep their historical accounting bit for bit.
+
+import (
+	"fmt"
+
+	"extmem/internal/shard"
+)
+
+// pipelined reports whether the merge-free handoff is active: it is
+// opt-in (Pipeline, or always under a planner) and needs the sharded
+// path (KeepRuns hands over per-shard tapes; a custom Launch owns its
+// sorts and cannot be bypassed).
+func (c *evalCtx) pipelined() bool {
+	return (c.ev.Pipeline || c.ev.Plan != nil) && c.ev.scanShards() >= 1
+}
+
+// evalRuns evaluates an expression whose consumer immediately re-sorts,
+// returning the result as per-shard sorted run payloads (duplicates
+// possible within and across runs — the consuming merge dedups) plus
+// the schema. The concatenation of a sort of the runs' union is
+// exactly the relation eval would have left on a tape.
+func (c *evalCtx) evalRuns(e Expr) ([][]byte, Schema, error) {
+	switch e := e.(type) {
+	case Union:
+		// Forward both children's runs: the union's own sort is the
+		// consumer's sort, one level up.
+		lRuns, ls, err := c.evalRuns(e.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rRuns, rs, err := c.evalRuns(e.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ls.Equal(rs) {
+			return nil, nil, fmt.Errorf("%w: %v vs %v", ErrSchema, ls, rs)
+		}
+		return append(lRuns, rRuns...), ls, nil
+
+	case Scan:
+		r, ok := c.db[e.Rel]
+		if !ok {
+			return nil, nil, fmt.Errorf("relalg: unknown relation %q", e.Rel)
+		}
+		idx, err := c.acquire()
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.release(idx)
+		if err := writeRelationTape(c.m, idx, r); err != nil {
+			return nil, nil, err
+		}
+		runs, err := c.sortKeepRuns(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return runs, r.Schema, nil
+
+	case Select:
+		// A selection of a sorted, deduplicated input is itself sorted
+		// and deduplicated: hand it over as a single run.
+		in, schema, err := c.eval(e.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.release(dst)
+		if err := c.filterScan(in, dst, schema, e.Pred); err != nil {
+			return nil, nil, err
+		}
+		c.release(in)
+		return [][]byte{c.m.Tape(dst).Contents()}, schema, nil
+
+	case Project:
+		in, schema, err := c.eval(e.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := make([]int, len(e.Cols))
+		for i, col := range e.Cols {
+			if idx[i] = schema.Col(col); idx[i] < 0 {
+				return nil, nil, fmt.Errorf("relalg: unknown column %q", col)
+			}
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.release(dst)
+		if err := c.rewriteScan(in, dst, func(t Tuple) (Tuple, bool) {
+			nt := make(Tuple, len(idx))
+			for i, j := range idx {
+				nt[i] = t[j]
+			}
+			return nt, true
+		}); err != nil {
+			return nil, nil, err
+		}
+		c.release(in)
+		runs, err := c.sortKeepRuns(dst)
+		if err != nil {
+			return nil, nil, err
+		}
+		return runs, Schema(e.Cols), nil
+
+	case Diff:
+		// The sharded anti-merge's per-shard outputs are sorted and
+		// disjoint — already runs; skip its combine too.
+		l, ls, r, rs, err := c.evalPair(e.L, e.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ls.Equal(rs) {
+			return nil, nil, fmt.Errorf("%w: %v vs %v", ErrSchema, ls, rs)
+		}
+		runs, err := c.shardedScanRuns(ScanOpDiff, l, r, c.scanShardCount(l))
+		if err != nil {
+			return nil, nil, err
+		}
+		c.release(l)
+		c.release(r)
+		return runs, ls, nil
+
+	case Product:
+		l, ls, r, rs, err := c.evalPair(e.L, e.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		dst, err := c.acquire()
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.release(dst)
+		if err := c.productOp(l, r, dst); err != nil {
+			return nil, nil, err
+		}
+		c.release(l)
+		c.release(r)
+		runs, err := c.sortKeepRuns(dst)
+		if err != nil {
+			return nil, nil, err
+		}
+		return runs, productSchema(e, ls, rs), nil
+
+	case Rename:
+		runs, schema, err := c.evalRuns(e.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(e.Cols) != len(schema) {
+			return nil, nil, fmt.Errorf("%w: rename arity %d vs %d", ErrSchema, len(e.Cols), len(schema))
+		}
+		return runs, Schema(e.Cols), nil
+
+	case EquiJoin:
+		return c.evalRuns(e.expand())
+
+	case SemiJoin:
+		ex, err := e.expand(c.db)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.evalRuns(ex)
+
+	default:
+		return nil, nil, fmt.Errorf("relalg: unknown expression %T", e)
+	}
+}
+
+// stageSort builds the shard.Sort configuration of a pipelined stage
+// over a known input census: the planner's per-stage choice in plan
+// mode, otherwise the evaluator's fixed shape resolved exactly like
+// engineSort does for the launcher path.
+func (c *evalCtx) stageSort(items int, bytes int64, dedup bool) sortConfig {
+	if c.ev.Plan != nil {
+		sh := c.ev.Plan.Choose(items, bytes)
+		return sortConfig{
+			Shards: sh.Shards, FanIn: sh.FanIn, RunMemoryBits: sh.RunMemoryBits,
+			Dedup: dedup,
+		}
+	}
+	fanIn := c.ev.fanInTarget()
+	if limit := 2 + len(c.free); fanIn > limit {
+		fanIn = limit
+	}
+	return sortConfig{
+		Shards:        c.ev.scanShards(),
+		FanIn:         fanIn,
+		RunMemoryBits: c.ev.runMemoryBits(),
+		Dedup:         dedup,
+	}
+}
+
+// sortConfig mirrors the shard.Sort fields a pipelined stage chooses;
+// kept as a separate type so the planner can override it per stage.
+type sortConfig struct {
+	Shards        int
+	FanIn         int
+	RunMemoryBits int64
+	Dedup         bool
+}
+
+// sortKeepRuns runs the merge-free half of an operator sort: the
+// sharded sort of tape idx's items stops after the shard-local sorts
+// and returns the per-shard sorted payloads. The stage's report (Merge
+// zero: none ran) is recorded like any operator sort's.
+func (c *evalCtx) sortKeepRuns(idx int) ([][]byte, error) {
+	data := c.m.Tape(idx).Contents()
+	cfg := c.stageSort(countItems(data), int64(len(data)), false)
+	s := c.ev.shardSort(cfg)
+	runs, rep, err := s.RunKeepRuns(c.ctx, data, c.ev.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.ev.Report != nil {
+		c.ev.Report.record(rep)
+	}
+	return runs, nil
+}
+
+// mergeRuns runs the consuming half: the handed-over runs are merged
+// (and deduplicated — set semantics happen here) on the sharded merge
+// path, and the result installed on dst via SwapTape.
+func (c *evalCtx) mergeRuns(runs [][]byte, dst int) error {
+	var items int
+	var total int64
+	for _, r := range runs {
+		items += countItems(r)
+		total += int64(len(r))
+	}
+	cfg := c.stageSort(items, total, true)
+	s := c.ev.shardSort(cfg)
+	out, rep, err := s.MergeRuns(c.ctx, runs, c.ev.Seed)
+	if err != nil {
+		return err
+	}
+	c.m.SwapTape(dst, out)
+	if c.ev.Report != nil {
+		c.ev.Report.record(rep)
+	}
+	return nil
+}
+
+// shardSort builds the shard.Sort for a pipelined stage from the
+// evaluator's execution shape (retry policy, chaos hook, transport
+// seam) plus the stage's engine configuration.
+func (ev Evaluator) shardSort(cfg sortConfig) shard.Sort {
+	return shard.Sort{
+		Shards:        cfg.Shards,
+		FanIn:         cfg.FanIn,
+		RunMemoryBits: cfg.RunMemoryBits,
+		Dedup:         cfg.Dedup,
+		Retry:         ev.Retry,
+		Inject:        ev.Inject,
+		Exec:          ev.Exec,
+	}
+}

@@ -1,0 +1,114 @@
+package relalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/problems"
+)
+
+// The pipelined evaluator is byte-identical to the staged sharded
+// evaluator on every query plan and shard count: the merge-free
+// handoff may move the census, never a byte.
+func TestPipelinedMatchesStaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 3; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(8+trial*10, 8, rng)
+		} else {
+			in = problems.GenSetNo(8+trial*10, 8, rng)
+		}
+		db := InstanceDB(in)
+		for _, q := range queryPlans() {
+			for _, shards := range []int{1, 2, 4} {
+				ref := core.NewMachine(NumQueryTapes, 1)
+				want, err := Evaluator{Shards: shards}.EvalST(nil, q, db, ref)
+				if err != nil {
+					t.Fatalf("%v shards=%d: %v", q, shards, err)
+				}
+				pm := core.NewMachine(NumQueryTapes, 1)
+				rep := &QueryReport{}
+				got, err := Evaluator{Shards: shards, Pipeline: true, Report: rep}.EvalST(nil, q, db, pm)
+				if err != nil {
+					t.Fatalf("%v shards=%d pipelined: %v", q, shards, err)
+				}
+				if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+					t.Fatalf("%v shards=%d: pipelined result differs from staged", q, shards)
+				}
+				if cur := pm.Mem().Current(); cur != 0 {
+					t.Errorf("%v shards=%d: %d bits still charged after pipelined eval", q, shards, cur)
+				}
+				if rep.Coordinator.Steps == 0 {
+					t.Errorf("%v shards=%d: coordinator census missing from report", q, shards)
+				}
+			}
+		}
+	}
+}
+
+// On a multi-stage plan (a Union of two scans — each child sort feeds
+// straight into the union's merge) the handoff deletes one full
+// write+read of every intermediate relation: the producers' combines,
+// the coordinator's concatenation and the consumer's distribution scan.
+// The end-to-end step count must drop by a sizeable margin at the
+// identical execution shape.
+func TestPipelinedCutsTotalSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	in := problems.GenSetNo(256, 16, rng)
+	db := InstanceDB(in)
+	q := Union{L: Scan{Rel: "R1"}, R: Scan{Rel: "R2"}}
+	const runMem = 256
+
+	run := func(pipeline bool) (*QueryReport, *Relation) {
+		rep := &QueryReport{}
+		m := core.NewMachine(NumQueryTapes, 1)
+		ev := Evaluator{Shards: 2, RunMemoryBits: runMem, Pipeline: pipeline, Report: rep}
+		out, err := ev.EvalST(nil, q, db, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, out
+	}
+	staged, sOut := run(false)
+	piped, pOut := run(true)
+	if !reflect.DeepEqual(sOut.Tuples, pOut.Tuples) {
+		t.Fatal("pipelined union differs from staged")
+	}
+	st, pt := staged.TotalSteps(), piped.TotalSteps()
+	if pt >= st {
+		t.Fatalf("pipelined total steps %d did not drop below staged %d", pt, st)
+	}
+	if cut := float64(st-pt) / float64(st); cut < 0.15 {
+		t.Errorf("pipelined handoff cut total steps by %.1f%%, want >= 15%%", cut*100)
+	}
+}
+
+// Pipelining is inert off the sharded path: the zero evaluator with
+// Pipeline set keeps the historical single-machine accounting bit for
+// bit (pipelined() requires Shards >= 1).
+func TestPipelineFlagInertOnZeroEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	in := problems.GenSetNo(20, 8, rng)
+	db := InstanceDB(in)
+	for _, q := range queryPlans() {
+		m1 := core.NewMachine(NumQueryTapes, 1)
+		r1, err := EvalST(q, db, m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := core.NewMachine(NumQueryTapes, 1)
+		r2, err := Evaluator{Pipeline: true}.EvalST(nil, q, db, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Tuples, r2.Tuples) {
+			t.Fatalf("%v: Pipeline flag moved the zero evaluator's result", q)
+		}
+		if !reflect.DeepEqual(m1.Resources(), m2.Resources()) {
+			t.Fatalf("%v: Pipeline flag moved the zero evaluator's resources", q)
+		}
+	}
+}

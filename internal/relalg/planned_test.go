@@ -1,0 +1,164 @@
+package relalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"extmem/internal/core"
+	"extmem/internal/plan"
+	"extmem/internal/problems"
+)
+
+// plannerBudgets spans the envelope corners the differential suite
+// drives the planner through: starved, mid-size and generous.
+func plannerBudgets() []plan.Budget {
+	return []plan.Budget{
+		{MemoryBits: 128, Tapes: 4, MaxShards: 1},
+		{MemoryBits: 256, Tapes: 6, MaxShards: 2},
+		{MemoryBits: 1024, Tapes: 6, MaxShards: 4},
+		{MemoryBits: 1 << 16, Tapes: 12, MaxShards: 8},
+	}
+}
+
+// The planner's standing invariant: whatever shape it chooses, the
+// query result is bit-for-bit the unsharded legacy engine's, for every
+// operator plan under every budget, with the meter back at zero.
+func TestPlannedMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 3; trial++ {
+		var in problems.Instance
+		if trial%2 == 0 {
+			in = problems.GenSetYes(8+trial*12, 8, rng)
+		} else {
+			in = problems.GenSetNo(8+trial*12, 8, rng)
+		}
+		db := InstanceDB(in)
+		for _, q := range queryPlans() {
+			ref, err := EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+			if err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			legacy, err := Eval(q, db)
+			if err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			for _, budget := range plannerBudgets() {
+				if err := budget.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				rep := &QueryReport{}
+				m := core.NewMachine(NumQueryTapes, 1)
+				got, err := Evaluator{Plan: plan.Auto(budget), Report: rep}.EvalST(nil, q, db, m)
+				if err != nil {
+					t.Fatalf("%v budget=%+v: %v", q, budget, err)
+				}
+				if !reflect.DeepEqual(got.Tuples, ref.Tuples) {
+					t.Fatalf("%v budget=%+v: planned result differs from the engine", q, budget)
+				}
+				if !got.EqualSet(legacy) {
+					t.Fatalf("%v budget=%+v: planned result differs from the legacy evaluator", q, budget)
+				}
+				if cur := m.Mem().Current(); cur != 0 {
+					t.Errorf("%v budget=%+v: %d bits still charged (regions %v)",
+						q, budget, cur, m.Mem().Regions())
+				}
+				if len(rep.Sorts) == 0 {
+					t.Errorf("%v budget=%+v: no sort report from the planned path", q, budget)
+				}
+				for _, sr := range rep.Sorts {
+					if len(sr.Shards) > budget.MaxShards {
+						t.Errorf("%v: a planned sort ran %d shards over the ceiling %d",
+							q, len(sr.Shards), budget.MaxShards)
+					}
+				}
+				for _, sr := range rep.Scans {
+					if len(sr.Shards) > budget.MaxShards {
+						t.Errorf("%v: a planned scan ran %d shards over the ceiling %d",
+							q, len(sr.Shards), budget.MaxShards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The cost model against the measured query: across the E19 grid of
+// fixed shapes, every operator sort's predicted critical path stays
+// within 25% of its measured shard.SortReport — the calibration bound
+// the planner's decisions rest on, asserted on the same workload E19
+// tables.
+func TestPlannerPredictionOnQueryGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	in := problems.GenSetNo(512, 16, rng)
+	db := InstanceDB(in)
+	q := SymmetricDifference("R1", "R2")
+	const runMem = 256
+
+	for _, fanIn := range []int{2, 4} {
+		for _, shards := range []int{1, 2, 4} {
+			rep := &QueryReport{}
+			ev := Evaluator{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem, Report: rep}
+			if _, err := ev.EvalST(nil, q, db, core.NewMachine(NumQueryTapes, 1)); err != nil {
+				t.Fatal(err)
+			}
+			for i, sr := range rep.Sorts {
+				shape := plan.Shape{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem}
+				predicted := plan.PredictSort(sr.Items, sr.Bytes, shape).CriticalPath()
+				measured := sr.CriticalPathSteps()
+				if measured == 0 {
+					continue
+				}
+				err := float64(predicted-measured) / float64(measured)
+				if err < 0 {
+					err = -err
+				}
+				if err > 0.25 {
+					t.Errorf("fanIn=%d shards=%d sort %d (%d items): predicted %d, measured %d (error %.1f%%)",
+						fanIn, shards, i, sr.Items, predicted, measured, err*100)
+				}
+			}
+		}
+	}
+}
+
+// FuzzPlannedQuery drives the planner end to end: arbitrary relations
+// through the Theorem 11 query under an arbitrary budget, against the
+// single-machine engine, with the meter back at zero — the planner may
+// move the shape, never a byte.
+func FuzzPlannedQuery(f *testing.F) {
+	f.Add([]byte(nil), []byte(nil), uint16(0), uint8(0), uint8(0))
+	f.Add([]byte{1}, []byte(nil), uint16(64), uint8(1), uint8(2))
+	f.Add([]byte{1, 0, 1, 0, 1}, []byte{1, 0, 1}, uint16(256), uint8(3), uint8(4))
+	f.Add([]byte{1, 2, 3, 0, 2, 4}, []byte{4, 2, 0, 3, 2, 1}, uint16(1024), uint8(6), uint8(8))
+	f.Fuzz(func(t *testing.T, d1, d2 []byte, mem uint16, tapes, maxShards uint8) {
+		if len(d1)+len(d2) > 1<<12 {
+			t.Skip("cap the relation sizes so the shard fleet stays fast")
+		}
+		budget := plan.Budget{
+			MemoryBits: int64(mem),
+			Tapes:      4 + int(tapes%9),
+			MaxShards:  1 + int(maxShards%6),
+		}
+		db := DB{
+			"R1": {Name: "R1", Schema: Schema{"x"}, Tuples: fuzzValues(d1)},
+			"R2": {Name: "R2", Schema: Schema{"x"}, Tuples: fuzzValues(d2)},
+		}
+		q := SymmetricDifference("R1", "R2")
+		ref, err := EvalST(q, db, core.NewMachine(NumQueryTapes, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewMachine(NumQueryTapes, 1)
+		got, err := Evaluator{Plan: plan.Auto(budget)}.EvalST(nil, q, db, m)
+		if err != nil {
+			t.Fatalf("budget=%+v: %v", budget, err)
+		}
+		if !reflect.DeepEqual(tupleKeys(got.Tuples), tupleKeys(ref.Tuples)) {
+			t.Fatalf("budget=%+v: planned Q' differs from the single-machine engine", budget)
+		}
+		if cur := m.Mem().Current(); cur != 0 {
+			t.Fatalf("%d bits still charged after the planned EvalST (regions %v)", cur, m.Mem().Regions())
+		}
+	})
+}

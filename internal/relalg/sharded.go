@@ -16,13 +16,21 @@ package relalg
 // per-shard in QueryReport rather than blurred into the coordinator.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
+	"extmem/internal/plan"
+	"extmem/internal/problems"
 	"extmem/internal/shard"
 )
+
+// countItems counts the '#'-terminated items of a tape payload —
+// coordinator-side provenance for the planner's stage estimates (no
+// tape is charged), the same off-model census shard.MergeRuns keeps.
+func countItems(data []byte) int { return bytes.Count(data, []byte{problems.Separator}) }
 
 // Evaluator is the streaming query evaluator with an injectable sort
 // execution shape. The zero value is exactly the single-machine
@@ -61,6 +69,26 @@ type Evaluator struct {
 	// shard.Sort.Inject): consulted before every shard-local sort
 	// attempt, never by the coordinator's fallback.
 	Inject shard.InjectFunc
+
+	// Plan, when non-nil, is the cost-based planner: every operator
+	// stage's execution shape — shard count, merge fan-in, run-formation
+	// memory — is chosen per stage by minimizing the predicted critical
+	// path of that stage's measured input under the planner's budget,
+	// and the merge-free pipelined handoff is always active. Plan
+	// implies the sharded path; Shards, FanIn and RunMemoryBits are
+	// ignored (each stage gets its own shape), while Retry, Inject and
+	// Exec still govern how shard attempts execute. An explicit Launch
+	// wins over Plan. The query result is byte-identical to every other
+	// execution shape: the planner may move the shape, never a byte.
+	Plan *plan.Planner
+
+	// Pipeline enables the merge-free stage handoff (see pipeline.go):
+	// producers feeding a Union hand their per-shard sorted runs
+	// directly to the union's merge instead of combining, concatenating
+	// and re-distributing. Only active on the built-in sharded path
+	// (Shards >= 1, no custom Launch); the query result is
+	// byte-identical, only the census moves.
+	Pipeline bool
 
 	// Exec, when non-nil, overrides how shard-local sort attempts of
 	// the sharded path execute (see shard.Sort.Exec) — the seam
@@ -101,7 +129,14 @@ func (ev Evaluator) EvalST(ctx context.Context, e Expr, db DB, m *core.Machine) 
 		return nil, err
 	}
 	defer ec.release(idx)
-	return readRelationTape(m, idx, schema)
+	out, err := readRelationTape(m, idx, schema)
+	if err != nil {
+		return nil, err
+	}
+	if ev.Report != nil {
+		ev.Report.Coordinator = m.Resources()
+	}
+	return out, nil
 }
 
 // Sorted returns the relation's tuples sorted by their encoded form
@@ -210,6 +245,28 @@ func (ev Evaluator) launcher() algorithms.SortLauncher {
 	if ev.Launch != nil {
 		return ev.Launch
 	}
+	if ev.Plan != nil {
+		var onReport func(shard.SortReport)
+		if ev.Report != nil {
+			onReport = ev.Report.record
+		}
+		return func(ctx context.Context, sorter algorithms.Sorter, m *core.Machine, src int, _ []int) error {
+			data := m.Tape(src).Contents()
+			sh := ev.Plan.Choose(countItems(data), int64(len(data)))
+			rep, err := shard.Sort{
+				Shards: sh.Shards, FanIn: sh.FanIn, RunMemoryBits: sh.RunMemoryBits,
+				Dedup: sorter.Dedup,
+				Retry: ev.Retry, Inject: ev.Inject, Exec: ev.Exec,
+			}.SortTape(ctx, m, src, ev.Seed)
+			if err != nil {
+				return err
+			}
+			if onReport != nil {
+				onReport(rep)
+			}
+			return nil
+		}
+	}
 	if ev.Shards >= 1 {
 		var onReport func(shard.SortReport)
 		if ev.Report != nil {
@@ -244,38 +301,74 @@ func (ev Evaluator) runMemoryBits() int64 {
 	return ev.RunMemoryBits
 }
 
+// scanRunBits resolves the run-partition budget of sharded operator
+// scans: the planner's memory budget in plan mode, the evaluator's
+// run-formation budget otherwise.
+func (ev Evaluator) scanRunBits() int64 {
+	if ev.Plan != nil && ev.Plan.Budget.MemoryBits > 0 {
+		return ev.Plan.Budget.MemoryBits
+	}
+	return ev.runMemoryBits()
+}
+
 // QueryReport is the resource census of one sharded query evaluation:
-// one shard.SortReport per operator sort, in the order the evaluator
-// ran them, each carrying the distribution scan, the per-shard (r, s,
-// t) reports and the combining merge of that sort.
+// one shard.SortReport per operator sort and one ScanReport per
+// sharded operator scan (anti-merge, product), each in the order the
+// evaluator ran them, each carrying the distribution scan, the
+// per-shard (r, s, t) reports and the combining machine of that stage.
 type QueryReport struct {
 	Sorts []shard.SortReport
+	Scans []ScanReport
+
+	// Coordinator is the query machine's own resource report — the
+	// coordinator-side scans gluing the stages together (operator
+	// concatenations, selection and projection rewrites, relation I/O).
+	// EvalST fills it in after the evaluation completes.
+	Coordinator core.Resources
 }
 
 // record appends one operator sort's report. EvalST runs operators
 // sequentially, so no locking is needed.
 func (q *QueryReport) record(rep shard.SortReport) { q.Sorts = append(q.Sorts, rep) }
 
-// Rollup aggregates across every operator sort of the query by
-// folding the per-sort rollups through shard.Agg.Merge: the Max
-// fields are the largest per-shard maxima any sort saw (the parallel
-// wall-clock view of the widest operator), the Sum fields total the
-// work of the whole fleet across all sorts.
+// recordScan appends one sharded operator scan's report.
+func (q *QueryReport) recordScan(rep ScanReport) { q.Scans = append(q.Scans, rep) }
+
+// Rollup aggregates across every operator sort and sharded scan of the
+// query by folding the per-stage rollups through shard.Agg.Merge: the
+// Max fields are the largest per-shard maxima any stage saw (the
+// parallel wall-clock view of the widest operator), the Sum fields
+// total the work of the whole fleet across all stages.
 func (q *QueryReport) Rollup() shard.Agg {
 	var a shard.Agg
 	for _, rep := range q.Sorts {
 		a = a.Merge(rep.Rollup())
 	}
+	for _, rep := range q.Scans {
+		a = a.Merge(rep.Rollup())
+	}
 	return a
 }
 
-// CriticalPathSteps sums the per-sort critical paths (distribute →
-// slowest shard → merge): operator sorts run one after another, so the
-// query's sharded wall-clock stand-in is their sequence.
+// CriticalPathSteps sums the per-stage critical paths (distribute →
+// slowest shard → combine): operator stages run one after another, so
+// the query's sharded wall-clock stand-in is their sequence.
 func (q *QueryReport) CriticalPathSteps() int64 {
 	var steps int64
 	for _, rep := range q.Sorts {
 		steps += rep.CriticalPathSteps()
 	}
+	for _, rep := range q.Scans {
+		steps += rep.CriticalPathSteps()
+	}
 	return steps
+}
+
+// TotalSteps is the query's end-to-end wall-clock stand-in: the
+// coordinator's own steps plus every stage's critical path. This is the
+// honest basis for comparing execution shapes that move work between
+// the coordinator and the fleet (e.g. the pipelined handoff, which
+// deletes coordinator concatenations along with stage merges).
+func (q *QueryReport) TotalSteps() int64 {
+	return q.Coordinator.Steps + q.CriticalPathSteps()
 }

@@ -1,0 +1,391 @@
+package relalg
+
+// sharded_scan.go distributes the two operator scans that are not
+// sorts — the difference's anti-merge and the product's paired scan —
+// across shard-local machines, closing the "only sorts distribute"
+// gap. The sorted left input is partitioned into contiguous run ranges
+// by the same fixed-count rule the sort's distribution uses
+// (algorithms.RunPlanner under the evaluator's run-formation budget)
+// and the ranges are assigned by the same shard.Split rule; each shard
+// streams its left range against a broadcast copy of the right side on
+// its own machine, running exactly the coordinator's scan body
+// (antiMergeTapes / productTapes). Both scans emit output in left-input
+// order, so the per-shard outputs are disjoint and concatenate to the
+// unsharded bytes: the anti-merge combine is a degenerate k-way merge
+// over already-disjoint ordered tapes, the product combine a plain
+// concatenation sweep. Shard attempts sit on the same retry →
+// coordinator-fallback path as sort attempts: recovery may move the
+// attempt census, never a byte.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes
+// first (shard's backoff sleep, for scan attempt retries).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Scan op identifiers as recorded in ScanReport.Op.
+const (
+	ScanOpDiff    = "diff"
+	ScanOpProduct = "product"
+)
+
+// ScanReport is the resource census of one sharded operator scan, the
+// scan-side twin of shard.SortReport: the coordinator's partition scan
+// (left input plus the broadcast read of the right side), one report
+// per shard-local machine, and the combining machine.
+type ScanReport struct {
+	Op    string // ScanOpDiff or ScanOpProduct
+	Items int    // left-side items partitioned across the shards
+	Bytes int64  // left payload bytes ('#' separators included)
+	Runs  int    // left-side runs under the partition rule
+
+	Distribute core.Resources   // the coordinator's partition + broadcast scan
+	Shards     []core.Resources // one report per shard-local scan, in shard order
+	Merge      core.Resources   // the combining machine (merge or concat sweep)
+
+	// The recovery census, exactly as in shard.SortReport.
+	Attempts  int
+	Fallbacks int
+	Recovered int
+}
+
+// Rollup aggregates the per-shard reports, shard.SortReport style.
+func (r ScanReport) Rollup() shard.Agg {
+	a := shard.Agg{Shards: len(r.Shards)}
+	for _, res := range r.Shards {
+		a.SumScans += res.Scans()
+		a.SumMemoryBits += res.PeakMemoryBits
+		a.SumSteps += res.Steps
+		if res.Scans() > a.MaxScans {
+			a.MaxScans = res.Scans()
+		}
+		if res.PeakMemoryBits > a.MaxMemoryBits {
+			a.MaxMemoryBits = res.PeakMemoryBits
+		}
+		if res.Steps > a.MaxSteps {
+			a.MaxSteps = res.Steps
+		}
+	}
+	return a
+}
+
+// CriticalPathSteps is distribute → slowest shard → combine, the same
+// wall-clock stand-in as shard.SortReport.CriticalPathSteps.
+func (r ScanReport) CriticalPathSteps() int64 {
+	return r.Distribute.Steps + r.Rollup().MaxSteps + r.Merge.Steps
+}
+
+// ScanPanicError is a panic recovered from a shard-local scan attempt,
+// the scan-side twin of shard.SortPanicError: the attempt counts as
+// failed and the retry/fallback machinery takes over.
+type ScanPanicError struct {
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (e *ScanPanicError) Error() string {
+	return fmt.Sprintf("relalg: shard %d scan panicked: %v", e.Shard, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *ScanPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ShardFault marks the recovered scan panic as a failed shard attempt.
+func (e *ScanPanicError) ShardFault() {}
+
+// scanShards resolves how many shard machines operator scans use: the
+// built-in sharded path's count, or the planner's fleet ceiling in
+// plan mode. A custom Launch only overrides sorts, so scans stay on
+// the coordinator there, and the zero evaluator keeps the historical
+// single-machine scans bit for bit.
+func (ev Evaluator) scanShards() int {
+	if ev.Launch != nil {
+		return 0
+	}
+	if ev.Plan != nil {
+		if n := ev.Plan.Budget.MaxShards; n >= 1 {
+			return n
+		}
+		return 1
+	}
+	if ev.Shards >= 1 {
+		return ev.Shards
+	}
+	return 0
+}
+
+// scanShardCount is the shard count of one operator scan: the
+// planner's per-input choice in plan mode (clamped to the left
+// input's runs), the evaluator's fixed count otherwise.
+func (c *evalCtx) scanShardCount(l int) int {
+	n := c.ev.scanShards()
+	if n >= 1 && c.ev.Plan != nil {
+		data := c.m.Tape(l).Contents()
+		n = c.ev.Plan.ChooseScan(countItems(data), int64(len(data))).Shards
+	}
+	return n
+}
+
+// antiMergeOp routes the difference's anti-merge: shard machines on
+// the sharded path, the coordinator's own scan otherwise.
+func (c *evalCtx) antiMergeOp(l, r, dst int) error {
+	if n := c.scanShardCount(l); n >= 1 {
+		return c.shardedScan(ScanOpDiff, l, r, dst, n)
+	}
+	return c.antiMerge(l, r, dst)
+}
+
+// productOp routes the product's paired scan, like antiMergeOp.
+func (c *evalCtx) productOp(l, r, dst int) error {
+	if n := c.scanShardCount(l); n >= 1 {
+		return c.shardedScan(ScanOpProduct, l, r, dst, n)
+	}
+	return c.product(l, r, dst)
+}
+
+// shardedScan runs one operator scan (op = ScanOpDiff or ScanOpProduct)
+// across shards shard-local machines and installs the combined output
+// on dst of the query machine via SwapTape — the scan-side analogue of
+// shard.Sort.SortTape.
+func (c *evalCtx) shardedScan(op string, l, r, dst, shards int) error {
+	outs, rep, err := c.scanShardsRun(op, l, r, shards)
+	if err != nil {
+		return err
+	}
+
+	// Phase 3 — combine. Anti-merge outputs are sorted and disjoint
+	// (contiguous ranges of a sorted, deduplicated left input), so the
+	// k-way merge degenerates to their concatenation; product outputs
+	// are in left order but not item-sorted, so they concatenate on a
+	// plain sweep machine instead.
+	mm := core.NewMachine(shards+1, c.ev.Seed)
+	for i, out := range outs {
+		mm.SetTape(i+1, out)
+	}
+	if op == ScanOpDiff {
+		srcs := make([]int, shards)
+		for i := range outs {
+			srcs[i] = i + 1
+		}
+		if err := algorithms.MergeTapes(mm, 0, srcs, false); err != nil {
+			return err
+		}
+	} else {
+		out := mm.Tape(0)
+		for i := range outs {
+			data, err := mm.Tape(i + 1).ScanBytes()
+			if err != nil {
+				return err
+			}
+			if err := out.WriteBlock(data); err != nil {
+				return err
+			}
+		}
+	}
+	rep.Merge = mm.Resources()
+	c.m.SwapTape(dst, mm.Tape(0).Contents())
+	if c.ev.Report != nil {
+		c.ev.Report.recordScan(rep)
+	}
+	return nil
+}
+
+// shardedScanRuns is the merge-free variant for pipelined consumers:
+// the per-shard outputs are returned as-is (for ScanOpDiff they are
+// sorted, disjoint runs) and the combine machine never runs — the
+// report's Merge stays zero.
+func (c *evalCtx) shardedScanRuns(op string, l, r, shards int) ([][]byte, error) {
+	outs, rep, err := c.scanShardsRun(op, l, r, shards)
+	if err != nil {
+		return nil, err
+	}
+	if c.ev.Report != nil {
+		c.ev.Report.recordScan(rep)
+	}
+	return outs, nil
+}
+
+// scanShardsRun is phases 1+2 of a sharded operator scan: the
+// coordinator's partition + broadcast scan, then the concurrent
+// shard-local scans.
+func (c *evalCtx) scanShardsRun(op string, l, r, shards int) ([][]byte, ScanReport, error) {
+	left := c.m.Tape(l).Contents()
+	right := c.m.Tape(r).Contents()
+	rep := ScanReport{Op: op, Bytes: int64(len(left))}
+
+	// Phase 1 — partition: the coordinator scans the left input once,
+	// cutting it at the run boundaries the sort engine would form, and
+	// sweeps the right side once to model broadcasting it to the fleet.
+	dist := core.NewMachine(2, c.ev.Seed)
+	dist.SetInput(left)
+	dist.SetTape(1, right)
+	in := dist.Tape(0)
+	if err := in.Rewind(); err != nil {
+		return nil, rep, err
+	}
+	var (
+		runStarts []int
+		pos       int
+		planner   = algorithms.RunPlanner{Budget: c.ev.scanRunBits()}
+	)
+	for {
+		item, ok, err := algorithms.ReadItem(in, dist.Mem(), "item.relalg.partition")
+		if err != nil {
+			return nil, rep, err
+		}
+		if !ok {
+			break
+		}
+		if planner.Next(int64(len(item))) {
+			runStarts = append(runStarts, pos)
+		}
+		pos += len(item) + 1
+		rep.Items++
+	}
+	if _, err := dist.Tape(1).ScanBytes(); err != nil {
+		return nil, rep, err
+	}
+	rep.Runs = len(runStarts)
+	rep.Distribute = dist.Resources()
+
+	// Phase 2 — shard-local scans: contiguous run ranges of the left
+	// input, each streamed against the broadcast right side on its own
+	// machine, concurrently, with retry and coordinator fallback.
+	ranges := shard.Split(rep.Runs, shards)
+	bound := func(runIdx int) int {
+		if runIdx >= rep.Runs {
+			return len(left)
+		}
+		return runStarts[runIdx]
+	}
+	outs := make([][]byte, shards)
+	reps := make([]core.Resources, shards)
+	errs := make([]error, shards)
+	var (
+		attempts  atomic.Int64
+		fallbacks atomic.Int64
+		recovered atomic.Int64
+	)
+	runCtx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(rg shard.Range) {
+			defer wg.Done()
+			out, res, err := c.scanShard(runCtx, op, rg, left[bound(rg.Lo):bound(rg.Hi)], right,
+				&attempts, &fallbacks, &recovered)
+			outs[rg.Shard], reps[rg.Shard], errs[rg.Shard] = out, res, err
+			if err != nil {
+				cancel()
+			}
+		}(rg)
+	}
+	wg.Wait()
+	rep.Shards = reps
+	rep.Attempts = int(attempts.Load())
+	rep.Fallbacks = int(fallbacks.Load())
+	rep.Recovered = int(recovered.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	return outs, rep, nil
+}
+
+// scanShard runs one shard's scan attempt loop: inject → recover →
+// retry → coordinator fallback, mirroring shard.Sort's sortShard. The
+// shard output is a pure function of (op, left range, right side), so
+// recovery cannot move a byte.
+func (c *evalCtx) scanShard(ctx context.Context, op string, rg shard.Range, left, right []byte,
+	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
+	execute := func() ([]byte, core.Resources, error) {
+		seed := trials.Seed(c.ev.Seed, rg.Shard+1)
+		if op == ScanOpDiff {
+			m := core.NewMachine(3, seed)
+			m.SetInput(left)
+			m.SetTape(1, right)
+			if err := antiMergeTapes(m, 0, 1, 2); err != nil {
+				return nil, core.Resources{}, err
+			}
+			return m.Tape(2).Contents(), m.Resources(), nil
+		}
+		m := core.NewMachine(5, seed)
+		m.SetInput(left)
+		m.SetTape(1, right)
+		if err := productTapes(m, 0, 1, 2, 3, 4); err != nil {
+			return nil, core.Resources{}, err
+		}
+		return m.Tape(2).Contents(), m.Resources(), nil
+	}
+	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				recovered.Add(1)
+				err = &ScanPanicError{Shard: rg.Shard, Value: p, Stack: debug.Stack()}
+			}
+		}()
+		if inject && c.ev.Inject != nil {
+			if ierr := c.ev.Inject(rg.Shard, attempt); ierr != nil {
+				return nil, core.Resources{}, ierr
+			}
+		}
+		return execute()
+	}
+	budget := c.ev.Retry.MaxAttempts
+	if budget < 1 {
+		budget = 1
+	}
+	for attempt := 1; attempt <= budget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Resources{}, err
+		}
+		attempts.Add(1)
+		out, res, err := attemptOnce(attempt, true)
+		if err == nil {
+			return out, res, nil
+		}
+		if attempt < budget {
+			if serr := sleepCtx(ctx, c.ev.Retry.Backoff(attempt)); serr != nil {
+				return nil, core.Resources{}, serr
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Resources{}, err
+	}
+	fallbacks.Add(1)
+	attempts.Add(1)
+	return attemptOnce(budget+1, false)
+}

@@ -115,6 +115,14 @@ func TestShardedQueryRollupInvariants(t *testing.T) {
 		if len(rep.Sorts) != len(oneShard.Sorts) {
 			t.Fatalf("shards=%d: %d operator sorts, want %d", shards, len(rep.Sorts), len(oneShard.Sorts))
 		}
+		if len(rep.Scans) != len(oneShard.Scans) || len(rep.Scans) == 0 {
+			t.Fatalf("shards=%d: %d operator scans, want %d (nonzero)", shards, len(rep.Scans), len(oneShard.Scans))
+		}
+		for _, sr := range rep.Scans {
+			if sr.Op != ScanOpDiff || len(sr.Shards) != shards {
+				t.Fatalf("shards=%d: scan report op=%q shards=%d", shards, sr.Op, len(sr.Shards))
+			}
+		}
 		agg := rep.Rollup()
 		if agg.Shards != shards {
 			t.Errorf("shards=%d: rollup census %d", shards, agg.Shards)
@@ -132,6 +140,9 @@ func TestShardedQueryRollupInvariants(t *testing.T) {
 		prevMax = agg.MaxScans
 		var critSum int64
 		for _, sr := range rep.Sorts {
+			critSum += sr.CriticalPathSteps()
+		}
+		for _, sr := range rep.Scans {
 			critSum += sr.CriticalPathSteps()
 		}
 		if got := rep.CriticalPathSteps(); got != critSum {

@@ -138,6 +138,20 @@ func (c *evalCtx) eval(e Expr) (int, Schema, error) {
 		return dst, Schema(e.Cols), nil
 
 	case Union:
+		if c.pipelined() {
+			runs, schema, err := c.evalRuns(e)
+			if err != nil {
+				return 0, nil, err
+			}
+			dst, err := c.acquire()
+			if err != nil {
+				return 0, nil, err
+			}
+			if err := c.mergeRuns(runs, dst); err != nil {
+				return 0, nil, err
+			}
+			return dst, schema, nil
+		}
 		l, ls, r, rs, err := c.evalPair(e.L, e.R)
 		if err != nil {
 			return 0, nil, err
@@ -171,7 +185,7 @@ func (c *evalCtx) eval(e Expr) (int, Schema, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := c.antiMerge(l, r, dst); err != nil {
+		if err := c.antiMergeOp(l, r, dst); err != nil {
 			return 0, nil, err
 		}
 		c.release(l)
@@ -187,7 +201,7 @@ func (c *evalCtx) eval(e Expr) (int, Schema, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := c.product(l, r, dst); err != nil {
+		if err := c.productOp(l, r, dst); err != nil {
 			return 0, nil, err
 		}
 		c.release(l)
@@ -338,13 +352,15 @@ func (c *evalCtx) rewriteScan(src, dst int, fn func(Tuple) (Tuple, bool)) error 
 // '#'-terminated items only, so each side is one whole-tape sweep:
 // a bulk read of src and a bulk write to dst, with the same counter
 // totals as an item-by-item copy.
-func (c *evalCtx) concat(src1, src2, dst int) error {
-	td := c.m.Tape(dst)
+func (c *evalCtx) concat(src1, src2, dst int) error { return concatTapes(c.m, src1, src2, dst) }
+
+func concatTapes(m *core.Machine, src1, src2, dst int) error {
+	td := m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
 	for _, src := range []int{src1, src2} {
-		if err := c.sweepItems(src, td); err != nil {
+		if err := sweepItems(m, src, td); err != nil {
 			return err
 		}
 	}
@@ -352,19 +368,19 @@ func (c *evalCtx) concat(src1, src2, dst int) error {
 }
 
 // copyAll replaces dst's content with src's in one bulk sweep.
-func (c *evalCtx) copyAll(src, dst int) error {
-	td := c.m.Tape(dst)
+func copyAll(m *core.Machine, src, dst int) error {
+	td := m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
-	return c.sweepItems(src, td)
+	return sweepItems(m, src, td)
 }
 
 // sweepItems appends the whole item sequence of tape src to td,
 // rejecting a trailing unterminated fragment (so a corrupted tape
 // cannot fuse with the next item written to td).
-func (c *evalCtx) sweepItems(src int, td *tape.Tape) error {
-	ts := c.m.Tape(src)
+func sweepItems(m *core.Machine, src int, td *tape.Tape) error {
+	ts := m.Tape(src)
 	if err := ts.Rewind(); err != nil {
 		return err
 	}
@@ -380,8 +396,15 @@ func (c *evalCtx) sweepItems(src int, td *tape.Tape) error {
 
 // antiMerge emits items of l absent from r; both inputs are sorted
 // and deduplicated.
-func (c *evalCtx) antiMerge(l, r, dst int) error {
-	tl, tr, td := c.m.Tape(l), c.m.Tape(r), c.m.Tape(dst)
+func (c *evalCtx) antiMerge(l, r, dst int) error { return antiMergeTapes(c.m, l, r, dst) }
+
+// antiMergeTapes runs the anti-merge on any machine — the coordinator's
+// query machine or a shard-local machine streaming one contiguous left
+// range against the broadcast right side. Both item streams go through
+// buffers reused across iterations, so the steady-state loop allocates
+// nothing.
+func antiMergeTapes(m *core.Machine, l, r, dst int) error {
+	tl, tr, td := m.Tape(l), m.Tape(r), m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
@@ -391,16 +414,16 @@ func (c *evalCtx) antiMerge(l, r, dst int) error {
 	if err := tr.Rewind(); err != nil {
 		return err
 	}
-	mem := c.m.Mem()
+	mem := m.Mem()
 	// l usually exhausts while r still holds a buffered item (and both
 	// stay buffered on error paths); free the regions explicitly so
 	// later operators' peak-memory reports are not inflated.
 	defer mem.Free("item.relalg.l")
 	defer mem.Free("item.relalg.r")
-	var rItem []byte
+	var lBuf, rItem []byte
 	rOK := false
 	advanceR := func() error {
-		item, ok, err := algorithms.ReadItem(tr, mem, "item.relalg.r")
+		item, ok, err := algorithms.ReadItemInto(tr, mem, "item.relalg.r", rItem[:0])
 		if err != nil {
 			return err
 		}
@@ -411,10 +434,11 @@ func (c *evalCtx) antiMerge(l, r, dst int) error {
 		return err
 	}
 	for {
-		lItem, ok, err := algorithms.ReadItem(tl, mem, "item.relalg.l")
+		lItem, ok, err := algorithms.ReadItemInto(tl, mem, "item.relalg.l", lBuf[:0])
 		if err != nil {
 			return err
 		}
+		lBuf = lItem
 		if !ok {
 			return nil
 		}
@@ -433,12 +457,33 @@ func (c *evalCtx) antiMerge(l, r, dst int) error {
 }
 
 // product pairs every l tuple with every r tuple: the right side is
-// replicated by repeated doubling (O(log |l|) scans), then one paired
-// scan with a single buffered outer tuple emits the pairs.
+// replicated by doubling (O(log |l|) scans), then one paired scan with
+// a single buffered outer tuple emits the pairs.
 func (c *evalCtx) product(l, r, dst int) error {
-	mem := c.m.Mem()
+	// The replication scratch tapes come from the pool; acquiring both
+	// up front pins the same indices the per-doubling acquire/release
+	// cycle of the legacy evaluator used, so tape traffic is unchanged.
+	rep, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.release(rep)
+	tmp, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.release(tmp)
+	return productTapes(c.m, l, r, dst, rep, tmp)
+}
+
+// productTapes runs the product on any machine, given two scratch tapes
+// for the replication doubling. Outer, inner and pair buffers are all
+// reused across iterations, so the N·M-pair loop allocates nothing in
+// steady state.
+func productTapes(m *core.Machine, l, r, dst, rep, tmp int) error {
+	mem := m.Mem()
 	// Count both sides.
-	tl := c.m.Tape(l)
+	tl := m.Tape(l)
 	if err := tl.Rewind(); err != nil {
 		return err
 	}
@@ -446,7 +491,7 @@ func (c *evalCtx) product(l, r, dst int) error {
 	if err != nil {
 		return err
 	}
-	tr := c.m.Tape(r)
+	tr := m.Tape(r)
 	if err := tr.Rewind(); err != nil {
 		return err
 	}
@@ -454,7 +499,7 @@ func (c *evalCtx) product(l, r, dst int) error {
 	if err != nil {
 		return err
 	}
-	td := c.m.Tape(dst)
+	td := m.Tape(dst)
 	if err := rewindTruncate(td); err != nil {
 		return err
 	}
@@ -462,32 +507,20 @@ func (c *evalCtx) product(l, r, dst int) error {
 		return nil
 	}
 
-	// Replicate r onto a pool tape ≥ lCount times by doubling.
-	rep, err := c.acquire()
-	if err != nil {
-		return err
-	}
-	defer c.release(rep)
-	if err := c.copyAll(r, rep); err != nil {
+	// Replicate r onto the rep tape ≥ lCount times by doubling.
+	if err := copyAll(m, r, rep); err != nil {
 		return err
 	}
 	copies := 1
 	for copies < lCount {
-		// rep ← rep + rep via a scratch tape.
-		tmp, err := c.acquire()
-		if err != nil {
+		// rep ← rep + rep via the scratch tape; concat reads rep twice,
+		// two scans of the same tape.
+		if err := concatTapes(m, rep, rep, tmp); err != nil {
 			return err
 		}
-		if err := c.concat(rep, rep, tmp); err != nil {
-			// concat reads rep twice: two scans of the same tape.
-			c.release(tmp)
+		if err := copyAll(m, tmp, rep); err != nil {
 			return err
 		}
-		if err := c.copyAll(tmp, rep); err != nil {
-			c.release(tmp)
-			return err
-		}
-		c.release(tmp)
 		copies *= 2
 	}
 
@@ -496,7 +529,7 @@ func (c *evalCtx) product(l, r, dst int) error {
 	if err := tl.Rewind(); err != nil {
 		return err
 	}
-	trep := c.m.Tape(rep)
+	trep := m.Tape(rep)
 	if err := trep.Rewind(); err != nil {
 		return err
 	}
@@ -504,20 +537,22 @@ func (c *evalCtx) product(l, r, dst int) error {
 	// its region would stay charged after the product without this.
 	defer mem.Free("item.relalg.outer")
 	defer mem.Free("item.relalg.inner")
-	var pair []byte
+	var outerBuf, innerBuf, pair []byte
 	for {
-		outer, ok, err := algorithms.ReadItem(tl, mem, "item.relalg.outer")
+		outer, ok, err := algorithms.ReadItemInto(tl, mem, "item.relalg.outer", outerBuf[:0])
 		if err != nil {
 			return err
 		}
+		outerBuf = outer
 		if !ok {
 			return nil
 		}
 		for j := 0; j < rCount; j++ {
-			inner, ok, err := algorithms.ReadItem(trep, mem, "item.relalg.inner")
+			inner, ok, err := algorithms.ReadItemInto(trep, mem, "item.relalg.inner", innerBuf[:0])
 			if err != nil {
 				return err
 			}
+			innerBuf = inner
 			if !ok {
 				return fmt.Errorf("relalg: replicated tape exhausted early")
 			}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime/debug"
@@ -9,8 +10,12 @@ import (
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
+	"extmem/internal/problems"
 	"extmem/internal/trials"
 )
+
+// separator is the item terminator as a slice, for bytes.Count.
+var separator = []byte{problems.Separator}
 
 // Sort is the sharded external sort: the Corollary 10 sorting problem
 // partitioned across shard-local machines in the k-machine style. The
@@ -114,9 +119,10 @@ func (s Sort) fanIn() int {
 // keeps the exact (r, s, t) report of its machine, so the paper's cost
 // measures remain auditable per shard.
 type SortReport struct {
-	Items  int // items in the input
-	RunLen int // items per initial run (0: whole input fit one run)
-	Runs   int // initial runs partitioned across the shards
+	Items  int   // items in the input
+	Bytes  int64 // payload bytes in the input ('#' separators included)
+	RunLen int   // items per initial run (0: whole input fit one run)
+	Runs   int   // initial runs partitioned across the shards
 
 	Distribute core.Resources   // the coordinator's partition scan over the input
 	Shards     []core.Resources // one report per shard-local sort, in shard order
@@ -287,6 +293,38 @@ func LaunchSort(shards int, seed int64, onReport func(SortReport)) algorithms.So
 // are identical to the fault-free run no matter what the fault plan
 // did. Cancelling ctx stops every shard and returns the context error.
 func (s Sort) Run(ctx context.Context, input []byte, seed int64) ([]byte, SortReport, error) {
+	outs, rep, err := s.runShards(ctx, input, seed)
+	if err != nil {
+		return nil, rep, err
+	}
+
+	// Phase 3 — combine: the shard output tapes are handed to one
+	// merge machine (tape 0 is the output, tape 1+i shard i's sorted
+	// run) and k-way merged through the loser tree; dedup, when
+	// requested, folds into this final write.
+	out, merge, err := s.combine(outs, seed)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Merge = merge
+	return out, rep, nil
+}
+
+// RunKeepRuns is Run without the final combine — the pipelined handoff
+// mode. It stops after the shard-local sorts and returns the per-shard
+// sorted run payloads in shard order (the returned report's Merge is
+// zero: no merge machine ran). A consumer that immediately re-sorts
+// can feed these runs straight into its own merge (MergeRuns), so the
+// intermediate relation is never written to — or re-read from — a
+// single combined tape. Deduplication, which belongs to the combine
+// stage, is deferred to whichever stage finally merges.
+func (s Sort) RunKeepRuns(ctx context.Context, input []byte, seed int64) ([][]byte, SortReport, error) {
+	return s.runShards(ctx, input, seed)
+}
+
+// runShards is phases 1+2 of the sharded sort: the coordinator's
+// distribution scan and the concurrent shard-local sorts.
+func (s Sort) runShards(ctx context.Context, input []byte, seed int64) ([][]byte, SortReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -331,6 +369,7 @@ func (s Sort) Run(ctx context.Context, input []byte, seed int64) ([]byte, SortRe
 	}
 	rep.Runs = len(runStarts)
 	rep.RunLen = planner.RunLen
+	rep.Bytes = int64(len(payload))
 	rep.Distribute = dist.Resources()
 
 	// Phase 2 — shard-local sorts: contiguous run ranges, one machine
@@ -381,22 +420,150 @@ func (s Sort) Run(ctx context.Context, input []byte, seed int64) ([]byte, SortRe
 			return nil, rep, err
 		}
 	}
+	return outs, rep, nil
+}
 
-	// Phase 3 — combine: the shard output tapes are handed to one
-	// merge machine (tape 0 is the output, tape 1+i shard i's sorted
-	// run) and k-way merged through the loser tree; dedup, when
-	// requested, folds into this final write.
-	mm := core.NewMachine(shards+1, seed)
-	srcs := make([]int, shards)
+// combine k-way merges the per-shard sorted outputs on one merge
+// machine (tape 0 is the output, tape 1+i shard i's sorted run), with
+// the configured dedup folded into the final write.
+func (s Sort) combine(outs [][]byte, seed int64) ([]byte, core.Resources, error) {
+	mm := core.NewMachine(len(outs)+1, seed)
+	srcs := make([]int, len(outs))
 	for i, out := range outs {
 		mm.SetTape(i+1, out)
 		srcs[i] = i + 1
 	}
 	if err := algorithms.MergeTapes(mm, 0, srcs, s.Dedup); err != nil {
+		return nil, core.Resources{}, err
+	}
+	return mm.Tape(0).Contents(), mm.Resources(), nil
+}
+
+// MergeRuns is the consuming half of the pipelined handoff: it takes
+// pre-formed sorted runs (typically the per-shard tapes a RunKeepRuns
+// stage or a sharded anti-merge handed over) and produces the fully
+// merged, optionally deduplicated output — a sharded sort whose
+// distribution scan and run formation have already been paid for by
+// the producing stage. Contiguous run ranges go to shard-local merge
+// machines under the same Split rule (no dedup: cross-range duplicates
+// meet only in the final combine), then the shard outputs are k-way
+// merged exactly like Run's phase 3. Shard attempts sit on the same
+// retry → coordinator-fallback path as sort attempts.
+//
+// The report's Distribute is zero — no coordinator scan runs, which is
+// the point — and Items/Bytes are provenance metadata computed from
+// the handed-over payloads, not charged to any machine.
+func (s Sort) MergeRuns(ctx context.Context, runs [][]byte, seed int64) ([]byte, SortReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	shards := s.shardCount()
+	rep := SortReport{Runs: len(runs)}
+	for _, r := range runs {
+		rep.Bytes += int64(len(r))
+		rep.Items += bytes.Count(r, separator)
+	}
+
+	ranges := Split(len(runs), shards)
+	outs := make([][]byte, shards)
+	reps := make([]core.Resources, shards)
+	errs := make([]error, shards)
+	var (
+		attempts  atomic.Int64
+		fallbacks atomic.Int64
+		recovered atomic.Int64
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(rg Range) {
+			defer wg.Done()
+			out, res, err := s.mergeShard(runCtx, rg, runs[rg.Lo:rg.Hi], seed,
+				&attempts, &fallbacks, &recovered)
+			outs[rg.Shard], reps[rg.Shard], errs[rg.Shard] = out, res, err
+			if err != nil {
+				cancel()
+			}
+		}(rg)
+	}
+	wg.Wait()
+	rep.Shards = reps
+	rep.Attempts = int(attempts.Load())
+	rep.Fallbacks = int(fallbacks.Load())
+	rep.Recovered = int(recovered.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+
+	out, merge, err := s.combine(outs, seed)
+	if err != nil {
 		return nil, rep, err
 	}
-	rep.Merge = mm.Resources()
-	return mm.Tape(0).Contents(), rep, nil
+	rep.Merge = merge
+	return out, rep, nil
+}
+
+// mergeShard merges one contiguous range of pre-formed runs on a
+// shard-local machine, under the same retry → coordinator-fallback
+// discipline as sortShard. The shard output is a pure function of its
+// run range, so recovery cannot move a byte.
+func (s Sort) mergeShard(ctx context.Context, rg Range, runs [][]byte, seed int64,
+	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
+	execute := func() ([]byte, core.Resources, error) {
+		m := core.NewMachine(len(runs)+1, trials.Seed(seed, rg.Shard+1))
+		if len(runs) == 0 {
+			return nil, m.Resources(), nil
+		}
+		srcs := make([]int, len(runs))
+		for i, r := range runs {
+			m.SetTape(i+1, r)
+			srcs[i] = i + 1
+		}
+		if err := algorithms.MergeTapes(m, 0, srcs, false); err != nil {
+			return nil, core.Resources{}, err
+		}
+		return m.Tape(0).Contents(), m.Resources(), nil
+	}
+	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				recovered.Add(1)
+				err = &SortPanicError{Shard: rg.Shard, Value: p, Stack: debug.Stack()}
+			}
+		}()
+		if inject && s.Inject != nil {
+			if ierr := s.Inject(rg.Shard, attempt); ierr != nil {
+				return nil, core.Resources{}, ierr
+			}
+		}
+		return execute()
+	}
+	budget := s.Retry.maxAttempts()
+	for attempt := 1; attempt <= budget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Resources{}, err
+		}
+		attempts.Add(1)
+		out, res, err := attemptOnce(attempt, true)
+		if err == nil {
+			return out, res, nil
+		}
+		if attempt < budget {
+			if serr := sleep(ctx, s.Retry.Backoff(attempt)); serr != nil {
+				return nil, core.Resources{}, serr
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Resources{}, err
+	}
+	fallbacks.Add(1)
+	attempts.Add(1)
+	return attemptOnce(budget+1, false)
 }
 
 // sortShard runs one shard's local sort under the retry policy. Each

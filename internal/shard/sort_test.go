@@ -210,3 +210,143 @@ func TestShardedSortRunPartitioning(t *testing.T) {
 		t.Fatalf("distribution used %d scans, want 1", rep.Distribute.Scans())
 	}
 }
+
+// The pipelined handoff invariant: stopping before the combine
+// (RunKeepRuns) and merging the handed-over runs later (MergeRuns)
+// must reproduce Run's bytes exactly — at every producer/consumer
+// shard-count combination, with dedup deferred to the final merge.
+func TestKeepRunsMergeRunsMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, count := range []int{0, 1, 5, 64, 257} {
+		items := randomItems(count, true, rng)
+		input := encodeItems(items)
+		for _, prodShards := range []int{1, 2, 4} {
+			for _, consShards := range []int{1, 3, 4} {
+				for _, dedup := range []bool{false, true} {
+					prod := Sort{Shards: prodShards, FanIn: 3, RunMemoryBits: 256}
+					runs, rep, err := prod.RunKeepRuns(nil, input, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(runs) != prodShards {
+						t.Fatalf("KeepRuns returned %d runs, want %d", len(runs), prodShards)
+					}
+					if rep.Merge.Steps != 0 || rep.Merge.Tapes != 0 {
+						t.Fatalf("KeepRuns ran a merge machine: %+v", rep.Merge)
+					}
+					for i, run := range runs {
+						if single, _ := singleMachine(t, run, 3, 256, false); !bytes.Equal(run, single) {
+							t.Fatalf("shard %d run is not sorted", i)
+						}
+					}
+					cons := Sort{Shards: consShards, FanIn: 3, RunMemoryBits: 256, Dedup: dedup}
+					out, mrep, err := cons.MergeRuns(nil, runs, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := reference(items, dedup)
+					if !bytes.Equal(out, want) {
+						t.Fatalf("count=%d prod=%d cons=%d dedup=%v: MergeRuns differs from reference",
+							count, prodShards, consShards, dedup)
+					}
+					if mrep.Distribute.Steps != 0 || mrep.Distribute.Tapes != 0 {
+						t.Fatalf("MergeRuns ran a distribute scan: %+v", mrep.Distribute)
+					}
+					if mrep.Items != count || mrep.Runs != prodShards || len(mrep.Shards) != consShards {
+						t.Fatalf("MergeRuns report shape: items=%d runs=%d shards=%d",
+							mrep.Items, mrep.Runs, len(mrep.Shards))
+					}
+				}
+			}
+		}
+	}
+}
+
+// MergeRuns is a union-shaped consumer: runs handed over by several
+// producers merge and dedup exactly like concatenating the inputs and
+// running the full sharded sort.
+func TestMergeRunsAcrossProducers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomItems(100, true, rng)
+	b := randomItems(37, true, rng)
+	runsA, _, err := Sort{Shards: 2, FanIn: 2, RunMemoryBits: 128}.RunKeepRuns(nil, encodeItems(a), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsB, _, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 128}.RunKeepRuns(nil, encodeItems(b), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Sort{Shards: 2, FanIn: 2, RunMemoryBits: 128, Dedup: true}.
+		MergeRuns(nil, append(append([][]byte(nil), runsA...), runsB...), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(append(append([]string(nil), a...), b...), true)
+	if !bytes.Equal(out, want) {
+		t.Fatal("MergeRuns over two producers differs from sorting the concatenation")
+	}
+}
+
+// MergeRuns shard faults sit on the same retry → fallback path as sort
+// shard faults: the census moves, the bytes never do.
+func TestMergeRunsRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	items := randomItems(120, false, rng)
+	runs, _, err := Sort{Shards: 4, FanIn: 2, RunMemoryBits: 128}.RunKeepRuns(nil, encodeItems(items), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, crep, err := Sort{Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true}.MergeRuns(nil, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Attempts != 3 || crep.Fallbacks != 0 || crep.Recovered != 0 {
+		t.Fatalf("clean census moved: %+v", crep)
+	}
+
+	// A flaky first attempt on shard 0 heals by retry.
+	flaky := Sort{
+		Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true,
+		Retry: RetryPolicy{MaxAttempts: 3},
+		Inject: func(shard, attempt int) error {
+			if shard == 0 && attempt == 1 {
+				panic("injected merge fault")
+			}
+			return nil
+		},
+	}
+	out, rep, err := flaky.MergeRuns(nil, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, clean) {
+		t.Fatal("recovered MergeRuns moved bytes")
+	}
+	if rep.Attempts != 4 || rep.Recovered != 1 || rep.Fallbacks != 0 {
+		t.Fatalf("flaky census: %+v", rep)
+	}
+
+	// A permanent fault on shard 1 exhausts the budget and falls back
+	// to the coordinator.
+	perm := Sort{
+		Shards: 3, FanIn: 2, RunMemoryBits: 128, Dedup: true,
+		Retry: RetryPolicy{MaxAttempts: 2},
+		Inject: func(shard, attempt int) error {
+			if shard == 1 {
+				return &SortPanicError{Shard: shard, Value: "permanent"}
+			}
+			return nil
+		},
+	}
+	out, rep, err = perm.MergeRuns(nil, runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, clean) {
+		t.Fatal("fallback MergeRuns moved bytes")
+	}
+	if rep.Fallbacks != 1 || rep.Attempts != 5 {
+		t.Fatalf("permanent census: %+v", rep)
+	}
+}

@@ -157,11 +157,12 @@ func TestDifferentialBulkVsStep(t *testing.T) {
 			step.SetBudget(budget)
 		}
 		ref := stepRef{step}
+		var scanBuf []byte // reused across ScanUntilAppend ops
 
 		for op := 0; op < opsPerTrial; op++ {
 			name := ""
 			var errB, errS error
-			switch rng.Intn(12) {
+			switch rng.Intn(13) {
 			case 0:
 				name = "Rewind"
 				errB, errS = bulk.Rewind(), ref.Rewind()
@@ -238,6 +239,20 @@ func TestDifferentialBulkVsStep(t *testing.T) {
 				name = "Truncate"
 				bulk.Truncate()
 				step.Truncate()
+			case 12:
+				name = "ScanUntilAppend"
+				delim := byte('#')
+				if rng.Intn(2) == 0 {
+					delim = byte(rng.Intn(4))
+				}
+				var gotB, gotS []byte
+				var foundB, foundS bool
+				gotB, foundB, errB = bulk.ScanUntilAppend(delim, scanBuf)
+				scanBuf = gotB[:0]
+				gotS, foundS, errS = ref.ScanUntil(delim)
+				if !bytes.Equal(gotB, gotS) || foundB != foundS {
+					t.Fatalf("trial %d op %d: ScanUntilAppend (%q,%v) vs (%q,%v)", trial, op, gotB, foundB, gotS, foundS)
+				}
 			}
 			if !sameErr(errB, errS) {
 				t.Fatalf("trial %d op %d (%s): errors diverge: bulk %v, step %v", trial, op, name, errB, errS)

@@ -396,6 +396,31 @@ func (t *Tape) ScanUntil(delim byte) (data []byte, found bool, err error) {
 	return out, found, nil
 }
 
+// ScanUntilAppend is ScanUntil with a caller-supplied buffer: the bytes
+// read are appended to buf[:0] and the resulting slice returned, so a
+// loop that reads many items can reuse one allocation. Head movement
+// and counter accounting are identical to ScanUntil.
+func (t *Tape) ScanUntilAppend(delim byte, buf []byte) (data []byte, found bool, err error) {
+	if t.AtEnd() {
+		return buf[:0], false, nil
+	}
+	if err := t.turn(Forward); err != nil {
+		// The first ReadMove reads the cell before the refused turn.
+		t.reads++
+		return buf[:0], false, err
+	}
+	rest := t.cells[t.pos:]
+	n := len(rest)
+	if i := bytes.IndexByte(rest, delim); i >= 0 {
+		n = i + 1
+		found = true
+	}
+	data = append(buf[:0], rest[:n]...)
+	t.reads += int64(n)
+	t.advanceForward(n)
+	return data, found, nil
+}
+
 // AppendBytes writes data starting at the current head position,
 // moving forward. It is WriteBlock under its historical name.
 func (t *Tape) AppendBytes(data []byte) error { return t.WriteBlock(data) }
