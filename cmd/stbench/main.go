@@ -17,7 +17,16 @@
 //	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N]
 //	        [-transport inproc|proc] [-chaos flaky|delay] [-chaos-rate F]
 //	        [-budget BITS] [-budget-tapes N] [-budget-shards N]
+//	        [-storage mem|file|mmap] [-spill-dir DIR]
 //	        [-format text|json|csv]
+//
+// -storage selects where tape cells live (internal/tape backends):
+// mem is the in-RAM default, file buffers cells in unlinked temp
+// files, mmap memory-maps them. Like -shards it is pure execution
+// shape — the backend may move the bytes' home, never a count — so
+// stdout is byte-identical at any -storage. -spill-dir places the
+// temp files (default: the system temp directory); they are unlinked
+// at creation, so no spill file survives any exit, SIGINT included.
 //
 // -budget hands the experiments a cost-based planner envelope
 // (internal/plan): BITS of run-formation memory, -budget-tapes tapes
@@ -69,6 +78,7 @@ import (
 	"extmem/internal/faults"
 	"extmem/internal/plan"
 	"extmem/internal/shard"
+	"extmem/internal/tape"
 	"extmem/internal/transport"
 )
 
@@ -144,6 +154,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	budget := fs.Float64("budget", 0, "cost-based planner envelope: run-formation memory in bits (never changes the output)")
 	budgetTapes := fs.Int("budget-tapes", 6, "planner envelope: tapes per shard machine (requires -budget)")
 	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
+	storage := fs.String("storage", "mem", "tape storage backend: mem, file or mmap (never changes the output)")
+	spillDir := fs.String("spill-dir", "", "directory for file/mmap tape spill files (requires -storage file or mmap; default: system temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -181,6 +193,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "stbench: -budget-tapes and -budget-shards require -budget")
 		return 2
 	}
+	storageKind, err := tape.ParseStorage(*storage)
+	if err != nil {
+		fmt.Fprintln(stderr, "stbench:", err)
+		return 2
+	}
+	if set["spill-dir"] && storageKind == tape.Mem {
+		fmt.Fprintln(stderr, "stbench: -spill-dir requires -storage file or mmap")
+		return 2
+	}
 	envelope, err := budgetEnvelope(set["budget"], *budget, *budgetTapes, *budgetShards)
 	if err != nil {
 		fmt.Fprintln(stderr, "stbench:", err)
@@ -194,6 +215,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards,
 		Ctx: ctx, Faults: faultPlan, Retry: retry, Budget: envelope,
+		Storage: tape.Options{Storage: storageKind, SpillDir: *spillDir},
 	}
 	if *transportMode == "proc" {
 		cfg.Proc = &transport.Proc{Stderr: stderr}

@@ -95,6 +95,8 @@ func TestFlagErrors(t *testing.T) {
 		{"NaN budget", []string{"-budget", "NaN"}, "-budget must be a positive finite bit count"},
 		{"infinite budget", []string{"-budget", "+Inf"}, "-budget must be a positive finite bit count"},
 		{"budget shards without budget", []string{"-budget-shards", "2"}, "require -budget"},
+		{"bad storage", []string{"-storage", "floppy"}, `unknown storage "floppy"`},
+		{"spill dir without storage", []string{"-spill-dir", "/tmp"}, "-spill-dir requires -storage file or mmap"},
 		{"too few budget tapes", []string{"-budget", "256", "-budget-tapes", "3"}, "cannot hold a sort"},
 		{"zero budget shards", []string{"-budget", "256", "-budget-shards", "0"}, "shard ceiling"},
 	}
@@ -131,6 +133,35 @@ func TestOutputShardInvariant(t *testing.T) {
 			}
 			if got := runWith(shards, parallel); got != ref {
 				t.Fatalf("output differs at -shards %s -parallel %s", shards, parallel)
+			}
+		}
+	}
+}
+
+// The PR 9 acceptance criterion: for a fixed -seed the full text
+// report hashes identically at every -storage × -shards corner — the
+// storage backend may move the bytes' home, never a count, so where
+// tape cells live is invisible in every table of every experiment.
+func TestOutputStorageInvariant(t *testing.T) {
+	runWith := func(storage, shards string) [32]byte {
+		var out, errOut strings.Builder
+		args := []string{"-seed", "5", "-shards", shards, "-storage", storage}
+		if storage != "mem" {
+			args = append(args, "-spill-dir", t.TempDir())
+		}
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("storage=%s shards=%s: exit %d, stderr:\n%s", storage, shards, code, errOut.String())
+		}
+		return sha256.Sum256([]byte(out.String()))
+	}
+	ref := runWith("mem", "1")
+	for _, storage := range []string{"mem", "file", "mmap"} {
+		for _, shards := range []string{"1", "4"} {
+			if storage == "mem" && shards == "1" {
+				continue
+			}
+			if got := runWith(storage, shards); got != ref {
+				t.Fatalf("report digest differs at -storage %s -shards %s", storage, shards)
 			}
 		}
 	}

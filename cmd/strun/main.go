@@ -32,6 +32,11 @@
 // shape, so stdout is byte-identical to any fixed shape. It applies
 // to -algo relalg alone.
 //
+// -storage selects the tape storage backend (mem, file or mmap) for
+// every machine of the run, with -spill-dir placing the file/mmap
+// backends' unlinked temp files; like -shards it never changes stdout
+// — the backend may move the bytes' home, never a count.
+//
 // With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
 // fleet of independent fingerprint trials on the same instance across
 // -shards shards of -parallel workers each (the sharded execution
@@ -71,6 +76,7 @@ import (
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
 	"extmem/internal/shard"
+	"extmem/internal/tape"
 	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
@@ -173,6 +179,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	budget := fs.Float64("budget", 0, "relalg only: cost-based planner envelope, run-formation memory in bits (never changes stdout)")
 	budgetTapes := fs.Int("budget-tapes", 6, "planner envelope: tapes per shard machine (requires -budget)")
 	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
+	storage := fs.String("storage", "mem", "tape storage backend: mem, file or mmap (never changes stdout)")
+	spillDir := fs.String("spill-dir", "", "directory for file/mmap tape spill files (requires -storage file or mmap; default: system temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -195,6 +203,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "strun:", err)
 		return 2
 	}
+	storageKind, err := tape.ParseStorage(*storage)
+	if err != nil {
+		fmt.Fprintln(stderr, "strun:", err)
+		return 2
+	}
+	if set["spill-dir"] && storageKind == tape.Mem {
+		fmt.Fprintln(stderr, "strun: -spill-dir requires -storage file or mmap")
+		return 2
+	}
+	topts := tape.Options{Storage: storageKind, SpillDir: *spillDir}
 	var proc *transport.Proc
 	if *transportMode == "proc" {
 		proc = &transport.Proc{Stderr: stderr}
@@ -213,11 +231,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, proc, stdout, stderr)
 	}
 	if *algo == "relalg" {
-		return runQuery(ctx, in, *shards, *seed, envelope, proc, stdout, stderr)
+		return runQuery(ctx, in, *shards, *seed, envelope, proc, topts, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
-	verdict, res, err := runAlgo(*algo, in, *seed, stdout)
+	verdict, res, err := runAlgo(*algo, in, *seed, topts, stdout)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -303,20 +321,21 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 // engine, which records no census at all. A -budget envelope hands
 // shape selection to the cost-based planner instead of the fixed
 // -shards count; stdout cannot tell the difference.
-func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, envelope *plan.Budget, proc *transport.Proc, stdout, stderr io.Writer) int {
+func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, envelope *plan.Budget, proc *transport.Proc, topts tape.Options, stdout, stderr io.Writer) int {
 	if shards < 1 {
 		shards = 1
 	}
 	db := relalg.InstanceDB(in)
 	rep := &relalg.QueryReport{}
-	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep}
+	ev := relalg.Evaluator{Shards: shards, Seed: seed, Report: rep, TapeOpts: topts}
 	if envelope != nil {
 		ev.Plan = plan.Auto(*envelope)
 	}
 	if proc != nil {
 		ev.Exec = proc.Exec()
 	}
-	m := core.NewMachine(relalg.NumQueryTapes, seed)
+	m := core.NewMachineOpts(relalg.NumQueryTapes, seed, topts)
+	defer m.Close()
 	r, err := ev.EvalST(ctx, relalg.SymmetricDifference("R1", "R2"), db, m)
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
@@ -362,10 +381,11 @@ func buildInstance(algo, input string, m, n int, yes bool, rng *rand.Rand) (prob
 	}
 }
 
-func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (core.Verdict, core.Resources, error) {
+func runAlgo(algo string, in problems.Instance, seed int64, topts tape.Options, stdout io.Writer) (core.Verdict, core.Resources, error) {
 	switch algo {
 	case "multiset", "set", "checksort":
-		m := core.NewMachine(algorithms.NumDeciderTapes, seed)
+		m := core.NewMachineOpts(algorithms.NumDeciderTapes, seed, topts)
+		defer m.Close()
 		m.SetInput(in.Encode())
 		var v core.Verdict
 		var err error
@@ -379,7 +399,8 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 		}
 		return v, m.Resources(), err
 	case "fingerprint":
-		m := core.NewMachine(1, seed)
+		m := core.NewMachineOpts(1, seed, topts)
+		defer m.Close()
 		m.SetInput(in.Encode())
 		v, params, err := algorithms.FingerprintMultisetEquality(m)
 		if err == nil {
@@ -392,7 +413,8 @@ func runAlgo(algo string, in problems.Instance, seed int64, stdout io.Writer) (c
 			"nst-set":       algorithms.NSTSetEquality,
 			"nst-checksort": algorithms.NSTCheckSort,
 		}[algo]
-		m := core.NewMachine(2, seed)
+		m := core.NewMachineOpts(2, seed, topts)
+		defer m.Close()
 		m.SetInput(in.Encode())
 		v, err := algorithms.DecideNST(p, m, in)
 		return v, m.Resources(), err

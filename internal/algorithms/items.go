@@ -103,15 +103,26 @@ func WriteItem(tp *tape.Tape, item []byte) error {
 // this coincides with numeric order).
 func Compare(a, b []byte) int { return bytes.Compare(a, b) }
 
+// chunkCells is the block size of the chunked whole-tape sweeps
+// (CountItems, CopyTape): large enough to amortize per-call cost,
+// small enough that file- and mmap-backed tapes are swept with O(1)
+// internal buffering instead of pulling the whole tape into RAM.
+const chunkCells = 64 << 10
+
 // CountItems scans tp forward from the current head position to the
 // end and returns the number of '#'-terminated items, using only a
-// counter in internal memory (no item buffering).
+// counter in internal memory (no item buffering). The sweep reads in
+// chunkCells blocks; tape accounting is identical to one ScanBytes
+// (at most one forward turn, one read and one step per cell).
 func CountItems(tp *tape.Tape, mem *memory.Meter, region string) (int, error) {
-	data, err := tp.ScanBytes()
-	if err != nil {
-		return 0, err
+	count := 0
+	for !tp.AtEnd() {
+		data, err := tp.ReadBlock(min(chunkCells, tp.Len()-tp.Pos()))
+		if err != nil {
+			return 0, err
+		}
+		count += bytes.Count(data, []byte{problems.Separator})
 	}
-	count := bytes.Count(data, []byte{problems.Separator})
 	// The counter only ever grows, so charging its final value records
 	// the same peak as charging it after every separator.
 	if count > 0 {
@@ -121,6 +132,24 @@ func CountItems(tp *tape.Tape, mem *memory.Meter, region string) (int, error) {
 	}
 	mem.Free(region)
 	return count, nil
+}
+
+// CopyTape appends everything from src's current head position to the
+// end of its materialized region onto dst, in chunkCells blocks with
+// O(1) internal memory. Tape accounting is identical to a single
+// ScanBytes + WriteBlock: at most one forward turn per tape, one
+// read/step per src cell, one write/step per dst cell.
+func CopyTape(src, dst *tape.Tape) error {
+	for !src.AtEnd() {
+		data, err := src.ReadBlock(min(chunkCells, src.Len()-src.Pos()))
+		if err != nil {
+			return err
+		}
+		if err := dst.WriteBlock(data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CopyItems copies count items from src (head moving forward) to dst,

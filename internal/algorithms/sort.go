@@ -46,11 +46,7 @@ func SortToTape(m *core.Machine, dst, auxA, auxB int) error {
 		return err
 	}
 	td.Truncate()
-	data, err := in.ScanBytes()
-	if err != nil {
-		return err
-	}
-	if err := td.WriteBlock(data); err != nil {
+	if err := CopyTape(in, td); err != nil {
 		return err
 	}
 	return MergeSort(m, dst, auxA, auxB)

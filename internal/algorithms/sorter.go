@@ -158,11 +158,7 @@ func (s Sorter) SortToTape(m *core.Machine, dst int, work []int) error {
 		return err
 	}
 	td.Truncate()
-	data, err := in.ScanBytes()
-	if err != nil {
-		return err
-	}
-	if err := td.WriteBlock(data); err != nil {
+	if err := CopyTape(in, td); err != nil {
 		return err
 	}
 	return s.Sort(m, dst, work)

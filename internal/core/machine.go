@@ -56,22 +56,47 @@ type Machine struct {
 	tapes []*tape.Tape
 	mem   *memory.Meter
 	rng   *rand.Rand
+	topts tape.Options
 }
 
 // NewMachine returns a machine with t external tapes and unlimited
 // budgets. The random source is deterministic with the given seed.
+// The tapes live in memory; NewMachineOpts selects other storage.
 func NewMachine(t int, seed int64) *Machine {
+	return NewMachineOpts(t, seed, tape.Options{})
+}
+
+// NewMachineOpts is NewMachine with an explicit tape storage selection:
+// every tape the machine constructs — at creation and on every later
+// SetTape/SetInput — uses the given backend options. Storage is an
+// execution-shape choice, invisible to the cost model: the tapes charge
+// identical reversals/steps/reads/writes wherever the cells live.
+func NewMachineOpts(t int, seed int64, opts tape.Options) *Machine {
 	if t < 1 {
 		panic("core: a machine needs at least one external tape (the input tape)")
 	}
 	m := &Machine{
-		mem: memory.NewMeter(),
-		rng: rand.New(rand.NewSource(seed)),
+		mem:   memory.NewMeter(),
+		rng:   rand.New(rand.NewSource(seed)),
+		topts: opts,
 	}
 	for i := 0; i < t; i++ {
-		m.tapes = append(m.tapes, tape.New(fmt.Sprintf("t%d", i)))
+		m.tapes = append(m.tapes, tape.NewWith(fmt.Sprintf("t%d", i), opts))
 	}
 	return m
+}
+
+// Close releases the storage resources (spill files, mappings) of every
+// tape. The machine must not run afterwards; Resources stays readable.
+// A no-op for in-memory machines, and safe to defer unconditionally.
+func (m *Machine) Close() error {
+	var first error
+	for _, t := range m.tapes {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // SetInput replaces the content of the input tape (tape 0) with data
@@ -90,7 +115,8 @@ func (m *Machine) SetTape(i int, data []byte) {
 	if i < 0 || i >= len(m.tapes) {
 		panic(fmt.Sprintf("%v: %d of %d", ErrTapeIndex, i, len(m.tapes)))
 	}
-	m.tapes[i] = tape.FromBytes(fmt.Sprintf("t%d", i), data)
+	m.tapes[i].Close()
+	m.tapes[i] = tape.FromBytesWith(fmt.Sprintf("t%d", i), data, m.topts)
 }
 
 // SwapTape replaces the content of external tape i with data while

@@ -140,7 +140,7 @@ func E20FaultTolerance(cfg Config) Result {
 		fanIn  = 4
 		runMem = 1024
 	)
-	cleanOut, cleanRep, err := shard.Sort{Shards: 2, FanIn: fanIn, RunMemoryBits: runMem}.
+	cleanOut, cleanRep, err := shard.Sort{Shards: 2, FanIn: fanIn, RunMemoryBits: runMem, TapeOpts: cfg.Storage}.
 		Run(cfg.ctx(), enc, cfg.Seed)
 	if err != nil {
 		return failure("E20", "CHAOS-DET", err, core.Reject)
@@ -163,15 +163,16 @@ func E20FaultTolerance(cfg Config) Result {
 	}
 	for _, sp := range sortPlans {
 		for _, shards := range []int{2, 4} {
-			clean, cleanR, err := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem}.
+			clean, cleanR, err := shard.Sort{Shards: shards, FanIn: fanIn, RunMemoryBits: runMem, TapeOpts: cfg.Storage}.
 				Run(cfg.ctx(), enc, cfg.Seed)
 			if err != nil {
 				return failure("E20", "CHAOS-DET", err, core.Reject)
 			}
 			out, rep, err := shard.Sort{
 				Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
-				Retry:  shard.RetryPolicy{MaxAttempts: sp.budget},
-				Inject: sp.plan.ShardInject(),
+				Retry:    shard.RetryPolicy{MaxAttempts: sp.budget},
+				Inject:   sp.plan.ShardInject(),
+				TapeOpts: cfg.Storage,
 			}.Run(cfg.ctx(), enc, cfg.Seed)
 			if err != nil {
 				return failure("E20", "CHAOS-DET", err, core.Reject)
@@ -294,7 +295,7 @@ func E20FaultTolerance(cfg Config) Result {
 		out, rep, err := shard.Sort{
 			Shards: 2, FanIn: fanIn, RunMemoryBits: runMem,
 			Retry: shard.RetryPolicy{MaxAttempts: 2},
-			Exec:  tp.Exec(),
+			Exec:  tp.Exec(), TapeOpts: cfg.Storage,
 		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
 			return failure("E20", "CHAOS-DET", err, core.Reject)

@@ -14,6 +14,7 @@ import (
 	"extmem/internal/plan"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
+	"extmem/internal/tape"
 	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
@@ -49,6 +50,14 @@ type Config struct {
 	// reports stay byte-identical at any -budget.
 	Budget *plan.Budget
 
+	// Storage selects the tape storage backend of every machine the run
+	// constructs — experiment machines, shard-local machines, combine
+	// machines. The zero value keeps the tapes in memory. Like Shards
+	// and Parallel it is pure execution shape: the backend may move the
+	// bytes' home, never a count, so reports stay byte-identical at any
+	// -storage.
+	Storage tape.Options
+
 	// Proc, when non-nil, is the process-boundary transport
 	// (internal/transport): trial fleets whose workloads carry a wire
 	// form and every sharded operator sort run their shard attempts in
@@ -56,6 +65,11 @@ type Config struct {
 	// state, chaos-wrapped fleets — keep running in-process. Like Shards
 	// and Parallel, it never affects output bytes.
 	Proc *transport.Proc
+}
+
+// machine builds an experiment machine on the configured tape storage.
+func (c Config) machine(t int, seed int64) *core.Machine {
+	return core.NewMachineOpts(t, seed, c.Storage)
 }
 
 // ctx is the run's bounding context (Background when unset).
@@ -228,7 +242,7 @@ func E1DeterministicUpperBound(cfg Config) Result {
 	for _, mSize := range []int{8, 32, 128, 512, 2048, 8192} {
 		in := problems.GenMultisetYes(mSize, 16, rng)
 		n := in.Size()
-		m := core.NewMachine(algorithms.NumDeciderTapes, cfg.Seed)
+		m := cfg.machine(algorithms.NumDeciderTapes, cfg.Seed)
 		m.SetInput(in.Encode())
 		v, err := algorithms.MultisetEqualityST(m)
 		if err != nil || v != core.Accept {
@@ -306,7 +320,7 @@ func E3NSTVerifier(cfg Config) Result {
 	}
 	for _, c := range cases {
 		in := c.gen()
-		m := core.NewMachine(2, cfg.Seed)
+		m := cfg.machine(2, cfg.Seed)
 		m.SetInput(in.Encode())
 		v, err := algorithms.DecideNST(c.p, m, in)
 		if err != nil {
@@ -337,12 +351,12 @@ func E4Separation(cfg Config) Result {
 	notes := "PASS: constant-scan randomized vs Θ(log N) deterministic — the Corollary 9 gap."
 	for _, mSize := range []int{8, 64, 512, 4096} {
 		in := problems.GenMultisetYes(mSize, 12, rng)
-		det := core.NewMachine(algorithms.NumDeciderTapes, cfg.Seed)
+		det := cfg.machine(algorithms.NumDeciderTapes, cfg.Seed)
 		det.SetInput(in.Encode())
 		if _, err := algorithms.MultisetEqualityST(det); err != nil {
 			return failure("E4", "C9-SEP", err, core.Reject)
 		}
-		fp := core.NewMachine(1, cfg.Seed)
+		fp := cfg.machine(1, cfg.Seed)
 		fp.SetInput(in.Encode())
 		if _, _, err := algorithms.FingerprintMultisetEquality(fp); err != nil {
 			return failure("E4", "C9-SEP", err, core.Reject)
@@ -422,7 +436,7 @@ func E17SortTradeoff(cfg Config) Result {
 		var sc [3]int
 		var pk [3]int64
 		for j, mem := range mems {
-			m := core.NewMachine(k+2, cfg.Seed)
+			m := cfg.machine(k+2, cfg.Seed)
 			m.SetInput(enc)
 			s := algorithms.Sorter{FanIn: k, RunMemoryBits: mem}
 			if err := s.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {

@@ -40,8 +40,8 @@ func E21CostPlanner(cfg Config) Result {
 	q := relalg.SymmetricDifference("R1", "R2")
 	const runMem = 256
 
-	base := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
-	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem}.EvalST(cfg.ctx(), q, db, base)
+	base := cfg.machine(relalg.NumQueryTapes, cfg.Seed)
+	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem, TapeOpts: cfg.Storage}.EvalST(cfg.ctx(), q, db, base)
 	if err != nil {
 		return failure("E21", "COST-PLAN", err, core.Reject)
 	}
@@ -64,8 +64,9 @@ func E21CostPlanner(cfg Config) Result {
 				Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 				Seed: cfg.Seed, Report: rep,
 				Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+				TapeOpts: cfg.Storage,
 			}
-			m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
+			m := cfg.machine(relalg.NumQueryTapes, cfg.Seed)
 			r, err := ev.EvalST(cfg.ctx(), q, db, m)
 			if err != nil {
 				return failure("E21", "COST-PLAN", err, core.Reject)
@@ -106,7 +107,8 @@ func E21CostPlanner(cfg Config) Result {
 	planned, err := relalg.Evaluator{
 		Plan: plan.Auto(envelope), Seed: cfg.Seed, Report: prep,
 		Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-	}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		TapeOpts: cfg.Storage,
+	}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 	if err != nil {
 		return failure("E21", "COST-PLAN", err, core.Reject)
 	}
@@ -137,7 +139,8 @@ func E21CostPlanner(cfg Config) Result {
 		r, err := relalg.Evaluator{
 			Plan: plan.Auto(w.bud), Seed: cfg.Seed, Report: rep,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-		}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+			TapeOpts: cfg.Storage,
+		}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E21", "COST-PLAN", err, core.Reject)
 		}
@@ -165,14 +168,15 @@ func E21CostPlanner(cfg Config) Result {
 			Shards: 2, RunMemoryBits: runMem, Pipeline: pipeline,
 			Seed: cfg.Seed, Report: rep,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-		}.EvalST(cfg.ctx(), union, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+			TapeOpts: cfg.Storage,
+		}.EvalST(cfg.ctx(), union, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E21", "COST-PLAN", err, core.Reject)
 		}
 		pipeTotals[i] = rep.TotalSteps()
 		if i == 1 {
-			staged, err := relalg.Evaluator{Shards: 2, RunMemoryBits: runMem, Seed: cfg.Seed}.
-				EvalST(cfg.ctx(), union, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+			staged, err := relalg.Evaluator{Shards: 2, RunMemoryBits: runMem, Seed: cfg.Seed, TapeOpts: cfg.Storage}.
+				EvalST(cfg.ctx(), union, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 			if err != nil {
 				return failure("E21", "COST-PLAN", err, core.Reject)
 			}
@@ -204,8 +208,8 @@ func E21CostPlanner(cfg Config) Result {
 	cfgRel, err := relalg.Evaluator{
 		Plan: plan.Auto(cfgBudget), Seed: cfg.Seed,
 		Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-		Exec: cfg.exec(),
-	}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		Exec: cfg.exec(), TapeOpts: cfg.Storage,
+	}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 	if err != nil {
 		return failure("E21", "COST-PLAN", err, core.Reject)
 	}

@@ -39,7 +39,7 @@ func E6RelAlg(cfg Config) Result {
 			in = problems.GenSetNo(mSize, 12, rng)
 		}
 		db := relalg.InstanceDB(in)
-		m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
+		m := cfg.machine(relalg.NumQueryTapes, cfg.Seed)
 		r, err := relalg.EvalST(q, db, m)
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
@@ -47,8 +47,8 @@ func E6RelAlg(cfg Config) Result {
 		sharded, err := relalg.Evaluator{
 			Shards: cfg.ShardCount(), Seed: cfg.Seed,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-			Exec: cfg.exec(),
-		}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+			Exec: cfg.exec(), TapeOpts: cfg.Storage,
+		}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E6", "T11-RELALG", err, core.Reject)
 		}
@@ -84,8 +84,8 @@ func E6RelAlg(cfg Config) Result {
 				fin = problems.GenSetNo(8, 10, trng)
 			}
 			fdb := relalg.InstanceDB(fin)
-			fr, err := relalg.Evaluator{Shards: shards, Seed: trng.Int63()}.
-				EvalST(nil, q, fdb, core.NewMachine(relalg.NumQueryTapes, trng.Int63()))
+			fr, err := relalg.Evaluator{Shards: shards, Seed: trng.Int63(), TapeOpts: cfg.Storage}.
+				EvalST(nil, q, fdb, cfg.machine(relalg.NumQueryTapes, trng.Int63()))
 			if err != nil {
 				return trials.Result{Err: err.Error()}
 			}

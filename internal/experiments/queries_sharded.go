@@ -36,8 +36,8 @@ func E19ShardedQueries(cfg Config) Result {
 
 	// Single-machine baseline: the same engine configuration on the
 	// query machine alone (the Theorem 11 evaluator).
-	base := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
-	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem}.EvalST(cfg.ctx(), q, db, base)
+	base := cfg.machine(relalg.NumQueryTapes, cfg.Seed)
+	baseRel, err := relalg.Evaluator{RunMemoryBits: runMem, TapeOpts: cfg.Storage}.EvalST(cfg.ctx(), q, db, base)
 	if err != nil {
 		return failure("E19", "SHARD-QUERY", err, core.Reject)
 	}
@@ -61,8 +61,9 @@ func E19ShardedQueries(cfg Config) Result {
 				Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 				Seed: cfg.Seed, Report: rep,
 				Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+				TapeOpts: cfg.Storage,
 			}
-			m := core.NewMachine(relalg.NumQueryTapes, cfg.Seed)
+			m := cfg.machine(relalg.NumQueryTapes, cfg.Seed)
 			r, err := ev.EvalST(cfg.ctx(), q, db, m)
 			if err != nil {
 				return failure("E19", "SHARD-QUERY", err, core.Reject)
@@ -129,8 +130,8 @@ func E19ShardedQueries(cfg Config) Result {
 			Shards: shards, FanIn: 4, RunMemoryBits: runMem,
 			Seed: cfg.Seed, Report: prep,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-			Exec: pr.Exec(),
-		}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+			Exec: pr.Exec(), TapeOpts: cfg.Storage,
+		}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 		if err != nil {
 			return failure("E19", "SHARD-QUERY", err, core.Reject)
 		}
@@ -151,8 +152,8 @@ func E19ShardedQueries(cfg Config) Result {
 	cfgRel, err := relalg.Evaluator{
 		Shards: cfg.ShardCount(), RunMemoryBits: runMem, Seed: cfg.Seed,
 		Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-		Exec: cfg.exec(),
-	}.EvalST(cfg.ctx(), q, db, core.NewMachine(relalg.NumQueryTapes, cfg.Seed))
+		Exec: cfg.exec(), TapeOpts: cfg.Storage,
+	}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 	if err != nil {
 		return failure("E19", "SHARD-QUERY", err, core.Reject)
 	}

@@ -37,7 +37,7 @@ func E18ShardedExecution(cfg Config) Result {
 	)
 
 	// Single-machine baseline: the plain PR 3 engine on one machine.
-	base := core.NewMachine(baseFan, cfg.Seed)
+	base := cfg.machine(baseFan, cfg.Seed)
 	base.SetInput(enc)
 	bs := algorithms.Sorter{FanIn: fanIn, RunMemoryBits: runMem}
 	if err := bs.SortToTape(base, 1, algorithms.WorkTapes(base, 1)); err != nil {
@@ -60,6 +60,7 @@ func E18ShardedExecution(cfg Config) Result {
 		out, rep, err := shard.Sort{
 			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+			TapeOpts: cfg.Storage,
 		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
@@ -70,6 +71,7 @@ func E18ShardedExecution(cfg Config) Result {
 		pout, prep, err := shard.Sort{
 			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(), Exec: pr.Exec(),
+			TapeOpts: cfg.Storage,
 		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)

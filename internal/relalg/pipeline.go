@@ -277,5 +277,6 @@ func (ev Evaluator) shardSort(cfg sortConfig) shard.Sort {
 		Retry:         ev.Retry,
 		Inject:        ev.Inject,
 		Exec:          ev.Exec,
+		TapeOpts:      ev.TapeOpts,
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"extmem/internal/plan"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
+	"extmem/internal/tape"
 )
 
 // countItems counts the '#'-terminated items of a tape payload —
@@ -89,6 +90,14 @@ type Evaluator struct {
 	// (Shards >= 1, no custom Launch); the query result is
 	// byte-identical, only the census moves.
 	Pipeline bool
+
+	// TapeOpts selects the tape storage backend of every machine the
+	// sharded path constructs (shard-local sorters, distribution and
+	// combine machines — see shard.Sort.TapeOpts). The caller's query
+	// machine keeps whatever storage it was built with. Storage is an
+	// execution shape: the query result and every resource count are
+	// identical whatever it says.
+	TapeOpts tape.Options
 
 	// Exec, when non-nil, overrides how shard-local sort attempts of
 	// the sharded path execute (see shard.Sort.Exec) — the seam
@@ -257,6 +266,7 @@ func (ev Evaluator) launcher() algorithms.SortLauncher {
 				Shards: sh.Shards, FanIn: sh.FanIn, RunMemoryBits: sh.RunMemoryBits,
 				Dedup: sorter.Dedup,
 				Retry: ev.Retry, Inject: ev.Inject, Exec: ev.Exec,
+				TapeOpts: ev.TapeOpts,
 			}.SortTape(ctx, m, src, ev.Seed)
 			if err != nil {
 				return err
@@ -273,10 +283,11 @@ func (ev Evaluator) launcher() algorithms.SortLauncher {
 			onReport = ev.Report.record
 		}
 		return shard.Sort{
-			Shards: ev.Shards,
-			Retry:  ev.Retry,
-			Inject: ev.Inject,
-			Exec:   ev.Exec,
+			Shards:   ev.Shards,
+			Retry:    ev.Retry,
+			Inject:   ev.Inject,
+			Exec:     ev.Exec,
+			TapeOpts: ev.TapeOpts,
 		}.Launcher(ev.Seed, onReport)
 	}
 	return nil

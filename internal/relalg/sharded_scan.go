@@ -188,7 +188,8 @@ func (c *evalCtx) shardedScan(op string, l, r, dst, shards int) error {
 	// k-way merge degenerates to their concatenation; product outputs
 	// are in left order but not item-sorted, so they concatenate on a
 	// plain sweep machine instead.
-	mm := core.NewMachine(shards+1, c.ev.Seed)
+	mm := core.NewMachineOpts(shards+1, c.ev.Seed, c.ev.TapeOpts)
+	defer mm.Close()
 	for i, out := range outs {
 		mm.SetTape(i+1, out)
 	}
@@ -246,7 +247,8 @@ func (c *evalCtx) scanShardsRun(op string, l, r, shards int) ([][]byte, ScanRepo
 	// Phase 1 — partition: the coordinator scans the left input once,
 	// cutting it at the run boundaries the sort engine would form, and
 	// sweeps the right side once to model broadcasting it to the fleet.
-	dist := core.NewMachine(2, c.ev.Seed)
+	dist := core.NewMachineOpts(2, c.ev.Seed, c.ev.TapeOpts)
+	defer dist.Close()
 	dist.SetInput(left)
 	dist.SetTape(1, right)
 	in := dist.Tape(0)
@@ -333,7 +335,8 @@ func (c *evalCtx) scanShard(ctx context.Context, op string, rg shard.Range, left
 	execute := func() ([]byte, core.Resources, error) {
 		seed := trials.Seed(c.ev.Seed, rg.Shard+1)
 		if op == ScanOpDiff {
-			m := core.NewMachine(3, seed)
+			m := core.NewMachineOpts(3, seed, c.ev.TapeOpts)
+			defer m.Close()
 			m.SetInput(left)
 			m.SetTape(1, right)
 			if err := antiMergeTapes(m, 0, 1, 2); err != nil {
@@ -341,7 +344,8 @@ func (c *evalCtx) scanShard(ctx context.Context, op string, rg shard.Range, left
 			}
 			return m.Tape(2).Contents(), m.Resources(), nil
 		}
-		m := core.NewMachine(5, seed)
+		m := core.NewMachineOpts(5, seed, c.ev.TapeOpts)
+		defer m.Close()
 		m.SetInput(left)
 		m.SetTape(1, right)
 		if err := productTapes(m, 0, 1, 2, 3, 4); err != nil {

@@ -11,6 +11,7 @@ import (
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
 	"extmem/internal/problems"
+	"extmem/internal/tape"
 	"extmem/internal/trials"
 )
 
@@ -54,6 +55,22 @@ type Sort struct {
 	// an injectable execution shape exactly like the shard count.
 	Inject InjectFunc
 
+	// TapeOpts selects the tape storage backend of every machine this
+	// sort constructs — the coordinator's distribution and combine
+	// machines and each shard-local machine. Storage is an execution
+	// shape like the shard count: the output bytes and every resource
+	// count are identical whatever it says. The options ride inside
+	// SortJob to worker processes (Wrap does not; gob drops func
+	// fields).
+	TapeOpts tape.Options
+
+	// WrapTape, when non-nil, supplies a storage-fault wrapper for the
+	// tapes of one shard-local attempt — the storage twin of Inject,
+	// consulted for every injectable attempt and never by the
+	// coordinator's fallback, so an injected I/O fault lands on the
+	// retry → chaos-free fallback path exactly like a worker death.
+	WrapTape func(shard, attempt int) tape.WrapBackend
+
 	// Exec, when non-nil, overrides how a shard-local attempt executes
 	// its SortJob — the transport seam, the sort-side twin of
 	// Fleet.Attempt. The default is job.Execute() in-process;
@@ -84,6 +101,11 @@ type SortJob struct {
 	RunMemoryBits int64  // run-formation budget, as the coordinator partitioned with
 	Tapes         int    // tape count of the shard machine
 	Seed          int64  // the shard machine's coin seed, already derived per shard
+
+	// Tape selects the shard machine's storage backend. The value
+	// fields gob-encode with the job; the Wrap func field is dropped by
+	// gob, so injected storage faults stay in the process that set them.
+	Tape tape.Options
 }
 
 // Execute runs the job on a fresh in-process shard machine and returns
@@ -92,7 +114,8 @@ type SortJob struct {
 // fallback, worker process) runs, which is why the bytes and the
 // (r, s, t) census cannot depend on where an attempt ran.
 func (j SortJob) Execute() ([]byte, core.Resources, error) {
-	m := core.NewMachine(j.Tapes, j.Seed)
+	m := core.NewMachineOpts(j.Tapes, j.Seed, j.Tape)
+	defer m.Close()
 	m.SetInput(j.Payload)
 	local := algorithms.Sorter{FanIn: j.FanIn, RunMemoryBits: j.RunMemoryBits}
 	if err := local.SortToTape(m, 1, algorithms.WorkTapes(m, 1)); err != nil {
@@ -337,7 +360,8 @@ func (s Sort) runShards(ctx context.Context, input []byte, seed int64) ([][]byte
 	// per shard. The payload handoff models shipping a tape to the
 	// shard machine; only the scan and the one-item read buffer are
 	// machine state.
-	dist := core.NewMachine(1, seed)
+	dist := core.NewMachineOpts(1, seed, s.TapeOpts)
+	defer dist.Close()
 	dist.SetInput(input)
 	in := dist.Tape(0)
 	if err := in.Rewind(); err != nil {
@@ -427,7 +451,8 @@ func (s Sort) runShards(ctx context.Context, input []byte, seed int64) ([][]byte
 // machine (tape 0 is the output, tape 1+i shard i's sorted run), with
 // the configured dedup folded into the final write.
 func (s Sort) combine(outs [][]byte, seed int64) ([]byte, core.Resources, error) {
-	mm := core.NewMachine(len(outs)+1, seed)
+	mm := core.NewMachineOpts(len(outs)+1, seed, s.TapeOpts)
+	defer mm.Close()
 	srcs := make([]int, len(outs))
 	for i, out := range outs {
 		mm.SetTape(i+1, out)
@@ -513,8 +538,9 @@ func (s Sort) MergeRuns(ctx context.Context, runs [][]byte, seed int64) ([]byte,
 // run range, so recovery cannot move a byte.
 func (s Sort) mergeShard(ctx context.Context, rg Range, runs [][]byte, seed int64,
 	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
-	execute := func() ([]byte, core.Resources, error) {
-		m := core.NewMachine(len(runs)+1, trials.Seed(seed, rg.Shard+1))
+	execute := func(opts tape.Options) ([]byte, core.Resources, error) {
+		m := core.NewMachineOpts(len(runs)+1, trials.Seed(seed, rg.Shard+1), opts)
+		defer m.Close()
 		if len(runs) == 0 {
 			return nil, m.Resources(), nil
 		}
@@ -540,7 +566,11 @@ func (s Sort) mergeShard(ctx context.Context, rg Range, runs [][]byte, seed int6
 				return nil, core.Resources{}, ierr
 			}
 		}
-		return execute()
+		opts := s.TapeOpts
+		if inject && s.WrapTape != nil {
+			opts.Wrap = s.WrapTape(rg.Shard, attempt)
+		}
+		return execute(opts)
 	}
 	budget := s.Retry.maxAttempts()
 	for attempt := 1; attempt <= budget; attempt++ {
@@ -583,6 +613,7 @@ func (s Sort) sortShard(ctx context.Context, rg Range, payload []byte, tapes int
 		RunMemoryBits: s.RunMemoryBits,
 		Tapes:         tapes,
 		Seed:          trials.Seed(seed, rg.Shard+1),
+		Tape:          s.TapeOpts,
 	}
 	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
 		defer func() {
@@ -599,7 +630,11 @@ func (s Sort) sortShard(ctx context.Context, rg Range, payload []byte, tapes int
 		if inject && s.Exec != nil {
 			return s.Exec(ctx, rg.Shard, attempt, job)
 		}
-		return job.Execute()
+		aj := job
+		if inject && s.WrapTape != nil {
+			aj.Tape.Wrap = s.WrapTape(rg.Shard, attempt)
+		}
+		return aj.Execute()
 	}
 	budget := s.Retry.maxAttempts()
 	for attempt := 1; attempt <= budget; attempt++ {

@@ -137,8 +137,14 @@ func diffState(t *testing.T, trial, op int, name string, bulk, step *Tape) {
 // TestDifferentialBulkVsStep drives random operation sequences through
 // a bulk tape and a step-by-step reference tape and requires identical
 // observable behavior after every operation, including under reversal
-// budgets (ErrBudget) and left-end violations (ErrLeftEnd).
+// budgets (ErrBudget) and left-end violations (ErrLeftEnd). Both tapes
+// live on the backend under test, so the property holds within every
+// backend, not just against the mem reference.
 func TestDifferentialBulkVsStep(t *testing.T) {
+	forEachBackend(t, testDifferentialBulkVsStep)
+}
+
+func testDifferentialBulkVsStep(t *testing.T, o Options) {
 	rng := rand.New(rand.NewSource(42))
 	const trials = 300
 	const opsPerTrial = 60
@@ -148,8 +154,8 @@ func TestDifferentialBulkVsStep(t *testing.T) {
 		if rng.Intn(4) > 0 {
 			initial = randomBlock(rng, rng.Intn(40))
 		}
-		bulk := FromBytes("bulk", initial)
-		step := FromBytes("step", initial)
+		bulk := FromBytesWith("bulk", initial, o)
+		step := FromBytesWith("step", initial, o)
 		if rng.Intn(3) == 0 {
 			// A tight budget forces ErrBudget on some turns.
 			budget := rng.Intn(6)
@@ -259,17 +265,23 @@ func TestDifferentialBulkVsStep(t *testing.T) {
 			}
 			diffState(t, trial, op, name, bulk, step)
 		}
+		bulk.Close()
+		step.Close()
 	}
 }
 
 // TestDifferentialForwardSweepPattern pins the common algorithm shape —
 // append, rewind, scan, rewind — to identical stats on both paths.
 func TestDifferentialForwardSweepPattern(t *testing.T) {
+	forEachBackend(t, testDifferentialForwardSweepPattern)
+}
+
+func testDifferentialForwardSweepPattern(t *testing.T, o Options) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
 		data := randomBlock(rng, 1+rng.Intn(100))
-		bulk := New("bulk")
-		step := New("step")
+		bulk := NewWith("bulk", o)
+		step := NewWith("step", o)
 		ref := stepRef{step}
 
 		if err := bulk.WriteBlock(data); err != nil {
@@ -300,15 +312,21 @@ func TestDifferentialForwardSweepPattern(t *testing.T) {
 		if bulk.Reversals() != 2 {
 			t.Fatalf("append+rewind+scan charged %d reversals, want 2", bulk.Reversals())
 		}
+		bulk.Close()
+		step.Close()
 	}
 }
 
 // TestBulkBudgetExhaustion pins the budget-refusal accounting of each
 // bulk operation against its step-by-step equivalent.
 func TestBulkBudgetExhaustion(t *testing.T) {
+	forEachBackend(t, testBulkBudgetExhaustion)
+}
+
+func testBulkBudgetExhaustion(t *testing.T, o Options) {
 	mk := func() (*Tape, *Tape) {
-		bulk := FromBytes("bulk", []byte("abcd"))
-		step := FromBytes("step", []byte("abcd"))
+		bulk := FromBytesWith("bulk", []byte("abcd"), o)
+		step := FromBytesWith("step", []byte("abcd"), o)
 		for _, tp := range []*Tape{bulk, step} {
 			tp.SetBudget(0)
 			if _, err := tp.ScanBytes(); err != nil { // forward: within budget
@@ -346,8 +364,8 @@ func TestBulkBudgetExhaustion(t *testing.T) {
 	// ReadMove/WriteMove of the step loop pays its read/write before
 	// the refused turn, and the bulk path must match.
 	mkBack := func() (*Tape, *Tape) {
-		bulk := FromBytes("bulk", []byte("abcd"))
-		step := FromBytes("step", []byte("abcd"))
+		bulk := FromBytesWith("bulk", []byte("abcd"), o)
+		step := FromBytesWith("step", []byte("abcd"), o)
 		for _, tp := range []*Tape{bulk, step} {
 			tp.SetBudget(1)
 			if _, err := tp.ScanBytes(); err != nil {
@@ -381,8 +399,12 @@ func TestBulkBudgetExhaustion(t *testing.T) {
 // operations: a partial sweep is charged for exactly the cells it
 // visited.
 func TestBulkLeftEnd(t *testing.T) {
-	bulk := FromBytes("bulk", []byte("abc"))
-	step := FromBytes("step", []byte("abc"))
+	forEachBackend(t, testBulkLeftEnd)
+}
+
+func testBulkLeftEnd(t *testing.T, o Options) {
+	bulk := FromBytesWith("bulk", []byte("abc"), o)
+	step := FromBytesWith("step", []byte("abc"), o)
 	for _, tp := range []*Tape{bulk, step} {
 		if _, err := tp.ScanBytes(); err != nil {
 			t.Fatal(err)

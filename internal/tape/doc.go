@@ -40,4 +40,42 @@
 // complexity classes: a machine that would exceed its scan budget
 // gets ErrBudget, which the Las Vegas experiments (Corollary 10, E5)
 // use to make budget-starved runs answer "I don't know".
+//
+// # Storage backends and the backend contract
+//
+// Where the cells live is a second, orthogonal seam: Backend is a flat
+// cell store (Len, Cell/SetCell, ReadAt/WriteAt, IndexByte, Grow,
+// Truncate, Reset, Close) and Options{Storage, SpillDir,
+// SpillThreshold} selects one per tape — Mem (the default in-memory
+// slice), File (buffered sequential I/O through one 64 KiB write-back
+// page) or Mmap (a MAP_SHARED mapping with doubling remap; falls back
+// to File off unix). SpillThreshold > 0 starts the tape in RAM and
+// migrates it to the storage backend the first time it outgrows the
+// threshold.
+//
+// The contract every backend must honor — "the backend may move the
+// bytes' home, never a count":
+//
+//   - All accounting lives in Tape, above the interface. A backend
+//     never touches a counter, so Stats, budgets and error behavior
+//     are byte-identical on every backend; the conformance suite
+//     (forEachBackend tables, the lockstep driver, FuzzTapeBackend)
+//     enforces equality of contents, head and Stats after every
+//     single operation.
+//   - Cells at index ≥ Len read Blank after any Grow: Grow extends
+//     with zeroes, Truncate forgets the tail so a re-grown range
+//     reads Blank again (the file backend ftruncates; the mmap
+//     backend zeroes the dropped range and keeps every mapped byte
+//     past Len zero).
+//   - Slices returned by Tape (ReadBlock, ReadBlockBackward,
+//     ScanBytes, ScanUntil, Contents) are fresh copies owned by the
+//     caller on every backend — mutation never reaches the tape and
+//     tape writes never reach a returned slice (alias_test.go).
+//   - Spill files are created unlinked (os.CreateTemp + immediate
+//     Remove), so the directory never holds an entry and any exit —
+//     Close, SIGINT or SIGKILL — reclaims the inode.
+//   - I/O failures surface as panics carrying *IOError (errors.Is
+//     ErrStorage); the single-cell API has no error returns, and the
+//     shard layer's recovery converts the panic into its ordinary
+//     retry → fallback path.
 package tape

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package tape
+
+// Platforms without syscall.Mmap degrade Storage Mmap to the buffered
+// file backend: same out-of-core behavior, same unlinked-temp-file
+// hygiene, one copy per page instead of a mapping. The conformance
+// suite holds either implementation to identical observable behavior,
+// so the substitution cannot move a byte or a counter.
+func newMmapBackend(dir string) Backend { return newFileBackend(dir) }

@@ -50,10 +50,18 @@ type Stats struct {
 func (s Stats) Scans() int { return 1 + s.Reversals }
 
 // A Tape is a one-sided infinite tape of byte cells with a read/write
-// head. The zero value is not ready for use; call New.
+// head. The cells live in a storage Backend (in RAM by default; in a
+// temp file or a memory mapping under Options) while the Tape itself
+// owns the whole cost model: every reversal, step, read, write and
+// MaxCell update is charged here, above the backend, so the choice of
+// backend can never move a count. The zero value is not ready for use;
+// call New, FromBytes, or their ...With variants.
 type Tape struct {
 	name      string
-	cells     []byte
+	be        Backend
+	fast      *memBackend // == be when it is an unwrapped memBackend; else nil
+	opts      Options
+	spillAt   int // spill when materialized size exceeds this; <0 = never
 	pos       int // current head position (0-based)
 	dir       Direction
 	reversals int
@@ -66,9 +74,28 @@ type Tape struct {
 	hasBudget bool // whether budget applies
 }
 
-// New returns an empty tape with the given diagnostic name.
-func New(name string) *Tape {
-	return &Tape{name: name, dir: Forward, budget: -1}
+// New returns an empty in-memory tape with the given diagnostic name.
+func New(name string) *Tape { return NewWith(name, Options{}) }
+
+// NewWith returns an empty tape whose cells live in the storage the
+// options select.
+func NewWith(name string, o Options) *Tape {
+	t := &Tape{name: name, dir: Forward, budget: -1, opts: o}
+	if o.storage() != Mem && o.SpillThreshold > 0 {
+		// Start in RAM; spill to the storage backend when the
+		// materialized size first exceeds the threshold.
+		pre := o
+		pre.Storage = Mem
+		t.be = NewBackend(pre)
+		t.spillAt = o.SpillThreshold
+	} else {
+		t.be = NewBackend(o)
+		t.spillAt = -1
+	}
+	if mb, ok := t.be.(*memBackend); ok {
+		t.fast = mb
+	}
+	return t
 }
 
 // FromBytes returns a tape whose initial content is a copy of data,
@@ -76,8 +103,16 @@ func New(name string) *Tape {
 // present an input word to a machine. Visit tracking (MaxCell) starts
 // at cell 0 and is advanced by head movement only.
 func FromBytes(name string, data []byte) *Tape {
-	t := New(name)
-	t.cells = append(t.cells, data...)
+	return FromBytesWith(name, data, Options{})
+}
+
+// FromBytesWith is FromBytes with an explicit storage selection.
+func FromBytesWith(name string, data []byte, o Options) *Tape {
+	t := NewWith(name, o)
+	if len(data) > 0 {
+		t.growTo(len(data))
+		t.writeAt(data, 0)
+	}
 	return t
 }
 
@@ -92,10 +127,29 @@ func FromString(name, data string) *Tape { return FromBytes(name, []byte(data)) 
 // stays on the books. No head movement is charged: the exchange is
 // input placement, like FromBytes, not a rewind.
 func (t *Tape) Replace(data []byte) {
-	t.cells = append(t.cells[:0], data...)
+	t.be.Reset()
+	if len(data) > 0 {
+		t.growTo(len(data))
+		t.writeAt(data, 0)
+	}
 	t.pos = 0
 	t.dir = Forward
 }
+
+// Close releases the storage backend's resources (spill files,
+// mappings). Mem-backed tapes release their cell array. Close is
+// idempotent; the only methods that may be called afterwards are
+// Stats accessors.
+func (t *Tape) Close() error {
+	if t.be == nil {
+		return nil
+	}
+	return t.be.Close()
+}
+
+// StorageKind reports which backend currently holds the cells. A tape
+// with a spill threshold reports Mem until it actually spills.
+func (t *Tape) StorageKind() Storage { return t.be.Kind() }
 
 // Name returns the diagnostic name of the tape.
 func (t *Tape) Name() string { return t.name }
@@ -116,7 +170,7 @@ func (t *Tape) Stats() Stats {
 		Reads:     t.reads,
 		Writes:    t.writes,
 		MaxCell:   t.maxCell,
-		Size:      len(t.cells),
+		Size:      t.length(),
 	}
 }
 
@@ -131,26 +185,117 @@ func (t *Tape) Dir() Direction { return t.dir }
 
 // Len returns the number of materialized cells (cells at or before the
 // highest cell ever written or visited).
-func (t *Tape) Len() int { return len(t.cells) }
+func (t *Tape) Len() int { return t.length() }
+
+// length is the materialized cell count, bypassing the interface on
+// the common unwrapped in-memory backend.
+func (t *Tape) length() int {
+	if f := t.fast; f != nil {
+		return len(f.cells)
+	}
+	return t.be.Len()
+}
+
+// readAt copies materialized cells [off, off+len(dst)) into dst. The
+// caller has clamped the range to [0, length()).
+func (t *Tape) readAt(dst []byte, off int) {
+	if len(dst) == 0 {
+		return
+	}
+	if f := t.fast; f != nil {
+		copy(dst, f.cells[off:])
+		return
+	}
+	t.be.ReadAt(dst, off)
+}
+
+// writeAt overwrites materialized cells [off, off+len(src)). The
+// caller has grown the tape to cover the range.
+func (t *Tape) writeAt(src []byte, off int) {
+	if len(src) == 0 {
+		return
+	}
+	if f := t.fast; f != nil {
+		copy(f.cells[off:], src)
+		return
+	}
+	t.be.WriteAt(src, off)
+}
+
+// indexByte finds the first delim at index >= off, or -1.
+func (t *Tape) indexByte(delim byte, off int) int {
+	if f := t.fast; f != nil {
+		if i := bytes.IndexByte(f.cells[off:], delim); i >= 0 {
+			return off + i
+		}
+		return -1
+	}
+	return t.be.IndexByte(delim, off)
+}
+
+// growTo materializes blank cells so the tape holds n, spilling to the
+// storage backend first if n crosses the spill threshold.
+func (t *Tape) growTo(n int) {
+	if t.spillAt >= 0 && n > t.spillAt {
+		t.spill()
+	}
+	if f := t.fast; f != nil {
+		f.Grow(n)
+		return
+	}
+	t.be.Grow(n)
+}
+
+// spill migrates the cells from the in-RAM pre-spill backend to the
+// configured storage backend. The content moved is at most the spill
+// threshold plus one write, so the copy is small; it streams in pages
+// regardless.
+func (t *Tape) spill() {
+	o := t.opts
+	o.SpillThreshold = 0
+	nb := NewBackend(o)
+	old := t.be
+	if k := old.Len(); k > 0 {
+		nb.Grow(k)
+		buf := make([]byte, min(k, filePage))
+		for off := 0; off < k; off += len(buf) {
+			m := min(len(buf), k-off)
+			old.ReadAt(buf[:m], off)
+			nb.WriteAt(buf[:m], off)
+		}
+	}
+	old.Close()
+	t.be, t.fast, t.spillAt = nb, nil, -1
+}
 
 // Read returns the symbol under the head. Reading past the end of the
 // materialized region returns Blank without extending the tape.
 func (t *Tape) Read() byte {
 	t.reads++
-	if t.pos < len(t.cells) {
-		return t.cells[t.pos]
+	if f := t.fast; f != nil {
+		if t.pos < len(f.cells) {
+			return f.cells[t.pos]
+		}
+		return Blank
+	}
+	if t.pos < t.be.Len() {
+		return t.be.Cell(t.pos)
 	}
 	return Blank
 }
 
 // Write stores b in the cell under the head, materializing blank cells
-// as needed in one sized append.
+// as needed in one sized extension.
 func (t *Tape) Write(b byte) {
 	t.writes++
-	if t.pos >= len(t.cells) {
-		t.cells = append(t.cells, make([]byte, t.pos+1-len(t.cells))...)
+	if t.pos >= t.length() {
+		t.growTo(t.pos + 1)
 	}
-	t.cells[t.pos] = b
+	if f := t.fast; f != nil {
+		f.cells[t.pos] = b
+		return
+	}
+	t.be.SetCell(t.pos, b)
 }
 
 // turn registers a direction change if d differs from the current
@@ -208,7 +353,7 @@ func (t *Tape) WriteMove(b byte, d Direction) error {
 
 // AtEnd reports whether the head is past the last materialized cell,
 // i.e. the current cell and everything to the right is blank.
-func (t *Tape) AtEnd() bool { return t.pos >= len(t.cells) }
+func (t *Tape) AtEnd() bool { return t.pos >= t.length() }
 
 // AtStart reports whether the head is on cell 0.
 func (t *Tape) AtStart() bool { return t.pos == 0 }
@@ -227,7 +372,8 @@ func (t *Tape) advanceForward(n int) {
 // ReadBlock reads n cells with the head moving forward and returns the
 // bytes read, exactly as n repetitions of ReadMove(Forward): cells past
 // the materialized region read Blank, and the head may end beyond the
-// materialized region.
+// materialized region. The returned slice is a fresh copy owned by the
+// caller on every backend; mutating it never touches the tape.
 func (t *Tape) ReadBlock(n int) ([]byte, error) {
 	if n <= 0 {
 		return nil, nil
@@ -238,8 +384,8 @@ func (t *Tape) ReadBlock(n int) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
-	if t.pos < len(t.cells) {
-		copy(out, t.cells[t.pos:])
+	if L := t.length(); t.pos < L {
+		t.readAt(out[:min(n, L-t.pos)], t.pos)
 	}
 	t.reads += int64(n)
 	t.advanceForward(n)
@@ -248,7 +394,7 @@ func (t *Tape) ReadBlock(n int) ([]byte, error) {
 
 // WriteBlock writes data with the head moving forward, exactly as
 // len(data) repetitions of WriteMove(b, Forward), materializing any
-// blank gap up to the head in one sized append.
+// blank gap up to the head in one sized extension.
 func (t *Tape) WriteBlock(data []byte) error {
 	if len(data) == 0 {
 		return nil
@@ -258,11 +404,10 @@ func (t *Tape) WriteBlock(data []byte) error {
 		t.Write(data[0])
 		return err
 	}
-	end := t.pos + len(data)
-	if end > len(t.cells) {
-		t.cells = append(t.cells, make([]byte, end-len(t.cells))...)
+	if end := t.pos + len(data); end > t.length() {
+		t.growTo(end)
 	}
-	copy(t.cells[t.pos:end], data)
+	t.writeAt(data, t.pos)
 	t.writes += int64(len(data))
 	t.advanceForward(len(data))
 	return nil
@@ -272,7 +417,8 @@ func (t *Tape) WriteBlock(data []byte) error {
 // after its move, exactly as n repetitions of MoveBackward+Read. The
 // returned bytes are in visit order (reverse tape order). If the head
 // reaches cell 0 before n cells are read, the bytes read so far are
-// returned with ErrLeftEnd.
+// returned with ErrLeftEnd. The returned slice is a fresh copy owned
+// by the caller on every backend.
 func (t *Tape) ReadBlockBackward(n int) ([]byte, error) {
 	if n <= 0 {
 		return nil, nil
@@ -285,10 +431,13 @@ func (t *Tape) ReadBlockBackward(n int) ([]byte, error) {
 		k = t.pos
 	}
 	out := make([]byte, k)
-	for i := 0; i < k; i++ {
-		if p := t.pos - 1 - i; p < len(t.cells) {
-			out[i] = t.cells[p]
-		}
+	// Read the tape range [pos-k, pos) forward, then reverse into
+	// visit order. Cells at or past the materialized end stay Blank.
+	if lo := t.pos - k; lo < t.length() {
+		t.readAt(out[:min(k, t.length()-lo)], lo)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
 	}
 	t.steps += int64(k)
 	t.reads += int64(k)
@@ -339,19 +488,20 @@ func (t *Tape) Rewind() error {
 // SeekEnd moves the head forward to the first blank cell after the
 // materialized content in one forward sweep.
 func (t *Tape) SeekEnd() error {
-	if t.pos >= len(t.cells) {
+	if t.pos >= t.length() {
 		return nil
 	}
 	if err := t.turn(Forward); err != nil {
 		return err
 	}
-	t.advanceForward(len(t.cells) - t.pos)
+	t.advanceForward(t.length() - t.pos)
 	return nil
 }
 
 // ScanBytes reads from the current head position forward to the end of
 // the materialized region and returns the bytes read. The head ends at
-// the first blank cell.
+// the first blank cell. The returned slice is a fresh copy owned by
+// the caller on every backend; it never aliases the cell storage.
 func (t *Tape) ScanBytes() ([]byte, error) {
 	if t.AtEnd() {
 		return nil, nil
@@ -361,9 +511,9 @@ func (t *Tape) ScanBytes() ([]byte, error) {
 		t.reads++
 		return nil, err
 	}
-	n := len(t.cells) - t.pos
+	n := t.length() - t.pos
 	out := make([]byte, n)
-	copy(out, t.cells[t.pos:])
+	t.readAt(out, t.pos)
 	t.reads += int64(n)
 	t.advanceForward(n)
 	return out, nil
@@ -373,7 +523,8 @@ func (t *Tape) ScanBytes() ([]byte, error) {
 // delim and returns the bytes read, including the delimiter. If the
 // materialized region ends before a delimiter is found, the bytes up
 // to the end are returned with found = false and the head rests on the
-// first blank cell.
+// first blank cell. The returned slice is a fresh copy owned by the
+// caller on every backend.
 func (t *Tape) ScanUntil(delim byte) (data []byte, found bool, err error) {
 	if t.AtEnd() {
 		return nil, false, nil
@@ -383,14 +534,13 @@ func (t *Tape) ScanUntil(delim byte) (data []byte, found bool, err error) {
 		t.reads++
 		return nil, false, err
 	}
-	rest := t.cells[t.pos:]
-	n := len(rest)
-	if i := bytes.IndexByte(rest, delim); i >= 0 {
-		n = i + 1
+	n := t.length() - t.pos
+	if i := t.indexByte(delim, t.pos); i >= 0 {
+		n = i - t.pos + 1
 		found = true
 	}
 	out := make([]byte, n)
-	copy(out, rest[:n])
+	t.readAt(out, t.pos)
 	t.reads += int64(n)
 	t.advanceForward(n)
 	return out, found, nil
@@ -409,13 +559,16 @@ func (t *Tape) ScanUntilAppend(delim byte, buf []byte) (data []byte, found bool,
 		t.reads++
 		return buf[:0], false, err
 	}
-	rest := t.cells[t.pos:]
-	n := len(rest)
-	if i := bytes.IndexByte(rest, delim); i >= 0 {
-		n = i + 1
+	n := t.length() - t.pos
+	if i := t.indexByte(delim, t.pos); i >= 0 {
+		n = i - t.pos + 1
 		found = true
 	}
-	data = append(buf[:0], rest[:n]...)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	data = buf[:n]
+	t.readAt(data, t.pos)
 	t.reads += int64(n)
 	t.advanceForward(n)
 	return data, found, nil
@@ -430,27 +583,30 @@ func (t *Tape) AppendBytes(data []byte) error { return t.WriteBlock(data) }
 // sweep and is charged zero reversals (a real machine pays them when it
 // actually revisits those cells).
 func (t *Tape) Truncate() {
-	if t.pos < len(t.cells) {
-		t.cells = t.cells[:t.pos]
+	if t.pos < t.length() {
+		t.be.Truncate(t.pos)
 	}
 }
 
-// Reset erases the tape's content and returns the head to cell 0
-// without touching the resource counters. It models switching to a
-// fresh region of a device and is used only by test helpers.
+// Reset erases the tape's content (releasing any spill space) and
+// returns the head to cell 0 without touching the resource counters.
+// It models switching to a fresh region of a device and is used only
+// by test helpers.
 func (t *Tape) Reset() {
-	t.cells = t.cells[:0]
+	t.be.Reset()
 	t.pos = 0
 }
 
-// Contents returns a copy of the materialized cells.
+// Contents returns a copy of the materialized cells. The returned
+// slice is owned by the caller on every backend: mutating it never
+// changes the tape, and later tape writes never change it.
 func (t *Tape) Contents() []byte {
-	out := make([]byte, len(t.cells))
-	copy(out, t.cells)
+	out := make([]byte, t.length())
+	t.readAt(out, 0)
 	return out
 }
 
 // String returns a short diagnostic description of the tape.
 func (t *Tape) String() string {
-	return fmt.Sprintf("tape %q: pos=%d dir=%s rev=%d len=%d", t.name, t.pos, t.dir, t.reversals, len(t.cells))
+	return fmt.Sprintf("tape %q: pos=%d dir=%s rev=%d len=%d", t.name, t.pos, t.dir, t.reversals, t.length())
 }
