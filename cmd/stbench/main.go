@@ -15,10 +15,12 @@
 // Usage:
 //
 //	stbench [-seed N] [-only E7] [-trials N] [-parallel N] [-shards N]
-//	        [-transport inproc|proc] [-chaos flaky|delay] [-chaos-rate F]
+//	        [-transport inproc|proc|tcp] [-workers host:port,...]
+//	        [-chaos flaky|delay] [-chaos-rate F]
 //	        [-budget BITS] [-budget-tapes N] [-budget-shards N]
-//	        [-storage mem|file|mmap] [-spill-dir DIR]
+//	        [-storage mem|file|mmap] [-spill-dir DIR] [-spill-threshold N]
 //	        [-format text|json|csv]
+//	stbench -serve host:port
 //
 // -storage selects where tape cells live (internal/tape backends):
 // mem is the in-RAM default, file buffers cells in unlinked temp
@@ -27,6 +29,9 @@
 // stdout is byte-identical at any -storage. -spill-dir places the
 // temp files (default: the system temp directory); they are unlinked
 // at creation, so no spill file survives any exit, SIGINT included.
+// -spill-threshold keeps a file/mmap tape in RAM until it first
+// exceeds that many cells — small scratch tapes never touch the disk;
+// both flags require -storage file or mmap (exit 2 otherwise).
 //
 // -budget hands the experiments a cost-based planner envelope
 // (internal/plan): BITS of run-formation memory, -budget-tapes tapes
@@ -46,6 +51,19 @@
 // path as an injected panic. Fleets whose trial bodies have no wire
 // form (and chaos-wrapped fleets, whose strikes live in the
 // coordinator's injector) keep running in-process.
+//
+// -transport tcp ships the same frames over TCP to long-lived workers
+// instead of spawned processes: -workers names them (host:port,...,
+// required), shard attempts are assigned round-robin by shard index,
+// and a retry moves to the next worker in the ring. Each connection
+// opens with a handshake carrying the frame-protocol version and the
+// workload-registry fingerprint, so a mismatched build is a typed
+// error before any job ships. Network death is process death — a
+// refused dial, a dropped connection or a stall past the attempt
+// deadline takes the same retry → fallback path, so stdout stays
+// byte-identical. Start a worker with `stbench -serve host:port`
+// (Ctrl-C stops it); the equivalent hidden form is
+// `stbench stworker -listen host:port`.
 //
 // Formats: text (the human report), json (one JSON object per
 // experiment per line), csv (one record per experiment). The json and
@@ -103,11 +121,12 @@ func budgetEnvelope(set bool, bits float64, tapes, shards int) (*plan.Budget, er
 
 func main() {
 	if transport.IsWorker(os.Args) {
-		// A shard worker: no flags, no signal handling. Workers run in
-		// their own process group, so terminal signals reach only the
+		// A shard worker: no flags, no signal handling. Pipe workers run
+		// in their own process group, so terminal signals reach only the
 		// coordinator — which owns the partial-results footer and tears
-		// workers down through their job contexts.
-		os.Exit(transport.Main(os.Stdin, os.Stdout, os.Stderr))
+		// workers down through their job contexts; TCP workers
+		// (`stbench stworker -listen addr`) install their own handler.
+		os.Exit(transport.WorkerMain(os.Args, os.Stdin, os.Stdout, os.Stderr))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -156,8 +175,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
 	storage := fs.String("storage", "mem", "tape storage backend: mem, file or mmap (never changes the output)")
 	spillDir := fs.String("spill-dir", "", "directory for file/mmap tape spill files (requires -storage file or mmap; default: system temp dir)")
+	spillThreshold := fs.Int("spill-threshold", 0, "cells a file/mmap tape holds in RAM before spilling to its backend (requires -storage file or mmap; 0 = spill from the start)")
+	workers := fs.String("workers", "", "comma-separated TCP worker addresses host:port,... (requires -transport tcp)")
+	serve := fs.String("serve", "", "serve shard jobs over TCP on this host:port instead of running experiments (conflicts with -transport and -workers)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["serve"] {
+		// A worker host runs nothing but the serve loop: the experiment
+		// flags describe a run it will never make, and the transport
+		// flags describe the coordinator's side of the wire.
+		if set["transport"] || set["workers"] {
+			fmt.Fprintln(stderr, "stbench: -serve conflicts with -transport and -workers")
+			return 2
+		}
+		if err := transport.ListenAndServe(ctx, *serve, stderr); err != nil {
+			fmt.Fprintln(stderr, "stbench:", err)
+			return 1
+		}
+		return 0
 	}
 	if *trials < 0 {
 		fmt.Fprintf(stderr, "stbench: -trials must be >= 0 (got %d)\n", *trials)
@@ -172,10 +210,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch *transportMode {
-	case "inproc", "proc":
+	case "inproc", "proc", "tcp":
 	default:
-		fmt.Fprintf(stderr, "stbench: unknown -transport %q (want inproc or proc)\n", *transportMode)
+		fmt.Fprintf(stderr, "stbench: unknown -transport %q (want inproc, proc or tcp)\n", *transportMode)
 		return 2
+	}
+	if *transportMode == "tcp" && !set["workers"] {
+		fmt.Fprintln(stderr, "stbench: -transport tcp requires -workers")
+		return 2
+	}
+	if set["workers"] && *transportMode != "tcp" {
+		fmt.Fprintln(stderr, "stbench: -workers requires -transport tcp")
+		return 2
+	}
+	var workerAddrs []string
+	if *transportMode == "tcp" {
+		var err error
+		if workerAddrs, err = transport.ParseWorkers(*workers); err != nil {
+			fmt.Fprintln(stderr, "stbench:", err)
+			return 2
+		}
 	}
 	// The negated form catches NaN too, which fails every ordered
 	// comparison and would sail through `rate < 0 || rate > 1`.
@@ -183,8 +237,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "stbench: -chaos-rate must be in [0, 1] (got %g)\n", *chaosRate)
 		return 2
 	}
-	set := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if !set["chaos"] && set["chaos-rate"] {
 		fmt.Fprintln(stderr, "stbench: -chaos-rate requires -chaos")
 		return 2
@@ -202,6 +254,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "stbench: -spill-dir requires -storage file or mmap")
 		return 2
 	}
+	if set["spill-threshold"] && storageKind == tape.Mem {
+		fmt.Fprintln(stderr, "stbench: -spill-threshold requires -storage file or mmap")
+		return 2
+	}
+	topts := tape.Options{Storage: storageKind, SpillDir: *spillDir, SpillThreshold: *spillThreshold}
+	if err := topts.Validate(); err != nil {
+		fmt.Fprintln(stderr, "stbench:", err)
+		return 2
+	}
 	envelope, err := budgetEnvelope(set["budget"], *budget, *budgetTapes, *budgetShards)
 	if err != nil {
 		fmt.Fprintln(stderr, "stbench:", err)
@@ -215,10 +276,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Config{
 		Seed: *seed, Trials: *trials, Parallel: *parallel, Shards: *shards,
 		Ctx: ctx, Faults: faultPlan, Retry: retry, Budget: envelope,
-		Storage: tape.Options{Storage: storageKind, SpillDir: *spillDir},
+		Storage: topts,
 	}
-	if *transportMode == "proc" {
+	switch *transportMode {
+	case "proc":
 		cfg.Proc = &transport.Proc{Stderr: stderr}
+	case "tcp":
+		cfg.TCP = &transport.TCP{Workers: workerAddrs, DialTimeout: 5 * time.Second}
 	}
 
 	runners := experiments.Runners()

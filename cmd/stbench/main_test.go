@@ -7,6 +7,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"extmem/internal/transport"
 )
 
 // One tiny end-to-end run per output format, against a fast
@@ -97,6 +99,14 @@ func TestFlagErrors(t *testing.T) {
 		{"budget shards without budget", []string{"-budget-shards", "2"}, "require -budget"},
 		{"bad storage", []string{"-storage", "floppy"}, `unknown storage "floppy"`},
 		{"spill dir without storage", []string{"-spill-dir", "/tmp"}, "-spill-dir requires -storage file or mmap"},
+		{"spill threshold without storage", []string{"-spill-threshold", "64"}, "-spill-threshold requires -storage file or mmap"},
+		{"negative spill threshold", []string{"-storage", "file", "-spill-threshold", "-1"}, "negative SpillThreshold"},
+		{"tcp without workers", []string{"-transport", "tcp"}, "-transport tcp requires -workers"},
+		{"workers without tcp", []string{"-workers", "127.0.0.1:9051"}, "-workers requires -transport tcp"},
+		{"workers with proc", []string{"-transport", "proc", "-workers", "127.0.0.1:9051"}, "-workers requires -transport tcp"},
+		{"bad worker address", []string{"-transport", "tcp", "-workers", "localhost"}, "bad worker address"},
+		{"serve with transport", []string{"-serve", "127.0.0.1:0", "-transport", "proc"}, "-serve conflicts"},
+		{"serve with workers", []string{"-serve", "127.0.0.1:0", "-workers", "127.0.0.1:9051"}, "-serve conflicts"},
 		{"too few budget tapes", []string{"-budget", "256", "-budget-tapes", "3"}, "cannot hold a sort"},
 		{"zero budget shards", []string{"-budget", "256", "-budget-shards", "0"}, "shard ceiling"},
 	}
@@ -292,6 +302,42 @@ func TestOutputTransportInvariant(t *testing.T) {
 	}
 }
 
+// The multi-host acceptance criterion: with loopback workers standing
+// in for remote hosts, the full -seed 5 report is byte-identical
+// between -transport inproc and -transport tcp, and the Monte-Carlo
+// E2 fleet sweeps the -shards × -parallel matrix with every trial row
+// crossing a real TCP connection.
+func TestOutputTCPTransportInvariant(t *testing.T) {
+	tr, stop, err := transport.LocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	workers := strings.Join(tr.Workers, ",")
+	runWith := func(extra ...string) string {
+		var out, errOut strings.Builder
+		args := append([]string{"-seed", "5"}, extra...)
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", extra, code, errOut.String())
+		}
+		return out.String()
+	}
+	ref := runWith("-transport", "inproc")
+	if got := runWith("-transport", "tcp", "-workers", workers, "-shards", "2", "-parallel", "8"); got != ref {
+		t.Fatal("full report differs between -transport inproc and tcp")
+	}
+	eref := runWith("-only", "E2", "-trials", "12")
+	for _, shards := range []string{"1", "2", "4"} {
+		for _, parallel := range []string{"1", "8"} {
+			got := runWith("-only", "E2", "-trials", "12",
+				"-transport", "tcp", "-workers", workers, "-shards", shards, "-parallel", parallel)
+			if got != eref {
+				t.Errorf("E2 differs at -transport tcp -shards %s -parallel %s", shards, parallel)
+			}
+		}
+	}
+}
+
 // Chaos and the process transport compose: the strikes live in the
 // coordinator's injector, so the report still cannot move.
 func TestChaosTransportInvariant(t *testing.T) {
@@ -306,6 +352,15 @@ func TestChaosTransportInvariant(t *testing.T) {
 	ref := runWith()
 	if got := runWith("-chaos", "flaky", "-transport", "proc", "-shards", "2"); got != ref {
 		t.Fatal("E18 differs under -chaos flaky -transport proc")
+	}
+	tr, stop, err := transport.LocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if got := runWith("-chaos", "flaky", "-transport", "tcp",
+		"-workers", strings.Join(tr.Workers, ","), "-shards", "2"); got != ref {
+		t.Fatal("E18 differs under -chaos flaky -transport tcp")
 	}
 }
 

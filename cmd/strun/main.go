@@ -34,8 +34,10 @@
 //
 // -storage selects the tape storage backend (mem, file or mmap) for
 // every machine of the run, with -spill-dir placing the file/mmap
-// backends' unlinked temp files; like -shards it never changes stdout
-// — the backend may move the bytes' home, never a count.
+// backends' unlinked temp files and -spill-threshold keeping small
+// tapes in RAM until they first exceed that many cells; like -shards
+// none of them changes stdout — the backend may move the bytes' home,
+// never a count. Both spill flags require -storage file or mmap.
 //
 // With -trials > 1 and -algo fingerprint, strun runs a Monte-Carlo
 // fleet of independent fingerprint trials on the same instance across
@@ -55,6 +57,15 @@
 // injected panic. It applies to fleet mode and -algo relalg; a
 // single-machine run has no shards to ship, so -transport proc there
 // is a flag error rather than a silent no-op.
+//
+// -transport tcp ships the same frames to long-lived TCP workers
+// named by -workers host:port,... (required, and mutual: -workers
+// requires -transport tcp). Connections open with a version +
+// workload-registry handshake, shard attempts are assigned
+// round-robin by shard index, and network death — refused dial,
+// dropped connection, stalled peer — is process death: the same
+// retry → fallback path, the same stdout. Start a worker with
+// `strun -serve host:port` (Ctrl-C stops it).
 package main
 
 import (
@@ -69,6 +80,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"extmem/internal/algorithms"
 	"extmem/internal/core"
@@ -83,11 +95,12 @@ import (
 
 func main() {
 	if transport.IsWorker(os.Args) {
-		// A shard worker: no flags, no signal handling. Workers run in
-		// their own process group, so terminal signals reach only the
+		// A shard worker: no flags, no signal handling. Pipe workers run
+		// in their own process group, so terminal signals reach only the
 		// coordinator — which owns the partial-results footer and tears
-		// workers down through their job contexts.
-		os.Exit(transport.Main(os.Stdin, os.Stdout, os.Stderr))
+		// workers down through their job contexts; TCP workers
+		// (`strun stworker -listen addr`) install their own handler.
+		os.Exit(transport.WorkerMain(os.Args, os.Stdin, os.Stdout, os.Stderr))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,9 +135,9 @@ func validate(algo, format, transportMode string, trialsN, parallel, shards int)
 		return fmt.Errorf("unknown -format %q (want text, json or csv)", format)
 	}
 	switch transportMode {
-	case "inproc", "proc":
+	case "inproc", "proc", "tcp":
 	default:
-		return fmt.Errorf("unknown -transport %q (want inproc or proc)", transportMode)
+		return fmt.Errorf("unknown -transport %q (want inproc, proc or tcp)", transportMode)
 	}
 	if trialsN < 1 {
 		return fmt.Errorf("-trials must be >= 1 (got %d)", trialsN)
@@ -137,8 +150,8 @@ func validate(algo, format, transportMode string, trialsN, parallel, shards int)
 	}
 	// A single-machine run has no shards to ship; degrading silently to
 	// the in-process engine would make the flag a lie.
-	if transportMode == "proc" && trialsN == 1 && algo != "relalg" {
-		return fmt.Errorf("-transport proc applies to fleet mode (-trials > 1) or -algo relalg")
+	if transportMode != "inproc" && trialsN == 1 && algo != "relalg" {
+		return fmt.Errorf("-transport %s applies to fleet mode (-trials > 1) or -algo relalg", transportMode)
 	}
 	return nil
 }
@@ -181,15 +194,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	budgetShards := fs.Int("budget-shards", 4, "planner envelope: shard-fleet ceiling (requires -budget)")
 	storage := fs.String("storage", "mem", "tape storage backend: mem, file or mmap (never changes stdout)")
 	spillDir := fs.String("spill-dir", "", "directory for file/mmap tape spill files (requires -storage file or mmap; default: system temp dir)")
+	spillThreshold := fs.Int("spill-threshold", 0, "cells a file/mmap tape holds in RAM before spilling to its backend (requires -storage file or mmap; 0 = spill from the start)")
+	workers := fs.String("workers", "", "comma-separated TCP worker addresses host:port,... (requires -transport tcp)")
+	serve := fs.String("serve", "", "serve shard jobs over TCP on this host:port instead of running an algorithm (conflicts with -transport and -workers)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["serve"] {
+		// A worker host runs nothing but the serve loop: the algorithm
+		// flags describe a run it will never make, and the transport
+		// flags describe the coordinator's side of the wire.
+		if set["transport"] || set["workers"] {
+			fmt.Fprintln(stderr, "strun: -serve conflicts with -transport and -workers")
+			return 2
+		}
+		if err := transport.ListenAndServe(ctx, *serve, stderr); err != nil {
+			fmt.Fprintln(stderr, "strun:", err)
+			return 1
+		}
+		return 0
 	}
 	if err := validate(*algo, *format, *transportMode, *trialsN, *parallel, *shards); err != nil {
 		fmt.Fprintln(stderr, "strun:", err)
 		return 2
 	}
-	set := map[string]bool{}
-	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *transportMode == "tcp" && !set["workers"] {
+		fmt.Fprintln(stderr, "strun: -transport tcp requires -workers")
+		return 2
+	}
+	if set["workers"] && *transportMode != "tcp" {
+		fmt.Fprintln(stderr, "strun: -workers requires -transport tcp")
+		return 2
+	}
+	var workerAddrs []string
+	if *transportMode == "tcp" {
+		var err error
+		if workerAddrs, err = transport.ParseWorkers(*workers); err != nil {
+			fmt.Fprintln(stderr, "strun:", err)
+			return 2
+		}
+	}
 	if !set["budget"] && (set["budget-tapes"] || set["budget-shards"]) {
 		fmt.Fprintln(stderr, "strun: -budget-tapes and -budget-shards require -budget")
 		return 2
@@ -212,10 +258,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "strun: -spill-dir requires -storage file or mmap")
 		return 2
 	}
-	topts := tape.Options{Storage: storageKind, SpillDir: *spillDir}
-	var proc *transport.Proc
-	if *transportMode == "proc" {
-		proc = &transport.Proc{Stderr: stderr}
+	if set["spill-threshold"] && storageKind == tape.Mem {
+		fmt.Fprintln(stderr, "strun: -spill-threshold requires -storage file or mmap")
+		return 2
+	}
+	topts := tape.Options{Storage: storageKind, SpillDir: *spillDir, SpillThreshold: *spillThreshold}
+	if err := topts.Validate(); err != nil {
+		fmt.Fprintln(stderr, "strun:", err)
+		return 2
+	}
+	var tr transport.Transport
+	switch *transportMode {
+	case "proc":
+		tr = &transport.Proc{Stderr: stderr}
+	case "tcp":
+		tr = &transport.TCP{Workers: workerAddrs, DialTimeout: 5 * time.Second}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -228,10 +285,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *algo != "fingerprint" {
 			return fail(stderr, fmt.Errorf("-trials > 1 is only supported for -algo fingerprint (got %q)", *algo))
 		}
-		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, proc, stdout, stderr)
+		return runFleet(ctx, in, *trialsN, *shards, *parallel, *seed, *format, tr, stdout, stderr)
 	}
 	if *algo == "relalg" {
-		return runQuery(ctx, in, *shards, *seed, envelope, proc, topts, stdout, stderr)
+		return runQuery(ctx, in, *shards, *seed, envelope, tr, topts, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "instance: m=%d, N=%d\n", in.M(), in.Size())
@@ -252,13 +309,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // runFleet streams a fingerprint trial fleet on the instance: one
 // machine per trial, coins derived from (seed, global trial index),
 // executed as a sharded fleet whose in-order merge stream feeds the
-// row encoder. Under -transport proc every shard range ships to a
-// worker process — the trial body travels as its registered workload
-// wire form and the rows come back identical. A mid-stream encoder
-// error cancels the fleet (workers drain, exit 1); SIGINT/SIGTERM
-// cancels it too, flushing the encoder and a partial-results footer
-// before exiting 130.
-func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int, seed int64, format string, proc *transport.Proc, stdout, stderr io.Writer) int {
+// row encoder. Under -transport proc or tcp every shard range ships
+// across the transport — the trial body travels as its registered
+// workload wire form and the rows come back identical. A mid-stream
+// encoder error cancels the fleet (workers drain, exit 1);
+// SIGINT/SIGTERM cancels it too, flushing the encoder and a
+// partial-results footer before exiting 130.
+func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int, seed int64, format string, tr transport.Transport, stdout, stderr io.Writer) int {
 	enc, err := trials.NewEncoder(format, stdout)
 	if err != nil {
 		return fail(stderr, err)
@@ -285,8 +342,8 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 			rows++
 		},
 	}
-	if proc != nil {
-		fleet.Attempt = proc.Attempt()
+	if tr != nil {
+		fleet.Attempt = tr.Attempt()
 	}
 	_, sum, err := fleet.Run(trials.WithWorkload(fleetCtx, w), trial)
 	if ctx.Err() != nil {
@@ -321,7 +378,7 @@ func runFleet(ctx context.Context, in problems.Instance, n, shards, parallel int
 // engine, which records no census at all. A -budget envelope hands
 // shape selection to the cost-based planner instead of the fixed
 // -shards count; stdout cannot tell the difference.
-func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, envelope *plan.Budget, proc *transport.Proc, topts tape.Options, stdout, stderr io.Writer) int {
+func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64, envelope *plan.Budget, tr transport.Transport, topts tape.Options, stdout, stderr io.Writer) int {
 	if shards < 1 {
 		shards = 1
 	}
@@ -331,8 +388,9 @@ func runQuery(ctx context.Context, in problems.Instance, shards int, seed int64,
 	if envelope != nil {
 		ev.Plan = plan.Auto(*envelope)
 	}
-	if proc != nil {
-		ev.Exec = proc.Exec()
+	if tr != nil {
+		ev.Exec = tr.Exec()
+		ev.ExecScan = tr.ExecScan()
 	}
 	m := core.NewMachineOpts(relalg.NumQueryTapes, seed, topts)
 	defer m.Close()

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"extmem/internal/transport"
 )
 
 // Smoke: one deterministic decider end to end, agreeing with the
@@ -141,6 +143,42 @@ func TestTransportProcInvariant(t *testing.T) {
 	}
 }
 
+// The TCP transport reproduces the in-process fleet rows and the
+// sharded query output byte for byte, with loopback workers standing
+// in for remote hosts — -transport tcp is an execution choice, never
+// an observable one.
+func TestTransportTCPInvariant(t *testing.T) {
+	tr, stop, err := transport.LocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	workers := strings.Join(tr.Workers, ",")
+	runWith := func(args ...string) (string, string) {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", args, code, errOut.String())
+		}
+		return out.String(), errOut.String()
+	}
+	fleet := []string{"-algo", "fingerprint", "-m", "8", "-n", "8", "-yes=false",
+		"-trials", "16", "-seed", "5", "-shards", "2"}
+	ref, _ := runWith(fleet...)
+	got, _ := runWith(append(fleet, "-transport", "tcp", "-workers", workers)...)
+	if got != ref {
+		t.Fatalf("fleet rows differ under -transport tcp:\n--- inproc ---\n%s\n--- tcp ---\n%s", ref, got)
+	}
+	query := []string{"-algo", "relalg", "-m", "32", "-n", "10", "-seed", "9", "-shards", "2"}
+	qref, qrefErr := runWith(query...)
+	qgot, qgotErr := runWith(append(query, "-transport", "tcp", "-workers", workers)...)
+	if qgot != qref {
+		t.Fatalf("relalg stdout differs under -transport tcp:\n--- inproc ---\n%s\n--- tcp ---\n%s", qref, qgot)
+	}
+	if qgotErr != qrefErr {
+		t.Fatalf("relalg census differs under -transport tcp:\n--- inproc ---\n%s\n--- tcp ---\n%s", qrefErr, qgotErr)
+	}
+}
+
 // The planned query: -budget hands shape selection to the cost-based
 // planner, and stdout still cannot move — byte-identical to every
 // fixed -shards value, under both transports.
@@ -189,6 +227,15 @@ func TestFlagAndAlgoErrors(t *testing.T) {
 		{"zero shards", []string{"-shards", "0"}, 2, "-shards must be >= 1"},
 		{"bad transport", []string{"-transport", "smoke-signals"}, 2, `unknown -transport "smoke-signals"`},
 		{"proc in single-run mode", []string{"-algo", "multiset", "-transport", "proc"}, 2, "-transport proc applies to fleet mode"},
+		{"tcp in single-run mode", []string{"-algo", "multiset", "-transport", "tcp"}, 2, "-transport tcp applies to fleet mode"},
+		{"tcp without workers", []string{"-algo", "relalg", "-transport", "tcp"}, 2, "-transport tcp requires -workers"},
+		{"workers without tcp", []string{"-workers", "127.0.0.1:9051"}, 2, "-workers requires -transport tcp"},
+		{"workers with proc", []string{"-algo", "relalg", "-transport", "proc", "-workers", "127.0.0.1:9051"}, 2, "-workers requires -transport tcp"},
+		{"bad worker address", []string{"-algo", "relalg", "-transport", "tcp", "-workers", "localhost"}, 2, "bad worker address"},
+		{"serve with transport", []string{"-serve", "127.0.0.1:0", "-transport", "proc"}, 2, "-serve conflicts"},
+		{"serve with workers", []string{"-serve", "127.0.0.1:0", "-workers", "127.0.0.1:9051"}, 2, "-serve conflicts"},
+		{"spill threshold without storage", []string{"-spill-threshold", "64"}, 2, "-spill-threshold requires -storage file or mmap"},
+		{"negative spill threshold", []string{"-storage", "file", "-spill-threshold", "-1"}, 2, "negative SpillThreshold"},
 		{"zero budget", []string{"-algo", "relalg", "-budget", "0"}, 2, "-budget must be a positive finite bit count"},
 		{"negative budget", []string{"-algo", "relalg", "-budget", "-256"}, 2, "-budget must be a positive finite bit count"},
 		{"NaN budget", []string{"-algo", "relalg", "-budget", "NaN"}, 2, "-budget must be a positive finite bit count"},

@@ -38,7 +38,8 @@ func E20FaultTolerance(cfg Config) Result {
 	notes := "PASS: recoverable chaos (flaky panics, delays) never moved a byte at any shard count;\n" +
 		"a permanent panic degraded to a deterministic error row at exactly the struck site;\n" +
 		"sort-side faults recovered with byte-identical output and fault-free resource census;\n" +
-		"real worker deaths (exit, SIGKILL, garbage frames) recovered identically across the process boundary."
+		"real worker deaths (exit, SIGKILL, garbage frames) recovered identically across the process\n" +
+		"boundary, and connection deaths (drops, stalls past the deadline) across the TCP boundary."
 
 	// ---- Fleet half: fault plans over the fingerprint trial fleet.
 	// The trial body is the registered fingerprint-value workload, so
@@ -313,6 +314,142 @@ func E20FaultTolerance(cfg Config) Result {
 		}
 		if rep.Attempts != 2+sp.extra || rep.Recovered != 0 || rep.Fallbacks != sp.fall {
 			notes = fmt.Sprintf("FAIL: transport sort fault %s: census (a=%d r=%d f=%d), want (a=%d r=0 f=%d).",
+				sp.name, rep.Attempts, rep.Recovered, rep.Fallbacks, 2+sp.extra, sp.fall)
+		}
+	}
+
+	// ---- TCP transport half: the same fleet and sort with loopback TCP
+	// workers, under connection-level chaos — a worker that closes the
+	// connection mid-stream (Drop) and one that stalls past the attempt
+	// deadline. Network death is process death: the same retry →
+	// fallback ladder, the same exact census, the same bytes. Faults
+	// key on (shard, attempt), so every count below is asserted
+	// exactly, not merely bounded.
+	tcpBase, tcpStop, err := transport.LocalWorkers(2)
+	if err != nil {
+		return failure("E20", "CHAOS-DET", err, core.Reject)
+	}
+	defer tcpStop()
+	fmt.Fprintf(&b, "\nChaos TCP transport: connection faults, %d-trial fleet on 2 shards, retry budget 2\n", n)
+	row(&b, "%14s %9s %8s %6s %5s %5s %6s", "fault", "deadline", "retries", "falls", "rec", "errs", "rows")
+	tcpPlans := []struct {
+		name                string
+		fault               func(sh, attempt int) *transport.WorkerFault
+		deadline            time.Duration
+		retries, falls, rec int
+	}{
+		{"none", nil, 0, 0, 0, 0},
+		// Shard 0's first connection is closed by the worker after one
+		// row; the retry dials the next worker around the ring and
+		// completes the range.
+		{"drop@s0a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 && attempt == 1 {
+				return &transport.WorkerFault{Drop: true, DropAfter: 1}
+			}
+			return nil
+		}, 0, 1, 0, 1},
+		// Shard 1's first worker stalls a full second; the 200ms
+		// attempt deadline expires the coordinator's reads, the
+		// connection dies, the retry completes well inside its own
+		// deadline.
+		{"stall@s1a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 1 && attempt == 1 {
+				return &transport.WorkerFault{Stall: time.Second}
+			}
+			return nil
+		}, 200 * time.Millisecond, 1, 0, 1},
+		// Every connection shard 0 ever gets is dropped mid-stream: the
+		// budget exhausts and the coordinator absorbs the range itself,
+		// chaos-free.
+		{"drop@s0", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 {
+				return &transport.WorkerFault{Drop: true, DropAfter: 1}
+			}
+			return nil
+		}, 0, 1, 1, 2},
+	}
+	for _, pp := range tcpPlans {
+		tp := *tcpBase
+		tp.Fault = pp.fault
+		tp.Deadline = pp.deadline
+		rs, sum, err := shard.Fleet{
+			Plan:     shard.Plan{Shards: 2, Trials: n},
+			Parallel: cfg.Parallel,
+			Seed:     fleetSeed,
+			Retry:    shard.RetryPolicy{MaxAttempts: 2},
+			Attempt:  tp.Attempt(),
+		}.Run(trials.WithWorkload(cfg.ctx(), w), trial)
+		if rs == nil {
+			return failure("E20", "CHAOS-DET", err, core.Reject)
+		}
+		rowsCol := "≡"
+		if !reflect.DeepEqual(rs, baseline) {
+			rowsCol = "DIFF"
+			notes = fmt.Sprintf("FAIL: TCP fault %s changed the recovered rows.", pp.name)
+		}
+		if sum.Retries != pp.retries || sum.Fallbacks != pp.falls ||
+			sum.Recovered != pp.rec || sum.Errors != 0 {
+			notes = fmt.Sprintf("FAIL: TCP fault %s: census (retry=%d fall=%d rec=%d err=%d), want (%d %d %d 0).",
+				pp.name, sum.Retries, sum.Fallbacks, sum.Recovered, sum.Errors,
+				pp.retries, pp.falls, pp.rec)
+		}
+		dl := "none"
+		if pp.deadline > 0 {
+			dl = pp.deadline.String()
+		}
+		row(&b, "%14s %9s %8d %6d %5d %5d %6s", pp.name, dl,
+			sum.Retries, sum.Fallbacks, sum.Recovered, sum.Errors, rowsCol)
+	}
+
+	// And the TCP sort: a dead connection is an error, never a panic,
+	// so Recovered stays zero while Attempts and Fallbacks move — and
+	// the bytes and the successful attempts' census match the
+	// fault-free 2-shard run exactly, same as over pipes.
+	fmt.Fprintf(&b, "\nChaos TCP transport sort: loopback-TCP shard sorts at 2 shards, retry budget 2\n")
+	row(&b, "%14s %9s %5s %6s %8s %8s", "fault", "attempts", "rec", "falls", "output≡", "census≡")
+	sortTCPPlans := []struct {
+		name        string
+		fault       func(sh, attempt int) *transport.WorkerFault
+		extra, fall int // expected deltas over the fault-free run
+	}{
+		{"none", nil, 0, 0},
+		{"drop@s0a1", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 && attempt == 1 {
+				return &transport.WorkerFault{Drop: true}
+			}
+			return nil
+		}, 1, 0},
+		{"drop@s0", func(sh, attempt int) *transport.WorkerFault {
+			if sh == 0 {
+				return &transport.WorkerFault{Drop: true}
+			}
+			return nil
+		}, 2, 1},
+	}
+	for _, sp := range sortTCPPlans {
+		tp := *tcpBase
+		tp.Fault = sp.fault
+		out, rep, err := shard.Sort{
+			Shards: 2, FanIn: fanIn, RunMemoryBits: runMem,
+			Retry: shard.RetryPolicy{MaxAttempts: 2},
+			Exec:  tp.Exec(), TapeOpts: cfg.Storage,
+		}.Run(cfg.ctx(), enc, cfg.Seed)
+		if err != nil {
+			return failure("E20", "CHAOS-DET", err, core.Reject)
+		}
+		outEq := bytes.Equal(out, cleanOut)
+		censusEq := reflect.DeepEqual(rep.Shards, cleanRep.Shards) &&
+			reflect.DeepEqual(rep.Merge, cleanRep.Merge)
+		row(&b, "%14s %9d %5d %6d %8v %8v", sp.name,
+			rep.Attempts, rep.Recovered, rep.Fallbacks, outEq, censusEq)
+		if !outEq {
+			notes = fmt.Sprintf("FAIL: TCP sort fault %s changed the output bytes.", sp.name)
+		}
+		if !censusEq {
+			notes = fmt.Sprintf("FAIL: TCP sort fault %s changed the successful-attempt census.", sp.name)
+		}
+		if rep.Attempts != 2+sp.extra || rep.Recovered != 0 || rep.Fallbacks != sp.fall {
+			notes = fmt.Sprintf("FAIL: TCP sort fault %s: census (a=%d r=%d f=%d), want (a=%d r=0 f=%d).",
 				sp.name, rep.Attempts, rep.Recovered, rep.Fallbacks, 2+sp.extra, sp.fall)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"extmem/internal/faults"
 	"extmem/internal/plan"
 	"extmem/internal/problems"
+	"extmem/internal/relalg"
 	"extmem/internal/shard"
 	"extmem/internal/tape"
 	"extmem/internal/transport"
@@ -60,11 +61,18 @@ type Config struct {
 
 	// Proc, when non-nil, is the process-boundary transport
 	// (internal/transport): trial fleets whose workloads carry a wire
-	// form and every sharded operator sort run their shard attempts in
-	// worker processes. Fleets with no wire form — closures over live
-	// state, chaos-wrapped fleets — keep running in-process. Like Shards
-	// and Parallel, it never affects output bytes.
+	// form and every sharded operator sort and scan run their shard
+	// attempts in worker processes. Fleets with no wire form — closures
+	// over live state, chaos-wrapped fleets — keep running in-process.
+	// Like Shards and Parallel, it never affects output bytes.
 	Proc *transport.Proc
+
+	// TCP, when non-nil, is the multi-host transport: the same seams as
+	// Proc, but shard attempts dial the configured workers over TCP
+	// (`-transport tcp -workers host:port,...`). At most one of Proc
+	// and TCP is set; TCP wins if both are. Like every other execution
+	// shape, it never affects output bytes.
+	TCP *transport.TCP
 }
 
 // machine builds an experiment machine on the configured tape storage.
@@ -103,20 +111,40 @@ func (c Config) ShardCount() int {
 // byte.
 func (c Config) launch() trials.Launcher {
 	inner := shard.LaunchRetry(c.ShardCount(), c.Parallel, c.Retry)
-	if c.Proc != nil {
-		inner = c.Proc.Launch(c.ShardCount(), c.Parallel, c.Retry)
+	if tr := c.transport(); tr != nil {
+		inner = tr.Launch(c.ShardCount(), c.Parallel, c.Retry)
 	}
 	return c.Faults.Trials(inner)
 }
 
+// transport resolves the configured shard transport, nil for in-process.
+func (c Config) transport() transport.Transport {
+	if c.TCP != nil {
+		return c.TCP
+	}
+	if c.Proc != nil {
+		return c.Proc
+	}
+	return nil
+}
+
 // exec resolves how sharded operator sorts execute their shard-local
-// attempts: in worker processes under the Proc transport, in-process
+// attempts: through the configured transport's workers, in-process
 // otherwise (nil selects shard.SortJob.Execute on the coordinator).
 func (c Config) exec() shard.ExecFunc {
-	if c.Proc == nil {
-		return nil
+	if tr := c.transport(); tr != nil {
+		return tr.Exec()
 	}
-	return c.Proc.Exec()
+	return nil
+}
+
+// execScan is exec's twin for sharded operator scans (anti-merge,
+// product): nil keeps them on the coordinator's shard machines.
+func (c Config) execScan() relalg.ScanExecFunc {
+	if tr := c.transport(); tr != nil {
+		return tr.ExecScan()
+	}
+	return nil
 }
 
 // proc is the transport the E18/E19/E20 internal sweeps run their

@@ -9,6 +9,7 @@ import (
 	"extmem/internal/core"
 	"extmem/internal/problems"
 	"extmem/internal/relalg"
+	"extmem/internal/transport"
 )
 
 // E19ShardedQueries tables the sharded query-evaluation frontier: the
@@ -115,44 +116,60 @@ func E19ShardedQueries(cfg Config) Result {
 			shards, dom.Items, dom.Runs, strings.Join(parts, " "), dom.Merge.Scans())
 	}
 
-	// Process-transport rows: the fan-in 4 evaluations again, with every
-	// operator sort's shard-local attempts in worker processes. The
-	// result tuples must match the single machine and the whole
-	// QueryReport — per-shard (r, s, t) of every operator sort — must
-	// match the in-process sharded run: the census crosses the process
-	// boundary intact, not merely the answer.
-	fmt.Fprintf(&b, "\nprocess transport (fan-in 4): shard-local operator sorts in worker processes\n")
-	row(&b, "%7s %9s %9s", "shards", "output≡", "census≡")
-	pr := cfg.proc()
-	for _, shards := range []int{1, 2, 4} {
-		prep := &relalg.QueryReport{}
-		r, err := relalg.Evaluator{
-			Shards: shards, FanIn: 4, RunMemoryBits: runMem,
-			Seed: cfg.Seed, Report: prep,
-			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-			Exec: pr.Exec(), TapeOpts: cfg.Storage,
-		}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
-		if err != nil {
-			return failure("E19", "SHARD-QUERY", err, core.Reject)
-		}
-		outEq := reflect.DeepEqual(r.Tuples, baseRel.Tuples)
-		cenEq := reflect.DeepEqual(prep, reports[[2]int{4, shards}])
-		row(&b, "%7d %9v %9v", shards, outEq, cenEq)
-		if !outEq {
-			notes = fmt.Sprintf("FAIL: the process-transport query at %d shards differs from the single machine.", shards)
-		}
-		if !cenEq {
-			notes = fmt.Sprintf("FAIL: the process-transport census at %d shards differs from the in-process run.", shards)
+	// Transport rows: the fan-in 4 evaluations again, with every
+	// operator sort's AND operator scan's shard-local attempts behind a
+	// transport — worker processes over pipes, then loopback TCP
+	// workers. The result tuples must match the single machine and the
+	// whole QueryReport — per-shard (r, s, t) of every operator sort
+	// and scan — must match the in-process sharded run: the census
+	// crosses the boundary intact, not merely the answer.
+	transports := []struct {
+		name string
+		tr   transport.Transport
+	}{{"proc", cfg.proc()}}
+	tcpT, tcpStop, err := transport.LocalWorkers(2)
+	if err != nil {
+		return failure("E19", "SHARD-QUERY", err, core.Reject)
+	}
+	defer tcpStop()
+	transports = append(transports, struct {
+		name string
+		tr   transport.Transport
+	}{"tcp", tcpT})
+	for _, tc := range transports {
+		fmt.Fprintf(&b, "\n%s transport (fan-in 4): shard-local operator sorts and scans behind the transport\n", tc.name)
+		row(&b, "%7s %9s %9s", "shards", "output≡", "census≡")
+		for _, shards := range []int{1, 2, 4} {
+			prep := &relalg.QueryReport{}
+			r, err := relalg.Evaluator{
+				Shards: shards, FanIn: 4, RunMemoryBits: runMem,
+				Seed: cfg.Seed, Report: prep,
+				Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
+				Exec: tc.tr.Exec(), ExecScan: tc.tr.ExecScan(), TapeOpts: cfg.Storage,
+			}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
+			if err != nil {
+				return failure("E19", "SHARD-QUERY", err, core.Reject)
+			}
+			outEq := reflect.DeepEqual(r.Tuples, baseRel.Tuples)
+			cenEq := reflect.DeepEqual(prep, reports[[2]int{4, shards}])
+			row(&b, "%7d %9v %9v", shards, outEq, cenEq)
+			if !outEq {
+				notes = fmt.Sprintf("FAIL: the %s-transport query at %d shards differs from the single machine.", tc.name, shards)
+			}
+			if !cenEq {
+				notes = fmt.Sprintf("FAIL: the %s-transport census at %d shards differs from the in-process run.", tc.name, shards)
+			}
 		}
 	}
 
 	// The configured execution shape, exercised for real: one more
-	// evaluation at cfg.Shards shards (and, under -transport proc, with
-	// worker-process sort attempts) must reproduce the same bytes.
+	// evaluation at cfg.Shards shards (and, under -transport proc/tcp,
+	// with transport-backed sort and scan attempts) must reproduce the
+	// same bytes.
 	cfgRel, err := relalg.Evaluator{
 		Shards: cfg.ShardCount(), RunMemoryBits: runMem, Seed: cfg.Seed,
 		Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(),
-		Exec: cfg.exec(), TapeOpts: cfg.Storage,
+		Exec: cfg.exec(), ExecScan: cfg.execScan(), TapeOpts: cfg.Storage,
 	}.EvalST(cfg.ctx(), q, db, cfg.machine(relalg.NumQueryTapes, cfg.Seed))
 	if err != nil {
 		return failure("E19", "SHARD-QUERY", err, core.Reject)

@@ -11,6 +11,7 @@ import (
 	"extmem/internal/core"
 	"extmem/internal/problems"
 	"extmem/internal/shard"
+	"extmem/internal/transport"
 	"extmem/internal/trials"
 )
 
@@ -49,13 +50,21 @@ func E18ShardedExecution(cfg Config) Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded sort: %d items × 16 bits, fan-in %d, run memory %d bits; single machine: %d scans, %d bits, %d steps\n",
 		1024, fanIn, runMem, baseRes.Scans(), baseRes.PeakMemoryBits, baseRes.Steps)
-	row(&b, "%7s %6s %18s %6s %6s %11s %11s %9s %8s %10s %6s", "shards", "runs",
-		"per-shard scans", "max r", "sum r", "max s bits", "crit steps", "speedup", "output≡", "merge r", "proc≡")
-	notes := "PASS: outputs byte-identical at every shard count and across the process transport;\n" +
-		"fleets identical at every shard count; sum(scans) ≥ single-machine scans and\n" +
+	row(&b, "%7s %6s %18s %6s %6s %11s %11s %9s %8s %10s %6s %6s", "shards", "runs",
+		"per-shard scans", "max r", "sum r", "max s bits", "crit steps", "speedup", "output≡", "merge r", "proc≡", "tcp≡")
+	notes := "PASS: outputs byte-identical at every shard count and across the process and TCP\n" +
+		"transports; fleets identical at every shard count; sum(scans) ≥ single-machine scans and\n" +
 		"max(shard memory) ≤ single-machine memory — sharding buys critical-path time\n" +
 		"with total work, never with the answer."
 	pr := cfg.proc()
+	// The TCP rows self-host loopback workers (the same serve loop a
+	// remote stworker runs), so the table exists — byte-identical — in
+	// every run, configured `-transport tcp` or not.
+	tcpT, tcpStop, err := transport.LocalWorkers(2)
+	if err != nil {
+		return failure("E18", "SHARD-EXEC", err, core.Reject)
+	}
+	defer tcpStop()
 	for _, shards := range []int{1, 2, 4} {
 		out, rep, err := shard.Sort{
 			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
@@ -66,11 +75,20 @@ func E18ShardedExecution(cfg Config) Result {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
 		}
 		// The same execution with every shard-local sort in a worker
-		// process: the sorted bytes and the whole report — per-shard
-		// (r, s, t) census included — must cross the pipes intact.
+		// process, then on loopback TCP workers: the sorted bytes and
+		// the whole report — per-shard (r, s, t) census included — must
+		// cross the pipes and the network intact.
 		pout, prep, err := shard.Sort{
 			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
 			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(), Exec: pr.Exec(),
+			TapeOpts: cfg.Storage,
+		}.Run(cfg.ctx(), enc, cfg.Seed)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
+		tout, trep, err := shard.Sort{
+			Shards: shards, FanIn: fanIn, RunMemoryBits: runMem,
+			Retry: cfg.Retry, Inject: cfg.Faults.ShardInject(), Exec: tcpT.Exec(),
 			TapeOpts: cfg.Storage,
 		}.Run(cfg.ctx(), enc, cfg.Seed)
 		if err != nil {
@@ -83,15 +101,19 @@ func E18ShardedExecution(cfg Config) Result {
 		}
 		equal := bytes.Equal(out, baseOut)
 		procEq := bytes.Equal(pout, out) && reflect.DeepEqual(prep, rep)
+		tcpEq := bytes.Equal(tout, out) && reflect.DeepEqual(trep, rep)
 		speedup := float64(baseRes.Steps) / float64(rep.CriticalPathSteps())
-		row(&b, "%7d %6d %18s %6d %6d %11d %11d %8.2fx %8v %10d %6v",
+		row(&b, "%7d %6d %18s %6d %6d %11d %11d %8.2fx %8v %10d %6v %6v",
 			shards, rep.Runs, fmt.Sprint(perShard), agg.MaxScans, agg.SumScans, agg.MaxMemoryBits,
-			rep.CriticalPathSteps(), speedup, equal, rep.Merge.Scans(), procEq)
+			rep.CriticalPathSteps(), speedup, equal, rep.Merge.Scans(), procEq, tcpEq)
 		if !equal {
 			notes = "FAIL: sharded sort output differs from the single-machine engine."
 		}
 		if !procEq {
 			notes = "FAIL: the process-transport sort differs from the in-process run."
+		}
+		if !tcpEq {
+			notes = "FAIL: the TCP-transport sort differs from the in-process run."
 		}
 		if agg.SumScans < baseRes.Scans() {
 			notes = "FAIL: rollup lost scans relative to the single machine."
@@ -114,7 +136,7 @@ func E18ShardedExecution(cfg Config) Result {
 	w, trial := algorithms.FingerprintValueWorkload(4, 12)
 	var ref []trials.Result
 	fmt.Fprintf(&b, "\nSharded fingerprint fleet: %d trials, no-instances m=4 n=12\n", fleetN)
-	row(&b, "%7s %8s %9s %14s %12s %6s", "shards", "trials", "accepts", "Σ p1 (rng)", "rows ≡ 1?", "proc≡")
+	row(&b, "%7s %8s %9s %14s %12s %6s %6s", "shards", "trials", "accepts", "Σ p1 (rng)", "rows ≡ 1?", "proc≡", "tcp≡")
 	for _, shards := range []int{1, 2, 4} {
 		rs, sum, err := shard.Fleet{
 			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
@@ -138,6 +160,16 @@ func E18ShardedExecution(cfg Config) Result {
 		if err != nil {
 			return failure("E18", "SHARD-EXEC", err, core.Reject)
 		}
+		trs, tsum, err := shard.Fleet{
+			Plan:     shard.Plan{Shards: shards, Trials: fleetN},
+			Parallel: cfg.Parallel,
+			Seed:     fleetSeed,
+			Retry:    cfg.Retry,
+			Attempt:  tcpT.Attempt(),
+		}.Run(trials.WithWorkload(cfg.ctx(), w), trial)
+		if err != nil {
+			return failure("E18", "SHARD-EXEC", err, core.Reject)
+		}
 		if ref == nil {
 			ref = rs
 		}
@@ -147,12 +179,16 @@ func E18ShardedExecution(cfg Config) Result {
 		}
 		same := reflect.DeepEqual(rs, ref)
 		procEq := reflect.DeepEqual(prs, rs) && reflect.DeepEqual(psum, sum)
-		row(&b, "%7d %8d %9d %14.0f %12v %6v", shards, sum.Trials, sum.Accepts, sumP1, same, procEq)
+		tcpEq := reflect.DeepEqual(trs, rs) && reflect.DeepEqual(tsum, sum)
+		row(&b, "%7d %8d %9d %14.0f %12v %6v %6v", shards, sum.Trials, sum.Accepts, sumP1, same, procEq, tcpEq)
 		if !same {
 			notes = "FAIL: sharded fleet results differ from the single-shard run."
 		}
 		if !procEq {
 			notes = "FAIL: the process-transport fleet differs from the in-process run."
+		}
+		if !tcpEq {
+			notes = "FAIL: the TCP-transport fleet differs from the in-process run."
 		}
 	}
 

@@ -107,6 +107,15 @@ type Evaluator struct {
 	// byte-identical with or without it.
 	Exec shard.ExecFunc
 
+	// ExecScan, when non-nil, overrides how shard-local operator-scan
+	// attempts (the difference's anti-merge, the product's paired
+	// scan) execute — the scan-side twin of Exec, implemented by
+	// internal/transport so planned queries honor `-transport` end to
+	// end. Consulted on budgeted attempts only; the coordinator's
+	// fallback always executes the ScanJob itself. The query result is
+	// byte-identical with or without it.
+	ExecScan ScanExecFunc
+
 	// Launch, when non-nil, overrides the sort execution entirely —
 	// the trials.Launcher pattern on the sort side. Shards is then
 	// ignored; nil together with Shards == 0 selects the

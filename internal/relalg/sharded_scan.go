@@ -332,27 +332,17 @@ func (c *evalCtx) scanShardsRun(op string, l, r, shards int) ([][]byte, ScanRepo
 // recovery cannot move a byte.
 func (c *evalCtx) scanShard(ctx context.Context, op string, rg shard.Range, left, right []byte,
 	attempts, fallbacks, recovered *atomic.Int64) ([]byte, core.Resources, error) {
-	execute := func() ([]byte, core.Resources, error) {
-		seed := trials.Seed(c.ev.Seed, rg.Shard+1)
-		if op == ScanOpDiff {
-			m := core.NewMachineOpts(3, seed, c.ev.TapeOpts)
-			defer m.Close()
-			m.SetInput(left)
-			m.SetTape(1, right)
-			if err := antiMergeTapes(m, 0, 1, 2); err != nil {
-				return nil, core.Resources{}, err
-			}
-			return m.Tape(2).Contents(), m.Resources(), nil
-		}
-		m := core.NewMachineOpts(5, seed, c.ev.TapeOpts)
-		defer m.Close()
-		m.SetInput(left)
-		m.SetTape(1, right)
-		if err := productTapes(m, 0, 1, 2, 3, 4); err != nil {
-			return nil, core.Resources{}, err
-		}
-		return m.Tape(2).Contents(), m.Resources(), nil
+	job := ScanJob{
+		Op:    op,
+		Left:  left,
+		Right: right,
+		Seed:  trials.Seed(c.ev.Seed, rg.Shard+1),
+		Tape:  c.ev.TapeOpts,
 	}
+	// attemptOnce mirrors shard.Sort's sortShard: chaos (Inject) and
+	// the transport seam (ExecScan) are consulted on budgeted attempts
+	// only — the coordinator's fallback always runs the job itself,
+	// chaos-free and in-process.
 	attemptOnce := func(attempt int, inject bool) (out []byte, res core.Resources, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -365,7 +355,10 @@ func (c *evalCtx) scanShard(ctx context.Context, op string, rg shard.Range, left
 				return nil, core.Resources{}, ierr
 			}
 		}
-		return execute()
+		if inject && c.ev.ExecScan != nil {
+			return c.ev.ExecScan(ctx, rg.Shard, attempt, job)
+		}
+		return job.Execute()
 	}
 	budget := c.ev.Retry.MaxAttempts
 	if budget < 1 {

@@ -70,7 +70,9 @@ type Options struct {
 	// backend until its materialized size first exceeds this many
 	// cells, then migrates the content to the storage backend — small
 	// scratch tapes never touch the disk. 0 places the tape on the
-	// storage backend from the start. Ignored for Mem.
+	// storage backend from the start. Setting it with Mem storage is a
+	// Validate error (there is nothing to spill to), and NewWith panics
+	// on it rather than silently ignoring the threshold.
 	SpillThreshold int
 
 	// Wrap, when non-nil, wraps every backend this tape constructs
@@ -85,6 +87,22 @@ func (o Options) storage() Storage {
 		return Mem
 	}
 	return o.Storage
+}
+
+// Validate rejects option combinations that would otherwise lie
+// silently. A SpillThreshold on Mem storage is the one such combination
+// today: a Mem tape has no storage backend to spill to, so the
+// threshold would be dead configuration the caller believes is active.
+// The CLIs call Validate on flag-built options (exit 2); NewWith
+// panics on a violation, since by then it is a programming error.
+func (o Options) Validate() error {
+	if o.SpillThreshold < 0 {
+		return fmt.Errorf("tape: negative SpillThreshold %d", o.SpillThreshold)
+	}
+	if o.storage() == Mem && o.SpillThreshold > 0 {
+		return fmt.Errorf("tape: SpillThreshold %d requires File or Mmap storage (a Mem tape has nothing to spill to)", o.SpillThreshold)
+	}
+	return nil
 }
 
 // ErrStorage is the sentinel every backend I/O failure wraps:

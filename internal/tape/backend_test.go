@@ -296,3 +296,47 @@ func FuzzTapeBackend(f *testing.F) {
 		runBackendLockstep(t, ops)
 	})
 }
+
+// Options.Validate rejects the combinations that would otherwise lie
+// silently — a threshold with nowhere to spill to, a negative
+// threshold — and accepts every configuration the conformance table
+// actually runs.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"file", Options{Storage: File}, true},
+		{"mmap with threshold", Options{Storage: Mmap, SpillThreshold: 64}, true},
+		{"file with threshold", Options{Storage: File, SpillThreshold: 1}, true},
+		{"negative threshold", Options{Storage: File, SpillThreshold: -1}, false},
+		{"negative threshold on mem", Options{SpillThreshold: -5}, false},
+		{"threshold on mem", Options{SpillThreshold: 64}, false},
+		{"threshold on explicit mem", Options{Storage: Mem, SpillThreshold: 1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opts.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", c.opts, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", c.opts)
+			}
+		})
+	}
+}
+
+// NewWith panics on options Validate rejects: by construction time an
+// invalid combination is a programming error, not a user mistake, and
+// silently dropping the threshold would hide it.
+func TestNewWithPanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWith accepted a SpillThreshold on Mem storage")
+		}
+	}()
+	NewWith("bad", Options{SpillThreshold: 64})
+}

@@ -78,8 +78,14 @@ type Tape struct {
 func New(name string) *Tape { return NewWith(name, Options{}) }
 
 // NewWith returns an empty tape whose cells live in the storage the
-// options select.
+// options select. Invalid options (Options.Validate) panic: tapes are
+// constructed deep inside machines, and silently dropping a
+// misconfigured spill threshold is worse than failing loudly where
+// the configuration bug is.
 func NewWith(name string, o Options) *Tape {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
 	t := &Tape{name: name, dir: Forward, budget: -1, opts: o}
 	if o.storage() != Mem && o.SpillThreshold > 0 {
 		// Start in RAM; spill to the storage backend when the

@@ -1,7 +1,9 @@
-// Package transport executes shard attempts in worker processes — the
-// process-boundary rung of the shard execution ladder, behind the same
-// two seams everything else uses: trials.Launcher for trial fleets and
-// algorithms.SortLauncher for sharded sorts.
+// Package transport executes shard attempts in worker processes and
+// on TCP workers that may live on other machines — the process- and
+// host-boundary rungs of the shard execution ladder, behind the same
+// seams everything else uses: trials.Launcher for trial fleets,
+// algorithms.SortLauncher for sharded sorts, and relalg.ScanExecFunc
+// for sharded operator scans.
 //
 // # Shape
 //
@@ -43,6 +45,21 @@
 // garbage, or kill themselves mid-stream, so the recovery contract is
 // tested against real process death, not simulations of it.
 //
-// The residue of this rung is the transport after it: the same frames
-// over TCP to workers on other hosts (ROADMAP item 1).
+// # Multi-host
+//
+// TCP carries the same frames to long-lived workers started with
+// `-serve host:port` (ListenAndServe): one connection per shard
+// attempt — dial, Hello handshake (protocol version + workload-
+// registry fingerprint, typed HandshakeError on mismatch), one job
+// frame, reply stream — with attempts assigned round-robin by shard
+// index and a retry moving one step around the worker ring. Deadline
+// bounds an attempt's wall clock as an absolute connection deadline.
+// Network death is process death: refused dial, peer reset, handshake
+// mismatch and blown deadline all take the WorkerError path above.
+// WorkerFault's connection-level orders (Drop, Stall) exercise it
+// against real connections, and LocalWorkers hosts loopback serve
+// workers in-process for tests and experiments.
+//
+// The residue of this rung is worker discovery and launch — ssh or a
+// registry instead of a static -workers list (ROADMAP item 1).
 package transport

@@ -9,9 +9,30 @@ import (
 	"time"
 
 	"extmem/internal/core"
+	"extmem/internal/relalg"
 	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
+
+// ProtocolVersion is the frame-protocol generation. It is the first
+// field of the handshake both ends of a TCP connection exchange before
+// any job frame; a mismatch is rejected with a *HandshakeError instead
+// of letting two incompatible builds feed each other gob garbage. The
+// pipe transport (Proc) needs no handshake — it spawns its own
+// executable, so coordinator and worker are the same build by
+// construction.
+const ProtocolVersion = 1
+
+// Hello is the handshake frame that opens every TCP connection, sent
+// coordinator→worker and answered worker→coordinator before the job
+// frame. Version pins the frame protocol; Fingerprint pins the
+// workload registry (trials.RegistryFingerprint), so a worker binary
+// that would rebuild a different trial function — or none — under the
+// coordinator's workload name is rejected up front.
+type Hello struct {
+	Version     int
+	Fingerprint uint64
+}
 
 // MaxFrame bounds a single frame's payload. The largest legitimate
 // frame is a sort job or its reply — a shard's run-range payload —
@@ -24,20 +45,21 @@ const MaxFrame = 1 << 26 // 64 MiB
 // independent gob stream, so a reader can decode any frame without the
 // state of the ones before it — which is what lets the coordinator
 // treat a truncated or garbled frame as the death of that worker
-// rather than of the whole transport.
+// rather than of the whole transport. The header is reserved in the
+// encode buffer and the whole frame leaves in a single Write: one
+// syscall per frame on a pipe, and no header-only segment for TCP
+// (without it, every frame could cost two packets under TCP_NODELAY).
 func writeFrame(w io.Writer, v any) error {
 	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return err
 	}
-	if buf.Len() > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", buf.Len(), MaxFrame)
+	n := buf.Len() - 4
+	if n > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
+	binary.BigEndian.PutUint32(buf.Bytes()[:4], uint32(n))
 	_, err := w.Write(buf.Bytes())
 	return err
 }
@@ -66,13 +88,14 @@ func readFrame(r io.Reader, v any) error {
 	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
 }
 
-// Job is the single coordinator→worker frame: exactly one of Trial or
-// Sort describes the shard assignment, and Fault, when non-nil, is a
-// self-applied chaos order (the worker is told to die — real process
-// death, not a simulated panic).
+// Job is the single coordinator→worker frame: exactly one of Trial,
+// Sort or Scan describes the shard assignment, and Fault, when
+// non-nil, is a self-applied chaos order (the worker is told to die —
+// real process or connection death, not a simulated panic).
 type Job struct {
 	Trial *TrialJob
 	Sort  *shard.SortJob
+	Scan  *relalg.ScanJob
 	Fault *WorkerFault
 }
 
@@ -100,16 +123,27 @@ type Reply struct {
 // Done terminates a worker's reply stream. A non-empty Err means the
 // job failed worker-side (the coordinator maps it onto the same
 // retry → fallback path as process death); Sort carries a sort job's
-// output and the shard machine's exact (r, s, t) report.
+// output and the shard machine's exact (r, s, t) report, Scan the
+// same for an operator-scan job.
 type Done struct {
 	Err  string
 	Sort *SortDone
+	Scan *ScanDone
 }
 
 // SortDone is the result of a sort job: the sorted run-range bytes and
 // the shard-local machine's resource census, crossing the process
 // boundary intact.
 type SortDone struct {
+	Out       []byte
+	Resources core.Resources
+}
+
+// ScanDone is the result of an operator-scan job (relalg.ScanJob): the
+// shard's output bytes and the shard-local machine's resource census,
+// which the coordinator folds into the query's relalg.ScanReport
+// exactly as an in-process shard would.
+type ScanDone struct {
 	Out       []byte
 	Resources core.Resources
 }
@@ -133,8 +167,21 @@ type WorkerFault struct {
 
 	// Kill upgrades Exit to self-delivered SIGKILL — uncatchable, no
 	// deferred cleanup, the closest a worker can get to a machine
-	// failure.
+	// failure. Honored on the pipe transport only, where the worker
+	// process is the coordinator's own disposable child: a TCP serve
+	// loop hosts many connections (possibly inside the coordinator's
+	// test process), so its handlers execute Kill as Drop.
 	Kill bool
+
+	// Drop is the connection-level death order of the TCP transport:
+	// the handler closes the connection mid-stream — after DropAfter
+	// row frames (for sort and scan jobs: before the Done frame
+	// regardless) — and survives to serve the next connection. The
+	// coordinator sees a peer reset exactly where Exit would end a
+	// pipe stream. Pipe workers execute Drop as Exit: closing their
+	// only connection is process death.
+	Drop      bool
+	DropAfter int
 
 	// Corrupt streams a malformed frame (an oversized length prefix)
 	// instead of the first reply.

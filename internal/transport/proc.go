@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"extmem/internal/algorithms"
-	"extmem/internal/core"
+	"extmem/internal/relalg"
 	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
@@ -176,6 +176,20 @@ func (p *Proc) runJob(ctx context.Context, job Job, onRow func(trials.Result) er
 	}
 }
 
+// run adapts runJob to the shared runner seam (seams.go); a pipe
+// worker is spawned per job, so the shard and attempt numbers only
+// matter to the fault hook.
+func (p *Proc) run(ctx context.Context, _, _ int, job Job, onRow func(trials.Result) error) (*Done, error) {
+	return p.runJob(ctx, job, onRow)
+}
+
+func (p *Proc) fault(sh, attempt int) *WorkerFault {
+	if p.Fault != nil {
+		return p.Fault(sh, attempt)
+	}
+	return nil
+}
+
 // Attempt returns the shard.AttemptFunc that executes trial-range
 // attempts in worker processes. A fleet whose context carries a
 // trials.Workload annotation ships it — workload name and spec out,
@@ -187,82 +201,20 @@ func (p *Proc) runJob(ctx context.Context, job Job, onRow func(trials.Result) er
 // WorkerError, which the fleet retries and then absorbs via its
 // degraded fallback — output identical either way, only the attempt
 // census moves.
-func (p *Proc) Attempt() shard.AttemptFunc {
-	return func(ctx context.Context, sh, attempt int, eng trials.Engine, fn trials.Func) ([]trials.Result, error) {
-		w, ok := trials.WorkloadFrom(ctx)
-		if !ok {
-			rs, _, err := eng.Run(ctx, fn)
-			return rs, err
-		}
-		var fault *WorkerFault
-		if p.Fault != nil {
-			fault = p.Fault(sh, attempt)
-		}
-		job := Job{
-			Trial: &TrialJob{
-				Workload: w,
-				Trials:   eng.Trials,
-				Offset:   eng.Offset,
-				Parallel: eng.Parallel,
-				Seed:     eng.Seed,
-			},
-			Fault: fault,
-		}
-		rs := make([]trials.Result, 0, eng.Trials)
-		onRow := func(r trials.Result) error {
-			if want := eng.Offset + len(rs); r.Trial != want {
-				return fmt.Errorf("row for trial %d, want %d", r.Trial, want)
-			}
-			if len(rs) == eng.Trials {
-				return fmt.Errorf("row beyond the %d-trial range", eng.Trials)
-			}
-			rs = append(rs, r)
-			if eng.OnResult != nil {
-				eng.OnResult(r)
-			}
-			return nil
-		}
-		if _, err := p.runJob(ctx, job, onRow); err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				// Cancellation killed the worker; report the
-				// cancellation, not a retryable fault.
-				return nil, cerr
-			}
-			return nil, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
-		}
-		if len(rs) != eng.Trials {
-			return nil, &WorkerError{Shard: sh, Attempt: attempt,
-				Err: fmt.Errorf("worker streamed %d of %d rows", len(rs), eng.Trials)}
-		}
-		return rs, nil
-	}
-}
+func (p *Proc) Attempt() shard.AttemptFunc { return attemptFunc(p) }
 
 // Exec returns the shard.ExecFunc that executes shard-local sort
 // attempts in worker processes: the self-contained shard.SortJob goes
 // out, the sorted bytes and the shard machine's exact core.Resources
 // report come back. Worker death fails the attempt with a WorkerError
 // and the sort's retry → coordinator-fallback path takes over.
-func (p *Proc) Exec() shard.ExecFunc {
-	return func(ctx context.Context, sh, attempt int, job shard.SortJob) ([]byte, core.Resources, error) {
-		var fault *WorkerFault
-		if p.Fault != nil {
-			fault = p.Fault(sh, attempt)
-		}
-		done, err := p.runJob(ctx, Job{Sort: &job, Fault: fault}, nil)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, core.Resources{}, cerr
-			}
-			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
-		}
-		if done.Sort == nil {
-			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt,
-				Err: errors.New("done frame carries no sort result")}
-		}
-		return done.Sort.Out, done.Sort.Resources, nil
-	}
-}
+func (p *Proc) Exec() shard.ExecFunc { return execFunc(p) }
+
+// ExecScan returns the relalg.ScanExecFunc that executes shard-local
+// operator-scan attempts (anti-merge, product) in worker processes —
+// the scan-side twin of Exec, so planned queries honor `-transport
+// proc` end to end instead of silently running their scans in-process.
+func (p *Proc) ExecScan() relalg.ScanExecFunc { return execScanFunc(p) }
 
 // Launch returns the trials.Launcher whose fleets run every shard
 // attempt through this transport — shard.LaunchRetry with worker

@@ -1,0 +1,150 @@
+package transport
+
+// seams.go builds the shard-layer seam implementations —
+// shard.Fleet.Attempt, shard.Sort.Exec, relalg.Evaluator.ExecScan —
+// once, over an internal job-runner abstraction, so the pipe transport
+// (Proc) and the TCP transport share all coordinator-side logic:
+// workload shipping, strict row-order validation, cancellation
+// precedence over worker faults, and WorkerError wrapping. A transport
+// only decides how one job reaches one worker; what a failed or
+// successful attempt means is decided here, identically for both.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"extmem/internal/algorithms"
+	"extmem/internal/core"
+	"extmem/internal/relalg"
+	"extmem/internal/shard"
+	"extmem/internal/trials"
+)
+
+// Transport is the full coordinator-side seam set a shard transport
+// provides: trial-fleet attempts, shard-local sort execution,
+// shard-local operator-scan execution, and the fleet launcher. Proc
+// (worker processes over pipes) and TCP (remote workers over
+// connections) both implement it; the CLIs program against it so
+// `-transport proc` and `-transport tcp -workers ...` differ only in
+// how the transport value is built.
+type Transport interface {
+	Attempt() shard.AttemptFunc
+	Exec() shard.ExecFunc
+	ExecScan() relalg.ScanExecFunc
+	Launch(shards, parallel int, retry shard.RetryPolicy) trials.Launcher
+	LaunchSort(shards int, seed int64, retry shard.RetryPolicy, onReport func(shard.SortReport)) algorithms.SortLauncher
+}
+
+var (
+	_ Transport = (*Proc)(nil)
+	_ Transport = (*TCP)(nil)
+)
+
+// runner is the internal job-execution seam: run one job on one worker
+// for one (shard, attempt), streaming rows to onRow, and report the
+// per-attempt chaos order.
+type runner interface {
+	run(ctx context.Context, sh, attempt int, job Job, onRow func(trials.Result) error) (*Done, error)
+	fault(sh, attempt int) *WorkerFault
+}
+
+// attemptFunc is the shared shard.AttemptFunc over a runner. A fleet
+// whose context carries a trials.Workload annotation ships it —
+// workload name and spec out, rows back, validated strictly in trial
+// order; the worker re-derives all randomness from (seed, global
+// index), so the rows are the ones the in-process engine would
+// produce, byte for byte. A fleet with no annotation (a closure with
+// no wire form, or a chaos-wrapped fleet) transparently runs
+// in-process. Worker death fails the attempt with a WorkerError, which
+// the fleet retries and then absorbs via its degraded fallback —
+// output identical either way, only the attempt census moves.
+func attemptFunc(p runner) shard.AttemptFunc {
+	return func(ctx context.Context, sh, attempt int, eng trials.Engine, fn trials.Func) ([]trials.Result, error) {
+		w, ok := trials.WorkloadFrom(ctx)
+		if !ok {
+			rs, _, err := eng.Run(ctx, fn)
+			return rs, err
+		}
+		job := Job{
+			Trial: &TrialJob{
+				Workload: w,
+				Trials:   eng.Trials,
+				Offset:   eng.Offset,
+				Parallel: eng.Parallel,
+				Seed:     eng.Seed,
+			},
+			Fault: p.fault(sh, attempt),
+		}
+		rs := make([]trials.Result, 0, eng.Trials)
+		onRow := func(r trials.Result) error {
+			if want := eng.Offset + len(rs); r.Trial != want {
+				return fmt.Errorf("row for trial %d, want %d", r.Trial, want)
+			}
+			if len(rs) == eng.Trials {
+				return fmt.Errorf("row beyond the %d-trial range", eng.Trials)
+			}
+			rs = append(rs, r)
+			if eng.OnResult != nil {
+				eng.OnResult(r)
+			}
+			return nil
+		}
+		if _, err := p.run(ctx, sh, attempt, job, onRow); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancellation killed the worker; report the
+				// cancellation, not a retryable fault.
+				return nil, cerr
+			}
+			return nil, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
+		}
+		if len(rs) != eng.Trials {
+			return nil, &WorkerError{Shard: sh, Attempt: attempt,
+				Err: fmt.Errorf("worker streamed %d of %d rows", len(rs), eng.Trials)}
+		}
+		return rs, nil
+	}
+}
+
+// execFunc is the shared shard.ExecFunc over a runner: the
+// self-contained shard.SortJob goes out, the sorted bytes and the
+// shard machine's exact core.Resources report come back. Worker death
+// fails the attempt with a WorkerError and the sort's retry →
+// coordinator-fallback path takes over.
+func execFunc(p runner) shard.ExecFunc {
+	return func(ctx context.Context, sh, attempt int, job shard.SortJob) ([]byte, core.Resources, error) {
+		done, err := p.run(ctx, sh, attempt, Job{Sort: &job, Fault: p.fault(sh, attempt)}, nil)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, core.Resources{}, cerr
+			}
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
+		}
+		if done.Sort == nil {
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt,
+				Err: errors.New("done frame carries no sort result")}
+		}
+		return done.Sort.Out, done.Sort.Resources, nil
+	}
+}
+
+// execScanFunc is the shared relalg.ScanExecFunc over a runner — the
+// scan-side twin of execFunc, closing the gap where sharded operator
+// scans (the difference's anti-merge, the product's paired scan)
+// silently ran in-process under a transport.
+func execScanFunc(p runner) relalg.ScanExecFunc {
+	return func(ctx context.Context, sh, attempt int, job relalg.ScanJob) ([]byte, core.Resources, error) {
+		done, err := p.run(ctx, sh, attempt, Job{Scan: &job, Fault: p.fault(sh, attempt)}, nil)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, core.Resources{}, cerr
+			}
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt, Err: err}
+		}
+		if done.Scan == nil {
+			return nil, core.Resources{}, &WorkerError{Shard: sh, Attempt: attempt,
+				Err: errors.New("done frame carries no scan result")}
+		}
+		return done.Scan.Out, done.Scan.Resources, nil
+	}
+}

@@ -1,0 +1,197 @@
+package transport
+
+// serve.go is the worker side of the TCP transport: a listener that
+// accepts connections and runs one job per connection through the same
+// job runners the pipe worker uses (worker.go). The handshake contract
+// is strict and symmetric — each end sends its Hello (protocol
+// version, workload-registry fingerprint) and validates the peer's
+// before any job frame crosses; a mismatched build is rejected with a
+// typed *HandshakeError instead of being allowed to exchange gob
+// garbage. Termination orders inside a job (WorkerFault) execute as
+// connection death here, not process death: one serve process hosts
+// many connections — possibly inside the coordinator's own process
+// (LocalWorkers) — so a chaos order may kill only the connection it
+// rode in on.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"extmem/internal/trials"
+)
+
+// handshakeTimeout bounds the handshake exchange on the serve side, so
+// a connection that never speaks cannot pin a handler goroutine
+// forever. Once the job frame arrives the deadline is lifted — jobs
+// may legitimately run long, and the coordinator owns the attempt
+// deadline.
+const handshakeTimeout = 10 * time.Second
+
+// Serve accepts connections on ln and serves one job per connection
+// until ctx is cancelled, then closes the listener and every live
+// connection and waits for in-flight handlers to drain. A nil stderr
+// means os.Stderr. The error is nil on a cancellation-triggered
+// shutdown.
+func Serve(ctx context.Context, ln net.Listener, stderr io.Writer) error {
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	var (
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+		wg    sync.WaitGroup
+	)
+	stop := context.AfterFunc(ctx, func() {
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			handleConn(conn, stderr)
+		}()
+	}
+}
+
+// handleConn runs one connection: handshake, one job, reply stream.
+func handleConn(conn net.Conn, stderr io.Writer) {
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	br := bufio.NewReader(conn)
+	var hello Hello
+	if err := readFrame(br, &hello); err != nil {
+		fmt.Fprintln(stderr, "stworker: reading handshake:", err)
+		return
+	}
+	// Reply with this build's identity before judging the peer's: the
+	// coordinator runs the same comparison on its side, so whichever
+	// end is told first, the verdict is symmetric.
+	if err := writeFrame(conn, Hello{Version: ProtocolVersion, Fingerprint: trials.RegistryFingerprint()}); err != nil {
+		fmt.Fprintln(stderr, "stworker: sending handshake:", err)
+		return
+	}
+	if err := checkHello(hello); err != nil {
+		fmt.Fprintln(stderr, "stworker: rejecting connection:", err)
+		return
+	}
+	var job Job
+	if err := readFrame(br, &job); err != nil {
+		fmt.Fprintln(stderr, "stworker: reading job:", err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	out := bufio.NewWriter(conn)
+	send := func(rep Reply) error {
+		if err := writeFrame(out, rep); err != nil {
+			return err
+		}
+		return out.Flush()
+	}
+	corrupt := func() {
+		out.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		out.Flush()
+	}
+	// Termination orders are connection death here: the peer sees the
+	// reset mid-stream, the serve loop lives on to take the retry.
+	die := func(*WorkerFault) { conn.Close() }
+	serveJob(job, send, corrupt, die, stderr)
+}
+
+// ListenAndServe listens on addr and serves shard jobs until ctx is
+// cancelled. The bound address is announced on stderr ("listening on
+// host:port") so a caller that asked for port 0 — or a script waiting
+// for worker readiness — can read it off.
+func ListenAndServe(ctx context.Context, addr string, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if stderr != nil {
+		fmt.Fprintf(stderr, "stworker: listening on %s\n", ln.Addr())
+	}
+	return Serve(ctx, ln, stderr)
+}
+
+// ServeMain is the TCP worker entry point of a hosting binary
+// (`stbench -serve addr`, `stworker -listen addr`, or the EnvListen
+// marker): serve shard jobs until the process is interrupted or
+// terminated, then drain and exit. Returns the process exit code.
+func ServeMain(addr string, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := ListenAndServe(ctx, addr, stderr); err != nil {
+		fmt.Fprintln(stderr, "stworker:", err)
+		return 1
+	}
+	return 0
+}
+
+// LocalWorkers starts n loopback TCP workers served from goroutines
+// inside this process and returns a transport dialing them plus a stop
+// function that shuts the listeners down and drains in-flight
+// handlers. It powers the self-hosted tcp sweeps of the experiments
+// and tests: the handlers run the same serve loop a remote stworker
+// would, so every shard attempt still crosses a real TCP connection,
+// handshake and framing included — only process isolation is mocked
+// out, and the failure-matrix tests cover that separately with spawned
+// worker processes.
+func LocalWorkers(n int) (*TCP, func(), error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var (
+		addrs []string
+		lns   []net.Listener
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Serve(ctx, ln, io.Discard)
+		}()
+	}
+	stop := func() {
+		cancel()
+		wg.Wait()
+	}
+	return &TCP{Workers: addrs}, stop, nil
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"extmem/internal/relalg"
 	"extmem/internal/shard"
 	"extmem/internal/trials"
 )
@@ -18,41 +19,68 @@ import (
 // checks it before doing anything else and hands the process to Main.
 const EnvWorker = "EXTMEM_STWORKER"
 
+// EnvListen is the environment variable that marks a process as a TCP
+// shard worker: its value is the listen address. Tests that need a
+// killable worker process (real process death over a real connection)
+// spawn their own test binary with it set; MaybeWorker routes such a
+// process into the serve loop exactly as EnvWorker routes it into the
+// pipe worker.
+const EnvListen = "EXTMEM_STWORKER_LISTEN"
+
 // WorkerArg is the hidden subcommand name under which the CLIs expose
 // the worker ("stbench stworker", "strun stworker"). It exists so the
 // worker is visible in process listings; the environment variable is
 // what actually routes execution, which keeps test binaries — whose
 // argument vector belongs to the testing package — spawnable as
-// workers too.
+// workers too. With `-listen addr` following it, the subcommand serves
+// jobs over TCP instead of reading one job from stdin.
 const WorkerArg = "stworker"
 
 // IsWorker reports whether this process was launched as a shard
-// worker: the environment marker is set, or the first argument is the
-// hidden subcommand.
+// worker: one of the environment markers is set, or the first argument
+// is the hidden subcommand.
 func IsWorker(args []string) bool {
-	if os.Getenv(EnvWorker) == "1" {
+	if os.Getenv(EnvWorker) == "1" || os.Getenv(EnvListen) != "" {
 		return true
 	}
 	return len(args) > 1 && args[1] == WorkerArg
 }
 
+// WorkerMain runs a process identified by IsWorker and returns its
+// exit code: the `stworker -listen addr` form (or the EnvListen
+// marker) serves jobs over TCP until signalled; every other form is
+// the pipe worker reading one job frame from stdin.
+func WorkerMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if addr := os.Getenv(EnvListen); addr != "" {
+		return ServeMain(addr, stderr)
+	}
+	if len(args) > 3 && args[1] == WorkerArg && args[2] == "-listen" {
+		return ServeMain(args[3], stderr)
+	}
+	return Main(stdin, stdout, stderr)
+}
+
 // MaybeWorker hijacks the process if it was spawned as a shard worker
 // and never returns in that case. Test binaries that execute
 // transport-backed fleets install it first thing in TestMain, so the
-// self-exec default of Proc works under `go test` exactly as it does
-// under the real CLIs.
+// self-exec default of Proc — and the spawn-a-killable-TCP-worker
+// pattern of the failure-matrix tests — work under `go test` exactly
+// as they do under the real CLIs.
 func MaybeWorker() {
+	if addr := os.Getenv(EnvListen); addr != "" {
+		os.Exit(ServeMain(addr, os.Stderr))
+	}
 	if os.Getenv(EnvWorker) == "1" {
 		os.Exit(Main(os.Stdin, os.Stdout, os.Stderr))
 	}
 }
 
-// Main is the shard worker: it reads the single job frame from stdin,
-// executes the assignment on a shard-local engine or machine, streams
-// reply frames to stdout (per-trial rows in trial order, then the Done
-// report), and returns the process exit code. All errors worth
-// reporting travel in frames or the exit code; stderr is for human
-// diagnostics only.
+// Main is the pipe shard worker: it reads the single job frame from
+// stdin, executes the assignment on a shard-local engine or machine,
+// streams reply frames to stdout (per-trial rows in trial order, then
+// the Done report), and returns the process exit code. All errors
+// worth reporting travel in frames or the exit code; stderr is for
+// human diagnostics only.
 func Main(stdin io.Reader, stdout, stderr io.Writer) int {
 	in := bufio.NewReader(stdin)
 	out := bufio.NewWriter(stdout)
@@ -61,38 +89,70 @@ func Main(stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "stworker: reading job:", err)
 		return 1
 	}
-	if f := job.Fault; f != nil && f.Stall > 0 {
-		time.Sleep(f.Stall)
-	}
-	if f := job.Fault; f != nil && f.Corrupt {
-		// A length prefix past every limit: the coordinator must treat
-		// it as a malformed frame, never as an allocation order.
-		out.Write([]byte{0xff, 0xff, 0xff, 0xff})
-		out.Flush()
-		return 1
-	}
 	send := func(rep Reply) error {
 		if err := writeFrame(out, rep); err != nil {
 			return err
 		}
 		return out.Flush()
 	}
+	corrupt := func() {
+		// A length prefix past every limit: the coordinator must treat
+		// it as a malformed frame, never as an allocation order.
+		out.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		out.Flush()
+	}
+	return serveJob(job, send, corrupt, pipeDie, stderr)
+}
+
+// serveJob executes one decoded job against a reply stream — the
+// shared body of the pipe worker (Main) and the TCP serve loop's
+// per-connection handler. die executes a mid-stream termination order:
+// process death on pipes, where the worker owns its process;
+// connection death in serve mode, where one process hosts many
+// connections. In serve mode die returns and the next send fails on
+// the closed connection, which ends the job without a Done frame —
+// the same mid-job death the coordinator sees from a dead process.
+func serveJob(job Job, send func(Reply) error, corrupt func(), die func(*WorkerFault), stderr io.Writer) int {
+	if f := job.Fault; f != nil && f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f := job.Fault; f != nil && f.Corrupt {
+		corrupt()
+		return 1
+	}
 	switch {
 	case job.Trial != nil:
-		return runTrialJob(job.Trial, job.Fault, send, stderr)
+		return runTrialJob(job.Trial, job.Fault, send, die, stderr)
 	case job.Sort != nil:
-		return runSortJob(job.Sort, job.Fault, send, stderr)
+		return runSortJob(job.Sort, job.Fault, send, die, stderr)
+	case job.Scan != nil:
+		return runScanJob(job.Scan, job.Fault, send, die, stderr)
 	}
 	fmt.Fprintln(stderr, "stworker: job frame assigns no work")
 	return 1
 }
 
-// die executes a WorkerFault's termination order: self-SIGKILL when
-// Kill is set (uncatchable; the brief sleep yields until the signal
-// lands), a plain nonzero exit otherwise. Either way the reply stream
-// ends without a Done frame — mid-job death, as the coordinator sees a
-// crashed shard machine.
-func die(f *WorkerFault) {
+// dies reports whether the fault orders the stream to end before the
+// Done frame (process death on pipes, connection death in serve mode).
+func (f *WorkerFault) dies() bool { return f != nil && (f.Exit || f.Drop) }
+
+// dieAfter is the number of row frames to stream before dying; sort
+// and scan jobs stream no rows, so any death order lands before their
+// Done frame.
+func (f *WorkerFault) dieAfter() int {
+	if f.Exit {
+		return f.ExitAfter
+	}
+	return f.DropAfter
+}
+
+// pipeDie executes a termination order in the pipe worker:
+// self-SIGKILL when Kill is set (uncatchable; the brief sleep yields
+// until the signal lands), a plain nonzero exit otherwise — Drop
+// included, since closing a pipe worker's only stream is process
+// death. Either way the reply stream ends without a Done frame —
+// mid-job death, as the coordinator sees a crashed shard machine.
+func pipeDie(f *WorkerFault) {
 	if f.Kill {
 		if p, err := os.FindProcess(os.Getpid()); err == nil {
 			p.Kill()
@@ -102,7 +162,7 @@ func die(f *WorkerFault) {
 	os.Exit(1)
 }
 
-func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, stderr io.Writer) int {
+func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, die func(*WorkerFault), stderr io.Writer) int {
 	fn, err := j.Workload.Build()
 	if err != nil {
 		// No builder, undecodable spec: report and die. The coordinator
@@ -123,7 +183,7 @@ func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, stderr
 			if sendErr != nil {
 				return
 			}
-			if fault != nil && fault.Exit && rows >= fault.ExitAfter {
+			if fault.dies() && rows >= fault.dieAfter() {
 				die(fault)
 			}
 			if sendErr = send(Reply{Row: &r}); sendErr == nil {
@@ -143,7 +203,7 @@ func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, stderr
 		send(Reply{Done: &Done{Err: runErr.Error()}})
 		return 1
 	}
-	if fault != nil && fault.Exit && rows <= fault.ExitAfter {
+	if fault.dies() && rows <= fault.dieAfter() {
 		// An empty or short range never reached the ordered row: die
 		// before the Done frame so the fault stays a fault.
 		die(fault)
@@ -155,11 +215,12 @@ func runTrialJob(j *TrialJob, fault *WorkerFault, send func(Reply) error, stderr
 	return 0
 }
 
-func runSortJob(j *shard.SortJob, fault *WorkerFault, send func(Reply) error, stderr io.Writer) int {
-	if fault != nil && fault.Exit {
-		// Sort jobs stream no rows; any Exit order means dying before
+func runSortJob(j *shard.SortJob, fault *WorkerFault, send func(Reply) error, die func(*WorkerFault), stderr io.Writer) int {
+	if fault.dies() {
+		// Sort jobs stream no rows; any death order means dying before
 		// the Done frame.
 		die(fault)
+		return 1
 	}
 	out, res, err := j.Execute()
 	if err != nil {
@@ -168,6 +229,25 @@ func runSortJob(j *shard.SortJob, fault *WorkerFault, send func(Reply) error, st
 		return 1
 	}
 	if err := send(Reply{Done: &Done{Sort: &SortDone{Out: out, Resources: res}}}); err != nil {
+		fmt.Fprintln(stderr, "stworker: sending done:", err)
+		return 1
+	}
+	return 0
+}
+
+func runScanJob(j *relalg.ScanJob, fault *WorkerFault, send func(Reply) error, die func(*WorkerFault), stderr io.Writer) int {
+	if fault.dies() {
+		// Scan jobs stream no rows either.
+		die(fault)
+		return 1
+	}
+	out, res, err := j.Execute()
+	if err != nil {
+		send(Reply{Done: &Done{Err: err.Error()}})
+		fmt.Fprintln(stderr, "stworker:", err)
+		return 1
+	}
+	if err := send(Reply{Done: &Done{Scan: &ScanDone{Out: out, Resources: res}}}); err != nil {
 		fmt.Fprintln(stderr, "stworker: sending done:", err)
 		return 1
 	}

@@ -3,6 +3,8 @@ package trials
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -55,6 +57,31 @@ func (w Workload) Build() (Func, error) {
 		return nil, fmt.Errorf("trials: no workload builder registered for %q", w.Name)
 	}
 	return build(w.Spec)
+}
+
+// RegistryFingerprint is a deterministic digest of the registered
+// workload names — the build-identity half of the TCP transport's
+// handshake (internal/transport). Two binaries that register the same
+// workload set agree on it; a coordinator and a worker that disagree
+// would fail jobs with "no workload builder registered" (or worse,
+// run a different builder under the same name), so the transport
+// rejects the connection up front instead. Names only: builders are
+// code, and within one registered set the binary is accountable for
+// them the same way both halves of one process are.
+func RegistryFingerprint() uint64 {
+	workloadMu.RLock()
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	workloadMu.RUnlock()
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 type workloadKey struct{}
